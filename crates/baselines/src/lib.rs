@@ -1,0 +1,31 @@
+//! Baseline time-series visualization techniques compared against ASAP.
+//!
+//! §5.1 of the paper compares ASAP to: the original data, M4, the
+//! Visvalingam–Whyatt line-simplification algorithm, piecewise aggregate
+//! approximation (PAA100 / PAA800), and an oversmoothed plot (SMA with a
+//! window of ¼ the series length). Appendix B.1 additionally measures the
+//! *pixel error* of each technique. This crate implements all of them:
+//!
+//! * [`m4`] — visualization-oriented min/max/first/last aggregation (Jugel
+//!   et al., VLDB 2014), the pixel-exact downsampler;
+//! * [`mod@paa`] — piecewise aggregate approximation (Keogh et al., 2001);
+//! * [`mod@visvalingam`] — effective-area line simplification (Visvalingam &
+//!   Whyatt, 1993), the "simp" bar in Figure 6;
+//! * [`mod@oversmooth`] — the deliberately over-aggressive SMA used as the
+//!   upper anchor in the user studies;
+//! * [`pixel`] — line rasterization and the pixel-error metric of Table 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod m4;
+pub mod oversmooth;
+pub mod paa;
+pub mod pixel;
+pub mod visvalingam;
+
+pub use m4::m4_aggregate;
+pub use oversmooth::oversmooth;
+pub use paa::paa;
+pub use pixel::{pixel_error, rasterize, rasterize_indexed, Raster};
+pub use visvalingam::visvalingam;

@@ -1,0 +1,99 @@
+//! Piecewise Aggregate Approximation (Keogh et al., KAIS 2001).
+//!
+//! PAA divides the series into `segments` equal-width frames and replaces
+//! each frame by its mean. The paper compares against PAA100 (100 frames)
+//! and PAA800 (800 frames) — unlike ASAP, PAA's reduction target is fixed
+//! by the segment count rather than chosen to optimize a visual metric.
+
+use asap_timeseries::TimeSeriesError;
+
+/// Reduces `data` to `segments` frame means.
+///
+/// Frame boundaries follow the standard fractional assignment
+/// `frame(i) = ⌊i · segments / n⌋`, which keeps frames within one point of
+/// equal width even when `segments` does not divide `n`. When
+/// `segments ≥ n` the series is returned unchanged.
+pub fn paa(data: &[f64], segments: usize) -> Result<Vec<f64>, TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if segments == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "segments",
+            message: "PAA needs at least one segment",
+        });
+    }
+    let n = data.len();
+    if segments >= n {
+        return Ok(data.to_vec());
+    }
+    let mut sums = vec![0.0f64; segments];
+    let mut counts = vec![0usize; segments];
+    for (i, &v) in data.iter().enumerate() {
+        let f = i * segments / n;
+        sums[f] += v;
+        counts[f] += 1;
+    }
+    Ok(sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| s / c as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_evenly_when_possible() {
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let out = paa(&data, 3).unwrap();
+        assert_eq!(out, vec![1.5, 5.5, 9.5]);
+    }
+
+    #[test]
+    fn handles_non_divisible_lengths() {
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let out = paa(&data, 3).unwrap();
+        assert_eq!(out.len(), 3);
+        // Frames: indices 0..=3 (i*3/10<1 for i<4), 4..=6, 7..=9.
+        assert!((out[0] - 1.5).abs() < 1e-12);
+        assert!((out[1] - 5.0).abs() < 1e-12);
+        assert!((out[2] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_segments_is_identity() {
+        let data = vec![1.0, 2.0, 3.0];
+        assert_eq!(paa(&data, 5).unwrap(), data);
+        assert_eq!(paa(&data, 3).unwrap(), data);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(paa(&[], 3).is_err());
+        assert!(paa(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn mean_is_preserved_on_even_splits() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin()).collect();
+        let out = paa(&data, 100).unwrap();
+        let mean_in = data.iter().sum::<f64>() / 1000.0;
+        let mean_out = out.iter().sum::<f64>() / 100.0;
+        assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_smooths_less_aggressively_with_more_segments() {
+        let data: Vec<f64> = (0..800)
+            .map(|i| (i as f64 * 0.2).sin() + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let p100 = paa(&data, 100).unwrap();
+        let p800 = paa(&data, 800).unwrap();
+        let r100 = asap_timeseries::roughness(&p100).unwrap();
+        let r800 = asap_timeseries::roughness(&p800).unwrap();
+        assert!(r100 < r800, "PAA100 {r100} should be smoother than PAA800 {r800}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion microbench: autocorrelation — the FFT path ASAP uses vs the
+//! brute-force estimator it replaces (§4.3.3's O(n log n) vs O(n²)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn data(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (std::f64::consts::TAU * i as f64 / 48.0).sin()
+            + ((i as u64 * 2654435761) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+fn bench_acf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acf");
+    for &n in &[1_000usize, 5_000] {
+        let series = data(n);
+        let max_lag = n / 10;
+        group.bench_with_input(BenchmarkId::new("fft", n), &series, |b, s| {
+            b.iter(|| asap_dsp::autocorrelation(black_box(s), max_lag).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &series, |b, s| {
+            b.iter(|| asap_dsp::acf_brute_force(black_box(s), max_lag).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let series = data(5_000);
+    let acf = asap_dsp::autocorrelation(&series, 500).unwrap();
+    c.bench_function("find_peaks_5000", |b| {
+        b.iter(|| asap_dsp::find_peaks(black_box(&acf), asap_dsp::PeakConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_acf, bench_peaks);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Incremental vs from-scratch metric maintenance (§4.5 ablation).
+//!
+//! Streaming ASAP re-checks roughness and kurtosis at every refresh. This
+//! bench quantifies the win of the O(1)-amortized sliding sketches
+//! (`asap-core::incremental`) over recomputing the batch statistics on the
+//! window tail at every point — the trade the paper's on-demand-update
+//! optimization navigates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asap_core::{SlidingMoments, SlidingRoughness};
+use asap_timeseries::{kurtosis, roughness};
+
+fn stream(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            (i as f64 / 60.0).sin()
+                + 0.3 * ((((i as u64).wrapping_mul(2654435761)) % 1000) as f64 / 1000.0 - 0.5)
+        })
+        .collect()
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_kurtosis");
+    let data = stream(20_000);
+    for window in [64usize, 1024] {
+        group.throughput(Throughput::Elements(data.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sliding_sketch", window),
+            &window,
+            |b, &w| {
+                b.iter(|| {
+                    let mut sk = SlidingMoments::new(w).unwrap();
+                    let mut acc = 0.0;
+                    for &x in &data {
+                        sk.push(x);
+                        if let Some(k) = sk.kurtosis() {
+                            acc += k;
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_recompute", window),
+            &window,
+            |b, &w| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..data.len() {
+                        let lo = (i + 1).saturating_sub(w);
+                        if i + 1 - lo >= 2 {
+                            if let Ok(k) = kurtosis(&data[lo..=i]) {
+                                acc += k;
+                            }
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_roughness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_roughness");
+    let data = stream(20_000);
+    let window = 512usize;
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("sliding_sketch", |b| {
+        b.iter(|| {
+            let mut sr = SlidingRoughness::new(window).unwrap();
+            let mut acc = 0.0;
+            for &x in &data {
+                sr.push(x);
+                if let Some(r) = sr.roughness() {
+                    acc += r;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("batch_recompute", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..data.len() {
+                let lo = (i + 1).saturating_sub(window);
+                if i + 1 - lo >= 3 {
+                    if let Ok(r) = roughness(&data[lo..=i]) {
+                        acc += r;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_moments, bench_roughness);
+criterion_main!(benches);

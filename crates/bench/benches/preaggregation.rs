@@ -1,0 +1,38 @@
+//! Criterion microbench: pixel-aware preaggregation at Table 1's device
+//! resolutions on a 1M-point series.
+
+use asap_core::preaggregate;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_preaggregation(c: &mut Criterion) {
+    let data: Vec<f64> = (0..1_000_000)
+        .map(|i| (i as f64 * 0.0011).sin() + ((i as u64 * 2654435761) % 1000) as f64 / 1000.0)
+        .collect();
+    let mut group = c.benchmark_group("preaggregate_1M");
+    group.throughput(Throughput::Elements(1_000_000));
+    for device in asap_core::DEVICES {
+        group.bench_with_input(
+            BenchmarkId::new("device", device.horizontal),
+            &(device.horizontal as usize),
+            |b, &res| b.iter(|| preaggregate(black_box(&data), res)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_smooth(c: &mut Criterion) {
+    // Full facade on 1M points: the "sub-second vs hours" §4.4 claim.
+    let data: Vec<f64> = (0..1_000_000)
+        .map(|i| {
+            (std::f64::consts::TAU * i as f64 / 86_400.0).sin()
+                + ((i as u64 * 2654435761) % 1000) as f64 / 1000.0
+        })
+        .collect();
+    let asap = asap_core::Asap::builder().resolution(1200).build();
+    c.bench_function("asap_end_to_end_1M_1200px", |b| {
+        b.iter(|| asap.smooth(black_box(&data)).unwrap().window)
+    });
+}
+
+criterion_group!(benches, bench_preaggregation, bench_end_to_end_smooth);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbench: the four window-search strategies over one
+//! preaggregated series — the machinery behind Figure 8.
+
+use asap_core::{preaggregate, AsapConfig, SearchStrategy};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_strategies(c: &mut Criterion) {
+    let series = asap_data::machine_temp();
+    let (agg, _) = preaggregate(series.values(), 1200);
+    let config = AsapConfig {
+        resolution: 1200,
+        ..AsapConfig::default()
+    };
+
+    let mut group = c.benchmark_group("search_machine_temp_1200px");
+    for strat in [
+        SearchStrategy::Exhaustive,
+        SearchStrategy::Grid { step: 2 },
+        SearchStrategy::Grid { step: 10 },
+        SearchStrategy::Binary,
+        SearchStrategy::Asap,
+    ] {
+        group.bench_function(strat.name(), |b| {
+            b.iter(|| strat.search(black_box(&agg), &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_seeded_search(c: &mut Criterion) {
+    // Streaming's warm-start: the seed should make re-search cheaper.
+    let series = asap_data::taxi();
+    let (agg, _) = preaggregate(series.values(), 1200);
+    let config = AsapConfig {
+        resolution: 1200,
+        ..AsapConfig::default()
+    };
+    let cold = asap_core::search::asap::search(&agg, &config).unwrap();
+
+    let mut group = c.benchmark_group("seeded_search_taxi");
+    group.bench_function("cold", |b| {
+        b.iter(|| asap_core::search::asap::search(black_box(&agg), &config).unwrap())
+    });
+    group.bench_function("seeded", |b| {
+        b.iter(|| {
+            asap_core::search::asap::search_seeded(black_box(&agg), &config, Some(cold.window))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_seeded_search);
+criterion_main!(benches);

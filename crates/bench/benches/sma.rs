@@ -1,0 +1,41 @@
+//! Criterion microbench: the SMA smoothing kernel (naive vs running-sum vs
+//! prefix-sum), the hot inner loop of every candidate evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn data(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.013).sin() + ((i as u64 * 2654435761) % 1000) as f64 / 1000.0)
+        .collect()
+}
+
+fn bench_sma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sma");
+    for &n in &[10_000usize, 100_000] {
+        let series = data(n);
+        let window = n / 100;
+        group.bench_with_input(BenchmarkId::new("naive", n), &series, |b, s| {
+            b.iter(|| asap_timeseries::sma_naive(black_box(s), window).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("running_sum", n), &series, |b, s| {
+            b.iter(|| asap_timeseries::sma(black_box(s), window).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_sum", n), &series, |b, s| {
+            let ps = asap_timeseries::PrefixSum::new(s);
+            b.iter(|| ps.sma(black_box(window)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_evaluation(c: &mut Criterion) {
+    // The zero-allocation evaluator behind every search probe.
+    let series = data(5_000);
+    let ev = asap_core::metrics::CandidateEvaluator::new(&series).unwrap();
+    c.bench_function("candidate_evaluate_w50", |b| {
+        b.iter(|| ev.evaluate(black_box(50)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sma, bench_candidate_evaluation);
+criterion_main!(benches);

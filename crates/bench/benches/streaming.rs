@@ -1,0 +1,57 @@
+//! Criterion microbench: streaming ASAP ingestion at different refresh
+//! intervals — the per-point cost behind Figure 10.
+
+use asap_core::{StreamingAsap, StreamingConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn telemetry(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            (std::f64::consts::TAU * i as f64 / 288.0).sin()
+                + ((i as u64 * 2654435761) % 1000) as f64 / 1000.0
+        })
+        .collect()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let data = telemetry(50_000);
+    let mut group = c.benchmark_group("streaming_ingest_50k");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for &interval in &[1_000usize, 10_000, 50_000] {
+        group.bench_with_input(
+            BenchmarkId::new("refresh_interval", interval),
+            &interval,
+            |b, &iv| {
+                b.iter(|| {
+                    let mut op =
+                        StreamingAsap::new(StreamingConfig::new(25_000, 500, iv));
+                    for &v in &data {
+                        let _ = black_box(op.push(v).unwrap());
+                    }
+                    op.searches_run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pane_ingest(c: &mut Criterion) {
+    // Pure pane aggregation: the floor cost of ingestion.
+    let data = telemetry(100_000);
+    c.bench_function("pane_ingest_100k", |b| {
+        b.iter(|| {
+            let mut agg = asap_stream::PaneAggregator::new(50);
+            let mut window = asap_stream::SlidingWindow::new(2_000);
+            for &v in &data {
+                if let Some(p) = agg.push(black_box(v)) {
+                    window.push(p);
+                }
+            }
+            window.point_count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_streaming, bench_pane_ingest);
+criterion_main!(benches);

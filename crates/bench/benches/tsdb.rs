@@ -1,0 +1,98 @@
+//! Microbenchmarks for the storage substrate: Gorilla codec throughput,
+//! the write path (memtable + seal), and the query path (scan + bucketed
+//! aggregation) that feeds ASAP's preaggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use asap_tsdb::{
+    Aggregator, DataPoint, GorillaEncoder, RangeQuery, SeriesKey, Tsdb, TsdbConfig,
+};
+
+/// Realistic telemetry: fixed cadence, smooth value with bounded jitter.
+fn telemetry(n: usize) -> Vec<DataPoint> {
+    (0..n)
+        .map(|i| {
+            let v = 50.0 + 10.0 * (i as f64 / 300.0).sin()
+                + (((i as u64).wrapping_mul(2654435761) >> 16) % 100) as f64 / 100.0;
+            DataPoint::new(1_600_000_000 + i as i64 * 15, v)
+        })
+        .collect()
+}
+
+fn bench_gorilla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gorilla");
+    for n in [1_000usize, 100_000] {
+        let points = telemetry(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &points, |b, pts| {
+            b.iter(|| {
+                let mut enc = GorillaEncoder::new();
+                for &p in pts {
+                    enc.append(p);
+                }
+                black_box(enc.finish())
+            })
+        });
+        let chunk = {
+            let mut enc = GorillaEncoder::new();
+            for &p in &points {
+                enc.append(p);
+            }
+            enc.finish()
+        };
+        group.bench_with_input(BenchmarkId::new("decode", n), &chunk, |b, chunk| {
+            b.iter(|| black_box(chunk.decode().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb_write");
+    let n = 100_000usize;
+    let points = telemetry(n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("write_batch_100k", |b| {
+        b.iter(|| {
+            let db = Tsdb::with_config(TsdbConfig {
+                block_capacity: 4096,
+            });
+            let key = SeriesKey::metric("cpu").with_tag("host", "a");
+            db.write_batch(&key, &points).unwrap();
+            black_box(db.series_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb_query");
+    let n = 100_000usize;
+    let db = Tsdb::with_config(TsdbConfig {
+        block_capacity: 4096,
+    });
+    let key = SeriesKey::metric("cpu").with_tag("host", "a");
+    db.write_batch(&key, &telemetry(n)).unwrap();
+    db.flush().unwrap();
+    let (t0, t1) = (1_600_000_000, 1_600_000_000 + n as i64 * 15);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("raw_scan_100k", |b| {
+        b.iter(|| black_box(db.query(&key, RangeQuery::raw(t0, t1)).unwrap()))
+    });
+    group.bench_function("bucketed_mean_100k_to_1200", |b| {
+        let bucket = (t1 - t0) / 1200;
+        b.iter(|| {
+            black_box(
+                db.query(
+                    &key,
+                    RangeQuery::bucketed(t0, t1, bucket).aggregate(Aggregator::Mean),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gorilla, bench_write_path, bench_query_path);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5: normal vs Laplace samples with identical mean (0) and
+//! variance (2) but different kurtosis (3 vs 6) — kurtosis captures the
+//! tendency to produce outliers.
+//!
+//! Run: `cargo run --release -p asap-bench --bin fig5_kurtosis_distributions`
+
+use asap_data::generators::{iid_laplace, iid_normal};
+use asap_timeseries::moments;
+
+fn histogram(data: &[f64], bins: usize, lo: f64, hi: f64) -> String {
+    let mut counts = vec![0usize; bins];
+    for &x in data {
+        if x >= lo && x < hi {
+            let b = ((x - lo) / (hi - lo) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+    }
+    let max = *counts.iter().max().unwrap_or(&1) as f64;
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    counts
+        .iter()
+        .map(|&c| BARS[((c as f64 / max * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+fn main() {
+    println!("== Figure 5: kurtosis separates normal from Laplace ==\n");
+    let n = 500_000usize;
+    let normal = iid_normal(n, 0.0, 2.0f64.sqrt(), 42);
+    let laplace = iid_laplace(n, 0.0, 1.0, 42);
+
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}   histogram (±6)",
+        "series", "mean", "variance", "kurtosis"
+    );
+    for (name, s, expected) in [("normal", &normal, 3.0), ("laplace", &laplace, 6.0)] {
+        let m = moments(s).unwrap();
+        println!(
+            "{:<10}{:>10.3}{:>10.3}{:>10.3}   {}  (paper: {expected})",
+            name,
+            m.mean(),
+            m.variance(),
+            m.kurtosis(),
+            histogram(s, 48, -6.0, 6.0)
+        );
+    }
+    println!("\nSame mean and variance; the Laplace's rare large deviations show up");
+    println!("only in the fourth moment — the property ASAP's constraint preserves.");
+}

@@ -1,0 +1,237 @@
+//! Alerting on smoothed streams — the paper's §7 future-work integration.
+//!
+//! The introduction's motivating failure: an electrical utility's operators
+//! must "quickly identify any systematic shifts of generator metrics ...
+//! even those that are *sub-threshold* with respect to a critical alarm",
+//! but such shifts are obscured by short-term fluctuation. A fixed
+//! threshold on the raw stream cannot fire on a shift smaller than the
+//! noise band; the same threshold on ASAP's smoothed rendering can, because
+//! smoothing collapses the noise band while the kurtosis constraint
+//! preserves the shift.
+//!
+//! [`DeviationAlerter`] inspects each streaming [`Frame`]: it z-scores the
+//! frame's smoothed series and fires when the **trailing run** of points
+//! all deviate by more than `k_sigma` standard deviations in the same
+//! direction for at least `min_run` points — a sustained systematic shift,
+//! not a transient.
+
+use crate::streaming::Frame;
+use asap_timeseries::Moments;
+
+/// Direction of a detected shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Sustained deviation above the baseline.
+    Up,
+    /// Sustained deviation below the baseline.
+    Down,
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Length of the trailing deviant run, in smoothed points.
+    pub run_len: usize,
+    /// Mean z-score over the run (signed).
+    pub mean_z: f64,
+    /// Shift direction.
+    pub direction: Direction,
+    /// Raw points ingested when the alert fired.
+    pub points_ingested: u64,
+}
+
+/// Detects sustained deviations in smoothed frames.
+#[derive(Debug, Clone)]
+pub struct DeviationAlerter {
+    k_sigma: f64,
+    min_run: usize,
+}
+
+impl DeviationAlerter {
+    /// Creates an alerter firing when ≥ `min_run` trailing smoothed points
+    /// deviate by more than `k_sigma` standard deviations in one direction.
+    ///
+    /// # Panics
+    /// Panics if `k_sigma` is not positive or `min_run` is zero.
+    pub fn new(k_sigma: f64, min_run: usize) -> Self {
+        assert!(k_sigma > 0.0, "k_sigma must be positive");
+        assert!(min_run > 0, "min_run must be positive");
+        DeviationAlerter { k_sigma, min_run }
+    }
+
+    /// Checks the latest frame; returns an alert when the trailing run of
+    /// deviant points is long enough.
+    pub fn check(&self, frame: &Frame) -> Option<Alert> {
+        let series = &frame.smoothed;
+        if series.len() < self.min_run + 1 {
+            return None;
+        }
+        let m = Moments::from_slice(series);
+        let sd = m.stddev();
+        if sd <= 0.0 || !sd.is_finite() {
+            return None;
+        }
+        let mu = m.mean();
+
+        let mut run_len = 0usize;
+        let mut z_sum = 0.0f64;
+        let mut sign = 0i8;
+        for &v in series.iter().rev() {
+            let z = (v - mu) / sd;
+            let s = if z > self.k_sigma {
+                1i8
+            } else if z < -self.k_sigma {
+                -1i8
+            } else {
+                break;
+            };
+            if sign == 0 {
+                sign = s;
+            } else if s != sign {
+                break;
+            }
+            run_len += 1;
+            z_sum += z;
+        }
+        if run_len >= self.min_run {
+            Some(Alert {
+                run_len,
+                mean_z: z_sum / run_len as f64,
+                direction: if sign > 0 { Direction::Up } else { Direction::Down },
+                points_ingested: frame.points_ingested,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// The naive comparator: a fixed absolute threshold on raw values, the
+/// "critical alarm" of the case study. Fires on any single raw crossing.
+#[derive(Debug, Clone)]
+pub struct RawThresholdAlerter {
+    /// Lower alarm bound.
+    pub lower: f64,
+    /// Upper alarm bound.
+    pub upper: f64,
+    crossings: u64,
+}
+
+impl RawThresholdAlerter {
+    /// Creates the alarm with absolute bounds.
+    pub fn new(lower: f64, upper: f64) -> Self {
+        RawThresholdAlerter {
+            lower,
+            upper,
+            crossings: 0,
+        }
+    }
+
+    /// Feeds one raw point; returns `true` on a crossing.
+    pub fn push(&mut self, value: f64) -> bool {
+        if value < self.lower || value > self.upper {
+            self.crossings += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of crossings seen.
+    pub fn crossings(&self) -> u64 {
+        self.crossings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streaming::{StreamingAsap, StreamingConfig};
+
+    /// Periodic + noise stream with a sustained sub-threshold dip at the
+    /// end: the dip (−2 units) is well inside the raw noise band (±3).
+    fn utility_stream(n: usize, dip_from: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let seasonal = (std::f64::consts::TAU * i as f64 / 480.0).sin();
+                let noise = 2.0 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+                let dip = if i >= dip_from { -2.0 } else { 0.0 };
+                50.0 + seasonal + noise + dip
+            })
+            .collect()
+    }
+
+    fn last_frame(data: &[f64]) -> Frame {
+        let mut op = StreamingAsap::new(StreamingConfig::new(data.len(), 200, data.len()));
+        let mut last = None;
+        for &v in data {
+            if let Some(f) = op.push(v).unwrap() {
+                last = Some(f);
+            }
+        }
+        last.unwrap()
+    }
+
+    #[test]
+    fn sustained_sub_threshold_shift_fires_on_smoothed_stream() {
+        let data = utility_stream(20_000, 17_000);
+        let frame = last_frame(&data);
+        let alert = DeviationAlerter::new(1.0, 5).check(&frame);
+        let alert = alert.expect("sustained dip should alert");
+        assert_eq!(alert.direction, Direction::Down);
+        assert!(alert.mean_z < -1.0);
+        assert!(alert.run_len >= 5);
+    }
+
+    #[test]
+    fn raw_threshold_misses_the_same_shift() {
+        // The critical alarm is set outside the noise band; the -2 dip
+        // never crosses it.
+        let data = utility_stream(20_000, 17_000);
+        let lo = 50.0 - 1.0 - 1.0 - 2.0 - 0.5; // seasonal + noise + dip margin
+        let mut alarm = RawThresholdAlerter::new(lo, 55.0);
+        for &v in &data {
+            alarm.push(v);
+        }
+        assert_eq!(alarm.crossings(), 0, "sub-threshold by construction");
+    }
+
+    #[test]
+    fn stable_stream_does_not_alert() {
+        let data = utility_stream(20_000, usize::MAX);
+        let frame = last_frame(&data);
+        assert!(DeviationAlerter::new(1.0, 5).check(&frame).is_none());
+    }
+
+    #[test]
+    fn upward_shift_reports_up() {
+        let data: Vec<f64> = utility_stream(20_000, usize::MAX)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i >= 17_000 { v + 2.0 } else { v })
+            .collect();
+        let frame = last_frame(&data);
+        let alert = DeviationAlerter::new(1.0, 5).check(&frame).expect("alerts");
+        assert_eq!(alert.direction, Direction::Up);
+    }
+
+    #[test]
+    fn run_length_requirement_filters_transients() {
+        // A single smoothed outlier at the very end must not alert when
+        // min_run > 1.
+        let mut data = utility_stream(20_000, usize::MAX);
+        let n = data.len();
+        for v in &mut data[n - 100..] {
+            *v += 12.0; // one pane's worth of spike
+        }
+        let frame = last_frame(&data);
+        let strict = DeviationAlerter::new(1.0, 10).check(&frame);
+        assert!(strict.is_none(), "{strict:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "min_run")]
+    fn zero_min_run_panics() {
+        DeviationAlerter::new(1.0, 0);
+    }
+}

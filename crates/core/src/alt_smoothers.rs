@@ -1,0 +1,246 @@
+//! Alternative smoothing functions under ASAP's selection criterion
+//! (Appendix B.2, Figure B.2).
+//!
+//! The paper asks: holding the parameter-selection criterion fixed
+//! (minimize roughness subject to kurtosis preservation), how do other
+//! smoothing functions compare to SMA? This module sweeps each
+//! alternative's parameter the same way ASAP sweeps SMA windows:
+//!
+//! * `SG1` / `SG4` — Savitzky–Golay of degree 1 and 4, sweeping odd window
+//!   lengths;
+//! * `FFT-low` / `FFT-dominant` — Fourier reconstruction keeping the k
+//!   lowest / k most powerful components, sweeping k downward;
+//! * `minmax` — min–max aggregation, sweeping the window;
+//! * `wavelet` — Haar soft-threshold denoising (§6's wavelet alternative,
+//!   beyond the paper's B.2 set), sweeping the threshold scale.
+//!
+//! Figure B.2 reports each alternative's *achieved roughness relative to
+//! SMA*; the benches regenerate those ratios.
+
+use crate::config::AsapConfig;
+use asap_dsp::fft_filter::{fft_reconstruct, ComponentSelection};
+use asap_dsp::minmax_filter::minmax_aggregate;
+use asap_dsp::wavelet;
+use asap_dsp::SavitzkyGolay;
+use asap_timeseries::{kurtosis, roughness, TimeSeriesError};
+
+/// The smoothing-function families compared in Figure B.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmootherKind {
+    /// Simple moving average — ASAP's choice.
+    Sma,
+    /// Savitzky–Golay, linear fit.
+    Sg1,
+    /// Savitzky–Golay, quartic fit.
+    Sg4,
+    /// Fourier reconstruction from the lowest-frequency components.
+    FftLow,
+    /// Fourier reconstruction from the highest-power components.
+    FftDominant,
+    /// Min–max aggregation.
+    MinMax,
+    /// Haar wavelet soft-threshold denoising (extension beyond Fig. B.2).
+    Wavelet,
+}
+
+impl SmootherKind {
+    /// Display name matching Figure B.2.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SmootherKind::Sma => "SMA",
+            SmootherKind::Sg1 => "SG1",
+            SmootherKind::Sg4 => "SG4",
+            SmootherKind::FftLow => "FFT-low",
+            SmootherKind::FftDominant => "FFT-dominant",
+            SmootherKind::MinMax => "minmax",
+            SmootherKind::Wavelet => "wavelet",
+        }
+    }
+}
+
+/// Result of selecting one smoothing function's parameter under ASAP's
+/// criterion.
+#[derive(Debug, Clone)]
+pub struct AltSmoothResult {
+    /// Which smoother was swept.
+    pub kind: SmootherKind,
+    /// The selected parameter (window length, or component count for FFT).
+    pub parameter: usize,
+    /// Achieved roughness at that parameter.
+    pub roughness: f64,
+    /// The smoothed series.
+    pub smoothed: Vec<f64>,
+}
+
+/// Applies ASAP's selection criterion (minimize roughness subject to
+/// `Kurt[Y] ≥ Kurt[X]`) to the given smoothing-function family.
+///
+/// The parameter grid mirrors the paper's setup: window lengths up to
+/// `config.effective_max_window` for window-based filters, and component
+/// counts down from half the spectrum for the FFT filters.
+pub fn select(
+    data: &[f64],
+    kind: SmootherKind,
+    config: &AsapConfig,
+) -> Result<AltSmoothResult, TimeSeriesError> {
+    if data.len() < 4 {
+        return Err(TimeSeriesError::TooShort {
+            required: 4,
+            actual: data.len(),
+        });
+    }
+    let base_kurt = kurtosis(data)?;
+    let base_rough = roughness(data)?;
+    let max_window = config.effective_max_window(data.len());
+
+    let mut best: Option<(usize, f64, Vec<f64>)> = None;
+    let mut consider = |param: usize, smoothed: Vec<f64>| {
+        if smoothed.len() < 2 {
+            return;
+        }
+        let Ok(r) = roughness(&smoothed) else { return };
+        let Ok(k) = kurtosis(&smoothed) else { return };
+        if k >= config.kurtosis_factor * base_kurt
+            && best.as_ref().map_or(r < base_rough, |(_, br, _)| r < *br)
+        {
+            best = Some((param, r, smoothed));
+        }
+    };
+
+    match kind {
+        SmootherKind::Sma => {
+            for w in 2..=max_window {
+                consider(w, asap_timeseries::sma(data, w)?);
+            }
+        }
+        SmootherKind::Sg1 | SmootherKind::Sg4 => {
+            let degree = if kind == SmootherKind::Sg1 { 1 } else { 4 };
+            let mut w = degree + 3;
+            if w % 2 == 0 {
+                w += 1;
+            }
+            while w <= max_window.max(degree + 3) && w < data.len() {
+                let sg = SavitzkyGolay::new(w, degree)?;
+                consider(w, sg.smooth(data));
+                w += 2;
+            }
+        }
+        SmootherKind::FftLow | SmootherKind::FftDominant => {
+            let selection = if kind == SmootherKind::FftLow {
+                ComponentSelection::Lowest
+            } else {
+                ComponentSelection::Dominant
+            };
+            let half = data.len() / 2;
+            let mut k = 1usize;
+            while k <= half {
+                consider(k, fft_reconstruct(data, k, selection)?);
+                // Sweep k geometrically: the roughness landscape is smooth
+                // in k, and a full linear sweep is O(N²  log N).
+                k = (k * 2).max(k + 1);
+            }
+        }
+        SmootherKind::MinMax => {
+            for w in 2..=max_window {
+                consider(w, minmax_aggregate(data, w)?);
+            }
+        }
+        SmootherKind::Wavelet => {
+            // Sweep the soft-threshold scale; the `parameter` reported is
+            // the scale in tenths (so it stays a usize like the others).
+            let levels = asap_dsp::wavelet::max_levels(data.len()).clamp(1, 6);
+            for tenths in (5..=40).step_by(5) {
+                let scale = tenths as f64 / 10.0;
+                consider(tenths, wavelet::denoise(data, levels, scale)?);
+            }
+        }
+    }
+
+    let (parameter, rough, smoothed) = best.unwrap_or((1, base_rough, data.to_vec()));
+    Ok(AltSmoothResult {
+        kind,
+        parameter,
+        roughness: rough,
+        smoothed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study_series() -> Vec<f64> {
+        (0..800)
+            .map(|i| {
+                let base = (std::f64::consts::TAU * i as f64 / 32.0).sin();
+                let noise = 0.3 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+                let anomaly = if (400..416).contains(&i) { 1.5 } else { 0.0 };
+                base + noise + anomaly
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sma_selection_matches_exhaustive_search() {
+        let data = study_series();
+        let config = AsapConfig::default();
+        let alt = select(&data, SmootherKind::Sma, &config).unwrap();
+        let ex = crate::search::exhaustive::search(&data, &config).unwrap();
+        assert_eq!(alt.parameter, ex.window);
+        assert!((alt.roughness - ex.roughness).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_is_much_rougher_than_sma() {
+        // Fig. B.2: minmax achieves 38–316x the roughness of SMA.
+        let data = study_series();
+        let config = AsapConfig::default();
+        let sma = select(&data, SmootherKind::Sma, &config).unwrap();
+        let mm = select(&data, SmootherKind::MinMax, &config).unwrap();
+        assert!(
+            mm.roughness > 3.0 * sma.roughness,
+            "minmax {} vs sma {}",
+            mm.roughness,
+            sma.roughness
+        );
+    }
+
+    #[test]
+    fn fft_dominant_is_rougher_than_fft_low() {
+        let data = study_series();
+        let config = AsapConfig::default();
+        let low = select(&data, SmootherKind::FftLow, &config).unwrap();
+        let dom = select(&data, SmootherKind::FftDominant, &config).unwrap();
+        assert!(
+            dom.roughness >= low.roughness,
+            "dominant {} vs low {}",
+            dom.roughness,
+            low.roughness
+        );
+    }
+
+    #[test]
+    fn sg4_is_rougher_than_sg1() {
+        let data = study_series();
+        let config = AsapConfig::default();
+        let sg1 = select(&data, SmootherKind::Sg1, &config).unwrap();
+        let sg4 = select(&data, SmootherKind::Sg4, &config).unwrap();
+        assert!(
+            sg4.roughness >= sg1.roughness * 0.99,
+            "sg4 {} vs sg1 {}",
+            sg4.roughness,
+            sg1.roughness
+        );
+    }
+
+    #[test]
+    fn names_match_the_figure() {
+        assert_eq!(SmootherKind::Sma.name(), "SMA");
+        assert_eq!(SmootherKind::FftDominant.name(), "FFT-dominant");
+    }
+
+    #[test]
+    fn too_short_input_errors() {
+        assert!(select(&[1.0, 2.0], SmootherKind::Sma, &AsapConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Candidate-window generation: ACF peaks for periodic data, all lags for
+//! aperiodic data (§4.3.3).
+
+use crate::config::AsapConfig;
+use asap_dsp::{autocorrelation, find_peaks, Acf, PeakConfig};
+use asap_timeseries::TimeSeriesError;
+
+/// Candidate windows plus the ACF they were derived from.
+#[derive(Debug, Clone)]
+pub struct Candidates {
+    /// Candidate window lengths in increasing order, all ≥ 2 and ≤ the
+    /// effective max window.
+    pub windows: Vec<usize>,
+    /// Largest ACF value among detected peaks (`maxACF`); 0 for aperiodic
+    /// data.
+    pub max_acf: f64,
+    /// Whether the candidates are genuine ACF peaks.
+    pub periodic: bool,
+    /// The computed ACF (lags `0..=max_window`).
+    pub acf: Acf,
+}
+
+/// Computes the ACF up to the effective max window and extracts candidate
+/// peaks per the configuration.
+pub fn generate(data: &[f64], config: &AsapConfig) -> Result<Candidates, TimeSeriesError> {
+    let n = data.len();
+    let max_window = config.effective_max_window(n);
+    let acf = autocorrelation(data, max_window)?;
+    let peaks = find_peaks(
+        &acf,
+        PeakConfig {
+            correlation_threshold: config.correlation_threshold,
+            ..PeakConfig::default()
+        },
+    );
+    let windows: Vec<usize> = peaks.lags.into_iter().filter(|&w| w <= max_window).collect();
+    Ok(Candidates {
+        windows,
+        max_acf: peaks.max_acf,
+        periodic: peaks.periodic,
+        acf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_series_yields_period_multiples() {
+        let data: Vec<f64> = (0..2000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+            .collect();
+        let cands = generate(&data, &AsapConfig::default()).unwrap();
+        assert!(cands.periodic);
+        assert!(!cands.windows.is_empty());
+        for &w in &cands.windows {
+            assert!(w % 40 <= 1 || 40 - (w % 40) <= 1, "candidate {w} not near a multiple of 40");
+            assert!(w <= 200); // max window = n/10
+        }
+        assert!(cands.max_acf > 0.9);
+    }
+
+    #[test]
+    fn aperiodic_series_yields_all_lags() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * i * 31) % 499) as f64).collect();
+        let cands = generate(&data, &AsapConfig::default()).unwrap();
+        assert!(!cands.periodic);
+        assert_eq!(cands.windows, (2..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_max_window_caps_candidates() {
+        let data: Vec<f64> = (0..2000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 40.0).sin())
+            .collect();
+        let config = crate::AsapBuilder::default().max_window(50).build_config();
+        let cands = generate(&data, &config).unwrap();
+        assert!(cands.windows.iter().all(|&w| w <= 50));
+    }
+
+    #[test]
+    fn degenerate_input_errors() {
+        assert!(generate(&[1.0], &AsapConfig::default()).is_err());
+        assert!(generate(&[2.0; 100], &AsapConfig::default()).is_err());
+    }
+}

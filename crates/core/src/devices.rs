@@ -1,0 +1,82 @@
+//! Device presets and search-space reduction (Table 1).
+//!
+//! Pixel-aware preaggregation bounds the search by the *horizontal*
+//! resolution of the target display. Table 1 lists five representative
+//! devices and the reduction each achieves on a 1M-point series; this
+//! module reproduces that table.
+
+/// A display device with its native resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name as listed in Table 1.
+    pub name: &'static str,
+    /// Horizontal resolution in pixels (the axis that matters for a time
+    /// series plot).
+    pub horizontal: u32,
+    /// Vertical resolution in pixels.
+    pub vertical: u32,
+}
+
+impl Device {
+    /// The search-space reduction factor preaggregation achieves for a
+    /// series of `n` points on this device: `n / horizontal` (Table 1's
+    /// right column, reported rounded).
+    pub fn reduction_on(&self, n: usize) -> f64 {
+        n as f64 / self.horizontal as f64
+    }
+}
+
+/// The five devices of Table 1.
+pub const DEVICES: [Device; 5] = [
+    Device {
+        name: "38mm Apple Watch",
+        horizontal: 272,
+        vertical: 340,
+    },
+    Device {
+        name: "Samsung Galaxy S7",
+        horizontal: 1440,
+        vertical: 2560,
+    },
+    Device {
+        name: "13\" MacBook Pro",
+        horizontal: 2304,
+        vertical: 1440,
+    },
+    Device {
+        name: "Dell 34 Curved Monitor",
+        horizontal: 3440,
+        vertical: 1440,
+    },
+    Device {
+        name: "27\" iMac Retina",
+        horizontal: 5120,
+        vertical: 2880,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reduction_factors_on_one_million_points() {
+        // Paper's Table 1: 3676x, 694x, 434x, 291x, 195x.
+        let expected = [3676.0, 694.0, 434.0, 291.0, 195.0];
+        for (device, want) in DEVICES.iter().zip(expected) {
+            let got = device.reduction_on(1_000_000);
+            assert!(
+                (got - want).abs() / want < 0.01,
+                "{}: {got} vs {want}",
+                device.name
+            );
+        }
+    }
+
+    #[test]
+    fn devices_are_sorted_by_increasing_resolution() {
+        for pair in DEVICES.windows(2) {
+            assert!(pair[0].horizontal < pair[1].horizontal);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The closed-form roughness estimate of Equation 5 (§4.3.1, Appendix A.1).
+//!
+//! For a weakly stationary series `X` of length `N` with standard deviation
+//! `σ`, the roughness of `Y = SMA(X, w)` is
+//!
+//! ```text
+//! roughness(Y) = (√2 σ / w) · √(1 − N/(N−w) · ACF(X, w))
+//! ```
+//!
+//! ASAP uses this estimate for two prunings (Algorithm 1): the
+//! **lower-bound** rule (Eq. 6) eliminates windows too small to beat the
+//! current best even at the maximum observed autocorrelation, and the
+//! **roughness comparison** rule skips candidates whose estimated roughness
+//! exceeds the current best. Figure A.1 shows the estimate is within ~1.2 %
+//! of the truth on real data; the property tests verify a comparable bound
+//! on stationary synthetic series.
+
+/// Equation 5: estimated roughness of `SMA(X, w)` given the series' σ,
+/// length `N`, and `ACF(X, w)`.
+///
+/// The radicand can go (slightly) negative when the finite-sample ACF
+/// exceeds `(N−w)/N`; it is clamped at zero, matching the limiting
+/// "perfectly correlated ⇒ perfectly smooth" behaviour.
+pub fn roughness_estimate(sigma: f64, n: usize, w: usize, acf_w: f64) -> f64 {
+    debug_assert!(w >= 1 && w < n);
+    let radicand = 1.0 - (n as f64 / (n - w) as f64) * acf_w;
+    (2.0f64.sqrt() * sigma / w as f64) * radicand.max(0.0).sqrt()
+}
+
+/// The comparison form of Eq. 5 used by `ISROUGHER` in Algorithm 1:
+/// candidate `w` is estimated rougher than `best` iff
+/// `√(1 − acf[w]) / w  >  √(1 − acf[best]) / best` (the common `√2·σ`
+/// factor cancels; the `N/(N−w)` correction is dropped as in the paper's
+/// pseudocode since `w ≪ N`).
+pub fn is_estimated_rougher(w: usize, acf_w: f64, best: usize, acf_best: f64) -> bool {
+    let lhs = (1.0 - acf_w).max(0.0).sqrt() / w as f64;
+    let rhs = (1.0 - acf_best).max(0.0).sqrt() / best as f64;
+    lhs > rhs
+}
+
+/// The lower-bound update of Eq. 6 / `UPDATELB` in Algorithm 1: given a
+/// feasible window `w` with autocorrelation `acf_w` and the maximum ACF
+/// peak `max_acf`, any smaller window that could still beat `w` must exceed
+/// `w · √((1 − max_acf) / (1 − acf_w))`.
+pub fn lower_bound_update(current_lb: f64, w: usize, acf_w: f64, max_acf: f64) -> f64 {
+    let denom = 1.0 - acf_w;
+    if denom <= 0.0 {
+        // Perfectly correlated at w: nothing smaller can be smoother.
+        return current_lb.max(w as f64);
+    }
+    let bound = w as f64 * ((1.0 - max_acf).max(0.0) / denom).sqrt();
+    current_lb.max(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_dsp::autocorrelation;
+    use asap_timeseries::{roughness, sma, stddev};
+
+    #[test]
+    fn estimate_is_exact_for_iid_like_data() {
+        // For (nearly) uncorrelated data Eq. 5 reduces to Eq. 2: √2σ/w.
+        let data: Vec<f64> = (0..20_000)
+            .map(|i| ((((i as u64) * 2654435761) % 104729) as f64 / 104729.0) - 0.5)
+            .collect();
+        let sigma = stddev(&data).unwrap();
+        let acf = autocorrelation(&data, 200).unwrap();
+        for w in [5usize, 20, 100] {
+            let est = roughness_estimate(sigma, data.len(), w, acf.at(w));
+            let truth = roughness(&sma(&data, w).unwrap()).unwrap();
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.05, "w={w}: est {est} truth {truth} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_truth_on_periodic_data() {
+        // Figure A.1's setting: roughness drops sharply at multiples of the
+        // period; the estimate must track those drops.
+        let data: Vec<f64> = (0..6_000)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / 24.0).sin()
+                    + 0.3 * (std::f64::consts::TAU * i as f64 / 7.3).sin()
+            })
+            .collect();
+        let sigma = stddev(&data).unwrap();
+        let acf = autocorrelation(&data, 150).unwrap();
+        let mut worst_rel: f64 = 0.0;
+        for w in 2..=144usize {
+            let est = roughness_estimate(sigma, data.len(), w, acf.at(w));
+            let truth = roughness(&sma(&data, w).unwrap()).unwrap();
+            if truth > 1e-9 {
+                worst_rel = worst_rel.max((est - truth).abs() / truth);
+            }
+        }
+        assert!(worst_rel < 0.12, "worst relative error {worst_rel}");
+    }
+
+    #[test]
+    fn estimate_drops_at_period_aligned_windows() {
+        let data: Vec<f64> = (0..4_800)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 24.0).sin())
+            .collect();
+        let sigma = stddev(&data).unwrap();
+        let acf = autocorrelation(&data, 60).unwrap();
+        let aligned = roughness_estimate(sigma, data.len(), 24, acf.at(24));
+        let off = roughness_estimate(sigma, data.len(), 20, acf.at(20));
+        assert!(aligned < off / 5.0, "aligned {aligned} vs off {off}");
+    }
+
+    #[test]
+    fn negative_radicand_clamps_to_zero() {
+        assert_eq!(roughness_estimate(1.0, 100, 10, 1.0), 0.0);
+    }
+
+    #[test]
+    fn comparator_prefers_larger_window_at_equal_acf() {
+        // §4.3.3: "when two windows have identical autocorrelation, the
+        // larger window will always have lower roughness".
+        assert!(is_estimated_rougher(10, 0.5, 20, 0.5));
+        assert!(!is_estimated_rougher(20, 0.5, 10, 0.5));
+    }
+
+    #[test]
+    fn comparator_lets_high_acf_small_window_win() {
+        // A small window at very high autocorrelation can beat a larger
+        // window at low autocorrelation.
+        assert!(!is_estimated_rougher(10, 0.999, 40, 0.0));
+    }
+
+    #[test]
+    fn lower_bound_is_monotone_and_respects_eq6() {
+        // Eq. 6 with max_acf = 0.84, acf_w = 0.36: bound = w·√(0.16/0.64) = w/2.
+        let lb = lower_bound_update(0.0, 100, 0.36, 0.84);
+        assert!((lb - 50.0).abs() < 1e-9);
+        // Never decreases the current bound.
+        let lb2 = lower_bound_update(80.0, 100, 0.36, 0.84);
+        assert_eq!(lb2, 80.0);
+        // Perfect correlation saturates at w.
+        let lb3 = lower_bound_update(0.0, 64, 1.0, 1.0);
+        assert_eq!(lb3, 64.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Server-side execution: one ASAP instance per metric, many consumers.
+//!
+//! §2: "for servers with a large number of visualization consumers, ASAP
+//! can execute on the server, sending clients the smoothed stream; this is
+//! the execution mode that MacroBase adopts." [`Fleet`] manages a set of
+//! independent [`StreamingAsap`] operators keyed by metric name, with a
+//! shared configuration template — the shape of a monitoring backend
+//! smoothing every panel of a dashboard.
+//!
+//! Thread safety: the fleet itself is single-writer (ingestion is a
+//! pipeline stage); fan-out to concurrent consumers happens via the frames
+//! it returns, which are plain owned data. For multi-writer setups, shard
+//! metrics across fleets — ASAP state is per-series, so sharding is
+//! embarrassingly parallel (wrap shards in `parking_lot::Mutex` or route
+//! by hash).
+
+use crate::streaming::{Frame, StreamingAsap, StreamingConfig};
+use asap_timeseries::TimeSeriesError;
+use std::collections::HashMap;
+
+/// A named frame produced by one of the fleet's metrics.
+#[derive(Debug, Clone)]
+pub struct FleetFrame {
+    /// The metric that refreshed.
+    pub metric: String,
+    /// The refreshed frame.
+    pub frame: Frame,
+}
+
+/// A collection of per-metric streaming ASAP operators with a shared
+/// configuration template.
+#[derive(Debug)]
+pub struct Fleet {
+    template: StreamingConfig,
+    operators: HashMap<String, StreamingAsap>,
+}
+
+impl Fleet {
+    /// Creates a fleet whose members all use `template` (window span,
+    /// resolution, refresh cadence).
+    pub fn new(template: StreamingConfig) -> Self {
+        Fleet {
+            template,
+            operators: HashMap::new(),
+        }
+    }
+
+    /// Number of metrics currently tracked.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// True when no metric has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Names of tracked metrics (arbitrary order).
+    pub fn metrics(&self) -> impl Iterator<Item = &str> {
+        self.operators.keys().map(String::as_str)
+    }
+
+    /// Ingests one point for `metric`, creating its operator on first
+    /// sight. Returns a frame when that metric's refresh fired.
+    pub fn push(&mut self, metric: &str, value: f64) -> Result<Option<FleetFrame>, TimeSeriesError> {
+        let op = match self.operators.get_mut(metric) {
+            Some(op) => op,
+            None => self
+                .operators
+                .entry(metric.to_string())
+                .or_insert_with(|| StreamingAsap::new(self.template.clone())),
+        };
+        Ok(op.push(value)?.map(|frame| FleetFrame {
+            metric: metric.to_string(),
+            frame,
+        }))
+    }
+
+    /// Forces a refresh of every metric with enough data, returning one
+    /// frame per metric — the "render the whole dashboard now" operation.
+    pub fn refresh_all(&mut self) -> Vec<FleetFrame> {
+        let mut out: Vec<FleetFrame> = self
+            .operators
+            .iter_mut()
+            .filter_map(|(name, op)| {
+                op.refresh().ok().map(|frame| FleetFrame {
+                    metric: name.clone(),
+                    frame,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.metric.cmp(&b.metric));
+        out
+    }
+
+    /// Total searches run across the fleet.
+    pub fn total_searches(&self) -> u64 {
+        self.operators.values().map(StreamingAsap::searches_run).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(metric_idx: usize, i: usize) -> f64 {
+        let period = 200.0 + 100.0 * metric_idx as f64;
+        (std::f64::consts::TAU * i as f64 / period).sin()
+            + 0.3 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+    }
+
+    #[test]
+    fn metrics_are_created_on_first_sight() {
+        let mut fleet = Fleet::new(StreamingConfig::new(1_000, 50, 500));
+        assert!(fleet.is_empty());
+        fleet.push("cpu", 1.0).unwrap();
+        fleet.push("mem", 2.0).unwrap();
+        fleet.push("cpu", 3.0).unwrap();
+        assert_eq!(fleet.len(), 2);
+        let mut names: Vec<&str> = fleet.metrics().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["cpu", "mem"]);
+    }
+
+    #[test]
+    fn per_metric_state_is_independent() {
+        let mut fleet = Fleet::new(StreamingConfig::new(4_000, 100, 4_000));
+        let mut frames: HashMap<String, Frame> = HashMap::new();
+        for i in 0..4_000 {
+            for m in 0..3usize {
+                let name = format!("metric{m}");
+                if let Some(ff) = fleet.push(&name, signal(m, i)).unwrap() {
+                    frames.insert(ff.metric, ff.frame);
+                }
+            }
+        }
+        assert_eq!(frames.len(), 3);
+        // Different periodicities lead to different windows.
+        let windows: Vec<usize> = (0..3)
+            .map(|m| frames[&format!("metric{m}")].outcome.window)
+            .collect();
+        assert!(windows.iter().any(|&w| w != windows[0]) || windows[0] > 1);
+    }
+
+    #[test]
+    fn refresh_all_renders_every_warm_metric() {
+        let mut fleet = Fleet::new(StreamingConfig::new(2_000, 100, 100_000));
+        for i in 0..2_000 {
+            fleet.push("a", signal(0, i)).unwrap();
+            fleet.push("b", signal(1, i)).unwrap();
+        }
+        let frames = fleet.refresh_all();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].metric, "a");
+        assert_eq!(frames[1].metric, "b");
+        assert!(fleet.total_searches() >= 2);
+    }
+
+    #[test]
+    fn bad_point_poisons_only_its_metric_call() {
+        let mut fleet = Fleet::new(StreamingConfig::new(100, 10, 10));
+        fleet.push("ok", 1.0).unwrap();
+        assert!(fleet.push("bad", f64::NAN).is_err());
+        // The fleet keeps serving both metrics afterwards.
+        assert!(fleet.push("ok", 2.0).unwrap().is_none());
+        assert!(fleet.push("bad", 2.0).is_ok());
+    }
+}

@@ -1,0 +1,411 @@
+//! Incremental sliding-window statistics for the streaming path.
+//!
+//! Streaming ASAP (§4.5) re-evaluates roughness and kurtosis on every
+//! refresh. Recomputing them from scratch is O(window); this module
+//! maintains the first four power sums under append *and* evict so the
+//! streaming operator can track both metrics in O(1) per point:
+//!
+//! * [`SlidingMoments`] — windowed mean / variance / kurtosis;
+//! * [`SlidingRoughness`] — windowed σ of first differences, maintained by
+//!   feeding consecutive deltas into a nested [`SlidingMoments`].
+//!
+//! Floating-point caveat: subtracting power sums cancels catastrophically
+//! on long streams, so the sketch recomputes its sums exactly from the
+//! retained buffer every `RECOMPUTE_EVERY` evictions. This bounds drift
+//! while preserving amortized O(1) updates (the recompute is O(window)
+//! every `RECOMPUTE_EVERY` evictions).
+
+use std::collections::VecDeque;
+
+use asap_timeseries::TimeSeriesError;
+
+/// Exact-recompute cadence, in evictions.
+const RECOMPUTE_EVERY: usize = 4096;
+
+/// Windowed first-four-moment sketch with O(1) amortized updates.
+///
+/// Power sums are accumulated about a running `origin` (re-centered to the
+/// window mean at every exact recompute), which keeps the sums conditioned
+/// even when the data rides a large constant offset — the usual failure
+/// mode of raw `Σx²`-style sketches.
+#[derive(Debug, Clone)]
+pub struct SlidingMoments {
+    window: usize,
+    buf: VecDeque<f64>,
+    /// Reference point the power sums are shifted by.
+    origin: f64,
+    /// Σ(x−origin), Σ(x−origin)², Σ(x−origin)³, Σ(x−origin)⁴.
+    sum: f64,
+    sum2: f64,
+    sum3: f64,
+    sum4: f64,
+    evictions: usize,
+}
+
+impl SlidingMoments {
+    /// Creates a sketch over a window of `window` points.
+    pub fn new(window: usize) -> Result<Self, TimeSeriesError> {
+        if window < 2 {
+            return Err(TimeSeriesError::InvalidParameter {
+                name: "window",
+                message: "moment window must hold at least 2 points",
+            });
+        }
+        Ok(Self {
+            window,
+            buf: VecDeque::with_capacity(window + 1),
+            origin: 0.0,
+            sum: 0.0,
+            sum2: 0.0,
+            sum3: 0.0,
+            sum4: 0.0,
+            evictions: 0,
+        })
+    }
+
+    /// Number of points currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no points have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the window is fully populated.
+    pub fn is_saturated(&self) -> bool {
+        self.buf.len() == self.window
+    }
+
+    /// Appends a point, evicting the oldest when the window is full.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "caller validates finiteness");
+        if self.buf.is_empty() {
+            // Anchor the origin at the first sample so shifted values stay
+            // near zero on offset-dominated telemetry.
+            self.origin = x;
+        }
+        self.buf.push_back(x);
+        let v = x - self.origin;
+        let v2 = v * v;
+        self.sum += v;
+        self.sum2 += v2;
+        self.sum3 += v2 * v;
+        self.sum4 += v2 * v2;
+        if self.buf.len() > self.window {
+            let old = self.buf.pop_front().expect("non-empty") - self.origin;
+            let o2 = old * old;
+            self.sum -= old;
+            self.sum2 -= o2;
+            self.sum3 -= o2 * old;
+            self.sum4 -= o2 * o2;
+            self.evictions += 1;
+            if self.evictions.is_multiple_of(RECOMPUTE_EVERY) {
+                self.recompute();
+            }
+        }
+    }
+
+    /// Recomputes the power sums exactly from the retained buffer,
+    /// re-centering the origin on the current window mean.
+    fn recompute(&mut self) {
+        let n = self.buf.len() as f64;
+        self.origin = self.buf.iter().sum::<f64>() / n;
+        let (mut s, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+        for &x in &self.buf {
+            let v = x - self.origin;
+            let v2 = v * v;
+            s += v;
+            s2 += v2;
+            s3 += v2 * v;
+            s4 += v2 * v2;
+        }
+        self.sum = s;
+        self.sum2 = s2;
+        self.sum3 = s3;
+        self.sum4 = s4;
+    }
+
+    /// Window mean.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.buf.is_empty()).then(|| self.origin + self.sum / self.buf.len() as f64)
+    }
+
+    /// True when the shifted sums have lost too many significant digits:
+    /// the window drifted far from the origin, so `E[V²] − E[V]²`
+    /// cancels. Callers fall back to an exact two-pass over the buffer.
+    /// `threshold` is the minimum acceptable `var / d²` ratio: the shifted
+    /// sums carry ~1e-16·d² absolute error in `var` and ~1e-16·d⁴ in `m4`,
+    /// so variance needs `var ≫ 1e-16·d²` while kurtosis (which divides
+    /// `m4 ≈ var²` by `var²`) needs the much stronger `var ≫ 1e-8·d²`.
+    fn ill_conditioned(&self, threshold: f64) -> bool {
+        let n = self.buf.len() as f64;
+        let d = self.sum / n;
+        let var = self.sum2 / n - d * d;
+        var < threshold * d * d
+    }
+
+    /// Exact central moments `(mean, m2, m4)` recomputed from the buffer.
+    fn exact_central(&self) -> (f64, f64, f64) {
+        let n = self.buf.len() as f64;
+        let mean = self.buf.iter().sum::<f64>() / n;
+        let (mut m2, mut m4) = (0.0, 0.0);
+        for &x in &self.buf {
+            let c = x - mean;
+            let c2 = c * c;
+            m2 += c2;
+            m4 += c2 * c2;
+        }
+        (mean, m2 / n, m4 / n)
+    }
+
+    /// Population variance of the window.
+    pub fn variance(&self) -> Option<f64> {
+        if self.buf.len() < 2 {
+            return None;
+        }
+        if self.ill_conditioned(1e-10) {
+            return Some(self.exact_central().1);
+        }
+        let n = self.buf.len() as f64;
+        // Shifted mean d = E[X−origin]; variance is shift-invariant.
+        let d = self.sum / n;
+        // E[V²] − E[V]²; clamp tiny negative values from cancellation.
+        Some((self.sum2 / n - d * d).max(0.0))
+    }
+
+    /// Population kurtosis (fourth standardized moment) of the window.
+    ///
+    /// Returns `None` below 2 points or on zero variance, matching the
+    /// batch kernel's domain.
+    pub fn kurtosis(&self) -> Option<f64> {
+        let n = self.buf.len() as f64;
+        let var = self.variance()?;
+        if var <= 0.0 {
+            return None;
+        }
+        if self.ill_conditioned(1e-5) {
+            let (_, m2, m4) = self.exact_central();
+            if m2 <= 0.0 {
+                return None;
+            }
+            return Some(m4 / (m2 * m2));
+        }
+        // Central moments are shift-invariant, so expand about the shifted
+        // mean d = E[X−origin]:
+        // m4 = (Σv⁴ − 4dΣv³ + 6d²Σv² − 4d³Σv + nd⁴) / n
+        let d = self.sum / n;
+        let m4 = (self.sum4 - 4.0 * d * self.sum3 + 6.0 * d * d * self.sum2
+            - 4.0 * d * d * d * self.sum
+            + n * d * d * d * d)
+            / n;
+        Some(m4 / (var * var))
+    }
+
+    /// Population standard deviation of the window.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+/// Windowed roughness (σ of first differences) with O(1) amortized updates.
+#[derive(Debug, Clone)]
+pub struct SlidingRoughness {
+    diffs: SlidingMoments,
+    last: Option<f64>,
+}
+
+impl SlidingRoughness {
+    /// Creates a tracker whose roughness window covers `window` *points*
+    /// (hence `window − 1` differences).
+    pub fn new(window: usize) -> Result<Self, TimeSeriesError> {
+        if window < 3 {
+            return Err(TimeSeriesError::InvalidParameter {
+                name: "window",
+                message: "roughness window must hold at least 3 points",
+            });
+        }
+        Ok(Self {
+            diffs: SlidingMoments::new(window - 1)?,
+            last: None,
+        })
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64) {
+        if let Some(prev) = self.last {
+            self.diffs.push(x - prev);
+        }
+        self.last = Some(x);
+    }
+
+    /// Number of points observed within the current window (differences + 1).
+    pub fn len(&self) -> usize {
+        if self.last.is_none() {
+            0
+        } else {
+            self.diffs.len() + 1
+        }
+    }
+
+    /// True when no points have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.last.is_none()
+    }
+
+    /// Roughness of the windowed tail, once ≥ 2 differences are available.
+    pub fn roughness(&self) -> Option<f64> {
+        self.diffs.stddev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_timeseries::{kurtosis, mean, roughness, variance};
+
+    /// Deterministic pseudo-random stream.
+    fn stream(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                    >> 33) % 10_000) as f64
+                    / 10_000.0;
+                (u - 0.5) * 4.0 + (i as f64 / 60.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates_window() {
+        assert!(SlidingMoments::new(1).is_err());
+        assert!(SlidingMoments::new(2).is_ok());
+        assert!(SlidingRoughness::new(2).is_err());
+        assert!(SlidingRoughness::new(3).is_ok());
+    }
+
+    #[test]
+    fn moments_match_batch_on_every_prefix_and_slide() {
+        let data = stream(500);
+        let window = 64;
+        let mut sk = SlidingMoments::new(window).unwrap();
+        for (i, &x) in data.iter().enumerate() {
+            sk.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let tail = &data[lo..=i];
+            if tail.len() >= 2 {
+                let m = mean(tail).unwrap();
+                let v = variance(tail).unwrap();
+                assert!((sk.mean().unwrap() - m).abs() < 1e-9, "mean at {i}");
+                assert!((sk.variance().unwrap() - v).abs() < 1e-9, "var at {i}");
+                if v > 0.0 {
+                    let k = kurtosis(tail).unwrap();
+                    assert!(
+                        (sk.kurtosis().unwrap() - k).abs() < 1e-6 * k.abs().max(1.0),
+                        "kurtosis at {i}: {} vs {}",
+                        sk.kurtosis().unwrap(),
+                        k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roughness_matches_batch_on_sliding_tail() {
+        let data = stream(400);
+        let window = 50;
+        let mut sr = SlidingRoughness::new(window).unwrap();
+        for (i, &x) in data.iter().enumerate() {
+            sr.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let tail = &data[lo..=i];
+            if tail.len() >= 3 {
+                let want = roughness(tail).unwrap();
+                let got = sr.roughness().unwrap();
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "roughness at {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_and_lengths() {
+        let mut sk = SlidingMoments::new(4).unwrap();
+        assert!(sk.is_empty());
+        for i in 0..10 {
+            sk.push(i as f64);
+            assert_eq!(sk.len(), (i + 1).min(4));
+        }
+        assert!(sk.is_saturated());
+
+        let mut sr = SlidingRoughness::new(4).unwrap();
+        assert!(sr.is_empty());
+        sr.push(1.0);
+        assert_eq!(sr.len(), 1);
+        sr.push(2.0);
+        assert_eq!(sr.len(), 2);
+        for _ in 0..10 {
+            sr.push(0.0);
+        }
+        assert_eq!(sr.len(), 4, "window caps the retained tail");
+    }
+
+    #[test]
+    fn constant_window_reports_zero_variance_no_kurtosis() {
+        let mut sk = SlidingMoments::new(8).unwrap();
+        for _ in 0..20 {
+            sk.push(3.5);
+        }
+        assert_eq!(sk.variance(), Some(0.0));
+        assert_eq!(sk.kurtosis(), None, "kurtosis undefined at zero variance");
+        // A straight line has zero roughness.
+        let mut sr = SlidingRoughness::new(8).unwrap();
+        for i in 0..20 {
+            sr.push(i as f64 * 2.0);
+        }
+        assert!(sr.roughness().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn drift_stays_bounded_across_many_recomputes() {
+        // Run well past several recompute intervals with an offset large
+        // enough to stress cancellation, then compare against batch.
+        let window = 128;
+        let n = RECOMPUTE_EVERY * 3 + window;
+        let mut sk = SlidingMoments::new(window).unwrap();
+        let data: Vec<f64> = (0..n)
+            .map(|i| 1.0e6 + ((i as f64) * 0.7).sin())
+            .collect();
+        for &x in &data {
+            sk.push(x);
+        }
+        let tail = &data[n - window..];
+        let v = variance(tail).unwrap();
+        assert!(
+            (sk.variance().unwrap() - v).abs() < 1e-6 * v.max(1.0),
+            "{} vs {}",
+            sk.variance().unwrap(),
+            v
+        );
+        let k = kurtosis(tail).unwrap();
+        assert!((sk.kurtosis().unwrap() - k).abs() < 1e-3 * k.abs());
+    }
+
+    #[test]
+    fn kurtosis_distinguishes_heavy_tails() {
+        // A window with one extreme outlier has much higher kurtosis than
+        // an alternating ±1 window.
+        let mut spiky = SlidingMoments::new(32).unwrap();
+        let mut flat = SlidingMoments::new(32).unwrap();
+        for i in 0..32 {
+            spiky.push(if i == 16 { 10.0 } else { 0.1 * (i % 2) as f64 });
+            flat.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        assert!(spiky.kurtosis().unwrap() > 10.0);
+        assert!((flat.kurtosis().unwrap() - 1.0).abs() < 1e-9);
+    }
+}

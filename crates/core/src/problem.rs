@@ -1,0 +1,68 @@
+//! Result types for the ASAP problem statement (§3.4).
+
+/// Outcome of a window search over one (preaggregated) series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The chosen SMA window in (preaggregated) points; 1 means "leave the
+    /// series unsmoothed" (e.g. Twitter_AAPL in Table 2).
+    pub window: usize,
+    /// Roughness of the smoothed series at the chosen window.
+    pub roughness: f64,
+    /// Kurtosis of the smoothed series at the chosen window.
+    pub kurtosis: f64,
+    /// Number of candidate windows whose metrics were actually evaluated —
+    /// the "# candidates" column of Table 2.
+    pub candidates_checked: usize,
+}
+
+/// Full result of [`crate::Asap::smooth`].
+#[derive(Debug, Clone)]
+pub struct SmoothingResult {
+    /// Chosen window in preaggregated points.
+    pub window: usize,
+    /// Chosen window expressed in raw input points
+    /// (`window · pixel_ratio`).
+    pub window_raw_points: usize,
+    /// The point-to-pixel ratio used by preaggregation (1 when disabled).
+    pub pixel_ratio: usize,
+    /// Roughness of the smoothed series.
+    pub roughness: f64,
+    /// Kurtosis of the smoothed series.
+    pub kurtosis: f64,
+    /// Candidate windows evaluated by the search.
+    pub candidates_checked: usize,
+    /// The final smoothed series (SMA of the preaggregated series).
+    pub smoothed: Vec<f64>,
+    /// The preaggregated series the search ran over (equals the input when
+    /// preaggregation is disabled).
+    pub aggregated: Vec<f64>,
+}
+
+impl SmoothingResult {
+    /// Whether ASAP decided to leave the series unsmoothed.
+    pub fn is_unsmoothed(&self) -> bool {
+        self.window <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsmoothed_predicate() {
+        let r = SmoothingResult {
+            window: 1,
+            window_raw_points: 3,
+            pixel_ratio: 3,
+            roughness: 0.5,
+            kurtosis: 3.0,
+            candidates_checked: 7,
+            smoothed: vec![],
+            aggregated: vec![],
+        };
+        assert!(r.is_unsmoothed());
+        let r2 = SmoothingResult { window: 12, ..r };
+        assert!(!r2.is_unsmoothed());
+    }
+}

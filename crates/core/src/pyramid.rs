@@ -1,0 +1,250 @@
+//! Multi-resolution preaggregation pyramid for interactive zoom.
+//!
+//! Section 2 describes users changing the visualized range ("zoom-in,
+//! zoom-out, scrolling"), with ASAP re-rendering per range. Re-aggregating
+//! the raw series on every interaction is O(N); a [`ZoomPyramid`]
+//! precomputes factor-of-two mean aggregates (total extra memory < N
+//! points) so any `(range, resolution)` request is served from the level
+//! whose density already matches the target display — the pixel-aware
+//! preaggregation of §4.4, amortized across interactions.
+
+use asap_timeseries::TimeSeriesError;
+
+use crate::problem::SmoothingResult;
+use crate::Asap;
+
+/// Precomputed factor-of-two mean-aggregation levels over one series.
+#[derive(Debug, Clone)]
+pub struct ZoomPyramid {
+    /// `levels[k]` aggregates `2^k` raw points per entry; `levels[0]` is raw.
+    levels: Vec<Vec<f64>>,
+}
+
+impl ZoomPyramid {
+    /// Builds the pyramid. Level k+1 halves level k (a trailing odd point
+    /// is dropped, as it represents less than a full bucket); construction
+    /// stops once a level falls below 2 points.
+    pub fn build(data: &[f64]) -> Result<Self, TimeSeriesError> {
+        if data.is_empty() {
+            return Err(TimeSeriesError::Empty);
+        }
+        asap_timeseries::validate_finite(data)?;
+        let mut levels = vec![data.to_vec()];
+        while levels.last().expect("non-empty").len() >= 4 {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<f64> = prev
+                .chunks_exact(2)
+                .map(|c| (c[0] + c[1]) / 2.0)
+                .collect();
+            levels.push(next);
+        }
+        Ok(Self { levels })
+    }
+
+    /// Number of raw points.
+    pub fn raw_len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Number of levels (≥ 1; level 0 is the raw series).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total stored points across all levels (< 2 × raw length).
+    pub fn total_points(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Picks the coarsest level that still yields at least `resolution`
+    /// points for a raw range of `range_len` points.
+    pub fn level_for(&self, range_len: usize, resolution: usize) -> usize {
+        if resolution == 0 {
+            return 0;
+        }
+        let mut level = 0;
+        while level + 1 < self.levels.len() && (range_len >> (level + 1)) >= resolution {
+            level += 1;
+        }
+        level
+    }
+
+    /// Returns the aggregated values covering raw range `[start, end)` at
+    /// the level chosen for `resolution`, plus the level's aggregation
+    /// factor in raw points.
+    pub fn render(
+        &self,
+        range: std::ops::Range<usize>,
+        resolution: usize,
+    ) -> Result<(Vec<f64>, usize), TimeSeriesError> {
+        if range.start >= range.end || range.end > self.raw_len() {
+            return Err(TimeSeriesError::InvalidParameter {
+                name: "range",
+                message: "zoom range must be non-empty and within the series",
+            });
+        }
+        let level = self.level_for(range.end - range.start, resolution);
+        let factor = 1usize << level;
+        // Snap the range inward to whole aggregated buckets.
+        let lo = range.start.div_ceil(factor);
+        let hi = range.end / factor;
+        let slice = &self.levels[level][lo..hi.max(lo)];
+        if slice.is_empty() {
+            // Degenerate zoom (range smaller than one coarse bucket):
+            // fall back to the raw slice.
+            return Ok((self.levels[0][range].to_vec(), 1));
+        }
+        Ok((slice.to_vec(), factor))
+    }
+
+    /// Renders `[range)` at `asap.config().resolution` and smooths it —
+    /// the full §2 zoom interaction. The returned
+    /// [`SmoothingResult::window_raw_points`] and `pixel_ratio` are scaled
+    /// back to *raw* points, accounting for the pyramid level used.
+    pub fn smooth_zoom(
+        &self,
+        asap: &Asap,
+        range: std::ops::Range<usize>,
+    ) -> Result<SmoothingResult, TimeSeriesError> {
+        let (values, factor) = self.render(range, asap.config().resolution)?;
+        let mut result = asap.smooth(&values)?;
+        result.pixel_ratio *= factor;
+        result.window_raw_points = result.window * result.pixel_ratio;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_wave(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / 48.0).sin()
+                    + 0.4 * if i % 2 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(ZoomPyramid::build(&[]).is_err());
+        assert!(ZoomPyramid::build(&[1.0, f64::NAN]).is_err());
+        assert!(ZoomPyramid::build(&[1.0]).is_ok(), "single point = 1 level");
+    }
+
+    #[test]
+    fn levels_halve_and_memory_is_bounded() {
+        let p = ZoomPyramid::build(&noisy_wave(4096)).unwrap();
+        assert_eq!(p.raw_len(), 4096);
+        assert_eq!(p.level_count(), 12, "4096, 2048, ..., 4, 2");
+        for k in 1..p.level_count() {
+            assert_eq!(p.levels[k].len(), 4096 >> k);
+        }
+        assert!(p.total_points() < 2 * 4096);
+    }
+
+    #[test]
+    fn aggregates_are_exact_means() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let p = ZoomPyramid::build(&data).unwrap();
+        assert_eq!(p.levels[1], vec![0.5, 2.5, 4.5, 6.5, 8.5, 10.5, 12.5, 14.5]);
+        assert_eq!(p.levels[2], vec![1.5, 5.5, 9.5, 13.5]);
+        // Level means equal direct mean aggregation of the raw series.
+        for (k, level) in p.levels.iter().enumerate() {
+            let f = 1 << k;
+            for (j, &v) in level.iter().enumerate() {
+                let want: f64 = data[j * f..(j + 1) * f].iter().sum::<f64>() / f as f64;
+                assert!((v - want).abs() < 1e-12, "level {k} entry {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_lengths_drop_trailing_partial_bucket() {
+        let p = ZoomPyramid::build(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(p.levels[1], vec![1.5, 3.5], "5th point not half-bucketed");
+    }
+
+    #[test]
+    fn level_selection_matches_density() {
+        let p = ZoomPyramid::build(&noisy_wave(8192)).unwrap();
+        // Full range at 1000 px: 8192/2^3 = 1024 ≥ 1000 > 8192/2^4.
+        assert_eq!(p.level_for(8192, 1000), 3);
+        // Tight zoom: raw level.
+        assert_eq!(p.level_for(500, 1000), 0);
+        // Resolution 0 degenerates to raw.
+        assert_eq!(p.level_for(8192, 0), 0);
+        // Huge range never exceeds the deepest level.
+        assert!(p.level_for(usize::MAX / 2, 1) < p.level_count());
+    }
+
+    #[test]
+    fn render_covers_requested_range() {
+        let data = noisy_wave(4096);
+        let p = ZoomPyramid::build(&data).unwrap();
+        let (vals, factor) = p.render(1024..3072, 256).unwrap();
+        assert_eq!(factor, 8, "2048-point range at 256 px picks level 3");
+        assert_eq!(vals.len(), 2048 / 8);
+        // First bucket equals the mean of the corresponding raw points.
+        let want: f64 = data[1024..1032].iter().sum::<f64>() / 8.0;
+        assert!((vals[0] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_misaligned_range_snaps_inward() {
+        let p = ZoomPyramid::build(&noisy_wave(4096)).unwrap();
+        let (vals, factor) = p.render(1001..3001, 250).unwrap();
+        assert_eq!(factor, 8);
+        // 1001 snaps up to bucket 126 (=1008), 3001 down to bucket 375.
+        assert_eq!(vals.len(), 375 - 126);
+    }
+
+    #[test]
+    fn degenerate_zoom_falls_back_to_raw() {
+        let p = ZoomPyramid::build(&noisy_wave(4096)).unwrap();
+        // A 2-point range misaligned with the level-1 buckets snaps to an
+        // empty slice and falls back to raw.
+        let (vals, factor) = p.render(11..13, 1).unwrap();
+        assert_eq!(factor, 1);
+        assert_eq!(vals.len(), 2);
+    }
+
+    #[test]
+    fn render_validates_range() {
+        let p = ZoomPyramid::build(&noisy_wave(64)).unwrap();
+        assert!(p.render(10..10, 8).is_err());
+        assert!(p.render(60..80, 8).is_err());
+    }
+
+    #[test]
+    fn smooth_zoom_agrees_with_direct_smoothing_on_window_scale() {
+        let data = noisy_wave(16_384);
+        let p = ZoomPyramid::build(&data).unwrap();
+        let asap = Asap::builder().resolution(512).build();
+        let zoomed = p.smooth_zoom(&asap, 0..16_384).unwrap();
+        let direct = asap.smooth(&data).unwrap();
+        // Both paths preaggregate to the same target density, so the raw
+        // window sizes should agree to within one aggregation bucket ratio.
+        let ratio = zoomed.window_raw_points as f64 / direct.window_raw_points.max(1) as f64;
+        assert!(
+            (0.45..=2.2).contains(&ratio),
+            "zoom window {} vs direct {}",
+            zoomed.window_raw_points,
+            direct.window_raw_points
+        );
+        // Raw-point accounting is consistent.
+        assert_eq!(zoomed.window_raw_points, zoomed.window * zoomed.pixel_ratio);
+    }
+
+    #[test]
+    fn smooth_zoom_subrange_reruns_search() {
+        let data = noisy_wave(8192);
+        let p = ZoomPyramid::build(&data).unwrap();
+        let asap = Asap::builder().resolution(256).build();
+        let full = p.smooth_zoom(&asap, 0..8192).unwrap();
+        let sub = p.smooth_zoom(&asap, 0..1024).unwrap();
+        assert!(sub.pixel_ratio <= full.pixel_ratio, "tighter zoom, finer level");
+    }
+}

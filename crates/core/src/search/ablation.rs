@@ -1,0 +1,239 @@
+//! Ablatable variant of the ASAP search, for the design-choice ablation
+//! bench (`ablation_pruning`).
+//!
+//! Algorithm 1 combines three mechanisms on top of the ACF-peak candidate
+//! set: the Eq. 6 lower bound, the Eq. 5 roughness-estimate skip, and the
+//! Algorithm 2 binary refinement above the best peak. This module exposes
+//! each as a toggle so their individual contributions to candidate count
+//! and quality can be measured — complementing the system-level lesion
+//! study of Figure 11, which toggles whole optimizations.
+
+use crate::candidates;
+use crate::config::AsapConfig;
+use crate::estimate::{is_estimated_rougher, lower_bound_update};
+use crate::metrics::CandidateEvaluator;
+use crate::problem::SearchOutcome;
+use crate::search::binary;
+use asap_timeseries::TimeSeriesError;
+
+/// Which Algorithm 1/2 mechanisms to enable.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationFlags {
+    /// Eq. 6 lower-bound pruning (`UPDATELB` + the `break`).
+    pub lower_bound: bool,
+    /// Eq. 5 roughness-estimate pruning (`ISROUGHER` + the `continue`).
+    pub roughness_estimate: bool,
+    /// Algorithm 2's binary refinement above the largest feasible peak.
+    pub refinement: bool,
+}
+
+impl AblationFlags {
+    /// The full ASAP search.
+    pub fn all() -> Self {
+        AblationFlags {
+            lower_bound: true,
+            roughness_estimate: true,
+            refinement: true,
+        }
+    }
+
+    /// Candidate scan with no pruning at all (peaks only, every peak
+    /// evaluated, no refinement).
+    pub fn none() -> Self {
+        AblationFlags {
+            lower_bound: false,
+            roughness_estimate: false,
+            refinement: false,
+        }
+    }
+}
+
+/// Runs the ASAP search with the given mechanisms enabled. With
+/// [`AblationFlags::all`] this matches [`crate::search::asap::search`].
+pub fn search_ablated(
+    data: &[f64],
+    config: &AsapConfig,
+    flags: AblationFlags,
+) -> Result<SearchOutcome, TimeSeriesError> {
+    let ev = match CandidateEvaluator::new(data) {
+        Ok(ev) => ev,
+        Err(TimeSeriesError::TooShort { .. }) => {
+            return Ok(crate::search::exhaustive::unsmoothed_short(data))
+        }
+        Err(e) => return Err(e),
+    };
+    let max_window = config.effective_max_window(data.len());
+
+    let mut best_window = 1usize;
+    let mut best = ev.base();
+    let mut checked = 0usize;
+    let mut w_lb = 1.0f64;
+
+    let cands = match candidates::generate(data, config) {
+        Ok(c) => c,
+        Err(TimeSeriesError::ZeroVariance) => {
+            return Ok(SearchOutcome {
+                window: 1,
+                roughness: 0.0,
+                kurtosis: f64::NAN,
+                candidates_checked: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+
+    if !cands.periodic {
+        binary::refine(
+            &ev,
+            config,
+            2,
+            max_window,
+            &mut best_window,
+            &mut best,
+            &mut checked,
+        )?;
+        return Ok(SearchOutcome {
+            window: best_window,
+            roughness: best.roughness,
+            kurtosis: best.kurtosis,
+            candidates_checked: checked,
+        });
+    }
+
+    let mut largest_feasible_idx: Option<usize> = None;
+    for i in (0..cands.windows.len()).rev() {
+        let w = cands.windows[i];
+        if flags.lower_bound && (w as f64) < w_lb {
+            break;
+        }
+        if flags.roughness_estimate
+            && is_estimated_rougher(w, cands.acf.at(w), best_window, cands.acf.at(best_window))
+        {
+            continue;
+        }
+        let m = ev.evaluate(w)?;
+        checked += 1;
+        if m.roughness < best.roughness && ev.satisfies_constraint(m, config.kurtosis_factor) {
+            best = m;
+            best_window = w;
+            if flags.lower_bound {
+                w_lb = lower_bound_update(w_lb, w, cands.acf.at(w), cands.max_acf);
+            }
+            largest_feasible_idx = Some(largest_feasible_idx.map_or(i, |j| j.max(i)));
+        }
+    }
+
+    if flags.refinement {
+        let (head, tail) = match largest_feasible_idx {
+            Some(i) => (
+                (w_lb.ceil() as usize).max(cands.windows[i] + 1),
+                cands
+                    .windows
+                    .get(i + 1)
+                    .copied()
+                    .unwrap_or(max_window)
+                    .min(max_window),
+            ),
+            None => ((w_lb.ceil() as usize).max(2), max_window),
+        };
+        if head <= tail {
+            binary::refine(
+                &ev,
+                config,
+                head,
+                tail,
+                &mut best_window,
+                &mut best,
+                &mut checked,
+            )?;
+        }
+    }
+
+    Ok(SearchOutcome {
+        window: best_window,
+        roughness: best.roughness,
+        kurtosis: best.kurtosis,
+        candidates_checked: checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = (std::f64::consts::TAU * i as f64 / period as f64).sin();
+                let noise = 0.25 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+                base + noise + if i >= n / 2 && i < n / 2 + period / 2 { 2.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_flags_match_the_production_search() {
+        let data = periodic(2400, 48);
+        let config = AsapConfig::default();
+        let ablated = search_ablated(&data, &config, AblationFlags::all()).unwrap();
+        let production = crate::search::asap::search(&data, &config).unwrap();
+        assert_eq!(ablated.window, production.window);
+        assert_eq!(ablated.candidates_checked, production.candidates_checked);
+    }
+
+    #[test]
+    fn disabling_pruning_never_improves_quality_but_costs_candidates() {
+        let data = periodic(2400, 48);
+        let config = AsapConfig::default();
+        let full = search_ablated(&data, &config, AblationFlags::all()).unwrap();
+        // Same refinement, no estimate pruning: every peak gets evaluated,
+        // so the candidate count can only grow.
+        let unpruned = search_ablated(
+            &data,
+            &config,
+            AblationFlags {
+                roughness_estimate: false,
+                lower_bound: false,
+                refinement: true,
+            },
+        )
+        .unwrap();
+        assert!(unpruned.candidates_checked >= full.candidates_checked);
+        // Pruning is quality-safe: both reach the same roughness.
+        assert!((full.roughness - unpruned.roughness).abs() < 1e-12);
+        // And quality without refinement can only tie or lose to full.
+        let no_refine = search_ablated(
+            &data,
+            &config,
+            AblationFlags {
+                refinement: false,
+                ..AblationFlags::all()
+            },
+        )
+        .unwrap();
+        assert!(full.roughness <= no_refine.roughness + 1e-12);
+    }
+
+    #[test]
+    fn refinement_only_affects_quality_not_correctness() {
+        let data = periodic(3000, 60);
+        let config = AsapConfig::default();
+        let no_refine = search_ablated(
+            &data,
+            &config,
+            AblationFlags {
+                refinement: false,
+                ..AblationFlags::all()
+            },
+        )
+        .unwrap();
+        // The peak scan alone already satisfies the constraint.
+        assert!(no_refine.window >= 1);
+        if no_refine.window > 1 {
+            let smoothed = asap_timeseries::sma(&data, no_refine.window).unwrap();
+            let k = asap_timeseries::kurtosis(&smoothed).unwrap();
+            let k0 = asap_timeseries::kurtosis(&data).unwrap();
+            assert!(k >= k0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The strawman exhaustive search (§4.1).
+//!
+//! Evaluates every window from 2 to the cap and keeps the smoothest
+//! candidate that satisfies the kurtosis constraint. O(N) per candidate ×
+//! O(N) candidates = O(N²) — the paper measures over an hour for 1M raw
+//! points, which is exactly why ASAP exists. On preaggregated data it is
+//! tractable and serves as the quality gold standard for Table 2, Figures
+//! 8–9.
+
+use crate::config::AsapConfig;
+use crate::metrics::CandidateEvaluator;
+use crate::problem::SearchOutcome;
+use asap_timeseries::TimeSeriesError;
+
+/// Runs the exhaustive search over `data`.
+pub fn search(data: &[f64], config: &AsapConfig) -> Result<SearchOutcome, TimeSeriesError> {
+    let ev = match CandidateEvaluator::new(data) {
+        Ok(ev) => ev,
+        Err(TimeSeriesError::TooShort { .. }) => return Ok(unsmoothed_short(data)),
+        Err(e) => return Err(e),
+    };
+    let max_window = config.effective_max_window(data.len());
+
+    let base = ev.base();
+    let mut best_window = 1usize;
+    let mut best = base;
+    let mut checked = 0usize;
+
+    for w in 2..=max_window {
+        let m = ev.evaluate(w)?;
+        checked += 1;
+        if m.roughness < best.roughness && ev.satisfies_constraint(m, config.kurtosis_factor) {
+            best = m;
+            best_window = w;
+        }
+    }
+
+    Ok(SearchOutcome {
+        window: best_window,
+        roughness: best.roughness,
+        kurtosis: best.kurtosis,
+        candidates_checked: checked,
+    })
+}
+
+/// Outcome for series too short to smooth at all.
+pub(crate) fn unsmoothed_short(data: &[f64]) -> SearchOutcome {
+    SearchOutcome {
+        window: 1,
+        roughness: if data.len() >= 2 {
+            asap_timeseries::roughness(data).unwrap_or(0.0)
+        } else {
+            0.0
+        },
+        kurtosis: f64::NAN,
+        candidates_checked: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_period_on_clean_periodic_data() {
+        let data: Vec<f64> = (0..800)
+            .map(|i| {
+                let base = (std::f64::consts::TAU * i as f64 / 32.0).sin();
+                if (320..336).contains(&i) { base * 2.0 } else { base }
+            })
+            .collect();
+        let out = search(&data, &AsapConfig::default()).unwrap();
+        // §4.3.2's example: the period-aligned window (or a multiple)
+        // flattens everything but the anomaly.
+        assert_eq!(out.window % 32, 0, "window {} not period-aligned", out.window);
+        assert_eq!(out.candidates_checked, 79); // windows 2..=80 (n/10)
+    }
+
+    #[test]
+    fn high_kurtosis_series_is_left_unsmoothed() {
+        // Twitter_AAPL behavior: a few extreme spikes mean every smoothed
+        // candidate loses kurtosis, so window stays 1.
+        let mut data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.4).sin() * 0.05).collect();
+        data[300] = 50.0;
+        data[700] = -45.0;
+        let out = search(&data, &AsapConfig::default()).unwrap();
+        assert_eq!(out.window, 1);
+    }
+
+    #[test]
+    fn candidate_count_matches_cap() {
+        let data: Vec<f64> = (0..1200)
+            .map(|i| (i as f64 * 0.37).sin() + 0.1 * ((i * i) % 17) as f64)
+            .collect();
+        let out = search(&data, &AsapConfig::default()).unwrap();
+        // Table 2 exhaustively checks ~n/10 candidates at 1200 resolution.
+        assert_eq!(out.candidates_checked, 119);
+    }
+
+    #[test]
+    fn tiny_series_returns_window_one() {
+        let out = search(&[1.0], &AsapConfig::default()).unwrap();
+        assert_eq!(out.window, 1);
+        assert_eq!(out.candidates_checked, 0);
+    }
+
+    #[test]
+    fn roughness_never_exceeds_unsmoothed() {
+        let data: Vec<f64> = (0..600)
+            .map(|i| (i as f64 * 0.17).sin() + 0.5 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let base = asap_timeseries::roughness(&data).unwrap();
+        let out = search(&data, &AsapConfig::default()).unwrap();
+        assert!(out.roughness <= base + 1e-12);
+    }
+}

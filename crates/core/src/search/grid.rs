@@ -1,0 +1,111 @@
+//! Grid search with a fixed step (§4.1, Figure 8's Grid2/Grid10).
+//!
+//! Faster than exhaustive by the step factor, but because roughness is not
+//! monotone in the window length (§4.3.1), coarse grids skip the sharp
+//! roughness minima at period-aligned windows — Figure 8 shows Grid10
+//! delivering "the worst overall results" while Grid2 matches ASAP's
+//! quality but "fails to scale".
+
+use crate::config::AsapConfig;
+use crate::metrics::CandidateEvaluator;
+use crate::problem::SearchOutcome;
+use asap_timeseries::TimeSeriesError;
+
+/// Runs grid search probing windows `2, 2+step, 2+2·step, …` up to the cap.
+pub fn search(
+    data: &[f64],
+    config: &AsapConfig,
+    step: usize,
+) -> Result<SearchOutcome, TimeSeriesError> {
+    if step == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "step",
+            message: "grid step must be at least 1",
+        });
+    }
+    let ev = match CandidateEvaluator::new(data) {
+        Ok(ev) => ev,
+        Err(TimeSeriesError::TooShort { .. }) => {
+            return Ok(super::exhaustive::unsmoothed_short(data))
+        }
+        Err(e) => return Err(e),
+    };
+    let max_window = config.effective_max_window(data.len());
+
+    let mut best_window = 1usize;
+    let mut best = ev.base();
+    let mut checked = 0usize;
+    let mut w = 2usize;
+    while w <= max_window {
+        let m = ev.evaluate(w)?;
+        checked += 1;
+        if m.roughness < best.roughness && ev.satisfies_constraint(m, config.kurtosis_factor) {
+            best = m;
+            best_window = w;
+        }
+        w += step;
+    }
+
+    Ok(SearchOutcome {
+        window: best_window,
+        roughness: best.roughness,
+        kurtosis: best.kurtosis,
+        candidates_checked: checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = (std::f64::consts::TAU * i as f64 / period as f64).sin();
+                if i >= n / 2 && i < n / 2 + period / 2 { base * 2.5 } else { base }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn step_one_equals_exhaustive() {
+        let data = periodic(1000, 25);
+        let config = AsapConfig::default();
+        let g = search(&data, &config, 1).unwrap();
+        let e = super::super::exhaustive::search(&data, &config).unwrap();
+        assert_eq!(g.window, e.window);
+        assert_eq!(g.candidates_checked, e.candidates_checked);
+    }
+
+    #[test]
+    fn larger_steps_check_fewer_candidates() {
+        let data = periodic(1200, 48);
+        let config = AsapConfig::default();
+        let g2 = search(&data, &config, 2).unwrap();
+        let g10 = search(&data, &config, 10).unwrap();
+        assert!(g10.candidates_checked < g2.candidates_checked);
+        assert!(g2.candidates_checked < 119);
+    }
+
+    #[test]
+    fn coarse_grid_can_miss_period_aligned_minimum() {
+        // Period 48: the sharp minimum sits at w=48 (and 96). Grid10 probes
+        // 2,12,...,92,102,112 — never 48/96 — so its roughness is worse
+        // than exhaustive's. This is Figure 8's quality gap.
+        let data = periodic(1200, 48);
+        let config = AsapConfig::default();
+        let e = super::super::exhaustive::search(&data, &config).unwrap();
+        let g10 = search(&data, &config, 10).unwrap();
+        assert!(
+            g10.roughness > e.roughness,
+            "grid10 {} should be rougher than exhaustive {}",
+            g10.roughness,
+            e.roughness
+        );
+    }
+
+    #[test]
+    fn zero_step_errors() {
+        assert!(search(&[1.0, 2.0, 3.0], &AsapConfig::default(), 0).is_err());
+    }
+}

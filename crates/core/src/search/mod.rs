@@ -1,0 +1,139 @@
+//! Window-search strategies.
+//!
+//! The paper's evaluation (§5.2.1, Figure 8) compares four strategies over
+//! the same preaggregated series:
+//!
+//! * [`exhaustive`] — the strawman O(N²) scan of every window (§4.1), the
+//!   quality gold standard;
+//! * [`grid`] — exhaustive with a step size (Grid2 / Grid10 in Figure 8);
+//! * [`binary`] — the §4.2 binary search, exact for IID data but fooled by
+//!   the non-monotone roughness of periodic data;
+//! * [`asap`] — Algorithms 1–2: ACF-peak candidates searched large-to-small
+//!   with lower-bound and roughness-estimate pruning, plus binary-search
+//!   refinement.
+//!
+//! All strategies share the same constraint handling ([`super::metrics`])
+//! and report how many candidates they actually evaluated, so Table 2 and
+//! Figure 8 come straight out of their [`SearchOutcome`]s.
+
+pub mod ablation;
+pub mod asap;
+pub mod binary;
+pub mod exhaustive;
+pub mod grid;
+
+use crate::config::AsapConfig;
+use crate::problem::SearchOutcome;
+use asap_timeseries::TimeSeriesError;
+
+/// A uniform handle over the four search strategies, used by the
+/// benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Every window from 1 to the cap (§4.1).
+    Exhaustive,
+    /// Every `step`-th window.
+    Grid {
+        /// Step size between probed windows.
+        step: usize,
+    },
+    /// Binary search on the kurtosis constraint (§4.2).
+    Binary,
+    /// The full ASAP search (Algorithms 1–2).
+    Asap,
+}
+
+impl SearchStrategy {
+    /// Runs the strategy over `data` (already preaggregated if desired).
+    pub fn search(
+        &self,
+        data: &[f64],
+        config: &AsapConfig,
+    ) -> Result<SearchOutcome, TimeSeriesError> {
+        match *self {
+            SearchStrategy::Exhaustive => exhaustive::search(data, config),
+            SearchStrategy::Grid { step } => grid::search(data, config, step),
+            SearchStrategy::Binary => binary::search(data, config),
+            SearchStrategy::Asap => asap::search(data, config),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match *self {
+            SearchStrategy::Exhaustive => "Exhaustive".into(),
+            SearchStrategy::Grid { step } => format!("Grid{step}"),
+            SearchStrategy::Binary => "Binary".into(),
+            SearchStrategy::Asap => "ASAP".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_periodic(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / period as f64).sin()
+                    + 0.3 * if i % 2 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(SearchStrategy::Exhaustive.name(), "Exhaustive");
+        assert_eq!(SearchStrategy::Grid { step: 2 }.name(), "Grid2");
+        assert_eq!(SearchStrategy::Grid { step: 10 }.name(), "Grid10");
+        assert_eq!(SearchStrategy::Binary.name(), "Binary");
+        assert_eq!(SearchStrategy::Asap.name(), "ASAP");
+    }
+
+    #[test]
+    fn all_strategies_run_and_satisfy_the_constraint() {
+        let data = noisy_periodic(1200, 48);
+        let config = AsapConfig::default();
+        let base_kurt = asap_timeseries::kurtosis(&data).unwrap();
+        for strat in [
+            SearchStrategy::Exhaustive,
+            SearchStrategy::Grid { step: 2 },
+            SearchStrategy::Grid { step: 10 },
+            SearchStrategy::Binary,
+            SearchStrategy::Asap,
+        ] {
+            let out = strat.search(&data, &config).unwrap();
+            assert!(out.window >= 1, "{}", strat.name());
+            if out.window > 1 {
+                assert!(
+                    out.kurtosis >= base_kurt - 1e-9,
+                    "{} violates constraint: {} < {base_kurt}",
+                    strat.name(),
+                    out.kurtosis
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asap_matches_exhaustive_quality_with_fewer_candidates() {
+        // The headline Table 2 property on a strongly periodic series.
+        let data = noisy_periodic(2400, 48);
+        let config = AsapConfig::default();
+        let ex = SearchStrategy::Exhaustive.search(&data, &config).unwrap();
+        let asap = SearchStrategy::Asap.search(&data, &config).unwrap();
+        assert!(
+            asap.roughness <= ex.roughness * 1.05 + 1e-12,
+            "ASAP roughness {} vs exhaustive {}",
+            asap.roughness,
+            ex.roughness
+        );
+        assert!(
+            asap.candidates_checked * 2 < ex.candidates_checked,
+            "ASAP {} vs exhaustive {} candidates",
+            asap.candidates_checked,
+            ex.candidates_checked
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Streaming ASAP — Algorithm 3 (§4.5).
+//!
+//! The streaming operator combines all three optimizations:
+//!
+//! 1. incoming points are sub-aggregated into **panes** sized by the
+//!    point-to-pixel ratio (one pane per output pixel);
+//! 2. a sliding window of panes covers the visualized interval, evicting
+//!    outdated sub-aggregates;
+//! 3. a [`RefreshClock`] re-runs the window search only every
+//!    `refresh_interval` raw points, seeding it with the previous answer
+//!    (`CHECKLASTWINDOW`), which activates ASAP's pruning rules
+//!    immediately.
+//!
+//! Each refresh emits a [`Frame`] — the smoothed series to render plus the
+//! chosen window — which is also the unit Figure 10 measures throughput
+//! over.
+
+use crate::config::AsapConfig;
+use crate::problem::SearchOutcome;
+use crate::search::asap;
+use asap_stream::{Operator, PaneAggregator, RefreshClock, SlidingWindow};
+use asap_timeseries::TimeSeriesError;
+
+/// Configuration of the streaming operator.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// How many raw points the visualization covers (e.g. "the last 30
+    /// minutes" at the stream's rate).
+    pub window_points: usize,
+    /// Search configuration; `resolution` doubles as the number of panes
+    /// kept (one pane per pixel).
+    pub asap: AsapConfig,
+    /// Re-run the search every this many raw points. The paper's default
+    /// behaviour refreshes on human timescales (e.g. 1 Hz); Figure 10
+    /// sweeps this knob.
+    pub refresh_interval: usize,
+}
+
+impl StreamingConfig {
+    /// A streaming config covering `window_points` at `resolution` pixels,
+    /// refreshing every `refresh_interval` points.
+    pub fn new(window_points: usize, resolution: usize, refresh_interval: usize) -> Self {
+        let asap = AsapConfig {
+            resolution,
+            ..AsapConfig::default()
+        };
+        StreamingConfig {
+            window_points,
+            asap,
+            refresh_interval,
+        }
+    }
+
+    /// Raw points per pane (the point-to-pixel ratio).
+    pub fn pane_size(&self) -> usize {
+        crate::preagg::point_to_pixel_ratio(self.window_points, self.asap.resolution)
+    }
+}
+
+/// One rendered frame emitted at a refresh.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The smoothed series to draw (≤ resolution points).
+    pub smoothed: Vec<f64>,
+    /// The search outcome that produced it.
+    pub outcome: SearchOutcome,
+    /// How many raw points had been ingested when this frame was emitted.
+    pub points_ingested: u64,
+}
+
+/// The streaming ASAP operator (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct StreamingAsap {
+    config: StreamingConfig,
+    panes: PaneAggregator,
+    window: SlidingWindow,
+    clock: RefreshClock,
+    previous_window: Option<usize>,
+    points: u64,
+    searches: u64,
+}
+
+impl StreamingAsap {
+    /// Creates the operator.
+    ///
+    /// # Panics
+    /// Panics if `window_points`, `resolution`, or `refresh_interval` is 0.
+    pub fn new(config: StreamingConfig) -> Self {
+        assert!(config.window_points > 0, "window_points must be positive");
+        assert!(config.refresh_interval > 0, "refresh_interval must be positive");
+        let pane_size = config.pane_size();
+        let capacity = config.window_points.div_ceil(pane_size).max(2);
+        StreamingAsap {
+            panes: PaneAggregator::new(pane_size),
+            window: SlidingWindow::new(capacity),
+            clock: RefreshClock::new(config.refresh_interval),
+            config,
+            previous_window: None,
+            points: 0,
+            searches: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// Total raw points ingested.
+    pub fn points_ingested(&self) -> u64 {
+        self.points
+    }
+
+    /// Number of search invocations so far (the quantity the on-demand
+    /// optimization minimizes).
+    pub fn searches_run(&self) -> u64 {
+        self.searches
+    }
+
+    /// Ingests one raw point; returns a frame when a refresh fired.
+    ///
+    /// UPDATEWINDOW of Algorithm 3: sub-aggregate, update the pane window,
+    /// and on each refresh tick re-run the seeded search.
+    pub fn push(&mut self, value: f64) -> Result<Option<Frame>, TimeSeriesError> {
+        if !value.is_finite() {
+            return Err(TimeSeriesError::NonFinite {
+                index: self.points as usize,
+            });
+        }
+        self.points += 1;
+        if let Some(pane) = self.panes.push(value) {
+            self.window.push(pane);
+        }
+        if self.clock.tick() && self.window.len() >= 4 {
+            return self.refresh().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Forces a refresh now (used at end-of-stream).
+    pub fn refresh(&mut self) -> Result<Frame, TimeSeriesError> {
+        let series = self.window.pane_means();
+        self.searches += 1;
+        let outcome = asap::search_seeded(&series, &self.config.asap, self.previous_window)?;
+        self.previous_window = Some(outcome.window);
+        let smoothed = if outcome.window <= 1 {
+            series
+        } else {
+            asap_timeseries::sma(&series, outcome.window)?
+        };
+        Ok(Frame {
+            smoothed,
+            outcome,
+            points_ingested: self.points,
+        })
+    }
+}
+
+impl Operator<f64, Frame> for StreamingAsap {
+    fn process(&mut self, input: f64, out: &mut Vec<Frame>) {
+        if let Ok(Some(frame)) = self.push(input) {
+            out.push(frame);
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Frame>) {
+        if self.window.len() >= 4 {
+            if let Ok(frame) = self.refresh() {
+                out.push(frame);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_data(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / period as f64).sin()
+                    + 0.3 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frames_fire_at_the_refresh_interval() {
+        let config = StreamingConfig::new(10_000, 100, 1_000);
+        let mut op = StreamingAsap::new(config);
+        let mut frames = 0;
+        for &v in &stream_data(10_000, 500) {
+            if op.push(v).unwrap().is_some() {
+                frames += 1;
+            }
+        }
+        assert_eq!(frames, 10); // every 1000 points once window warm
+        assert_eq!(op.searches_run(), frames as u64);
+    }
+
+    #[test]
+    fn larger_refresh_interval_means_fewer_searches() {
+        // The linear relationship of Figure 10.
+        let runs = |interval: usize| {
+            let mut op = StreamingAsap::new(StreamingConfig::new(10_000, 100, interval));
+            for &v in &stream_data(20_000, 500) {
+                op.push(v).unwrap();
+            }
+            op.searches_run()
+        };
+        let fast = runs(500);
+        let slow = runs(2_000);
+        assert_eq!(fast, 4 * slow);
+    }
+
+    #[test]
+    fn frame_series_length_is_bounded_by_resolution() {
+        let mut op = StreamingAsap::new(StreamingConfig::new(5_000, 50, 2_500));
+        let mut last = None;
+        for &v in &stream_data(5_000, 250) {
+            if let Some(f) = op.push(v).unwrap() {
+                last = Some(f);
+            }
+        }
+        let f = last.expect("at least one frame");
+        assert!(f.smoothed.len() <= 50);
+        assert!(f.outcome.window >= 1);
+    }
+
+    #[test]
+    fn streamed_window_matches_batch_on_stable_data() {
+        // Once the window is full of stable periodic data, the streaming
+        // search must agree with a batch search over the same pane means.
+        // (Period = 5 panes, so the ACF has clear in-range peaks and the
+        // choice is robust to pane-sum rounding.)
+        let data = stream_data(20_000, 500);
+        let config = StreamingConfig::new(20_000, 200, 20_000);
+        let pane = config.pane_size();
+        let mut op = StreamingAsap::new(config.clone());
+        let mut frame = None;
+        for &v in &data {
+            if let Some(f) = op.push(v).unwrap() {
+                frame = Some(f);
+            }
+        }
+        let frame = frame.expect("one frame at the end");
+        let (agg, _) = crate::preagg::preaggregate(&data, 200);
+        assert_eq!(pane, 100);
+        let batch = crate::search::asap::search(&agg, &config.asap).unwrap();
+        assert_eq!(frame.outcome.window, batch.window);
+        assert!(frame.outcome.window >= 5, "period should be smoothed over");
+    }
+
+    #[test]
+    fn operator_finish_flushes_a_final_frame() {
+        let op = StreamingAsap::new(StreamingConfig::new(1_000, 50, 10_000));
+        let data = stream_data(1_000, 100);
+        let frames = asap_stream::run_pipeline(op, data);
+        // Interval never fired (10k > 1k points) but finish emits one frame.
+        assert_eq!(frames.len(), 1);
+    }
+
+    #[test]
+    fn seeded_search_checks_no_more_candidates_than_cold_search() {
+        let data = stream_data(40_000, 2_000);
+        let mut op = StreamingAsap::new(StreamingConfig::new(20_000, 200, 5_000));
+        let mut counts = Vec::new();
+        for &v in &data {
+            if let Some(f) = op.push(v).unwrap() {
+                counts.push(f.outcome.candidates_checked);
+            }
+        }
+        assert!(counts.len() >= 4);
+        // After the first warm search, the seed keeps candidate counts from
+        // growing (the previous window rules out most peaks immediately).
+        let first = counts[1]; // first fully-warm refresh
+        let later_max = *counts[2..].iter().max().unwrap();
+        assert!(
+            later_max <= first + 3,
+            "seeded searches blew up: first {first}, later {later_max}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh_interval")]
+    fn zero_refresh_interval_panics() {
+        StreamingAsap::new(StreamingConfig::new(100, 10, 0));
+    }
+
+    #[test]
+    fn non_finite_point_is_rejected_and_stream_survives() {
+        let mut op = StreamingAsap::new(StreamingConfig::new(100, 10, 10));
+        for i in 0..5 {
+            op.push(i as f64).unwrap();
+        }
+        let err = op.push(f64::NAN).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::NonFinite { index: 5 }));
+        // The bad point was not ingested; the stream keeps working.
+        assert_eq!(op.points_ingested(), 5);
+        for i in 5..20 {
+            op.push(i as f64).unwrap();
+        }
+        assert_eq!(op.points_ingested(), 20);
+    }
+}

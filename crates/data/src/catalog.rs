@@ -1,0 +1,217 @@
+//! Machine-readable catalog of the evaluation datasets.
+//!
+//! Benchmarks and the simulated user study iterate over this catalog rather
+//! than hard-coding dataset lists: Table 2 runs over [`all_datasets`], the
+//! user studies (Figures 6, 7, B.1 and Table 4) over
+//! [`user_study_datasets`].
+
+use crate::datasets;
+use asap_timeseries::TimeSeries;
+
+/// Metadata for one evaluation dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Dataset name as used in Table 2.
+    pub name: &'static str,
+    /// One-line description (matches Table 2's wording).
+    pub description: &'static str,
+    /// Number of points.
+    pub n_points: usize,
+    /// Dominant seasonal period in points, when the data is periodic.
+    pub dominant_period: Option<usize>,
+    /// Ground-truth anomaly span `[start, end)` in point indices, for the
+    /// user-study datasets.
+    pub anomaly_region: Option<(usize, usize)>,
+    /// Generator function.
+    generate: fn() -> TimeSeries,
+}
+
+impl DatasetInfo {
+    /// Materializes the dataset.
+    pub fn generate(&self) -> TimeSeries {
+        (self.generate)()
+    }
+
+    /// The 0-based index (out of `regions` equal slices) containing the
+    /// center of the anomaly — the answer key for the identification task
+    /// of §5.1.1.
+    pub fn anomaly_region_index(&self, regions: usize) -> Option<usize> {
+        self.anomaly_region.map(|(s, e)| {
+            let center = (s + e) / 2;
+            ((center * regions) / self.n_points).min(regions - 1)
+        })
+    }
+}
+
+/// All 11 Table 2 datasets, largest first (Table 2 order).
+pub fn all_datasets() -> Vec<DatasetInfo> {
+    vec![
+        DatasetInfo {
+            name: "gas_sensor",
+            description: "Recording of a chemical sensor exposed to a gas mixture",
+            n_points: 4_208_261,
+            dominant_period: Some(91_180),
+            anomaly_region: None,
+            generate: datasets::gas_sensor,
+        },
+        DatasetInfo {
+            name: "EEG",
+            description: "Excerpt of electrocardiogram",
+            n_points: 45_000,
+            dominant_period: Some(200),
+            anomaly_region: Some((24_000, 24_800)),
+            generate: datasets::eeg,
+        },
+        DatasetInfo {
+            name: "Power",
+            description: "Power consumption for a Dutch research facility in 1997",
+            n_points: 35_040,
+            dominant_period: Some(96),
+            anomaly_region: Some((12_288, 12_672)),
+            generate: datasets::power,
+        },
+        DatasetInfo {
+            name: "traffic_data",
+            description: "Vehicle traffic observed between two points for 4 months",
+            n_points: 32_075,
+            dominant_period: Some(267),
+            anomaly_region: Some((21_000, 22_600)),
+            generate: datasets::traffic_data,
+        },
+        DatasetInfo {
+            name: "machine_temp",
+            description: "Temperature of an internal component of an industrial machine",
+            n_points: 22_695,
+            dominant_period: Some(288),
+            anomaly_region: Some((17_000, 17_700)),
+            generate: datasets::machine_temp,
+        },
+        DatasetInfo {
+            name: "Twitter_AAPL",
+            description: "A collection of Twitter mentions of Apple",
+            n_points: 15_902,
+            dominant_period: Some(288),
+            anomaly_region: Some((9_100, 9_130)),
+            generate: datasets::twitter_aapl,
+        },
+        DatasetInfo {
+            name: "ramp_traffic",
+            description: "Car count on a freeway ramp in Los Angeles",
+            n_points: 8_640,
+            dominant_period: Some(288),
+            anomaly_region: None,
+            generate: datasets::ramp_traffic,
+        },
+        DatasetInfo {
+            name: "sim_daily",
+            description: "Simulated two week data with one abnormal day",
+            n_points: 4_033,
+            dominant_period: Some(288),
+            anomaly_region: Some((2_304, 2_592)),
+            generate: datasets::sim_daily,
+        },
+        DatasetInfo {
+            name: "Taxi",
+            description: "Number of NYC taxi passengers in 30 min bucket",
+            n_points: 3_600,
+            dominant_period: Some(48),
+            anomaly_region: Some((2_600, 2_936)),
+            generate: datasets::taxi,
+        },
+        DatasetInfo {
+            name: "Temp",
+            description: "Monthly temperature in England from 1723 to 1970",
+            n_points: 2_976,
+            dominant_period: Some(12),
+            anomaly_region: Some((2_124, 2_976)),
+            generate: datasets::temperature,
+        },
+        DatasetInfo {
+            name: "Sine",
+            description: "Noisy sine wave with an anomaly that is half the usual period",
+            n_points: 800,
+            dominant_period: Some(32),
+            anomaly_region: Some((320, 384)),
+            generate: datasets::sine,
+        },
+    ]
+}
+
+/// The five user-study datasets of §5.1 (Taxi, Power, Sine, EEG, Temp), in
+/// the order Figure 6 plots them.
+pub fn user_study_datasets() -> Vec<DatasetInfo> {
+    let names = ["Taxi", "Power", "Sine", "EEG", "Temp"];
+    let all = all_datasets();
+    names
+        .iter()
+        .map(|n| {
+            all.iter()
+                .find(|d| &d.name == n)
+                .expect("user-study dataset present in catalog")
+                .clone()
+        })
+        .collect()
+}
+
+/// Looks a dataset up by its Table 2 name (case-sensitive).
+pub fn by_name(name: &str) -> Option<DatasetInfo> {
+    all_datasets().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eleven_datasets() {
+        assert_eq!(all_datasets().len(), 11);
+    }
+
+    #[test]
+    fn catalog_sizes_match_generated_series() {
+        for info in all_datasets() {
+            if info.n_points > 100_000 {
+                continue; // skip the 4.2M-point gas sensor in unit tests
+            }
+            let ts = info.generate();
+            assert_eq!(ts.len(), info.n_points, "{}", info.name);
+            assert_eq!(ts.name(), info.name);
+        }
+    }
+
+    #[test]
+    fn user_study_selection_and_order() {
+        let names: Vec<&str> = user_study_datasets().iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["Taxi", "Power", "Sine", "EEG", "Temp"]);
+    }
+
+    #[test]
+    fn anomaly_region_indices_are_sane() {
+        // Taxi anomaly centers at (2600+2936)/2 = 2768 of 3600 -> region 3
+        // of 5 (0-based).
+        let taxi = by_name("Taxi").unwrap();
+        assert_eq!(taxi.anomaly_region_index(5), Some(3));
+        // Sine anomaly centers at 352 of 800 -> region 2 of 5.
+        let sine = by_name("Sine").unwrap();
+        assert_eq!(sine.anomaly_region_index(5), Some(2));
+        // Non-anomalous dataset yields None.
+        let ramp = by_name("ramp_traffic").unwrap();
+        assert_eq!(ramp.anomaly_region_index(5), None);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Power").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn region_index_clamps_to_last_region() {
+        // Temp's anomaly (warming ramp) runs to the end of the series; the
+        // center must still map to a valid region.
+        let temp = by_name("Temp").unwrap();
+        let idx = temp.anomaly_region_index(5).unwrap();
+        assert!(idx < 5);
+        assert_eq!(idx, 4);
+    }
+}

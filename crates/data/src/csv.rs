@@ -1,0 +1,183 @@
+//! Minimal timestamp/value CSV I/O.
+//!
+//! ASAP "can ingest and process raw data from time series databases such as
+//! InfluxDB" (§2); the common denominator export format is a two-column
+//! CSV. This module reads and writes `timestamp,value` files so the
+//! examples and benchmarks can operate on user-provided telemetry.
+
+use asap_timeseries::{TimeSeries, TimeSeriesError};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from CSV parsing and I/O.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A structural problem with the parsed series.
+    Series(TimeSeriesError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `series` as `timestamp,value` lines (with a header row).
+pub fn write_csv(path: &Path, series: &TimeSeries) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "timestamp,value")?;
+    for (i, v) in series.values().iter().enumerate() {
+        writeln!(out, "{},{}", series.timestamp(i), v)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a `timestamp,value` CSV into a [`TimeSeries`].
+///
+/// The sampling period is inferred from the first two timestamps (ASAP
+/// assumes equi-spaced data; gaps are the caller's responsibility). A
+/// header row is skipped when the first field does not parse as a number.
+pub fn read_csv(path: &Path, name: &str) -> Result<TimeSeries, CsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut timestamps: Vec<f64> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.splitn(2, ',');
+        let ts_field = parts.next().unwrap_or("");
+        let val_field = parts.next().ok_or(CsvError::Parse {
+            line: lineno + 1,
+            message: "expected two comma-separated fields".into(),
+        })?;
+        let ts: f64 = match ts_field.trim().parse() {
+            Ok(t) => t,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(e) => {
+                return Err(CsvError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad timestamp: {e}"),
+                })
+            }
+        };
+        let v: f64 = val_field.trim().parse().map_err(|e| CsvError::Parse {
+            line: lineno + 1,
+            message: format!("bad value: {e}"),
+        })?;
+        timestamps.push(ts);
+        values.push(v);
+    }
+
+    if values.is_empty() {
+        return Err(CsvError::Series(TimeSeriesError::Empty));
+    }
+    let period = if timestamps.len() >= 2 {
+        timestamps[1] - timestamps[0]
+    } else {
+        1.0
+    };
+    let start = timestamps[0];
+    Ok(TimeSeries::new(name, values, period).with_start_epoch(start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("asap_csv_test_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_values_and_period() {
+        let path = tmp("roundtrip");
+        let series = TimeSeries::new("t", vec![1.0, 2.5, -3.0, 4.25], 30.0)
+            .with_start_epoch(1_700_000_000.0);
+        write_csv(&path, &series).unwrap();
+        let back = read_csv(&path, "t").unwrap();
+        assert_eq!(back.values(), series.values());
+        assert_eq!(back.period_secs(), 30.0);
+        assert_eq!(back.start_epoch_secs(), 1_700_000_000.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_row_is_skipped() {
+        let path = tmp("header");
+        std::fs::write(&path, "timestamp,value\n0,1.0\n10,2.0\n").unwrap();
+        let ts = read_csv(&path, "h").unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.0]);
+        assert_eq!(ts.period_secs(), 10.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let path = tmp("bad");
+        std::fs::write(&path, "0,1.0\n5,not_a_number\n").unwrap();
+        let err = read_csv(&path, "b").unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_errors() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            read_csv(&path, "e"),
+            Err(CsvError::Series(TimeSeriesError::Empty))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let path = tmp("onefield");
+        std::fs::write(&path, "0,1\njustonefield\n").unwrap();
+        assert!(matches!(
+            read_csv(&path, "m"),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let path = tmp("blank");
+        std::fs::write(&path, "0,1.0\n\n1,2.0\n\n").unwrap();
+        let ts = read_csv(&path, "b").unwrap();
+        assert_eq!(ts.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

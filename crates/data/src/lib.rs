@@ -1,0 +1,40 @@
+//! Dataset simulators and I/O for the ASAP evaluation suite.
+//!
+//! The paper evaluates ASAP on 11 publicly available datasets (Table 2) and
+//! five of them in two user studies (§5.1). The original files are not
+//! redistributable here, so this crate builds **synthetic equivalents**:
+//! each simulator matches the original's length, sampling period,
+//! periodicity structure, anomaly type, and anomaly placement — the only
+//! properties ASAP's window search and the user-study observer model depend
+//! on. The substitution table lives in `DESIGN.md`.
+//!
+//! * [`generators`] — building blocks: seeded IID samplers (normal,
+//!   Laplace, uniform), random walks, and a composite seasonal-series
+//!   builder with anomaly injection;
+//! * [`datasets`] — one module per evaluation dataset (`taxi`, `power`,
+//!   `eeg`, `temp`, `sine`, `gas_sensor`, `traffic`, `machine_temp`,
+//!   `twitter`, `ramp`, `sim_daily`, plus the `cpu_cluster` case study of
+//!   Figure 2);
+//! * [`catalog`] — machine-readable metadata for every dataset: size,
+//!   duration, dominant period, and the ground-truth anomaly region used by
+//!   the simulated user study;
+//! * [`csv`] — minimal timestamp/value CSV reading and writing so users can
+//!   run the library against their own telemetry exports.
+//!
+//! All simulators are deterministic (fixed seeds) so experiments are
+//! reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod datasets;
+pub mod generators;
+
+pub use catalog::{all_datasets, by_name, user_study_datasets, DatasetInfo};
+pub use csv::{read_csv, write_csv, CsvError};
+pub use datasets::{
+    cpu_cluster, eeg, gas_sensor, machine_temp, power, ramp_traffic, sim_daily, sine, taxi,
+    temperature, traffic_data, twitter_aapl,
+};

@@ -1,0 +1,220 @@
+//! Autocorrelation function (ACF) estimation — §4.3 of the paper.
+//!
+//! For a weakly stationary series, the lag-τ autocorrelation is
+//! `ACF(X,τ) = cov(X_t, X_{t+τ}) / σ²`. ASAP uses the standard biased
+//! sample estimator
+//!
+//! ```text
+//! ACF(X,k) = Σ_{i=1}^{N−k} (xᵢ−x̄)(x_{i+k}−x̄) / Σ_{i=1}^{N} (xᵢ−x̄)²
+//! ```
+//!
+//! computed for all lags at once in O(n log n) via the Wiener–Khinchin
+//! theorem: FFT the mean-removed, zero-padded series, take the power
+//! spectrum, inverse-FFT, and normalize by lag 0. A brute-force O(n²)
+//! estimator is retained as the test oracle ([`acf_brute_force`]).
+
+use asap_timeseries::TimeSeriesError;
+use rustfft::{num_complex::Complex, FftPlanner};
+
+/// Autocorrelation values for lags `0..=max_lag`, plus the series length the
+/// estimate was computed from (needed by ASAP's roughness estimate, Eq. 5).
+#[derive(Debug, Clone)]
+pub struct Acf {
+    values: Vec<f64>,
+    series_len: usize,
+}
+
+impl Acf {
+    /// ACF value at `lag`. Panics if `lag` exceeds the computed range.
+    #[inline]
+    pub fn at(&self, lag: usize) -> f64 {
+        self.values[lag]
+    }
+
+    /// All computed values, index = lag. `values()[0] == 1.0`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Largest computed lag.
+    pub fn max_lag(&self) -> usize {
+        self.values.len() - 1
+    }
+
+    /// Length of the series the ACF was estimated from.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+}
+
+/// Computes the ACF of `data` for lags `0..=max_lag` using two FFTs.
+///
+/// Errors if the series has fewer than 2 points, zero variance, or if
+/// `max_lag ≥ data.len()`.
+pub fn autocorrelation(data: &[f64], max_lag: usize) -> Result<Acf, TimeSeriesError> {
+    let n = data.len();
+    if n < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: n,
+        });
+    }
+    if max_lag >= n {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "max_lag",
+            message: "max_lag must be smaller than the series length",
+        });
+    }
+
+    let mean = data.iter().sum::<f64>() / n as f64;
+
+    // Zero-pad to at least 2n so the circular autocorrelation of the padded
+    // signal equals the linear autocorrelation of the original.
+    let padded = (2 * n).next_power_of_two();
+    let mut buf: Vec<Complex<f64>> = Vec::with_capacity(padded);
+    buf.extend(data.iter().map(|&x| Complex::new(x - mean, 0.0)));
+    buf.resize(padded, Complex::new(0.0, 0.0));
+
+    let mut planner = FftPlanner::new();
+    let fft = planner.plan_fft_forward(padded);
+    let ifft = planner.plan_fft_inverse(padded);
+
+    fft.process(&mut buf);
+    for v in buf.iter_mut() {
+        *v = Complex::new(v.norm_sqr(), 0.0);
+    }
+    ifft.process(&mut buf);
+
+    let r0 = buf[0].re;
+    if r0 <= 0.0 || !r0.is_finite() {
+        return Err(TimeSeriesError::ZeroVariance);
+    }
+    let values: Vec<f64> = buf[..=max_lag].iter().map(|v| v.re / r0).collect();
+    Ok(Acf {
+        values,
+        series_len: n,
+    })
+}
+
+/// O(n²) reference ACF estimator (same biased normalization).
+pub fn acf_brute_force(data: &[f64], max_lag: usize) -> Result<Acf, TimeSeriesError> {
+    let n = data.len();
+    if n < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: n,
+        });
+    }
+    if max_lag >= n {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "max_lag",
+            message: "max_lag must be smaller than the series length",
+        });
+    }
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let denom: f64 = data.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return Err(TimeSeriesError::ZeroVariance);
+    }
+    let values = (0..=max_lag)
+        .map(|k| {
+            let num: f64 = (0..n - k)
+                .map(|i| (data[i] - mean) * (data[i + k] - mean))
+                .sum();
+            num / denom
+        })
+        .collect();
+    Ok(Acf {
+        values,
+        series_len: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_zero_is_one() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let acf = autocorrelation(&data, 10).unwrap();
+        assert!((acf.at(0) - 1.0).abs() < 1e-12);
+        assert_eq!(acf.max_lag(), 10);
+        assert_eq!(acf.series_len(), 100);
+    }
+
+    #[test]
+    fn fft_matches_brute_force() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.21).sin() * 2.0 + (i as f64 * 0.037).cos() + 0.001 * i as f64)
+            .collect();
+        let fast = autocorrelation(&data, 120).unwrap();
+        let slow = acf_brute_force(&data, 120).unwrap();
+        for k in 0..=120 {
+            assert!(
+                (fast.at(k) - slow.at(k)).abs() < 1e-9,
+                "lag {k}: {} vs {}",
+                fast.at(k),
+                slow.at(k)
+            );
+        }
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_period() {
+        let period = 25usize;
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin())
+            .collect();
+        let acf = autocorrelation(&data, 100).unwrap();
+        // The ACF should be (near-)maximal at the period and its multiples.
+        assert!(acf.at(period) > 0.95, "acf at period {}", acf.at(period));
+        assert!(acf.at(2 * period) > 0.9);
+        // And strongly negative at the half-period.
+        assert!(acf.at(period / 2) < -0.9);
+    }
+
+    #[test]
+    fn alternating_series_is_anticorrelated_at_lag_one() {
+        let data: Vec<f64> = (0..400).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&data, 4).unwrap();
+        assert!(acf.at(1) < -0.99);
+        assert!(acf.at(2) > 0.98);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert!(autocorrelation(&[1.0], 0).is_err());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 3).is_err()); // max_lag >= n
+        assert!(matches!(
+            autocorrelation(&[5.0; 64], 10),
+            Err(TimeSeriesError::ZeroVariance)
+        ));
+        assert!(matches!(
+            acf_brute_force(&[5.0; 64], 10),
+            Err(TimeSeriesError::ZeroVariance)
+        ));
+    }
+
+    #[test]
+    fn acf_is_bounded_by_one() {
+        let data: Vec<f64> = (0..800)
+            .map(|i| ((i * 7919) % 101) as f64) // pseudo-random but deterministic
+            .collect();
+        let acf = autocorrelation(&data, 200).unwrap();
+        for (k, &v) in acf.values().iter().enumerate() {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "lag {k}: {v}");
+        }
+    }
+
+    #[test]
+    fn trend_series_has_slowly_decaying_acf() {
+        let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let acf = autocorrelation(&data, 30).unwrap();
+        // A pure trend decays slowly and monotonically over small lags.
+        for k in 1..30 {
+            assert!(acf.at(k) <= acf.at(k - 1) + 1e-12);
+        }
+        assert!(acf.at(1) > 0.98);
+    }
+}

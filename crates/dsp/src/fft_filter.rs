@@ -1,0 +1,178 @@
+//! FFT-based reconstruction smoothers (Figure B.2).
+//!
+//! Appendix B.2 compares SMA against reconstructing the signal from a subset
+//! of its Fourier components, selected in two ways:
+//!
+//! * **FFT-low** — keep the `k` *lowest-frequency* components (a low-pass
+//!   brick wall). Tends to produce very smooth reconstructions.
+//! * **FFT-dominant** — keep the `k` components of *largest power*,
+//!   regardless of frequency. The paper finds this yields very rough plots
+//!   ("tend to keep the dominant high frequencies"), ~50–315× rougher than
+//!   SMA on the study datasets.
+
+use asap_timeseries::TimeSeriesError;
+use rustfft::{num_complex::Complex, FftPlanner};
+
+/// Which Fourier components to retain during reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentSelection {
+    /// Keep the `k` lowest-frequency component pairs (plus DC).
+    Lowest,
+    /// Keep the `k` component pairs of largest power (plus DC).
+    Dominant,
+}
+
+/// Reconstructs `data` from `k` of its Fourier component pairs.
+///
+/// The DC (mean) component is always kept. Conjugate-symmetric bins are
+/// retained together so the reconstruction stays real. Output length equals
+/// the input length.
+pub fn fft_reconstruct(
+    data: &[f64],
+    k: usize,
+    selection: ComponentSelection,
+) -> Result<Vec<f64>, TimeSeriesError> {
+    let n = data.len();
+    if n < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: n,
+        });
+    }
+    if k == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "k",
+            message: "must retain at least one component",
+        });
+    }
+
+    let mut planner = FftPlanner::new();
+    let fft = planner.plan_fft_forward(n);
+    let ifft = planner.plan_fft_inverse(n);
+
+    let mut buf: Vec<Complex<f64>> = data.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft.process(&mut buf);
+
+    // Frequencies 1..=n/2 index the unique component pairs.
+    let half = n / 2;
+    let kept: Vec<usize> = match selection {
+        ComponentSelection::Lowest => (1..=half.min(k)).collect(),
+        ComponentSelection::Dominant => {
+            let mut freqs: Vec<usize> = (1..=half).collect();
+            freqs.sort_by(|&a, &b| {
+                buf[b]
+                    .norm_sqr()
+                    .partial_cmp(&buf[a].norm_sqr())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            freqs.truncate(k);
+            freqs
+        }
+    };
+
+    let mut mask = vec![false; n];
+    mask[0] = true; // DC
+    for &f in &kept {
+        mask[f] = true;
+        mask[n - f] = true; // conjugate bin (f == n-f at Nyquist for even n)
+    }
+    for (i, v) in buf.iter_mut().enumerate() {
+        if !mask[i] {
+            *v = Complex::new(0.0, 0.0);
+        }
+    }
+
+    ifft.process(&mut buf);
+    let inv = 1.0 / n as f64;
+    Ok(buf.into_iter().map(|c| c.re * inv).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_timeseries::roughness;
+
+    fn composite(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (2.0 * std::f64::consts::PI * t / 100.0).sin()
+                    + 0.2 * (2.0 * std::f64::consts::PI * t / 7.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn keeping_all_components_reconstructs_exactly() {
+        let data = composite(128);
+        let out = fft_reconstruct(&data, 64, ComponentSelection::Lowest).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn low_pass_removes_high_frequency_ripple() {
+        let data = composite(1000);
+        // Period-100 wave is frequency bin 10; keep bins 1..=12 -> ripple
+        // (bin ~143) removed.
+        let out = fft_reconstruct(&data, 12, ComponentSelection::Lowest).unwrap();
+        let r_in = roughness(&data).unwrap();
+        let r_out = roughness(&out).unwrap();
+        assert!(r_out < r_in / 2.0, "{r_in} -> {r_out}");
+    }
+
+    #[test]
+    fn dominant_keeps_strongest_bin_first() {
+        let data = composite(1000);
+        let out = fft_reconstruct(&data, 1, ComponentSelection::Dominant).unwrap();
+        // The strongest component is the period-100 sine (amplitude 1.0);
+        // the reconstruction should correlate with it strongly.
+        let reference: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin())
+            .collect();
+        let dot: f64 = out.iter().zip(&reference).map(|(a, b)| a * b).sum();
+        let norm: f64 = reference.iter().map(|x| x * x).sum();
+        assert!((dot / norm - 1.0).abs() < 0.05, "projection {}", dot / norm);
+    }
+
+    #[test]
+    fn dominant_on_noisy_data_is_rougher_than_low() {
+        // High-frequency spikes dominate the spectrum -> FFT-dominant keeps
+        // them (rough), FFT-low discards them (smooth). Matches Fig. B.2.
+        let data: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = i as f64;
+                (2.0 * std::f64::consts::PI * t / 256.0).sin()
+                    + 2.0 * if i % 2 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect();
+        let low = fft_reconstruct(&data, 3, ComponentSelection::Lowest).unwrap();
+        let dom = fft_reconstruct(&data, 3, ComponentSelection::Dominant).unwrap();
+        assert!(roughness(&dom).unwrap() > 10.0 * roughness(&low).unwrap());
+    }
+
+    #[test]
+    fn mean_is_always_preserved() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() + 5.0).collect();
+        let out = fft_reconstruct(&data, 2, ComponentSelection::Lowest).unwrap();
+        let mean_in = data.iter().sum::<f64>() / 200.0;
+        let mean_out = out.iter().sum::<f64>() / 200.0;
+        assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(fft_reconstruct(&[1.0], 1, ComponentSelection::Lowest).is_err());
+        assert!(fft_reconstruct(&[1.0, 2.0], 0, ComponentSelection::Lowest).is_err());
+    }
+
+    #[test]
+    fn odd_length_round_trip() {
+        let data = composite(101);
+        let out = fft_reconstruct(&data, 50, ComponentSelection::Lowest).unwrap();
+        for (a, b) in data.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! From-scratch iterative radix-2 FFT, kept as an independent test oracle.
+//!
+//! The production autocorrelation path ([`crate::acf`]) uses `rustfft`
+//! (§4.3.3: "optimized FFT routines ... in the form of mature software
+//! libraries"). This module provides a dependency-free Cooley–Tukey
+//! implementation so the workspace can cross-check the dependency and so the
+//! algorithmic content of the paper remains fully reproduced in-tree.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A minimal complex number (re, im) to keep this oracle dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Cpx { re, im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, o: Cpx) -> Cpx {
+        Cpx::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, o: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+/// Returns the smallest power of two ≥ `n`.
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` selects the inverse transform (conjugated twiddles); the inverse
+/// is **unnormalized** — callers divide by the length, as is conventional.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+pub fn fft_in_place(buf: &mut [Cpx], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Cpx::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Cpx::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2] * w;
+                buf[i + k] = u + v;
+                buf[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the complex spectrum of length `next_power_of_two(data.len())`.
+pub fn fft_real(data: &[f64]) -> Vec<Cpx> {
+    let n = next_power_of_two(data.len().max(1));
+    let mut buf = vec![Cpx::default(); n];
+    for (b, &x) in buf.iter_mut().zip(data) {
+        b.re = x;
+    }
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// Naive O(n²) DFT, the oracle's oracle for small sizes.
+pub fn dft_naive(data: &[Cpx]) -> Vec<Cpx> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::default();
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                acc = acc + x * Cpx::new(ang.cos(), ang.sin());
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Cpx], b: &[Cpx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let data: Vec<Cpx> = (0..n)
+                .map(|i| Cpx::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let mut fast = data.clone();
+            fft_in_place(&mut fast, false);
+            let naive = dft_naive(&data);
+            assert_close(&fast, &naive, 1e-8);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_round_trips() {
+        let n = 128;
+        let data: Vec<Cpx> = (0..n).map(|i| Cpx::new(i as f64, -(i as f64) / 3.0)).collect();
+        let mut buf = data.clone();
+        fft_in_place(&mut buf, false);
+        fft_in_place(&mut buf, true);
+        for b in buf.iter_mut() {
+            b.re /= n as f64;
+            b.im /= n as f64;
+        }
+        assert_close(&buf, &data, 1e-9);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut buf = vec![Cpx::default(); 16];
+        buf[0].re = 1.0;
+        fft_in_place(&mut buf, false);
+        for b in &buf {
+            assert!((b.re - 1.0).abs() < 1e-12 && b.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_energy() {
+        let n = 64usize;
+        let data: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&data);
+        // Energy should be at bins 5 and n−5 only.
+        for (k, s) in spec.iter().enumerate() {
+            let mag = s.norm_sq().sqrt();
+            if k == 5 || k == n - 5 {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "leak at bin {k}: {mag}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let mut buf = vec![Cpx::default(); 12];
+        fft_in_place(&mut buf, false);
+    }
+
+    #[test]
+    fn fft_real_zero_pads() {
+        let spec = fft_real(&[1.0, 2.0, 3.0]); // padded to 4
+        assert_eq!(spec.len(), 4);
+        // DC bin equals the sum.
+        assert!((spec[0].re - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearity_holds() {
+        let n = 32;
+        let a: Vec<Cpx> = (0..n).map(|i| Cpx::new((i as f64).sin(), 0.0)).collect();
+        let b: Vec<Cpx> = (0..n).map(|i| Cpx::new(0.0, (i as f64).cos())).collect();
+        let sum: Vec<Cpx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft_in_place(&mut fa, false);
+        fft_in_place(&mut fb, false);
+        fft_in_place(&mut fs, false);
+        let combined: Vec<Cpx> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_close(&fs, &combined, 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Signal-processing substrate for the ASAP reproduction.
+//!
+//! Section 4.3 of the paper prunes ASAP's window search using the series'
+//! **autocorrelation function** (ACF), computed in O(n log n) with two FFTs,
+//! and Appendix B.2 compares SMA against alternative smoothing functions.
+//! This crate provides all of that machinery:
+//!
+//! * [`acf`] — the biased ACF estimator via FFT (production path, using
+//!   `rustfft`) and via brute force (O(n²) test oracle);
+//! * [`fft_ref`] — a from-scratch iterative radix-2 FFT kept as an
+//!   independent oracle so correctness never rests on the dependency;
+//! * [`peaks`] — autocorrelation peak detection (local maxima above a
+//!   correlation threshold, falling back to all lags for aperiodic data),
+//!   mirroring the reference ASAP implementation;
+//! * [`savgol`] — Savitzky–Golay least-squares smoothing filters (SG1/SG4 in
+//!   Figure B.2);
+//! * [`fft_filter`] — FFT-low and FFT-dominant reconstruction smoothers
+//!   (Figure B.2);
+//! * [`minmax_filter`] — the min–max aggregation smoother (Figure B.2);
+//! * [`convolution`] — direct convolution used by the filters;
+//! * [`wavelet`] — Haar DWT and VisuShrink soft-threshold denoising (the
+//!   §6 wavelet-transform alternative, added to the Figure B.2 sweep).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acf;
+pub mod convolution;
+pub mod fft_filter;
+pub mod fft_ref;
+pub mod minmax_filter;
+pub mod peaks;
+pub mod savgol;
+pub mod wavelet;
+
+pub use acf::{acf_brute_force, autocorrelation, Acf};
+pub use peaks::{find_peaks, PeakConfig};
+pub use savgol::SavitzkyGolay;
+pub use wavelet::{denoise as wavelet_denoise, haar_forward, haar_inverse, HaarDecomposition};

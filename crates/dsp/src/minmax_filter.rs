@@ -1,0 +1,105 @@
+//! Min–max aggregation smoother (Figure B.2).
+//!
+//! Partitions the series into fixed windows and emits each window's minimum
+//! and maximum in order of occurrence. "By definition, \[minmax\] produces
+//! smoothed time series where consecutive points are maximized in distance
+//! in the given window" (Appendix B.2) — the paper measures it ~38–316×
+//! rougher than SMA, and it serves as the degenerate envelope-preserving
+//! baseline.
+
+use asap_timeseries::TimeSeriesError;
+
+/// Applies min–max aggregation with the given window, emitting two points
+/// (min and max, ordered by their position within the window) per window.
+///
+/// The trailing partial window, if any, is aggregated the same way.
+pub fn minmax_aggregate(data: &[f64], window: usize) -> Result<Vec<f64>, TimeSeriesError> {
+    if window == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "window",
+            message: "minmax window must be at least 1",
+        });
+    }
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let mut out = Vec::with_capacity(2 * data.len() / window + 2);
+    for chunk in data.chunks(window) {
+        let mut min_idx = 0usize;
+        let mut max_idx = 0usize;
+        for (i, &v) in chunk.iter().enumerate() {
+            if v < chunk[min_idx] {
+                min_idx = i;
+            }
+            if v > chunk[max_idx] {
+                max_idx = i;
+            }
+        }
+        if min_idx == max_idx {
+            out.push(chunk[min_idx]); // constant window: single point
+        } else if min_idx < max_idx {
+            out.push(chunk[min_idx]);
+            out.push(chunk[max_idx]);
+        } else {
+            out.push(chunk[max_idx]);
+            out.push(chunk[min_idx]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_min_and_max_per_window_in_order() {
+        let data = [1.0, 5.0, 3.0, 2.0, 8.0, 0.0];
+        // window [1,5,3]: min 1 @0, max 5 @1 -> [1,5]
+        // window [2,8,0]: max 8 @1, min 0 @2 -> [8,0]
+        let out = minmax_aggregate(&data, 3).unwrap();
+        assert_eq!(out, vec![1.0, 5.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_window_emits_single_point() {
+        let out = minmax_aggregate(&[4.0, 4.0, 4.0, 1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(out, vec![4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn preserves_global_extremes() {
+        let data: Vec<f64> = (0..100)
+            .map(|i| if i == 41 { 100.0 } else if i == 73 { -50.0 } else { (i as f64).sin() })
+            .collect();
+        let out = minmax_aggregate(&data, 10).unwrap();
+        assert!(out.contains(&100.0));
+        assert!(out.iter().any(|&v| v == -50.0));
+    }
+
+    #[test]
+    fn partial_tail_window_is_aggregated() {
+        // tail window [10, 9]: max 10 occurs before min 9
+        let out = minmax_aggregate(&[1.0, 2.0, 3.0, 10.0, 9.0], 3).unwrap();
+        assert_eq!(out, vec![1.0, 3.0, 10.0, 9.0]);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert!(minmax_aggregate(&[], 3).is_err());
+        assert!(minmax_aggregate(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn is_rougher_than_sma_on_oscillating_data() {
+        // The headline property from Fig. B.2.
+        let data: Vec<f64> = (0..600)
+            .map(|i| (i as f64 * 0.05).sin() + 0.8 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let mm = minmax_aggregate(&data, 20).unwrap();
+        let sma = asap_timeseries::sma(&data, 20).unwrap();
+        let r_mm = asap_timeseries::roughness(&mm).unwrap();
+        let r_sma = asap_timeseries::roughness(&sma).unwrap();
+        assert!(r_mm > 5.0 * r_sma, "minmax {r_mm} vs sma {r_sma}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Autocorrelation-peak detection — the candidate generator of §4.3.3.
+//!
+//! ASAP "only checks autocorrelation peaks, which are local maximums in the
+//! autocorrelation function and correspond to periods in the time series."
+//! This module mirrors the reference implementation: it scans the ACF for
+//! rising→falling turning points above a correlation threshold, and — when
+//! the data is aperiodic (at most one peak found) — falls back to returning
+//! *all* lags, which downstream search treats with plain binary search
+//! (§4.3.3 "ASAP falls back to binary search for aperiodic data").
+
+use crate::acf::Acf;
+
+/// Configuration for peak detection.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakConfig {
+    /// Minimum ACF value for a local maximum to count as a peak. The
+    /// reference implementation uses 0.2.
+    pub correlation_threshold: f64,
+    /// If at most this many peaks are found, the series is treated as
+    /// aperiodic and all lags `2..=max_lag` are returned instead.
+    pub min_peaks: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        PeakConfig {
+            correlation_threshold: 0.2,
+            // A single qualifying peak is already periodicity evidence: a
+            // series whose only period fits the lag range once (e.g. two
+            // weeks of daily data capped at n/10 lags) must still take the
+            // period-aligned path, or the search would binary-probe past
+            // the period. Fallback is reserved for series with no
+            // above-threshold peak at all.
+            min_peaks: 0,
+        }
+    }
+}
+
+/// Result of peak detection over an ACF.
+#[derive(Debug, Clone)]
+pub struct Peaks {
+    /// Candidate lags, in increasing order.
+    pub lags: Vec<usize>,
+    /// The maximum ACF value among detected peaks (`maxACF` in Algorithm 1);
+    /// 0 when the fallback produced the candidates.
+    pub max_acf: f64,
+    /// Whether the candidates are true ACF peaks (periodic data) or the
+    /// aperiodic fallback (all lags).
+    pub periodic: bool,
+}
+
+/// Finds candidate window lengths from an ACF.
+///
+/// Scans lags `1..=max_lag` for turning points (rising then falling) whose
+/// value exceeds `config.correlation_threshold`, starting at lag 2 as the
+/// smallest meaningful smoothing window. When at most `config.min_peaks`
+/// peaks are found the data is declared aperiodic and every lag in
+/// `2..=max_lag` becomes a candidate.
+pub fn find_peaks(acf: &Acf, config: PeakConfig) -> Peaks {
+    let c = acf.values();
+    let mut lags: Vec<usize> = Vec::new();
+    let mut max_acf = f64::NEG_INFINITY;
+
+    if c.len() > 2 {
+        let mut positive = c[1] > c[0];
+        let mut max_idx = 1usize;
+        for i in 2..c.len() {
+            if !positive && c[i] > c[i - 1] {
+                // valley -> start rising
+                max_idx = i;
+                positive = true;
+            } else if positive && c[i] > c[max_idx] {
+                max_idx = i;
+            } else if positive && c[i] < c[i - 1] {
+                // turning point: local maximum at max_idx
+                if max_idx > 1 && c[max_idx] > config.correlation_threshold {
+                    lags.push(max_idx);
+                    max_acf = max_acf.max(c[max_idx]);
+                }
+                positive = false;
+            }
+        }
+    }
+
+    if lags.len() <= config.min_peaks {
+        // Aperiodic fallback: every candidate from 2 to max_lag. The
+        // maximum ACF over those lags still powers the Eq. 6 lower bound,
+        // as in the reference implementation.
+        let lags: Vec<usize> = (2..c.len()).collect();
+        let max_acf = lags
+            .iter()
+            .map(|&l| c[l])
+            .fold(f64::NEG_INFINITY, f64::max);
+        return Peaks {
+            lags,
+            max_acf,
+            periodic: false,
+        };
+    }
+    Peaks {
+        lags,
+        max_acf,
+        periodic: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acf::autocorrelation;
+
+    fn sine(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn sine_peaks_at_multiples_of_period() {
+        let period = 32usize;
+        let data = sine(640, period);
+        let acf = autocorrelation(&data, 160).unwrap();
+        let peaks = find_peaks(&acf, PeakConfig::default());
+        assert!(peaks.periodic);
+        // Peaks should be near 32, 64, 96, 128, 160.
+        for (i, &lag) in peaks.lags.iter().enumerate() {
+            let expected = (i + 1) * period;
+            assert!(
+                (lag as i64 - expected as i64).unsigned_abs() <= 1,
+                "peak {i} at {lag}, expected ≈{expected}"
+            );
+        }
+        assert!(peaks.max_acf > 0.9);
+    }
+
+    #[test]
+    fn white_noise_like_series_falls_back_to_all_lags() {
+        // Low-autocorrelation deterministic sequence (quadratic residues).
+        let data: Vec<f64> = (0..500).map(|i| ((i * i * 7919) % 997) as f64).collect();
+        let acf = autocorrelation(&data, 50).unwrap();
+        let peaks = find_peaks(&acf, PeakConfig::default());
+        assert!(!peaks.periodic);
+        assert_eq!(peaks.lags, (2..=50).collect::<Vec<_>>());
+        // Fallback still reports the best correlation over the lags so the
+        // Eq. 6 lower bound stays sound.
+        assert!(peaks.max_acf.is_finite());
+        assert!(peaks.max_acf < 0.5, "noise should have low ACF: {}", peaks.max_acf);
+    }
+
+    #[test]
+    fn threshold_filters_weak_peaks() {
+        let period = 20usize;
+        let data = sine(400, period);
+        let acf = autocorrelation(&data, 100).unwrap();
+        // Impossible threshold: no peak qualifies -> aperiodic fallback.
+        let peaks = find_peaks(
+            &acf,
+            PeakConfig {
+                correlation_threshold: 1.5,
+                min_peaks: 1,
+            },
+        );
+        assert!(!peaks.periodic);
+    }
+
+    #[test]
+    fn lags_are_sorted_and_unique() {
+        let data: Vec<f64> = (0..2000)
+            .map(|i| {
+                let t = i as f64;
+                (2.0 * std::f64::consts::PI * t / 48.0).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * t / 336.0).sin()
+            })
+            .collect();
+        let acf = autocorrelation(&data, 400).unwrap();
+        let peaks = find_peaks(&acf, PeakConfig::default());
+        for w in peaks.lags.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn peaks_never_include_lags_zero_or_one() {
+        let data = sine(256, 8);
+        let acf = autocorrelation(&data, 64).unwrap();
+        let peaks = find_peaks(&acf, PeakConfig::default());
+        assert!(peaks.lags.iter().all(|&l| l >= 2));
+    }
+}

@@ -1,0 +1,224 @@
+//! Savitzky–Golay least-squares smoothing filters.
+//!
+//! Appendix B.2 of the paper compares SMA against Savitzky–Golay filters of
+//! degree 1 (`SG1`) and degree 4 (`SG4`) under the same parameter-selection
+//! criterion. A Savitzky–Golay filter replaces each point with the value at
+//! the window center of the least-squares polynomial fit over the window;
+//! the fit reduces to a fixed convolution kernel derived here from the
+//! normal equations (no external linear-algebra dependency).
+
+use crate::convolution::correlate_same_clipped;
+use asap_timeseries::TimeSeriesError;
+
+/// A Savitzky–Golay smoothing filter with a fixed window and polynomial
+/// degree.
+#[derive(Debug, Clone)]
+pub struct SavitzkyGolay {
+    window: usize,
+    degree: usize,
+    kernel: Vec<f64>,
+}
+
+impl SavitzkyGolay {
+    /// Builds the filter for an odd `window ≥ degree + 2`.
+    ///
+    /// Degree 1 reproduces the simple moving average (a line fit's center
+    /// value is the window mean); degree 4 matches the paper's `SG4`.
+    pub fn new(window: usize, degree: usize) -> Result<Self, TimeSeriesError> {
+        if window.is_multiple_of(2) || window < 3 {
+            return Err(TimeSeriesError::InvalidParameter {
+                name: "window",
+                message: "Savitzky-Golay window must be odd and >= 3",
+            });
+        }
+        if degree + 2 > window {
+            return Err(TimeSeriesError::InvalidParameter {
+                name: "degree",
+                message: "window must be at least degree + 2",
+            });
+        }
+        let kernel = savgol_kernel(window, degree);
+        Ok(SavitzkyGolay {
+            window,
+            degree,
+            kernel,
+        })
+    }
+
+    /// Window length in points.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Polynomial degree of the local fit.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The convolution kernel (sums to 1).
+    pub fn kernel(&self) -> &[f64] {
+        &self.kernel
+    }
+
+    /// Applies the filter, returning a series of the same length (clipped,
+    /// renormalized edges).
+    pub fn smooth(&self, data: &[f64]) -> Vec<f64> {
+        correlate_same_clipped(data, &self.kernel)
+    }
+}
+
+/// Derives the Savitzky–Golay smoothing kernel for the window center by
+/// solving the normal equations `(AᵀA) h = e₀` where `A[i][j] = iʲ` over
+/// offsets `i ∈ [−m, m]`; the kernel is `c_i = Σ_j h_j iʲ`.
+fn savgol_kernel(window: usize, degree: usize) -> Vec<f64> {
+    let m = (window / 2) as isize;
+    let p = degree + 1;
+
+    // Normal matrix G[j][k] = Σ_i i^{j+k}.
+    let mut g = vec![vec![0.0f64; p]; p];
+    for (j, row) in g.iter_mut().enumerate() {
+        for (k, cell) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for i in -m..=m {
+                s += (i as f64).powi((j + k) as i32);
+            }
+            *cell = s;
+        }
+    }
+    // Right-hand side e0 (evaluate fitted polynomial at offset 0).
+    let mut rhs = vec![0.0f64; p];
+    rhs[0] = 1.0;
+    let h = solve_gaussian(&mut g, &mut rhs);
+
+    (-m..=m)
+        .map(|i| {
+            let mut c = 0.0;
+            let mut pow = 1.0;
+            for &hj in &h {
+                c += hj * pow;
+                pow *= i as f64;
+            }
+            c
+        })
+        .collect()
+}
+
+/// Solves `G x = b` by Gaussian elimination with partial pivoting. `G` is
+/// small (≤ 6×6 for the degrees used here), symmetric positive definite.
+fn solve_gaussian(g: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if g[row][col].abs() > g[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        g.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = g[col][col];
+        debug_assert!(diag.abs() > 1e-12, "singular normal matrix");
+        for row in col + 1..n {
+            let factor = g[row][col] / diag;
+            // Indexing two rows of the same matrix; an iterator form would
+            // need split_at_mut gymnastics for no clarity gain.
+            #[allow(clippy::needless_range_loop)]
+            for k in col..n {
+                g[row][k] -= factor * g[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= g[col][k] * x[k];
+        }
+        x[col] = s / g[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_one_kernel_is_uniform() {
+        // A line fit's center value equals the window mean.
+        let sg = SavitzkyGolay::new(5, 1).unwrap();
+        for &c in sg.kernel() {
+            assert!((c - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for (w, d) in [(5usize, 2usize), (7, 2), (9, 4), (21, 4), (11, 3)] {
+            let sg = SavitzkyGolay::new(w, d).unwrap();
+            let sum: f64 = sg.kernel().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "w={w} d={d}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn quadratic_filter_reproduces_quadratics_exactly() {
+        // SG of degree >= 2 leaves any quadratic signal unchanged (away from
+        // the mirrored edges this is exact).
+        let sg = SavitzkyGolay::new(9, 2).unwrap();
+        let data: Vec<f64> = (0..50).map(|i| {
+            let x = i as f64;
+            0.5 * x * x - 3.0 * x + 2.0
+        }).collect();
+        let out = sg.smooth(&data);
+        for i in 4..46 {
+            assert!((out[i] - data[i]).abs() < 1e-7, "i={i}: {} vs {}", out[i], data[i]);
+        }
+    }
+
+    #[test]
+    fn known_quadratic_kernel_values() {
+        // Classic SG(5, 2) kernel: (-3, 12, 17, 12, -3) / 35.
+        let sg = SavitzkyGolay::new(5, 2).unwrap();
+        let expected = [-3.0 / 35.0, 12.0 / 35.0, 17.0 / 35.0, 12.0 / 35.0, -3.0 / 35.0];
+        for (a, e) in sg.kernel().iter().zip(expected) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(SavitzkyGolay::new(4, 1).is_err()); // even window
+        assert!(SavitzkyGolay::new(1, 0).is_err()); // too small
+        assert!(SavitzkyGolay::new(5, 4).is_err()); // degree too high
+    }
+
+    #[test]
+    fn smoothing_reduces_roughness_of_noisy_line() {
+        let data: Vec<f64> = (0..300)
+            .map(|i| i as f64 * 0.1 + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sg = SavitzkyGolay::new(11, 1).unwrap();
+        let out = sg.smooth(&data);
+        let r0 = asap_timeseries::roughness(&data).unwrap();
+        let r1 = asap_timeseries::roughness(&out).unwrap();
+        assert!(r1 < r0 / 3.0);
+    }
+
+    #[test]
+    fn higher_degree_tracks_signal_more_closely() {
+        // SG4 follows curvature better (less smoothing) than SG1 at equal
+        // window; the paper reports SG4 rougher than SG1 (Fig. B.2).
+        let data: Vec<f64> = (0..400)
+            .map(|i| (i as f64 * 0.2).sin() + 0.3 * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sg1 = SavitzkyGolay::new(21, 1).unwrap().smooth(&data);
+        let sg4 = SavitzkyGolay::new(21, 4).unwrap().smooth(&data);
+        let r1 = asap_timeseries::roughness(&sg1).unwrap();
+        let r4 = asap_timeseries::roughness(&sg4).unwrap();
+        assert!(r4 > r1, "SG4 {r4} should be rougher than SG1 {r1}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Haar discrete wavelet transform and wavelet-shrinkage denoising.
+//!
+//! The paper's related-work survey (§6) lists the wavelet transform
+//! (Daubechies \[23\]) as a classic noise-reduction alternative to the
+//! moving average. This module implements the standard pipeline —
+//! multi-level Haar DWT, soft-thresholding of detail coefficients with the
+//! VisuShrink universal threshold, inverse transform — so the Figure B.2
+//! comparison can include a wavelet smoother under ASAP's selection
+//! criterion.
+//!
+//! Inputs of arbitrary length are handled by edge-replication padding to
+//! the next power of two; the output is truncated back. The unpadded
+//! transform is orthonormal (`1/√2` analysis/synthesis weights), so energy
+//! is preserved and perfect reconstruction holds to rounding error.
+
+use asap_timeseries::TimeSeriesError;
+
+/// A multi-level Haar decomposition of a (padded) series.
+#[derive(Debug, Clone)]
+pub struct HaarDecomposition {
+    /// Approximation coefficients at the coarsest level.
+    approx: Vec<f64>,
+    /// Detail coefficients per level, finest first.
+    details: Vec<Vec<f64>>,
+    /// Original (pre-padding) length.
+    n: usize,
+}
+
+impl HaarDecomposition {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Detail coefficients at `level` (0 = finest).
+    pub fn detail(&self, level: usize) -> &[f64] {
+        &self.details[level]
+    }
+
+    /// Coarsest-level approximation coefficients.
+    pub fn approx(&self) -> &[f64] {
+        &self.approx
+    }
+}
+
+/// Maximum number of Haar levels for a series of length `n` (padded).
+pub fn max_levels(n: usize) -> usize {
+    if n < 2 {
+        0
+    } else {
+        (n.next_power_of_two()).trailing_zeros() as usize
+    }
+}
+
+/// Forward multi-level Haar DWT with edge-replication padding.
+///
+/// # Errors
+///
+/// Fails on series shorter than 2 points or `levels == 0`; `levels` beyond
+/// the padded depth is clamped.
+pub fn haar_forward(data: &[f64], levels: usize) -> Result<HaarDecomposition, TimeSeriesError> {
+    if data.len() < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    if levels == 0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "levels",
+            message: "must decompose at least one level",
+        });
+    }
+    let n = data.len();
+    let padded_len = n.next_power_of_two();
+    let mut approx: Vec<f64> = Vec::with_capacity(padded_len);
+    approx.extend_from_slice(data);
+    approx.resize(padded_len, *data.last().expect("non-empty"));
+
+    let levels = levels.min(max_levels(n));
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut details = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        let half = approx.len() / 2;
+        let mut next = Vec::with_capacity(half);
+        let mut det = Vec::with_capacity(half);
+        for i in 0..half {
+            let (a, b) = (approx[2 * i], approx[2 * i + 1]);
+            next.push((a + b) * inv_sqrt2);
+            det.push((a - b) * inv_sqrt2);
+        }
+        details.push(det);
+        approx = next;
+    }
+    Ok(HaarDecomposition { approx, details, n })
+}
+
+/// Inverse multi-level Haar DWT; returns the original-length series.
+pub fn haar_inverse(dec: &HaarDecomposition) -> Vec<f64> {
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut approx = dec.approx.clone();
+    for det in dec.details.iter().rev() {
+        debug_assert_eq!(approx.len(), det.len());
+        let mut next = Vec::with_capacity(approx.len() * 2);
+        for (a, d) in approx.iter().zip(det) {
+            next.push((a + d) * inv_sqrt2);
+            next.push((a - d) * inv_sqrt2);
+        }
+        approx = next;
+    }
+    approx.truncate(dec.n);
+    approx
+}
+
+/// Soft-thresholds a coefficient: shrink toward zero by `t`, clip to zero
+/// inside `[-t, t]`.
+fn soft(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Estimates the noise scale σ from the finest detail coefficients via the
+/// median absolute deviation (MAD / 0.6745, the standard robust estimator).
+pub fn noise_sigma(dec: &HaarDecomposition) -> f64 {
+    let finest = &dec.details[0];
+    if finest.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f64> = finest.iter().map(|d| d.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite coefficients"));
+    let mid = mags.len() / 2;
+    let median = if mags.len().is_multiple_of(2) {
+        (mags[mid - 1] + mags[mid]) / 2.0
+    } else {
+        mags[mid]
+    };
+    median / 0.6745
+}
+
+/// Wavelet-shrinkage denoising: Haar DWT to `levels`, soft-threshold every
+/// detail coefficient at `threshold_scale ×` the VisuShrink universal
+/// threshold `σ √(2 ln n)`, inverse DWT.
+///
+/// `threshold_scale = 1.0` is the textbook setting; larger values smooth
+/// harder (the parameter ASAP's selection criterion sweeps).
+pub fn denoise(
+    data: &[f64],
+    levels: usize,
+    threshold_scale: f64,
+) -> Result<Vec<f64>, TimeSeriesError> {
+    if !threshold_scale.is_finite() || threshold_scale < 0.0 {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "threshold_scale",
+            message: "must be finite and non-negative",
+        });
+    }
+    let mut dec = haar_forward(data, levels)?;
+    let sigma = noise_sigma(&dec);
+    let t = threshold_scale * sigma * (2.0 * (data.len() as f64).ln()).sqrt();
+    for det in &mut dec.details {
+        for d in det.iter_mut() {
+            *d = soft(*d, t);
+        }
+    }
+    Ok(haar_inverse(&dec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_power_of_two() {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + i as f64 * 0.01).collect();
+        for levels in 1..=6 {
+            let dec = haar_forward(&data, levels).unwrap();
+            assert_close(&haar_inverse(&dec), &data, 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_arbitrary_length() {
+        for n in [2usize, 3, 5, 17, 100, 1000] {
+            let data: Vec<f64> = (0..n).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+            let dec = haar_forward(&data, 4).unwrap();
+            assert_close(&haar_inverse(&dec), &data, 1e-12);
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        // Energy (sum of squares) is preserved for power-of-two input.
+        let data: Vec<f64> = (0..128).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let dec = haar_forward(&data, 7).unwrap();
+        let energy_in: f64 = data.iter().map(|x| x * x).sum();
+        let energy_out: f64 = dec.approx().iter().map(|x| x * x).sum::<f64>()
+            + (0..dec.levels())
+                .map(|l| dec.detail(l).iter().map(|x| x * x).sum::<f64>())
+                .sum::<f64>();
+        assert!((energy_in - energy_out).abs() < 1e-9 * energy_in);
+    }
+
+    #[test]
+    fn levels_clamped_to_depth() {
+        let data = vec![1.0; 16];
+        let dec = haar_forward(&data, 100).unwrap();
+        assert_eq!(dec.levels(), 4);
+        assert_eq!(dec.approx().len(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(haar_forward(&[1.0], 1).is_err());
+        assert!(haar_forward(&[1.0, 2.0], 0).is_err());
+        assert!(denoise(&[1.0, 2.0, 3.0, 4.0], 2, -1.0).is_err());
+        assert!(denoise(&[1.0, 2.0, 3.0, 4.0], 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn constant_series_has_zero_details() {
+        let dec = haar_forward(&[5.0; 32], 5).unwrap();
+        for l in 0..dec.levels() {
+            assert!(dec.detail(l).iter().all(|&d| d.abs() < 1e-12));
+        }
+        assert!((dec.approx()[0] - 5.0 * 32f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_sigma_tracks_noise_amplitude() {
+        // Deterministic pseudo-noise around zero.
+        let noisy: Vec<f64> = (0..1024)
+            .map(|i| 0.5 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5))
+            .collect();
+        let dec = haar_forward(&noisy, 5).unwrap();
+        let sigma = noise_sigma(&dec);
+        assert!(sigma > 0.05 && sigma < 0.5, "sigma {sigma}");
+    }
+
+    #[test]
+    fn denoise_reduces_roughness_but_keeps_trend() {
+        let clean: Vec<f64> = (0..512).map(|i| (i as f64 / 80.0).sin() * 3.0).collect();
+        let noisy: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 0.4 * ((((i as u64) * 1103515245) % 997) as f64 / 997.0 - 0.5))
+            .collect();
+        let den = denoise(&noisy, 4, 1.5).unwrap();
+        let rough_noisy = asap_timeseries::roughness(&noisy).unwrap();
+        let rough_den = asap_timeseries::roughness(&den).unwrap();
+        assert!(
+            rough_den < 0.6 * rough_noisy,
+            "denoised {rough_den} vs noisy {rough_noisy}"
+        );
+        // Trend preserved: RMS error to the clean signal stays small.
+        let rmse: f64 = (den
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / clean.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.4, "rmse {rmse}");
+    }
+
+    #[test]
+    fn zero_scale_is_identity() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).cos()).collect();
+        let out = denoise(&data, 3, 0.0).unwrap();
+        for (a, b) in out.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn soft_threshold_shape() {
+        assert_eq!(soft(3.0, 1.0), 2.0);
+        assert_eq!(soft(-3.0, 1.0), -2.0);
+        assert_eq!(soft(0.5, 1.0), 0.0);
+        assert_eq!(soft(-0.5, 1.0), 0.0);
+        assert_eq!(soft(1.0, 1.0), 0.0);
+    }
+}

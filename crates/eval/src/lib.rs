@@ -1,0 +1,35 @@
+//! Evaluation harness for the ASAP reproduction.
+//!
+//! Reproduces the experimental apparatus of §5 and the appendix:
+//!
+//! * [`observer`] — the **simulated user study**. The paper's Figures 6, 7
+//!   and B.1 come from Amazon Mechanical Turk; we substitute a
+//!   signal-detection observer model whose mechanism mirrors the paper's
+//!   hypothesis (noise distracts attention from sustained deviations).
+//!   See the module docs for the model and its limits.
+//! * [`rendering`] — turns each visualization technique's output into the
+//!   column-level "what the viewer sees" representation the observer
+//!   consumes.
+//! * [`perf`] — wall-clock measurement of the search strategies (Figures
+//!   8, 9, A.2, A.3).
+//! * [`table2`] — the batch exhaustive-vs-ASAP comparison of Table 2.
+//! * [`factor`] — the cumulative factor analysis and lesion study of
+//!   Figure 11.
+//! * [`sensitivity`] — the roughness/kurtosis sensitivity sweeps of
+//!   Figure B.1.
+//! * [`report`] — fixed-width table formatting for the benchmark binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod factor;
+pub mod observer;
+pub mod perf;
+pub mod rendering;
+pub mod report;
+pub mod sensitivity;
+pub mod table2;
+
+pub use observer::{ObserverModel, StudyResult};
+pub use rendering::{render, technique_pixel_error, Rendering, Technique};
+pub use report::Table;

@@ -1,0 +1,209 @@
+//! Wall-clock measurement of the search strategies (Figures 8, 9, A.2,
+//! A.3).
+//!
+//! The paper reports *relative* performance — speedups over exhaustive
+//! search and roughness ratios — which transfer across hardware even
+//! though absolute wall-clock numbers don't.
+
+use asap_core::{preaggregate, AsapConfig, SearchOutcome, SearchStrategy};
+use asap_timeseries::TimeSeriesError;
+use std::time::{Duration, Instant};
+
+/// One measured search run.
+#[derive(Debug, Clone)]
+pub struct MeasuredSearch {
+    /// Strategy display name.
+    pub strategy: String,
+    /// Search outcome (window, roughness, candidates).
+    pub outcome: SearchOutcome,
+    /// Wall-clock time of the search itself.
+    pub elapsed: Duration,
+}
+
+impl MeasuredSearch {
+    /// Throughput in input points per second, charging the search cost to
+    /// `n_raw` raw points.
+    pub fn throughput(&self, n_raw: usize) -> f64 {
+        n_raw as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs and times one strategy over an (already preaggregated) series.
+pub fn measure(
+    data: &[f64],
+    strategy: SearchStrategy,
+    config: &AsapConfig,
+) -> Result<MeasuredSearch, TimeSeriesError> {
+    let start = Instant::now();
+    let outcome = strategy.search(data, config)?;
+    let elapsed = start.elapsed();
+    Ok(MeasuredSearch {
+        strategy: strategy.name(),
+        outcome,
+        elapsed,
+    })
+}
+
+/// A Figure 8-style comparison row: one strategy against the exhaustive
+/// reference on the same data.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Strategy display name.
+    pub strategy: String,
+    /// `t_exhaustive / t_strategy` (higher is better).
+    pub speedup: f64,
+    /// `roughness_strategy / roughness_exhaustive` (1.0 is ideal; higher is
+    /// worse).
+    pub roughness_ratio: f64,
+    /// Candidates the strategy evaluated.
+    pub candidates: usize,
+}
+
+/// Compares the given strategies against exhaustive search over one raw
+/// series at one target resolution (preaggregating first, as in §5.2.1
+/// where "all algorithms run on preaggregated data").
+pub fn compare_at_resolution(
+    raw: &[f64],
+    resolution: usize,
+    strategies: &[SearchStrategy],
+) -> Result<Vec<ComparisonRow>, TimeSeriesError> {
+    let (agg, _) = preaggregate(raw, resolution);
+    let config = AsapConfig {
+        resolution,
+        ..AsapConfig::default()
+    };
+
+    let reference = measure(&agg, SearchStrategy::Exhaustive, &config)?;
+    let ref_time = reference.elapsed.as_secs_f64().max(1e-12);
+    // Roughness ratios compare smoothed outputs; guard the zero case.
+    let ref_rough = reference.outcome.roughness.max(1e-12);
+
+    strategies
+        .iter()
+        .map(|&s| {
+            let m = measure(&agg, s, &config)?;
+            Ok(ComparisonRow {
+                strategy: m.strategy.clone(),
+                speedup: ref_time / m.elapsed.as_secs_f64().max(1e-12),
+                roughness_ratio: m.outcome.roughness.max(1e-12) / ref_rough,
+                candidates: m.outcome.candidates_checked,
+            })
+        })
+        .collect()
+}
+
+/// Measures exhaustive search (or ASAP) **without** preaggregation — the
+/// Figure 9 baseline. `budget` caps the wall-clock spent; when the search
+/// would exceed it the measurement extrapolates from the candidates
+/// evaluated so far (the paper itself reports the 1M-point exhaustive
+/// baseline as "over an hour", i.e. extrapolated).
+pub fn measure_raw_exhaustive_budgeted(
+    raw: &[f64],
+    config: &AsapConfig,
+    budget: Duration,
+) -> (Duration, bool) {
+    use asap_timeseries::PrefixSum;
+    let n = raw.len();
+    let max_window = config.effective_max_window(n);
+    let prefix = PrefixSum::new(raw);
+    let start = Instant::now();
+    let mut evaluated = 0usize;
+    for w in 2..=max_window {
+        // Same per-candidate work as the real evaluator: one O(N) pass.
+        let mut value_m = asap_timeseries::Moments::new();
+        let mut diff_m = asap_timeseries::Moments::new();
+        let inv = 1.0 / w as f64;
+        let mut prev = prefix.range_sum(0, w) * inv;
+        value_m.push(prev);
+        for i in 1..(n - w + 1) {
+            let cur = prefix.range_sum(i, i + w) * inv;
+            value_m.push(cur);
+            diff_m.push(cur - prev);
+            prev = cur;
+        }
+        std::hint::black_box((value_m.kurtosis(), diff_m.stddev()));
+        evaluated += 1;
+        if start.elapsed() > budget {
+            let remaining = (max_window - 1 - evaluated) as f64;
+            let per = start.elapsed().as_secs_f64() / evaluated as f64;
+            return (
+                Duration::from_secs_f64(start.elapsed().as_secs_f64() + per * remaining),
+                true,
+            );
+        }
+    }
+    (start.elapsed(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / 480.0).sin()
+                    + 0.3 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comparison_includes_requested_strategies() {
+        let data = raw(24_000);
+        let rows = compare_at_resolution(
+            &data,
+            1000,
+            &[SearchStrategy::Asap, SearchStrategy::Binary],
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].strategy, "ASAP");
+        assert!(rows[0].roughness_ratio > 0.0);
+        assert!(rows[0].speedup > 0.0);
+    }
+
+    #[test]
+    fn asap_checks_fewer_candidates_than_exhaustive_reference() {
+        let data = raw(24_000);
+        let rows =
+            compare_at_resolution(&data, 1200, &[SearchStrategy::Asap]).unwrap();
+        // Exhaustive at 1200px checks ~119 candidates; ASAP far fewer.
+        assert!(rows[0].candidates < 60, "{}", rows[0].candidates);
+    }
+
+    #[test]
+    fn budgeted_measurement_extrapolates_when_over_budget() {
+        let data = raw(200_000);
+        let config = AsapConfig::default();
+        let (elapsed, extrapolated) =
+            measure_raw_exhaustive_budgeted(&data, &config, Duration::from_millis(50));
+        assert!(extrapolated);
+        assert!(elapsed > Duration::from_millis(50));
+    }
+
+    #[test]
+    fn budgeted_measurement_completes_small_inputs() {
+        let data = raw(2_000);
+        let config = AsapConfig::default();
+        let (_, extrapolated) =
+            measure_raw_exhaustive_budgeted(&data, &config, Duration::from_secs(10));
+        assert!(!extrapolated);
+    }
+
+    #[test]
+    fn throughput_scales_with_raw_size() {
+        let m = MeasuredSearch {
+            strategy: "x".into(),
+            outcome: SearchOutcome {
+                window: 1,
+                roughness: 0.0,
+                kurtosis: 3.0,
+                candidates_checked: 0,
+            },
+            elapsed: Duration::from_millis(100),
+        };
+        assert!((m.throughput(1000) - 10_000.0).abs() < 1e-6);
+        assert!((m.throughput(2000) - 20_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,309 @@
+//! Technique rendering: the column-level view a plot viewer actually sees.
+//!
+//! The user studies (§5.1) compare seven presentations of the same series.
+//! For the simulated observer we reduce each presentation to its rendered
+//! form at `R` pixel columns:
+//!
+//! * `level[c]` — the perceived central tendency of the ink in column `c`
+//!   (mean of the points mapped there);
+//! * `spread[c]` — the vertical extent of ink in column `c` (max − min),
+//!   which is how high-frequency noise manifests once a plot is squeezed
+//!   into fewer pixels than points (the Figure 2 phenomenon).
+//!
+//! Techniques that retain original time positions (M4, Visvalingam–Whyatt)
+//! map points to columns by index; value-only reductions (PAA, SMA
+//! variants) are stretched uniformly, as a plotting library would.
+
+use asap_baselines::{m4, oversmooth::oversmooth, paa::paa, visvalingam::visvalingam};
+use asap_core::Asap;
+use asap_timeseries::{zscore, TimeSeriesError};
+
+/// The visualization techniques of Figure 6 (and the Figure 7 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// The raw series.
+    Original,
+    /// ASAP's smoothed rendering.
+    Asap,
+    /// M4 min/max/first/last aggregation.
+    M4,
+    /// Visvalingam–Whyatt line simplification ("simp").
+    Simplify,
+    /// Piecewise aggregate approximation to 800 points.
+    Paa800,
+    /// Piecewise aggregate approximation to 100 points.
+    Paa100,
+    /// SMA with a quarter-length window.
+    Oversmooth,
+}
+
+impl Technique {
+    /// The seven techniques of Figure 6, in plot order.
+    pub fn figure6() -> [Technique; 7] {
+        [
+            Technique::Asap,
+            Technique::Original,
+            Technique::M4,
+            Technique::Simplify,
+            Technique::Paa800,
+            Technique::Paa100,
+            Technique::Oversmooth,
+        ]
+    }
+
+    /// The four techniques of the visual-preference study (Figure 7).
+    pub fn figure7() -> [Technique; 4] {
+        [
+            Technique::Original,
+            Technique::Asap,
+            Technique::Paa100,
+            Technique::Oversmooth,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Original => "Original",
+            Technique::Asap => "ASAP",
+            Technique::M4 => "M4",
+            Technique::Simplify => "simp",
+            Technique::Paa800 => "PAA800",
+            Technique::Paa100 => "PAA100",
+            Technique::Oversmooth => "Oversmooth",
+        }
+    }
+}
+
+/// A technique's output reduced to what the viewer sees at `R` columns.
+#[derive(Debug, Clone)]
+pub struct Rendering {
+    /// Perceived level per column (z-scored).
+    pub level: Vec<f64>,
+    /// Vertical ink extent per column, in the same z units.
+    pub spread: Vec<f64>,
+}
+
+impl Rendering {
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.level.len()
+    }
+
+    /// The viewer-side distraction: jitter between adjacent column levels
+    /// plus the average vertical ink, both in z units. This is the
+    /// roughness the observer experiences, as opposed to the series-level
+    /// roughness ASAP optimizes.
+    pub fn distraction(&self) -> f64 {
+        let jitter = asap_timeseries::roughness(&self.level).unwrap_or(0.0);
+        let ink = self.spread.iter().sum::<f64>() / self.spread.len().max(1) as f64;
+        jitter + ink
+    }
+}
+
+/// Builds a rendering from `(index, value)` points over `n_original`
+/// positions.
+fn render_indexed(
+    points: &[(usize, f64)],
+    n_original: usize,
+    columns: usize,
+) -> Result<Rendering, TimeSeriesError> {
+    if points.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let values: Vec<f64> = points.iter().map(|&(_, v)| v).collect();
+    let z = zscore(&values)?;
+    let mut sum = vec![0.0f64; columns];
+    let mut count = vec![0usize; columns];
+    let mut min = vec![f64::INFINITY; columns];
+    let mut max = vec![f64::NEG_INFINITY; columns];
+    let denom = n_original.max(1);
+    for (k, &(i, _)) in points.iter().enumerate() {
+        let c = ((i * columns) / denom).min(columns - 1);
+        sum[c] += z[k];
+        count[c] += 1;
+        min[c] = min[c].min(z[k]);
+        max[c] = max[c].max(z[k]);
+    }
+    // Fill empty columns by carrying the previous level (a line segment
+    // passes through them); spread 0.
+    let mut level = Vec::with_capacity(columns);
+    let mut spread = Vec::with_capacity(columns);
+    let mut last = 0.0f64;
+    for c in 0..columns {
+        if count[c] > 0 {
+            last = sum[c] / count[c] as f64;
+            level.push(last);
+            spread.push((max[c] - min[c]).max(0.0));
+        } else {
+            level.push(last);
+            spread.push(0.0);
+        }
+    }
+    Ok(Rendering { level, spread })
+}
+
+/// Builds a rendering from a plain value series stretched uniformly.
+fn render_uniform(values: &[f64], columns: usize) -> Result<Rendering, TimeSeriesError> {
+    let points: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    render_indexed(&points, values.len(), columns)
+}
+
+/// Renders `technique` applied to `data` at `columns` pixel columns.
+pub fn render(
+    technique: Technique,
+    data: &[f64],
+    columns: usize,
+) -> Result<Rendering, TimeSeriesError> {
+    match technique {
+        Technique::Original => render_uniform(data, columns),
+        Technique::Asap => {
+            let result = Asap::builder().resolution(columns).build().smooth(data)?;
+            render_uniform(&result.smoothed, columns)
+        }
+        Technique::M4 => {
+            let pts: Vec<(usize, f64)> = m4::m4_aggregate(data, columns)?
+                .into_iter()
+                .map(|p| (p.index, p.value))
+                .collect();
+            render_indexed(&pts, data.len(), columns)
+        }
+        Technique::Simplify => {
+            let pts: Vec<(usize, f64)> = visvalingam(data, columns.max(2))?
+                .into_iter()
+                .map(|p| (p.index, p.value))
+                .collect();
+            render_indexed(&pts, data.len(), columns)
+        }
+        Technique::Paa800 => render_uniform(&paa(data, 800)?, columns),
+        Technique::Paa100 => render_uniform(&paa(data, 100)?, columns),
+        Technique::Oversmooth => render_uniform(&oversmooth(data)?, columns),
+    }
+}
+
+/// Pixel error of a technique against the raw rendering (Table 4).
+///
+/// Techniques that keep original time positions (M4, Visvalingam–Whyatt)
+/// are rasterized at those positions; value-only reductions are stretched
+/// uniformly, exactly as a plotting frontend would draw them.
+pub fn technique_pixel_error(
+    technique: Technique,
+    data: &[f64],
+    width: usize,
+    height: usize,
+) -> Result<f64, TimeSeriesError> {
+    use asap_baselines::{pixel_error, rasterize, rasterize_indexed};
+    let original = rasterize(data, width, height);
+    let reduced = match technique {
+        Technique::Original => rasterize(data, width, height),
+        Technique::Asap => {
+            let result = Asap::builder().resolution(width).build().smooth(data)?;
+            rasterize(&result.smoothed, width, height)
+        }
+        Technique::M4 => {
+            let pts: Vec<(usize, f64)> = m4::m4_aggregate(data, width)?
+                .into_iter()
+                .map(|p| (p.index, p.value))
+                .collect();
+            rasterize_indexed(&pts, data.len(), width, height)
+        }
+        Technique::Simplify => {
+            let pts: Vec<(usize, f64)> = visvalingam(data, width.max(2))?
+                .into_iter()
+                .map(|p| (p.index, p.value))
+                .collect();
+            rasterize_indexed(&pts, data.len(), width, height)
+        }
+        Technique::Paa800 => rasterize(&paa(data, 800)?, width, height),
+        Technique::Paa100 => rasterize(&paa(data, 100)?, width, height),
+        Technique::Oversmooth => rasterize(&oversmooth(data)?, width, height),
+    };
+    Ok(pixel_error(&original, &reduced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_with_dip(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let noise = 0.8 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5);
+                let seasonal = (std::f64::consts::TAU * i as f64 / 48.0).sin();
+                let dip = if i >= 7 * n / 10 && i < 8 * n / 10 { -3.0 } else { 0.0 };
+                seasonal + noise + dip
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_techniques_render_to_requested_columns() {
+        let data = noisy_with_dip(4000);
+        for t in Technique::figure6() {
+            let r = render(t, &data, 800).unwrap();
+            assert_eq!(r.columns(), 800, "{}", t.name());
+            assert!(r.level.iter().all(|v| v.is_finite()), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn asap_rendering_is_less_distracting_than_original() {
+        let data = noisy_with_dip(4000);
+        let original = render(Technique::Original, &data, 800).unwrap();
+        let asap = render(Technique::Asap, &data, 800).unwrap();
+        assert!(
+            asap.distraction() < original.distraction(),
+            "asap {} vs original {}",
+            asap.distraction(),
+            original.distraction()
+        );
+    }
+
+    #[test]
+    fn m4_rendering_keeps_the_noise() {
+        let data = noisy_with_dip(4000);
+        let m4 = render(Technique::M4, &data, 800).unwrap();
+        let asap = render(Technique::Asap, &data, 800).unwrap();
+        assert!(m4.distraction() > asap.distraction());
+    }
+
+    #[test]
+    fn figure_lists_have_the_documented_arity() {
+        assert_eq!(Technique::figure6().len(), 7);
+        assert_eq!(Technique::figure7().len(), 4);
+        assert_eq!(Technique::Simplify.name(), "simp");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(render(Technique::Original, &[], 100).is_err());
+    }
+
+    #[test]
+    fn table4_pixel_error_ordering() {
+        // Table 4: M4 near-zero, line simplification small, ASAP large.
+        let data = noisy_with_dip(4000);
+        let e_m4 = technique_pixel_error(Technique::M4, &data, 400, 150).unwrap();
+        let e_simp = technique_pixel_error(Technique::Simplify, &data, 400, 150).unwrap();
+        let e_asap = technique_pixel_error(Technique::Asap, &data, 400, 150).unwrap();
+        assert!(e_m4 < 0.35, "M4 {e_m4}");
+        assert!(e_asap > 0.6, "ASAP {e_asap}");
+        assert!(e_m4 <= e_simp + 0.1, "M4 {e_m4} vs simp {e_simp}");
+        assert!(e_asap > e_m4 && e_asap > e_simp);
+        assert_eq!(
+            technique_pixel_error(Technique::Original, &data, 400, 150).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn dip_is_visible_in_smoothed_level() {
+        let data = noisy_with_dip(4000);
+        let asap = render(Technique::Asap, &data, 100).unwrap();
+        // Columns 70..80 carry the dip: their mean level must be clearly
+        // below the global mean.
+        let dip_mean: f64 = asap.level[70..80].iter().sum::<f64>() / 10.0;
+        let global: f64 = asap.level.iter().sum::<f64>() / 100.0;
+        assert!(dip_mean < global - 1.0, "dip {dip_mean} vs global {global}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Fixed-width table formatting for the benchmark binaries.
+//!
+//! The benches print the same rows/series the paper's tables and figures
+//! report; this module keeps that output aligned and diffable.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}  ", w = w);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with `prec` decimal places.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Formats a throughput/speedup with engineering suffixes (K/M/G), as the
+/// paper's figures do ("113K", "4.0K").
+pub fn eng(x: f64) -> String {
+    let (v, suffix) = if x.abs() >= 1e9 {
+        (x / 1e9, "G")
+    } else if x.abs() >= 1e6 {
+        (x / 1e6, "M")
+    } else if x.abs() >= 1e3 {
+        (x / 1e3, "K")
+    } else {
+        (x, "")
+    };
+    if v.abs() >= 100.0 || suffix.is_empty() && v.fract() == 0.0 {
+        format!("{v:.0}{suffix}")
+    } else {
+        format!("{v:.1}{suffix}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a-much-longer-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Column 2 starts at the same offset in every data row.
+        let off2 = lines[2].find('1').unwrap();
+        let off3 = lines[3].find('2').unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert!(t.render().contains("only-one"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(0.5, 0), "0");
+    }
+
+    #[test]
+    fn engineering_formatting_matches_figure_style() {
+        assert_eq!(eng(113_000.0), "113K");
+        assert_eq!(eng(4_000.0), "4.0K");
+        assert_eq!(eng(20_400.0), "20.4K");
+        assert_eq!(eng(0.01), "0.0");
+        assert_eq!(eng(2_500_000.0), "2.5M");
+    }
+}

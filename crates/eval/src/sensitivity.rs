@@ -1,0 +1,159 @@
+//! Sensitivity sweeps of Figure B.1: how the target roughness and the
+//! kurtosis constraint affect the end-user study.
+//!
+//! * **Roughness variants**: plots with 8×/4×/2×/½× the roughness of the
+//!   ASAP choice, produced by picking the window whose achieved roughness
+//!   is closest to the target (ignoring the kurtosis constraint, as the
+//!   study varies the target directly).
+//! * **Kurtosis variants**: the ASAP search with the preservation bar
+//!   scaled to 0.5× / 1.5× / 2× the original kurtosis.
+
+use asap_core::{metrics::CandidateEvaluator, preaggregate, AsapConfig, SearchStrategy};
+use asap_timeseries::TimeSeriesError;
+
+/// Finds the window whose smoothed roughness is closest to `target`,
+/// scanning all windows up to the config cap. Returns `(window, achieved
+/// roughness)`.
+pub fn window_for_target_roughness(
+    data: &[f64],
+    target: f64,
+    config: &AsapConfig,
+) -> Result<(usize, f64), TimeSeriesError> {
+    let ev = CandidateEvaluator::new(data)?;
+    let max_window = config.effective_max_window(data.len());
+    let mut best = (1usize, ev.base().roughness);
+    for w in 1..=max_window {
+        let m = ev.evaluate(w)?;
+        if (m.roughness - target).abs() < (best.1 - target).abs() {
+            best = (w, m.roughness);
+        }
+    }
+    Ok(best)
+}
+
+/// One sensitivity variant: a label and the smoothed series it produces.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display label ("ASAP", "8x", "k0.5", ...).
+    pub label: String,
+    /// Window used.
+    pub window: usize,
+    /// The smoothed (preaggregated) series.
+    pub smoothed: Vec<f64>,
+}
+
+/// Builds the Figure B.1 roughness ladder for one raw series: ASAP's choice
+/// plus plots at the given multiples of its roughness.
+pub fn roughness_variants(
+    raw: &[f64],
+    resolution: usize,
+    multiples: &[f64],
+) -> Result<Vec<Variant>, TimeSeriesError> {
+    let (agg, _) = preaggregate(raw, resolution);
+    let config = AsapConfig {
+        resolution,
+        ..AsapConfig::default()
+    };
+    let asap = SearchStrategy::Asap.search(&agg, &config)?;
+    let reference = asap.roughness.max(1e-12);
+
+    let mut out = vec![Variant {
+        label: "ASAP".into(),
+        window: asap.window,
+        smoothed: smooth(&agg, asap.window)?,
+    }];
+    for &m in multiples {
+        let (w, _) = window_for_target_roughness(&agg, reference * m, &config)?;
+        out.push(Variant {
+            label: format!("{m}x"),
+            window: w,
+            smoothed: smooth(&agg, w)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the Figure B.1 kurtosis ladder: the ASAP search run with each
+/// preservation factor.
+pub fn kurtosis_variants(
+    raw: &[f64],
+    resolution: usize,
+    factors: &[f64],
+) -> Result<Vec<Variant>, TimeSeriesError> {
+    let (agg, _) = preaggregate(raw, resolution);
+    let mut out = Vec::with_capacity(factors.len());
+    for &f in factors {
+        let mut config = AsapConfig {
+            resolution,
+            ..AsapConfig::default()
+        };
+        config.kurtosis_factor = f;
+        let r = SearchStrategy::Asap.search(&agg, &config)?;
+        out.push(Variant {
+            label: format!("k{f}"),
+            window: r.window,
+            smoothed: smooth(&agg, r.window)?,
+        });
+    }
+    Ok(out)
+}
+
+fn smooth(data: &[f64], window: usize) -> Result<Vec<f64>, TimeSeriesError> {
+    if window <= 1 {
+        Ok(data.to_vec())
+    } else {
+        asap_timeseries::sma(data, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study_series() -> Vec<f64> {
+        (0..3600)
+            .map(|i| {
+                (std::f64::consts::TAU * i as f64 / 48.0).sin()
+                    + 0.4 * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+                    + if (2600..2936).contains(&i) { -2.0 } else { 0.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn target_roughness_search_moves_in_the_right_direction() {
+        let data = study_series();
+        let config = AsapConfig::default();
+        let ev = CandidateEvaluator::new(&data).unwrap();
+        let base = ev.base().roughness;
+        let (w_rough, r_rough) = window_for_target_roughness(&data, base, &config).unwrap();
+        let (w_smooth, r_smooth) =
+            window_for_target_roughness(&data, base / 100.0, &config).unwrap();
+        assert!(w_rough < w_smooth, "{w_rough} vs {w_smooth}");
+        assert!(r_smooth < r_rough);
+    }
+
+    #[test]
+    fn roughness_ladder_orders_windows() {
+        let data = study_series();
+        let variants = roughness_variants(&data, 1200, &[8.0, 4.0, 2.0, 0.5]).unwrap();
+        assert_eq!(variants.len(), 5);
+        assert_eq!(variants[0].label, "ASAP");
+        // Rougher targets need smaller windows.
+        let w8 = variants[1].window;
+        let w2 = variants[3].window;
+        assert!(w8 <= w2, "8x window {w8} should be <= 2x window {w2}");
+    }
+
+    #[test]
+    fn kurtosis_factor_below_one_allows_more_smoothing() {
+        let data = study_series();
+        let variants = kurtosis_variants(&data, 1200, &[0.5, 1.0, 2.0]).unwrap();
+        let w_half = variants[0].window;
+        let w_two = variants[2].window;
+        assert!(
+            w_half >= w_two,
+            "relaxed constraint window {w_half} should be >= strict {w_two}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! The batch comparison of Table 2: exhaustive vs ASAP per dataset at a
+//! 1200-pixel target resolution.
+
+use asap_core::{preaggregate, AsapConfig, SearchStrategy};
+use asap_data::DatasetInfo;
+use asap_timeseries::TimeSeriesError;
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Raw point count.
+    pub n_points: usize,
+    /// Exhaustive search's window (preaggregated units).
+    pub exhaustive_window: usize,
+    /// Exhaustive search's candidate count.
+    pub exhaustive_candidates: usize,
+    /// ASAP's window.
+    pub asap_window: usize,
+    /// ASAP's candidate count.
+    pub asap_candidates: usize,
+}
+
+impl Table2Row {
+    /// Whether ASAP found the same smoothing parameter as exhaustive
+    /// search (the paper: true for all 11 datasets).
+    pub fn windows_agree(&self) -> bool {
+        self.exhaustive_window == self.asap_window
+    }
+}
+
+/// Runs the Table 2 experiment for one dataset at `resolution` pixels.
+pub fn run_dataset(info: &DatasetInfo, resolution: usize) -> Result<Table2Row, TimeSeriesError> {
+    let series = info.generate();
+    let (agg, _) = preaggregate(series.values(), resolution);
+    let config = AsapConfig {
+        resolution,
+        ..AsapConfig::default()
+    };
+    let ex = SearchStrategy::Exhaustive.search(&agg, &config)?;
+    let asap = SearchStrategy::Asap.search(&agg, &config)?;
+    Ok(Table2Row {
+        dataset: info.name,
+        n_points: info.n_points,
+        exhaustive_window: ex.window,
+        exhaustive_candidates: ex.candidates_checked,
+        asap_window: asap.window,
+        asap_candidates: asap.candidates_checked,
+    })
+}
+
+/// Runs Table 2 over a list of datasets.
+pub fn run_all(datasets: &[DatasetInfo], resolution: usize) -> Vec<Table2Row> {
+    datasets
+        .iter()
+        .filter_map(|d| run_dataset(d, resolution).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_data::catalog;
+
+    #[test]
+    fn taxi_asap_matches_exhaustive_with_fewer_candidates() {
+        let taxi = catalog::by_name("Taxi").unwrap();
+        let row = run_dataset(&taxi, 1200).unwrap();
+        assert!(row.windows_agree(), "{row:?}");
+        assert!(
+            row.asap_candidates < row.exhaustive_candidates / 2,
+            "{row:?}"
+        );
+        assert!(row.exhaustive_window > 1, "taxi should be smoothed: {row:?}");
+    }
+
+    #[test]
+    fn twitter_is_left_unsmoothed() {
+        // Table 2 / Figure C.1: "this time series is smooth except for a
+        // few unusual peaks, so further smoothing would have averaged out
+        // the peaks" — window 1 for both searches.
+        let twitter = catalog::by_name("Twitter_AAPL").unwrap();
+        let row = run_dataset(&twitter, 1200).unwrap();
+        assert_eq!(row.exhaustive_window, 1, "{row:?}");
+        assert_eq!(row.asap_window, 1, "{row:?}");
+    }
+
+    #[test]
+    fn sine_window_aligns_with_its_period() {
+        // 800 points at 1200px: no preaggregation; period 32. The chosen
+        // window should be a multiple of the period (paper reports 64).
+        let sine = catalog::by_name("Sine").unwrap();
+        let row = run_dataset(&sine, 1200).unwrap();
+        assert!(row.windows_agree(), "{row:?}");
+        assert_eq!(
+            row.exhaustive_window % 32,
+            0,
+            "window should align with the period: {row:?}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! On-demand refresh clock (§4.5, "Optimization: On-demand updates").
+//!
+//! Refreshing a plot for every arriving point is wasteful: humans perceive
+//! at most ~60 events/second, so ASAP re-runs its search only every
+//! `interval` points (Figure 10 sweeps this interval and finds throughput
+//! linear in it). [`RefreshClock`] counts arrivals and fires at the
+//! configured cadence.
+
+/// Counts arriving items and signals when a refresh is due.
+#[derive(Debug, Clone)]
+pub struct RefreshClock {
+    interval: usize,
+    since_last: usize,
+    total: u64,
+    refreshes: u64,
+}
+
+impl RefreshClock {
+    /// Creates a clock firing once every `interval` arrivals.
+    ///
+    /// # Panics
+    /// Panics if `interval == 0`.
+    pub fn new(interval: usize) -> Self {
+        assert!(interval > 0, "refresh interval must be positive");
+        RefreshClock {
+            interval,
+            since_last: 0,
+            total: 0,
+            refreshes: 0,
+        }
+    }
+
+    /// Registers one arrival; returns `true` when a refresh is due.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        self.total += 1;
+        self.since_last += 1;
+        if self.since_last >= self.interval {
+            self.since_last = 0;
+            self.refreshes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Configured interval in arrivals.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Total arrivals observed.
+    pub fn total_ticks(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of refreshes fired.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Reconfigures the interval (takes effect for the current cycle).
+    pub fn set_interval(&mut self, interval: usize) {
+        assert!(interval > 0, "refresh interval must be positive");
+        self.interval = interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_every_interval() {
+        let mut c = RefreshClock::new(3);
+        let fired: Vec<bool> = (0..9).map(|_| c.tick()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(c.refreshes(), 3);
+        assert_eq!(c.total_ticks(), 9);
+    }
+
+    #[test]
+    fn interval_one_fires_always() {
+        let mut c = RefreshClock::new(1);
+        assert!(c.tick());
+        assert!(c.tick());
+        assert_eq!(c.refreshes(), 2);
+    }
+
+    #[test]
+    fn refresh_count_is_inverse_in_interval() {
+        // The linear relationship behind Figure 10: doubling the interval
+        // halves the number of search invocations.
+        let n = 10_000;
+        let count = |interval: usize| {
+            let mut c = RefreshClock::new(interval);
+            (0..n).filter(|_| c.tick()).count()
+        };
+        assert_eq!(count(10), 1000);
+        assert_eq!(count(20), 500);
+        assert_eq!(count(100), 100);
+    }
+
+    #[test]
+    fn set_interval_applies_mid_stream() {
+        let mut c = RefreshClock::new(100);
+        for _ in 0..5 {
+            c.tick();
+        }
+        c.set_interval(6);
+        assert!(c.tick()); // 6th arrival since last refresh
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        RefreshClock::new(0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Pane-based sliding-window stream-processing runtime.
+//!
+//! §4.5 of the ASAP paper executes ASAP as a streaming operator (the mode
+//! MacroBase adopts): incoming points are **sub-aggregated into disjoint
+//! panes** ("no pane, no gain", Li et al. 2005) sized by the GCD of window
+//! and slide, a linked list of sub-aggregates covers the visualized
+//! interval, and the search routine re-runs only at a human-perceptible
+//! refresh interval.
+//!
+//! This crate supplies that substrate, independent of ASAP itself:
+//!
+//! * [`pane`] — fixed-size pane aggregation (sum/count/min/max) with O(1)
+//!   point ingestion;
+//! * [`window`] — a sliding window over panes with incremental eviction and
+//!   O(1) windowed mean;
+//! * [`operator`] — the `Operator` trait and basic combinators, the
+//!   interface through which ASAP plugs into an operator graph;
+//! * [`runtime`] — single-threaded pipeline driver plus a threaded driver
+//!   built on crossbeam channels;
+//! * [`clock`] — the on-demand refresh clock (fires every N points),
+//!   implementing the paper's "refresh at timescales perceptible to
+//!   humans" optimization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod operator;
+pub mod pane;
+pub mod runtime;
+pub mod window;
+
+pub use clock::RefreshClock;
+pub use operator::{FnOperator, Operator};
+pub use pane::{Pane, PaneAggregator};
+pub use runtime::{run_pipeline, run_threaded};
+pub use window::SlidingWindow;
+
+/// Greatest common divisor, used to size panes: panes of
+/// `gcd(window, slide)` points allow both window and slide boundaries to
+/// fall on pane boundaries (Li et al.'s pane optimization, cited in §4.5).
+pub fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gcd;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(36, 36), 36);
+    }
+}

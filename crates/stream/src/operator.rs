@@ -1,0 +1,115 @@
+//! The streaming-operator interface.
+//!
+//! ASAP is "implemented as a time series explanation operator in the
+//! MacroBase fast data engine ... portable to existing stream processing
+//! engines" (§2). [`Operator`] is the minimal portable contract: consume
+//! one input item, emit zero or more outputs. Operators compose into
+//! pipelines via [`crate::runtime`].
+
+/// A streaming transformation from items of type `I` to items of type `O`.
+///
+/// `process` is called once per input item and may emit any number of
+/// outputs (0 for filters/aggregators mid-window, >1 for flat-maps);
+/// `finish` is called once at end-of-stream to flush buffered state.
+pub trait Operator<I, O> {
+    /// Processes one input item, appending outputs to `out`.
+    fn process(&mut self, input: I, out: &mut Vec<O>);
+
+    /// Flushes any buffered outputs at end-of-stream.
+    fn finish(&mut self, _out: &mut Vec<O>) {}
+}
+
+/// Wraps a closure as a stateless 1-to-1 operator.
+pub struct FnOperator<F> {
+    f: F,
+}
+
+impl<F> FnOperator<F> {
+    /// Creates the operator from a mapping closure.
+    pub fn new(f: F) -> Self {
+        FnOperator { f }
+    }
+}
+
+impl<I, O, F: FnMut(I) -> O> Operator<I, O> for FnOperator<F> {
+    fn process(&mut self, input: I, out: &mut Vec<O>) {
+        out.push((self.f)(input));
+    }
+}
+
+/// A batching operator that groups every `n` consecutive items into a
+/// `Vec<I>` (used to build refresh batches in tests and examples).
+pub struct Batcher<I> {
+    n: usize,
+    buf: Vec<I>,
+}
+
+impl<I> Batcher<I> {
+    /// Creates a batcher of size `n` (must be positive).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "batch size must be positive");
+        Batcher {
+            n,
+            buf: Vec::with_capacity(n),
+        }
+    }
+}
+
+impl<I> Operator<I, Vec<I>> for Batcher<I> {
+    fn process(&mut self, input: I, out: &mut Vec<Vec<I>>) {
+        self.buf.push(input);
+        if self.buf.len() == self.n {
+            out.push(std::mem::replace(&mut self.buf, Vec::with_capacity(self.n)));
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Vec<I>>) {
+        if !self.buf.is_empty() {
+            out.push(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_operator_maps_one_to_one() {
+        let mut op = FnOperator::new(|x: f64| x * 2.0);
+        let mut out = Vec::new();
+        op.process(3.0, &mut out);
+        op.process(4.0, &mut out);
+        assert_eq!(out, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn batcher_groups_and_flushes() {
+        let mut op = Batcher::new(3);
+        let mut out = Vec::new();
+        for i in 0..7 {
+            op.process(i, &mut out);
+        }
+        assert_eq!(out, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        op.finish(&mut out);
+        assert_eq!(out.last().unwrap(), &vec![6]);
+    }
+
+    #[test]
+    fn batcher_finish_is_noop_when_aligned() {
+        let mut op = Batcher::new(2);
+        let mut out = Vec::new();
+        for i in 0..4 {
+            op.process(i, &mut out);
+        }
+        let len_before = out.len();
+        op.finish(&mut out);
+        assert_eq!(out.len(), len_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        Batcher::<i32>::new(0);
+    }
+}

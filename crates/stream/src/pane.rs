@@ -1,0 +1,193 @@
+//! Fixed-size pane sub-aggregation.
+//!
+//! A *pane* is a disjoint segment of the input stream reduced to constant
+//! size (sum, count, min, max). Sliding-window aggregates are then computed
+//! over panes instead of raw points, which is how ASAP ingests
+//! million-point-per-second streams (§4.5): with a pane per point-to-pixel
+//! group, downstream work depends on the display resolution, not the data
+//! rate.
+
+/// Constant-size summary of one disjoint segment of the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pane {
+    /// Sum of the points in the pane.
+    pub sum: f64,
+    /// Number of points aggregated.
+    pub count: usize,
+    /// Minimum point value.
+    pub min: f64,
+    /// Maximum point value.
+    pub max: f64,
+}
+
+impl Pane {
+    /// The pane's mean value — the value ASAP's preaggregation emits.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Accumulates raw points into fixed-size panes, emitting each pane as it
+/// completes.
+#[derive(Debug, Clone)]
+pub struct PaneAggregator {
+    pane_size: usize,
+    sum: f64,
+    count: usize,
+    min: f64,
+    max: f64,
+    emitted: u64,
+}
+
+impl PaneAggregator {
+    /// Creates an aggregator producing one pane per `pane_size` points.
+    ///
+    /// # Panics
+    /// Panics if `pane_size == 0`.
+    pub fn new(pane_size: usize) -> Self {
+        assert!(pane_size > 0, "pane size must be positive");
+        PaneAggregator {
+            pane_size,
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            emitted: 0,
+        }
+    }
+
+    /// Pane size in points.
+    pub fn pane_size(&self) -> usize {
+        self.pane_size
+    }
+
+    /// Number of panes emitted so far.
+    pub fn panes_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of points buffered in the current (incomplete) pane.
+    pub fn pending_points(&self) -> usize {
+        self.count
+    }
+
+    /// Ingests one point; returns the completed pane when this point filled
+    /// it.
+    #[inline]
+    pub fn push(&mut self, value: f64) -> Option<Pane> {
+        self.sum += value;
+        self.count += 1;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        if self.count == self.pane_size {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Flushes the current partial pane, if any points are buffered.
+    pub fn flush(&mut self) -> Option<Pane> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.take())
+        }
+    }
+
+    fn take(&mut self) -> Pane {
+        let pane = Pane {
+            sum: self.sum,
+            count: self.count,
+            min: self.min,
+            max: self.max,
+        };
+        self.sum = 0.0;
+        self.count = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.emitted += 1;
+        pane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_exactly_on_fill() {
+        let mut agg = PaneAggregator::new(3);
+        assert!(agg.push(1.0).is_none());
+        assert!(agg.push(2.0).is_none());
+        let pane = agg.push(6.0).unwrap();
+        assert_eq!(pane.sum, 9.0);
+        assert_eq!(pane.count, 3);
+        assert_eq!(pane.min, 1.0);
+        assert_eq!(pane.max, 6.0);
+        assert!((pane.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(agg.panes_emitted(), 1);
+    }
+
+    #[test]
+    fn state_resets_between_panes() {
+        let mut agg = PaneAggregator::new(2);
+        agg.push(10.0);
+        agg.push(20.0);
+        agg.push(-5.0);
+        let pane = agg.push(-1.0).unwrap();
+        assert_eq!(pane.min, -5.0);
+        assert_eq!(pane.max, -1.0);
+        assert_eq!(pane.sum, -6.0);
+    }
+
+    #[test]
+    fn flush_emits_partial_pane() {
+        let mut agg = PaneAggregator::new(4);
+        agg.push(1.0);
+        agg.push(3.0);
+        let pane = agg.flush().unwrap();
+        assert_eq!(pane.count, 2);
+        assert!((pane.mean() - 2.0).abs() < 1e-12);
+        assert!(agg.flush().is_none());
+        assert_eq!(agg.pending_points(), 0);
+    }
+
+    #[test]
+    fn pane_size_one_passes_points_through() {
+        let mut agg = PaneAggregator::new(1);
+        for i in 0..5 {
+            let pane = agg.push(i as f64).unwrap();
+            assert_eq!(pane.mean(), i as f64);
+        }
+        assert_eq!(agg.panes_emitted(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pane size")]
+    fn zero_pane_size_panics() {
+        PaneAggregator::new(0);
+    }
+
+    #[test]
+    fn pane_means_match_batch_tumbling_aggregation() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut agg = PaneAggregator::new(7);
+        let mut streamed = Vec::new();
+        for &x in &data {
+            if let Some(p) = agg.push(x) {
+                streamed.push(p.mean());
+            }
+        }
+        let batch = asap_timeseries::sma_strided(&data, 7, 7).unwrap();
+        assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Pipeline drivers: run an [`Operator`] over an input stream, either
+//! inline (single-threaded, for client-side rendering) or on a worker
+//! thread connected by channels (server-side mode, where ASAP smooths on
+//! behalf of many visualization consumers, §2).
+
+use crate::operator::Operator;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::thread;
+
+/// Runs `op` over `input` inline and returns all emitted outputs.
+pub fn run_pipeline<I, O, Op>(mut op: Op, input: impl IntoIterator<Item = I>) -> Vec<O>
+where
+    Op: Operator<I, O>,
+{
+    let mut out = Vec::new();
+    for item in input {
+        op.process(item, &mut out);
+    }
+    op.finish(&mut out);
+    out
+}
+
+/// Handle to a threaded pipeline stage.
+pub struct StageHandle<I, O> {
+    tx: Sender<I>,
+    rx: Receiver<O>,
+    join: thread::JoinHandle<()>,
+}
+
+impl<I, O> StageHandle<I, O> {
+    /// Sends one input item to the stage. Returns `false` when the stage
+    /// has shut down.
+    pub fn send(&self, item: I) -> bool {
+        self.tx.send(item).is_ok()
+    }
+
+    /// Receives all currently available outputs without blocking.
+    pub fn drain(&self) -> Vec<O> {
+        self.rx.try_iter().collect()
+    }
+
+    /// Signals end-of-stream and collects all remaining outputs.
+    pub fn close(self) -> Vec<O> {
+        drop(self.tx);
+        let out: Vec<O> = self.rx.iter().collect();
+        self.join.join().expect("pipeline stage panicked");
+        out
+    }
+}
+
+/// Spawns `op` on a worker thread with bounded channels of the given
+/// capacity; returns a handle for feeding inputs and draining outputs.
+pub fn run_threaded<I, O, Op>(mut op: Op, channel_capacity: usize) -> StageHandle<I, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    Op: Operator<I, O> + Send + 'static,
+{
+    let (in_tx, in_rx) = bounded::<I>(channel_capacity);
+    let (out_tx, out_rx) = bounded::<O>(channel_capacity.max(1024));
+    let join = thread::spawn(move || {
+        let mut buf = Vec::new();
+        for item in in_rx.iter() {
+            op.process(item, &mut buf);
+            for o in buf.drain(..) {
+                if out_tx.send(o).is_err() {
+                    return;
+                }
+            }
+        }
+        op.finish(&mut buf);
+        for o in buf.drain(..) {
+            if out_tx.send(o).is_err() {
+                return;
+            }
+        }
+    });
+    StageHandle {
+        tx: in_tx,
+        rx: out_rx,
+        join,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Batcher, FnOperator};
+
+    #[test]
+    fn inline_pipeline_runs_to_completion() {
+        let out = run_pipeline(FnOperator::new(|x: i32| x + 1), 0..5);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn inline_pipeline_flushes_on_finish() {
+        let out = run_pipeline(Batcher::new(2), 0..5);
+        assert_eq!(out, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn threaded_stage_matches_inline() {
+        let stage = run_threaded(FnOperator::new(|x: u64| x * x), 16);
+        for i in 0..100u64 {
+            assert!(stage.send(i));
+        }
+        let out = stage.close();
+        let expected: Vec<u64> = (0..100).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn threaded_stage_flushes_operator_state() {
+        let stage = run_threaded(Batcher::new(3), 4);
+        for i in 0..7 {
+            stage.send(i);
+        }
+        let out = stage.close();
+        assert_eq!(out, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn drain_is_nonblocking() {
+        let stage = run_threaded(FnOperator::new(|x: i32| x), 4);
+        // Nothing sent yet: drain returns empty instead of blocking.
+        assert!(stage.drain().is_empty());
+        stage.send(1);
+        let out = stage.close();
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Sliding window over panes with incremental eviction.
+//!
+//! ASAP "maintains a linked list of all subaggregations in the window" and
+//! removes outdated points as data transits the visualized interval (§4.5).
+//! [`SlidingWindow`] is that structure: a deque of [`Pane`]s bounded by a
+//! capacity in panes, with O(1) amortized insertion/eviction and O(1)
+//! windowed mean via a maintained running sum.
+
+use crate::pane::Pane;
+use std::collections::VecDeque;
+
+/// A bounded deque of panes covering the most recent stretch of the stream.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    panes: VecDeque<Pane>,
+    capacity: usize,
+    sum: f64,
+    count: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` panes.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            panes: VecDeque::with_capacity(capacity + 1),
+            capacity,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Inserts a completed pane, evicting the oldest when full. Returns the
+    /// evicted pane, if any.
+    pub fn push(&mut self, pane: Pane) -> Option<Pane> {
+        self.panes.push_back(pane);
+        self.sum += pane.sum;
+        self.count += pane.count;
+        if self.panes.len() > self.capacity {
+            let evicted = self.panes.pop_front().expect("non-empty after push");
+            self.sum -= evicted.sum;
+            self.count -= evicted.count;
+            Some(evicted)
+        } else {
+            None
+        }
+    }
+
+    /// Number of panes currently held.
+    pub fn len(&self) -> usize {
+        self.panes.len()
+    }
+
+    /// True when no panes are held.
+    pub fn is_empty(&self) -> bool {
+        self.panes.is_empty()
+    }
+
+    /// True when the window holds `capacity` panes.
+    pub fn is_full(&self) -> bool {
+        self.panes.len() == self.capacity
+    }
+
+    /// Mean over all points covered by the window (O(1)).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Total number of raw points covered.
+    pub fn point_count(&self) -> usize {
+        self.count
+    }
+
+    /// The per-pane mean values, oldest first — the preaggregated series
+    /// ASAP's search runs over.
+    pub fn pane_means(&self) -> Vec<f64> {
+        self.panes.iter().map(Pane::mean).collect()
+    }
+
+    /// Iterates over the held panes, oldest first.
+    pub fn panes(&self) -> impl Iterator<Item = &Pane> {
+        self.panes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pane(v: f64) -> Pane {
+        Pane {
+            sum: v,
+            count: 1,
+            min: v,
+            max: v,
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_capacity() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.push(pane(1.0)).is_none());
+        assert!(w.push(pane(2.0)).is_none());
+        assert!(w.push(pane(3.0)).is_none());
+        assert!(w.is_full());
+        let evicted = w.push(pane(4.0)).unwrap();
+        assert_eq!(evicted.sum, 1.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pane_means(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn running_mean_tracks_contents() {
+        let mut w = SlidingWindow::new(2);
+        assert_eq!(w.mean(), None);
+        w.push(pane(10.0));
+        assert_eq!(w.mean(), Some(10.0));
+        w.push(pane(20.0));
+        assert_eq!(w.mean(), Some(15.0));
+        w.push(pane(40.0)); // evicts 10
+        assert_eq!(w.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn point_count_uses_pane_counts() {
+        let mut w = SlidingWindow::new(4);
+        w.push(Pane {
+            sum: 6.0,
+            count: 3,
+            min: 1.0,
+            max: 3.0,
+        });
+        w.push(Pane {
+            sum: 4.0,
+            count: 2,
+            min: 2.0,
+            max: 2.0,
+        });
+        assert_eq!(w.point_count(), 5);
+        assert_eq!(w.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn long_stream_mean_does_not_drift() {
+        let mut w = SlidingWindow::new(100);
+        for i in 0..100_000 {
+            w.push(pane((i % 7) as f64));
+        }
+        // Window holds panes for i in 99_900..100_000.
+        let expected: f64 =
+            (99_900..100_000).map(|i| (i % 7) as f64).sum::<f64>() / 100.0;
+        assert!((w.mean().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        SlidingWindow::new(0);
+    }
+}

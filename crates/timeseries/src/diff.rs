@@ -1,0 +1,136 @@
+//! First differences and the ASAP roughness measure (§3.1).
+//!
+//! The paper quantifies the visual smoothness of a plot as the standard
+//! deviation of the *first difference series*
+//! `ΔX = {x₂−x₁, x₃−x₂, …}`: `roughness(X) = σ(ΔX)`. A roughness of zero
+//! holds iff the plot is a straight line (constant slope). The measure is
+//! closely related to the variogram at lag 1 used in geostatistics.
+
+use crate::error::TimeSeriesError;
+use crate::stats::Moments;
+
+/// Returns the first-difference series `Δxᵢ = x_{i+1} − xᵢ`.
+///
+/// The result has `data.len() − 1` points; errors if fewer than two points
+/// are provided.
+pub fn first_differences(data: &[f64]) -> Result<Vec<f64>, TimeSeriesError> {
+    if data.len() < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    Ok(data.windows(2).map(|w| w[1] - w[0]).collect())
+}
+
+/// ASAP's roughness measure: the population standard deviation of the first
+/// differences, `roughness(X) = σ(ΔX)`.
+///
+/// Computed in one pass without materializing the difference series. Errors
+/// if fewer than two points are provided.
+pub fn roughness(data: &[f64]) -> Result<f64, TimeSeriesError> {
+    if data.len() < 2 {
+        return Err(TimeSeriesError::TooShort {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    let mut m = Moments::new();
+    for w in data.windows(2) {
+        m.push(w[1] - w[0]);
+    }
+    Ok(m.stddev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differences_of_line_are_constant() {
+        let line: Vec<f64> = (0..10).map(|i| 3.0 * i as f64 + 1.0).collect();
+        let d = first_differences(&line).unwrap();
+        assert_eq!(d.len(), 9);
+        assert!(d.iter().all(|&x| (x - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn too_short_errors() {
+        assert!(first_differences(&[1.0]).is_err());
+        assert!(roughness(&[]).is_err());
+        assert!(roughness(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn straight_line_has_zero_roughness() {
+        // §3.1: "a time series will have roughness value of 0 if and only if
+        // the corresponding plot is a straight line".
+        let line: Vec<f64> = (0..100).map(|i| -0.5 * i as f64 + 7.0).collect();
+        assert!(roughness(&line).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn figure4_series_a_jagged_line() {
+        // Figure 4 of the paper: three series with mean 0 and stddev 1 whose
+        // roughness values are 2.04, 0.4 and 0. Series A alternates around 0
+        // (a sawtooth): differences alternate ±2σ, giving roughness 2.0 for a
+        // unit-variance alternating series.
+        let a: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = roughness(&a).unwrap();
+        // differences are ±2 with (almost) equal frequency => σ ≈ 2
+        assert!((r - 2.0).abs() < 0.05, "roughness {r}");
+    }
+
+    #[test]
+    fn roughness_orders_jagged_above_bent_above_straight() {
+        // Qualitative replication of Figure 4: jagged > slightly bent > line.
+        let n = 120usize;
+        let jagged: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let bent: Vec<f64> = (0..n)
+            .map(|i| {
+                // piecewise linear with a single slope change in the middle
+                let x = i as f64;
+                if i < n / 2 {
+                    x * 0.01
+                } else {
+                    (n / 2) as f64 * 0.01 + (x - (n / 2) as f64) * 0.03
+                }
+            })
+            .collect();
+        let line: Vec<f64> = (0..n).map(|i| 0.02 * i as f64).collect();
+        let (rj, rb, rl) = (
+            roughness(&jagged).unwrap(),
+            roughness(&bent).unwrap(),
+            roughness(&line).unwrap(),
+        );
+        assert!(rj > rb && rb > rl, "{rj} > {rb} > {rl} violated");
+        assert!(rl < 1e-12);
+        assert!(rb > 0.0);
+    }
+
+    #[test]
+    fn roughness_matches_materialized_differences() {
+        let data: Vec<f64> = (0..333).map(|i| ((i as f64) * 0.217).sin() * 5.0).collect();
+        let d = first_differences(&data).unwrap();
+        let expected = crate::stats::stddev(&d).unwrap();
+        assert!((roughness(&data).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roughness_is_translation_invariant() {
+        let data: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.7).cos()).collect();
+        let shifted: Vec<f64> = data.iter().map(|x| x + 1000.0).collect();
+        let r0 = roughness(&data).unwrap();
+        let r1 = roughness(&shifted).unwrap();
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roughness_scales_linearly() {
+        let data: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.7).cos()).collect();
+        let scaled: Vec<f64> = data.iter().map(|x| x * 3.0).collect();
+        let r0 = roughness(&data).unwrap();
+        let r1 = roughness(&scaled).unwrap();
+        assert!((r1 - 3.0 * r0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the time-series kernel.
+
+use std::fmt;
+
+/// Errors produced by kernel operations on time series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimeSeriesError {
+    /// The input series was empty where at least one point is required.
+    Empty,
+    /// The input series was shorter than the minimum length required by the
+    /// operation (e.g. a moving average window longer than the series).
+    TooShort {
+        /// Number of points required.
+        required: usize,
+        /// Number of points available.
+        actual: usize,
+    },
+    /// A window/lag/stride parameter was zero or otherwise out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: &'static str,
+    },
+    /// The series has zero variance where a normalized statistic (z-score,
+    /// kurtosis, autocorrelation) is undefined.
+    ZeroVariance,
+    /// The input contains a NaN or infinite sample. Telemetry pipelines
+    /// routinely emit such values on collection gaps; they would silently
+    /// poison every moment statistic, so validating entry points reject
+    /// them with the offending position.
+    NonFinite {
+        /// Index of the first non-finite sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::Empty => write!(f, "time series is empty"),
+            TimeSeriesError::TooShort { required, actual } => write!(
+                f,
+                "time series too short: {actual} points, at least {required} required"
+            ),
+            TimeSeriesError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            TimeSeriesError::ZeroVariance => {
+                write!(f, "statistic undefined on a zero-variance series")
+            }
+            TimeSeriesError::NonFinite { index } => {
+                write!(f, "non-finite sample (NaN or infinity) at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(TimeSeriesError::Empty.to_string(), "time series is empty");
+        let e = TimeSeriesError::TooShort {
+            required: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("at least 4"));
+        let e = TimeSeriesError::InvalidParameter {
+            name: "window",
+            message: "must be nonzero",
+        };
+        assert!(e.to_string().contains("window"));
+        assert!(TimeSeriesError::ZeroVariance.to_string().contains("zero-variance"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TimeSeriesError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! Z-score normalization.
+//!
+//! Every plot in the paper depicts z-scores rather than raw values (§1,
+//! footnote 1): normalizing the visual field across plots while preserving
+//! large-scale structure. Z-scoring is affine, so it changes neither the
+//! kurtosis nor the *relative* roughness of a series — which is why ASAP's
+//! window choice is invariant under it (verified in the test suite).
+
+use crate::error::TimeSeriesError;
+use crate::stats::Moments;
+
+/// Returns the z-scored copy of `data`: `(x − µ) / σ`.
+///
+/// Errors on empty input and zero-variance input (where the z-score is
+/// undefined).
+pub fn zscore(data: &[f64]) -> Result<Vec<f64>, TimeSeriesError> {
+    let mut out = data.to_vec();
+    zscore_in_place(&mut out)?;
+    Ok(out)
+}
+
+/// Z-scores `data` in place. See [`zscore`].
+pub fn zscore_in_place(data: &mut [f64]) -> Result<(), TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let m = Moments::from_slice(data);
+    let sd = m.stddev();
+    if sd <= 0.0 || !sd.is_finite() {
+        return Err(TimeSeriesError::ZeroVariance);
+    }
+    let mu = m.mean();
+    let inv = 1.0 / sd;
+    for x in data.iter_mut() {
+        *x = (*x - mu) * inv;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{kurtosis, moments};
+
+    #[test]
+    fn zscored_series_has_zero_mean_unit_variance() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.17).sin() * 42.0 + 7.0).collect();
+        let z = zscore(&data).unwrap();
+        let m = moments(&z).unwrap();
+        assert!(m.mean().abs() < 1e-10);
+        assert!((m.variance() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zscore_is_idempotent() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64).powf(1.3)).collect();
+        let once = zscore(&data).unwrap();
+        let twice = zscore(&once).unwrap();
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zscore_preserves_kurtosis() {
+        // Affine invariance of the fourth standardized moment — the reason
+        // the paper can z-score plots without changing ASAP's constraint.
+        let data: Vec<f64> = (0..2000)
+            .map(|i| if i % 97 == 0 { 50.0 } else { (i as f64 * 0.3).sin() })
+            .collect();
+        let z = zscore(&data).unwrap();
+        let k0 = kurtosis(&data).unwrap();
+        let k1 = kurtosis(&z).unwrap();
+        assert!((k0 - k1).abs() < 1e-8, "{k0} vs {k1}");
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert_eq!(zscore(&[]), Err(TimeSeriesError::Empty));
+        assert_eq!(zscore(&[3.0; 5]), Err(TimeSeriesError::ZeroVariance));
+    }
+
+    #[test]
+    fn in_place_matches_copying() {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64) * 1.5 - 10.0).collect();
+        let copied = zscore(&data).unwrap();
+        let mut inplace = data.clone();
+        zscore_in_place(&mut inplace).unwrap();
+        assert_eq!(copied, inplace);
+    }
+}

@@ -1,0 +1,220 @@
+//! Resampling irregular telemetry onto the equi-spaced grid ASAP requires.
+//!
+//! ASAP's problem statement assumes temporally ordered, equi-spaced points
+//! (§2), but real exports — InfluxDB queries, CloudWatch `GetMetricData`,
+//! CSV dumps — carry jitter, gaps, and bursts. [`resample`] buckets raw
+//! `(timestamp, value)` observations onto a fixed grid (mean per bucket,
+//! like the pixel-aware preaggregation) and fills empty buckets with a
+//! configurable [`GapFill`] policy so downstream moments are not poisoned.
+
+use crate::error::TimeSeriesError;
+use crate::series::TimeSeries;
+
+/// Policy for grid buckets containing no observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GapFill {
+    /// Carry the previous bucket's value forward (step interpolation) —
+    /// the right default for gauges (CPU %, temperature).
+    Previous,
+    /// Linear interpolation between the neighbouring filled buckets — for
+    /// smoothly varying physical signals.
+    Linear,
+    /// A fixed value (e.g. 0 for counters that report only on activity).
+    Constant(f64),
+}
+
+/// Buckets irregular `(timestamp_secs, value)` observations onto an
+/// equi-spaced grid of `period_secs`, averaging within buckets and filling
+/// gaps per `fill`.
+///
+/// Observations must be finite; timestamps need not be sorted (the grid is
+/// formed from min/max). Errors on empty input, non-positive period,
+/// non-finite values, and on leading gaps that `GapFill::Previous` cannot
+/// fill (there is no previous value — use `Linear`, which extrapolates
+/// flat, or `Constant`).
+pub fn resample(
+    points: &[(f64, f64)],
+    period_secs: f64,
+    fill: GapFill,
+    name: &str,
+) -> Result<TimeSeries, TimeSeriesError> {
+    if points.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    if period_secs <= 0.0 || !period_secs.is_finite() {
+        return Err(TimeSeriesError::InvalidParameter {
+            name: "period_secs",
+            message: "sampling period must be positive and finite",
+        });
+    }
+    for (i, &(t, v)) in points.iter().enumerate() {
+        if !t.is_finite() || !v.is_finite() {
+            return Err(TimeSeriesError::NonFinite { index: i });
+        }
+    }
+
+    let t0 = points.iter().map(|&(t, _)| t).fold(f64::MAX, f64::min);
+    let t1 = points.iter().map(|&(t, _)| t).fold(f64::MIN, f64::max);
+    // The relative epsilon keeps exact multiples of the period (t1 = k·p)
+    // from flooring to k−1 under division rounding.
+    let buckets = ((t1 - t0) / period_secs * (1.0 + 1e-12) + 1e-9).floor() as usize + 1;
+
+    let mut sums = vec![0.0f64; buckets];
+    let mut counts = vec![0usize; buckets];
+    for &(t, v) in points {
+        // Same epsilon as the bucket count: a timestamp at an exact bucket
+        // boundary must not round down into the previous bucket.
+        let b = (((t - t0) / period_secs * (1.0 + 1e-12) + 1e-9) as usize).min(buckets - 1);
+        sums[b] += v;
+        counts[b] += 1;
+    }
+
+    let mut values = vec![f64::NAN; buckets];
+    for b in 0..buckets {
+        if counts[b] > 0 {
+            values[b] = sums[b] / counts[b] as f64;
+        }
+    }
+
+    match fill {
+        GapFill::Constant(c) => {
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = c;
+                }
+            }
+        }
+        GapFill::Previous => {
+            if values[0].is_nan() {
+                return Err(TimeSeriesError::InvalidParameter {
+                    name: "fill",
+                    message: "GapFill::Previous cannot fill a leading gap",
+                });
+            }
+            let mut last = values[0];
+            for v in values.iter_mut() {
+                if v.is_nan() {
+                    *v = last;
+                } else {
+                    last = *v;
+                }
+            }
+        }
+        GapFill::Linear => {
+            // Fill each NaN run by interpolating between its neighbours;
+            // leading/trailing runs extend flat.
+            let mut b = 0usize;
+            while b < buckets {
+                if !values[b].is_nan() {
+                    b += 1;
+                    continue;
+                }
+                let run_start = b;
+                while b < buckets && values[b].is_nan() {
+                    b += 1;
+                }
+                let run_end = b; // exclusive
+                let left = run_start.checked_sub(1).map(|i| values[i]);
+                let right = values.get(run_end).copied().filter(|v| !v.is_nan());
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let span = (run_end - run_start + 1) as f64;
+                        for (k, v) in values[run_start..run_end].iter_mut().enumerate() {
+                            *v = l + (r - l) * (k + 1) as f64 / span;
+                        }
+                    }
+                    (Some(l), None) => values[run_start..run_end].fill(l),
+                    (None, Some(r)) => values[run_start..run_end].fill(r),
+                    (None, None) => {
+                        return Err(TimeSeriesError::Empty); // no observations at all
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(TimeSeries::new(name, values, period_secs).with_start_epoch(t0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_input_passes_through() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 60.0, i as f64)).collect();
+        let ts = resample(&pts, 60.0, GapFill::Previous, "r").unwrap();
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.values()[3], 3.0);
+        assert_eq!(ts.period_secs(), 60.0);
+        assert_eq!(ts.start_epoch_secs(), 0.0);
+    }
+
+    #[test]
+    fn bursts_are_averaged_within_buckets() {
+        let pts = [(0.0, 1.0), (10.0, 3.0), (20.0, 5.0), (70.0, 10.0)];
+        let ts = resample(&pts, 60.0, GapFill::Previous, "b").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert!((ts.values()[0] - 3.0).abs() < 1e-12); // mean of 1,3,5
+        assert_eq!(ts.values()[1], 10.0);
+    }
+
+    #[test]
+    fn previous_fill_carries_forward() {
+        let pts = [(0.0, 2.0), (300.0, 8.0)]; // 5-minute gap at 60s period
+        let ts = resample(&pts, 60.0, GapFill::Previous, "p").unwrap();
+        assert_eq!(ts.values(), &[2.0, 2.0, 2.0, 2.0, 2.0, 8.0]);
+    }
+
+    #[test]
+    fn linear_fill_interpolates() {
+        let pts = [(0.0, 0.0), (300.0, 10.0)];
+        let ts = resample(&pts, 60.0, GapFill::Linear, "l").unwrap();
+        let expected = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+        for (a, e) in ts.values().iter().zip(expected) {
+            assert!((a - e).abs() < 1e-9, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn constant_fill_uses_the_constant() {
+        let pts = [(0.0, 5.0), (180.0, 7.0)];
+        let ts = resample(&pts, 60.0, GapFill::Constant(0.0), "c").unwrap();
+        assert_eq!(ts.values(), &[5.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn unsorted_timestamps_are_handled() {
+        let pts = [(120.0, 3.0), (0.0, 1.0), (60.0, 2.0)];
+        let ts = resample(&pts, 60.0, GapFill::Previous, "u").unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(resample(&[], 60.0, GapFill::Previous, "e").is_err());
+        assert!(resample(&[(0.0, 1.0)], 0.0, GapFill::Previous, "e").is_err());
+        assert!(resample(&[(0.0, f64::NAN)], 60.0, GapFill::Previous, "e").is_err());
+        assert!(resample(&[(f64::INFINITY, 1.0)], 60.0, GapFill::Previous, "e").is_err());
+    }
+
+    #[test]
+    fn single_point_yields_single_bucket() {
+        let ts = resample(&[(1000.0, 42.0)], 60.0, GapFill::Linear, "s").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.values()[0], 42.0);
+        assert_eq!(ts.start_epoch_secs(), 1000.0);
+    }
+
+    #[test]
+    fn trailing_gap_extends_flat_under_linear() {
+        // Observations at buckets 0 and 1; timestamps reach into bucket 3.
+        let pts = [(0.0, 1.0), (60.0, 3.0), (200.0, f64::NAN)];
+        assert!(resample(&pts, 60.0, GapFill::Linear, "t").is_err()); // NaN rejected
+        let pts = [(0.0, 1.0), (60.0, 3.0), (210.0, 9.0)];
+        let ts = resample(&pts, 60.0, GapFill::Linear, "t").unwrap();
+        assert_eq!(ts.len(), 4);
+        // bucket 2 interpolates between 3 and 9.
+        assert!((ts.values()[2] - 6.0).abs() < 1e-9);
+    }
+}

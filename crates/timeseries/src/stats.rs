@@ -1,0 +1,305 @@
+//! One-pass central moments: mean, population variance, and kurtosis.
+//!
+//! Kurtosis is ASAP's *preservation measure* (§3.2): the fourth standardized
+//! moment `Kurt[X] = E[(X−µ)⁴] / E[(X−µ)²]²`. Higher kurtosis means more of
+//! the variance is contributed by rare, extreme deviations. The paper's
+//! reference values — normal 3, Laplace 6, uniform 1.8 — correspond to the
+//! *population* estimator implemented here.
+
+use crate::error::TimeSeriesError;
+
+/// First four central moments of a sample, computed in a single pass.
+///
+/// Uses the numerically stable streaming update of Pébay (2008) — the same
+/// family of formulas behind `M2/M3/M4` accumulators in monitoring systems —
+/// so that million-point telemetry windows do not lose precision to
+/// catastrophic cancellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+        }
+    }
+
+    /// Accumulates all values of `data`.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut m = Moments::new();
+        for &x in data {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+
+        self.mean += delta * nb / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+    }
+
+    /// Number of accumulated observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (÷N).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population skewness (third standardized moment). `NaN` on
+    /// zero-variance input.
+    pub fn skewness(&self) -> f64 {
+        let var = self.variance();
+        if var <= 0.0 {
+            return f64::NAN;
+        }
+        (self.m3 / self.n as f64) / var.powf(1.5)
+    }
+
+    /// Population kurtosis: the fourth standardized moment (not excess).
+    ///
+    /// Returns `NaN` when the variance is zero (the statistic is undefined;
+    /// ASAP treats such plots as already maximally smooth).
+    pub fn kurtosis(&self) -> f64 {
+        let var = self.variance();
+        if var <= 0.0 {
+            return f64::NAN;
+        }
+        (self.m4 / self.n as f64) / (var * var)
+    }
+}
+
+/// Mean of `data`. Returns an error on empty input.
+pub fn mean(data: &[f64]) -> Result<f64, TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    Ok(Moments::from_slice(data).mean())
+}
+
+/// Population variance of `data`.
+pub fn variance(data: &[f64]) -> Result<f64, TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    Ok(Moments::from_slice(data).variance())
+}
+
+/// Population standard deviation of `data`.
+pub fn stddev(data: &[f64]) -> Result<f64, TimeSeriesError> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Population kurtosis (fourth standardized moment) of `data`.
+///
+/// This is ASAP's preservation measure (§3.2). Errors on empty input and on
+/// zero-variance input, where the statistic is undefined.
+pub fn kurtosis(data: &[f64]) -> Result<f64, TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let k = Moments::from_slice(data).kurtosis();
+    if k.is_nan() {
+        Err(TimeSeriesError::ZeroVariance)
+    } else {
+        Ok(k)
+    }
+}
+
+/// All four moments of `data` in one pass.
+pub fn moments(data: &[f64]) -> Result<Moments, TimeSeriesError> {
+    if data.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    Ok(Moments::from_slice(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_kurtosis(data: &[f64]) -> f64 {
+        let n = data.len() as f64;
+        let mu = data.iter().sum::<f64>() / n;
+        let m2 = data.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+        let m4 = data.iter().map(|x| (x - mu).powi(4)).sum::<f64>() / n;
+        m4 / (m2 * m2)
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        assert_eq!(mean(&[5.0; 10]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(TimeSeriesError::Empty));
+        assert_eq!(variance(&[]), Err(TimeSeriesError::Empty));
+        assert_eq!(kurtosis(&[]), Err(TimeSeriesError::Empty));
+        assert!(moments(&[]).is_err());
+    }
+
+    #[test]
+    fn zero_variance_kurtosis_is_error() {
+        assert_eq!(kurtosis(&[2.0; 8]), Err(TimeSeriesError::ZeroVariance));
+    }
+
+    #[test]
+    fn variance_is_population_not_sample() {
+        // Population variance of {1, 3} is 1.0 (sample variance would be 2.0).
+        assert!((variance(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_matches_naive_two_pass() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| ((i as f64) * 0.37).sin() + 0.01 * (i as f64))
+            .collect();
+        let fast = kurtosis(&data).unwrap();
+        let naive = naive_kurtosis(&data);
+        assert!((fast - naive).abs() < 1e-9, "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn kurtosis_of_two_point_distribution_is_one() {
+        // A symmetric two-point distribution {-1, +1} has kurtosis exactly 1,
+        // the minimum possible value.
+        let data: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        assert!((kurtosis(&data).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kurtosis_of_uniform_grid_approaches_1_8() {
+        // Discrete uniform on a fine grid approximates the continuous uniform,
+        // whose kurtosis is 9/5 = 1.8 (paper §3.2: "less than 3, such as the
+        // uniform distribution").
+        let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let k = kurtosis(&data).unwrap();
+        assert!((k - 1.8).abs() < 1e-3, "kurtosis {k}");
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let a: Vec<f64> = (0..257).map(|i| (i as f64 * 0.11).cos() * 3.0 + 1.0).collect();
+        let b: Vec<f64> = (0..511).map(|i| (i as f64 * 0.07).sin() - 2.0).collect();
+        let mut left = Moments::from_slice(&a);
+        let right = Moments::from_slice(&b);
+        left.merge(&right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let bulk = Moments::from_slice(&all);
+
+        assert_eq!(left.count(), bulk.count());
+        assert!((left.mean() - bulk.mean()).abs() < 1e-9);
+        assert!((left.variance() - bulk.variance()).abs() < 1e-9);
+        assert!((left.kurtosis() - bulk.kurtosis()).abs() < 1e-9);
+        assert!((left.skewness() - bulk.skewness()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        let mut m = a;
+        m.merge(&Moments::new());
+        assert_eq!(m, a);
+        let mut e = Moments::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn skewness_of_symmetric_data_is_zero() {
+        let data: Vec<f64> = (-500..=500).map(|i| i as f64).collect();
+        let m = Moments::from_slice(&data);
+        assert!(m.skewness().abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_on_shifted_data_are_shift_invariant() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * i) % 97) as f64).collect();
+        let shifted: Vec<f64> = data.iter().map(|x| x + 1e9).collect();
+        let k0 = kurtosis(&data).unwrap();
+        let k1 = kurtosis(&shifted).unwrap();
+        // One-pass updates keep precision even under a large offset.
+        assert!((k0 - k1).abs() < 1e-6, "{k0} vs {k1}");
+    }
+}

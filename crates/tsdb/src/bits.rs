@@ -1,0 +1,224 @@
+//! Bit-granular writer and reader over byte buffers.
+//!
+//! The Gorilla compressor ([`crate::gorilla`]) emits variable-width records
+//! (1-bit controls, 7/9/12-bit deltas, arbitrary-width XOR windows). This
+//! module provides the minimal substrate: append bits to a growable buffer,
+//! and read them back sequentially. Bits are packed MSB-first within each
+//! byte, matching the order used by the Gorilla paper's reference layout.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::TsdbError;
+
+/// Append-only bit stream backed by a [`BytesMut`].
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Free bits remaining in the final byte of `buf` (0 means byte-aligned,
+    /// so the next write starts a fresh byte).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(bytes),
+            used: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            // `used` counts free bits remaining in the final byte.
+            (self.buf.len() - 1) * 8 + (8 - usize::from(self.used))
+        }
+    }
+
+    /// True when no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits() == 0
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.put_u8(0);
+            self.used = 8;
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (self.used - 1);
+        }
+        self.used -= 1;
+        // `used` now counts remaining free bits; normalize so that 0 free
+        // bits reads as byte-aligned for the next call.
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn write_bits(&mut self, value: u64, width: u8) {
+        assert!(width <= 64, "bit width {width} exceeds u64");
+        for i in (0..width).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Finalizes the stream, returning the packed bytes and the total bit
+    /// count (the final byte may carry up to 7 bits of zero padding).
+    pub fn finish(self) -> (Bytes, usize) {
+        let bits = self.len_bits();
+        (self.buf.freeze(), bits)
+    }
+}
+
+/// Sequential reader over a bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next bit to read, counted from the start of `data`.
+    pos: usize,
+    /// Total number of valid bits in `data`.
+    len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data` containing `len_bits` valid bits.
+    ///
+    /// A `len_bits` beyond the buffer is clamped: a truncated payload then
+    /// surfaces as [`TsdbError::CorruptBlock`] at the read that runs out.
+    pub fn new(data: &'a [u8], len_bits: usize) -> Self {
+        Self {
+            data,
+            pos: 0,
+            len: len_bits.min(data.len() * 8),
+        }
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len - self.pos
+    }
+
+    /// Reads a single bit, failing if the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, TsdbError> {
+        if self.pos >= self.len {
+            return Err(TsdbError::CorruptBlock {
+                reason: "bit stream exhausted mid-record",
+            });
+        }
+        let byte = self.data[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `width` bits into the low bits of a `u64`, MSB first.
+    pub fn read_bits(&mut self, width: u8) -> Result<u64, TsdbError> {
+        assert!(width <= 64, "bit width {width} exceeds u64");
+        if self.remaining() < usize::from(width) {
+            return Err(TsdbError::CorruptBlock {
+                reason: "bit stream exhausted mid-record",
+            });
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            out = (out << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.len_bits(), pattern.len());
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        assert!(r.read_bit().is_err(), "reading past the end must error");
+    }
+
+    #[test]
+    fn multi_bit_fields_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        w.write_bits(0x1234_5678_9abc_def0, 64);
+        w.write_bits(0x3f, 6);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), 0x1234_5678_9abc_def0);
+        assert_eq!(r.read_bits(6).unwrap(), 0x3f);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_width_read_is_empty() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn len_bits_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert!(w.is_empty());
+        for i in 0..17 {
+            w.write_bit(i % 2 == 0);
+            assert_eq!(w.len_bits(), i + 1);
+        }
+    }
+
+    #[test]
+    fn reader_bounded_by_declared_bits_not_buffer() {
+        // Final byte carries padding; the declared bit length must gate reads.
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bytes.len(), 1);
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn exhaustive_two_byte_patterns() {
+        // Round-trip every 16-bit value as one field and as 16 single bits.
+        for v in (0..=u16::MAX).step_by(257) {
+            let mut w = BitWriter::new();
+            w.write_bits(u64::from(v), 16);
+            let (bytes, bits) = w.finish();
+            let mut r = BitReader::new(&bytes, bits);
+            assert_eq!(r.read_bits(16).unwrap(), u64::from(v));
+        }
+    }
+}

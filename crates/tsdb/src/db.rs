@@ -1,0 +1,407 @@
+//! The database facade: a concurrent map of series stores.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::TsdbError;
+use crate::point::DataPoint;
+use crate::query::RangeQuery;
+use crate::series::SeriesStore;
+use crate::tags::{Selector, SeriesKey};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Points per sealed block (the memtable seal threshold).
+    pub block_capacity: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> Self {
+        Self {
+            block_capacity: 1024,
+        }
+    }
+}
+
+/// Per-series occupancy statistics, as returned by [`Tsdb::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStats {
+    /// The series identity.
+    pub key: SeriesKey,
+    /// Total stored points.
+    pub points: usize,
+    /// Sealed block count.
+    pub blocks: usize,
+    /// Compressed bytes across sealed blocks.
+    pub compressed_bytes: usize,
+}
+
+/// An embedded, in-memory, concurrent time-series database.
+///
+/// Series are keyed by [`SeriesKey`] (metric + tags). Writers append
+/// strictly-increasing timestamps per series; the engine seals full
+/// memtables into Gorilla-compressed [`crate::block::Block`]s. Readers run
+/// [`RangeQuery`]s against a single series or a [`Selector`] over many.
+///
+/// Concurrency model: a `RwLock` over the series map (series creation is
+/// rare), with each store behind its own `RwLock` so unrelated series never
+/// contend. Handles are `Arc`-shared; `Tsdb` itself is cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct Tsdb {
+    inner: Arc<TsdbInner>,
+}
+
+#[derive(Debug, Default)]
+struct TsdbInner {
+    config: RwLock<TsdbConfig>,
+    series: RwLock<BTreeMap<SeriesKey, Arc<RwLock<SeriesStore>>>>,
+}
+
+impl Tsdb {
+    /// Creates an engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine with the given configuration.
+    pub fn with_config(config: TsdbConfig) -> Self {
+        let db = Self::new();
+        *db.inner.config.write() = config;
+        db
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.inner.series.read().len()
+    }
+
+    /// Writes one point, creating the series on first touch.
+    pub fn write(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
+        let store = self.store_or_create(key);
+        let result = store.write().append(point);
+        result
+    }
+
+    /// Writes a batch of points to one series (points must be in order).
+    pub fn write_batch(&self, key: &SeriesKey, points: &[DataPoint]) -> Result<(), TsdbError> {
+        let store = self.store_or_create(key);
+        let mut guard = store.write();
+        for &p in points {
+            guard.append(p)?;
+        }
+        Ok(())
+    }
+
+    fn store_or_create(&self, key: &SeriesKey) -> Arc<RwLock<SeriesStore>> {
+        if let Some(s) = self.inner.series.read().get(key) {
+            return Arc::clone(s);
+        }
+        let block_capacity = self.inner.config.read().block_capacity;
+        let mut map = self.inner.series.write();
+        Arc::clone(
+            map.entry(key.clone())
+                .or_insert_with(|| Arc::new(RwLock::new(SeriesStore::new(block_capacity)))),
+        )
+    }
+
+    fn store(&self, key: &SeriesKey) -> Result<Arc<RwLock<SeriesStore>>, TsdbError> {
+        self.inner
+            .series
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| TsdbError::SeriesNotFound {
+                key: key.to_string(),
+            })
+    }
+
+    /// Runs a query against one series.
+    pub fn query(&self, key: &SeriesKey, query: RangeQuery) -> Result<Vec<DataPoint>, TsdbError> {
+        query.validate()?;
+        let store = self.store(key)?;
+        let raw = store.read().scan(query.start, query.end)?;
+        query.shape(&raw)
+    }
+
+    /// Runs a query against every series matching `selector`, returning
+    /// `(key, shaped points)` pairs in key order.
+    pub fn query_selector(
+        &self,
+        selector: &Selector,
+        query: RangeQuery,
+    ) -> Result<Vec<(SeriesKey, Vec<DataPoint>)>, TsdbError> {
+        query.validate()?;
+        let matching: Vec<(SeriesKey, Arc<RwLock<SeriesStore>>)> = self
+            .inner
+            .series
+            .read()
+            .iter()
+            .filter(|(k, _)| selector.matches(k))
+            .map(|(k, s)| (k.clone(), Arc::clone(s)))
+            .collect();
+        let mut out = Vec::with_capacity(matching.len());
+        for (key, store) in matching {
+            let raw = store.read().scan(query.start, query.end)?;
+            out.push((key, query.shape(&raw)?));
+        }
+        Ok(out)
+    }
+
+    /// Lists keys of series matching `selector`, in key order.
+    pub fn list_series(&self, selector: &Selector) -> Vec<SeriesKey> {
+        self.inner
+            .series
+            .read()
+            .keys()
+            .filter(|k| selector.matches(k))
+            .cloned()
+            .collect()
+    }
+
+    /// Seals every series' memtable (e.g. before measuring compression).
+    pub fn flush(&self) -> Result<(), TsdbError> {
+        let stores: Vec<_> = self.inner.series.read().values().cloned().collect();
+        for store in stores {
+            store.write().seal_active()?;
+        }
+        Ok(())
+    }
+
+    /// Evicts sealed blocks older than `cutoff` from every series and drops
+    /// series left completely empty. Returns total evicted points.
+    pub fn evict_before(&self, cutoff: i64) -> usize {
+        let mut evicted = 0;
+        let mut map = self.inner.series.write();
+        map.retain(|_, store| {
+            let mut guard = store.write();
+            evicted += guard.evict_before(cutoff);
+            !guard.is_empty()
+        });
+        evicted
+    }
+
+    /// Summary statistics (count/min/max/sum/mean) of one series over
+    /// `[start, end)`, answered from sealed-block metadata where possible
+    /// (no decompression for fully covered blocks). Returns `Ok(None)`
+    /// when the range holds no points.
+    pub fn summarize(
+        &self,
+        key: &SeriesKey,
+        start: i64,
+        end: i64,
+    ) -> Result<Option<crate::series::RangeSummary>, TsdbError> {
+        let store = self.store(key)?;
+        let result = store.read().summarize(start, end);
+        result
+    }
+
+    /// Returns clones of one series' sealed blocks (cheap: payloads are
+    /// reference-counted). Used by snapshot persistence; call
+    /// [`Tsdb::flush`] first to include memtable contents.
+    pub fn export_blocks(&self, key: &SeriesKey) -> Result<Vec<crate::block::Block>, TsdbError> {
+        let store = self.store(key)?;
+        let guard = store.read();
+        Ok(guard.blocks().to_vec())
+    }
+
+    /// Imports pre-sealed blocks into a series (snapshot restore), creating
+    /// it if needed. Blocks must be strictly after any existing data.
+    pub fn import_blocks(
+        &self,
+        key: &SeriesKey,
+        blocks: Vec<crate::block::Block>,
+    ) -> Result<(), TsdbError> {
+        let store = self.store_or_create(key);
+        let result = store.write().import_blocks(blocks);
+        result
+    }
+
+    /// Evicts sealed blocks older than `cutoff` from one series. The series
+    /// is dropped if left completely empty. Returns evicted points; missing
+    /// series evict nothing.
+    pub fn evict_series_before(&self, key: &SeriesKey, cutoff: i64) -> usize {
+        let store = match self.store(key) {
+            Ok(s) => s,
+            Err(_) => return 0,
+        };
+        let (evicted, empty) = {
+            let mut guard = store.write();
+            let evicted = guard.evict_before(cutoff);
+            (evicted, guard.is_empty())
+        };
+        if empty {
+            self.inner.series.write().remove(key);
+        }
+        evicted
+    }
+
+    /// Per-series occupancy statistics, in key order.
+    pub fn stats(&self) -> Vec<SeriesStats> {
+        self.inner
+            .series
+            .read()
+            .iter()
+            .map(|(k, s)| {
+                let guard = s.read();
+                SeriesStats {
+                    key: k.clone(),
+                    points: guard.len(),
+                    blocks: guard.block_count(),
+                    compressed_bytes: guard.compressed_bytes(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregator, FillPolicy};
+
+    fn cpu(host: &str) -> SeriesKey {
+        SeriesKey::metric("cpu").with_tag("host", host)
+    }
+
+    #[test]
+    fn write_then_query_round_trips() {
+        let db = Tsdb::new();
+        let key = cpu("a");
+        for i in 0..100 {
+            db.write(&key, DataPoint::new(i, i as f64)).unwrap();
+        }
+        let out = db.query(&key, RangeQuery::raw(10, 20)).unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0], DataPoint::new(10, 10.0));
+    }
+
+    #[test]
+    fn unknown_series_errors() {
+        let db = Tsdb::new();
+        let err = db.query(&cpu("ghost"), RangeQuery::raw(0, 10)).unwrap_err();
+        assert!(matches!(err, TsdbError::SeriesNotFound { .. }));
+        assert!(err.to_string().contains("cpu{host=ghost}"));
+    }
+
+    #[test]
+    fn per_series_ordering_is_independent() {
+        let db = Tsdb::new();
+        db.write(&cpu("a"), DataPoint::new(100, 1.0)).unwrap();
+        // A different series may be behind series `a` in time.
+        db.write(&cpu("b"), DataPoint::new(50, 1.0)).unwrap();
+        // But series `a` itself cannot go backwards.
+        assert!(db.write(&cpu("a"), DataPoint::new(50, 1.0)).is_err());
+    }
+
+    #[test]
+    fn bucketed_query_through_facade() {
+        let db = Tsdb::new();
+        let key = cpu("a");
+        for i in 0..60 {
+            db.write(&key, DataPoint::new(i, 1.0)).unwrap();
+        }
+        let out = db
+            .query(
+                &key,
+                RangeQuery::bucketed(0, 60, 10).aggregate(Aggregator::Count),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|p| p.value == 10.0));
+    }
+
+    #[test]
+    fn selector_queries_fan_out_in_key_order() {
+        let db = Tsdb::new();
+        for host in ["c", "a", "b"] {
+            let key = cpu(host);
+            for i in 0..10 {
+                db.write(&key, DataPoint::new(i, 1.0)).unwrap();
+            }
+        }
+        db.write(&SeriesKey::metric("mem"), DataPoint::new(0, 1.0))
+            .unwrap();
+        let results = db
+            .query_selector(&Selector::metric("cpu"), RangeQuery::raw(0, 10))
+            .unwrap();
+        let hosts: Vec<_> = results
+            .iter()
+            .map(|(k, _)| k.tag("host").unwrap().to_string())
+            .collect();
+        assert_eq!(hosts, vec!["a", "b", "c"]);
+        assert!(results.iter().all(|(_, pts)| pts.len() == 10));
+    }
+
+    #[test]
+    fn flush_then_stats_reports_blocks() {
+        let db = Tsdb::with_config(TsdbConfig { block_capacity: 16 });
+        let key = cpu("a");
+        for i in 0..40 {
+            db.write(&key, DataPoint::new(i, 0.0)).unwrap();
+        }
+        db.flush().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].points, 40);
+        assert_eq!(stats[0].blocks, 3, "two full seals plus one flush seal");
+        assert!(stats[0].compressed_bytes > 0);
+    }
+
+    #[test]
+    fn evict_drops_empty_series() {
+        let db = Tsdb::with_config(TsdbConfig { block_capacity: 8 });
+        let key = cpu("a");
+        for i in 0..8 {
+            db.write(&key, DataPoint::new(i, 0.0)).unwrap();
+        }
+        assert_eq!(db.series_count(), 1);
+        let evicted = db.evict_before(i64::MAX);
+        assert_eq!(evicted, 8);
+        assert_eq!(db.series_count(), 0, "fully evicted series disappears");
+    }
+
+    #[test]
+    fn fill_policies_reach_through_facade() {
+        let db = Tsdb::new();
+        let key = cpu("a");
+        db.write(&key, DataPoint::new(5, 2.0)).unwrap();
+        db.write(&key, DataPoint::new(25, 4.0)).unwrap();
+        let out = db
+            .query(
+                &key,
+                RangeQuery::bucketed(0, 30, 10).fill(FillPolicy::Linear),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].value, 3.0, "interpolated interior bucket");
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_interfere() {
+        let db = Tsdb::new();
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let key = cpu(&format!("h{w}"));
+                for i in 0..1000i64 {
+                    db.write(&key, DataPoint::new(i, w as f64)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.series_count(), 8);
+        for w in 0..8 {
+            let out = db
+                .query(&cpu(&format!("h{w}")), RangeQuery::raw(0, 1000))
+                .unwrap();
+            assert_eq!(out.len(), 1000);
+            assert!(out.iter().all(|p| p.value == w as f64));
+        }
+    }
+}

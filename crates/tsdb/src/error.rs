@@ -1,0 +1,106 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors produced by the time-series storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsdbError {
+    /// A write arrived with a timestamp at or before the last accepted
+    /// point of the series. Gorilla-style delta-of-delta streams require
+    /// strictly increasing timestamps within a series; out-of-order
+    /// telemetry must be routed to a fresh series or dropped upstream.
+    OutOfOrder {
+        /// Timestamp of the last accepted point.
+        last: i64,
+        /// Timestamp of the rejected write.
+        got: i64,
+    },
+    /// A write carried a NaN or infinite value. These are rejected at the
+    /// ingestion boundary so that compressed blocks never contain samples
+    /// that would poison downstream moment statistics.
+    NonFiniteValue {
+        /// Timestamp of the rejected write.
+        timestamp: i64,
+    },
+    /// The compressed payload ended mid-record or carried an impossible
+    /// control sequence; the block is corrupt or truncated.
+    CorruptBlock {
+        /// Human-readable description of the failure.
+        reason: &'static str,
+    },
+    /// The referenced series does not exist.
+    SeriesNotFound {
+        /// The key that failed to resolve.
+        key: String,
+    },
+    /// A query or configuration parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: &'static str,
+    },
+    /// A line-protocol record failed to parse.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the failure.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TsdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsdbError::OutOfOrder { last, got } => write!(
+                f,
+                "out-of-order write: timestamp {got} is not after the last accepted {last}"
+            ),
+            TsdbError::NonFiniteValue { timestamp } => {
+                write!(f, "non-finite value rejected at timestamp {timestamp}")
+            }
+            TsdbError::CorruptBlock { reason } => write!(f, "corrupt block: {reason}"),
+            TsdbError::SeriesNotFound { key } => write!(f, "series not found: {key}"),
+            TsdbError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            TsdbError::Parse { line, reason } => {
+                write!(f, "line protocol parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TsdbError::OutOfOrder { last: 10, got: 5 };
+        assert!(e.to_string().contains("out-of-order"));
+        assert!(e.to_string().contains('5'));
+        assert!(TsdbError::NonFiniteValue { timestamp: 3 }
+            .to_string()
+            .contains("non-finite"));
+        assert!(TsdbError::CorruptBlock { reason: "truncated" }
+            .to_string()
+            .contains("truncated"));
+        assert!(TsdbError::SeriesNotFound { key: "cpu".into() }
+            .to_string()
+            .contains("cpu"));
+        let e = TsdbError::Parse {
+            line: 7,
+            reason: "missing field set",
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TsdbError>();
+    }
+}

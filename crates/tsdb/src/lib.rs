@@ -1,0 +1,76 @@
+//! Embedded time-series storage substrate for the ASAP reproduction.
+//!
+//! The ASAP paper (§2) places the operator downstream of production
+//! time-series databases — "ASAP can ingest and process raw data from time
+//! series databases such as InfluxDB" — and cites Facebook Gorilla
+//! \[51\] as the archetypal ingestion tier. This crate implements that
+//! substrate from scratch so the reproduction exercises the full pipeline
+//! the paper's deployments assume:
+//!
+//! * [`bits`] / [`gorilla`] — bit-granular I/O and Gorilla compression
+//!   (delta-of-delta timestamps, XOR values);
+//! * [`block`] / [`memtable`] / [`series`] — sealed compressed blocks with
+//!   skip-scan summaries, the mutable append head, and the per-series
+//!   store that merges them;
+//! * [`tags`] / [`db`] — metric+tag series identity, selectors, and the
+//!   concurrent engine facade;
+//! * [`query`] — range scans, bucketed aggregation, and the grid
+//!   alignment + gap-fill ASAP's equi-spaced SMA model requires;
+//! * [`line_protocol`] — InfluxDB-style text ingestion;
+//! * [`retention`] — TTLs and continuous-aggregate rollups (the raw-hot /
+//!   downsampled-cold tiering monitoring dashboards sit on);
+//! * [`persist`] — single-file snapshots for restart durability;
+//! * [`reorder`] — watermark-based reordering so bounded-lateness
+//!   out-of-order telemetry survives the engine's strict ordering;
+//! * [`smooth`] — the query→ASAP bridge: smooth a visualization interval
+//!   straight out of storage.
+//!
+//! # Example
+//!
+//! ```
+//! use asap_tsdb::{DataPoint, RangeQuery, SeriesKey, Tsdb};
+//!
+//! let db = Tsdb::new();
+//! let key = SeriesKey::metric("cpu").with_tag("host", "a");
+//! for i in 0..600 {
+//!     db.write(&key, DataPoint::new(i * 10, (i as f64 / 40.0).sin())).unwrap();
+//! }
+//! // Average into 100-second buckets over the first minute's worth.
+//! let buckets = db.query(&key, RangeQuery::bucketed(0, 6_000, 100)).unwrap();
+//! assert_eq!(buckets.len(), 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod block;
+pub mod db;
+pub mod error;
+pub mod gorilla;
+pub mod line_protocol;
+pub mod memtable;
+pub mod persist;
+pub mod point;
+pub mod query;
+pub mod reorder;
+pub mod retention;
+pub mod series;
+pub mod smooth;
+pub mod tags;
+
+pub use block::{Block, BlockSummary};
+pub use db::{SeriesStats, Tsdb, TsdbConfig};
+pub use error::TsdbError;
+pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};
+pub use line_protocol::{ingest, parse, ParsedPoint};
+pub use persist::{load as load_snapshot, save as save_snapshot, SnapshotError};
+pub use point::DataPoint;
+pub use query::{Aggregator, FillPolicy, RangeQuery};
+pub use reorder::{ReorderBuffer, ReorderStats};
+pub use retention::{
+    rollup_key, CompactionReport, Compactor, RetentionPolicy, RollupLevel, ROLLUP_TAG,
+};
+pub use series::{RangeSummary, SeriesStore};
+pub use smooth::{smooth_query, smooth_query_with_fill, SmoothQueryError, SmoothedFrame};
+pub use tags::{Selector, SeriesKey};

@@ -1,0 +1,207 @@
+//! InfluxDB-style line-protocol ingestion.
+//!
+//! The ASAP paper (§2) positions the operator downstream of time-series
+//! databases "such as InfluxDB"; this module implements the ingestion
+//! format those systems speak so the substrate can be fed real exports:
+//!
+//! ```text
+//! measurement[,tag=value...] field=value[,field2=value2...] [timestamp]
+//! ```
+//!
+//! Supported subset: unquoted tag values, float/integer field values, `#`
+//! comments, blank lines. Each `(measurement, tags, field)` triple maps to
+//! one series, keyed as `measurement.field` with the record's tags.
+
+use crate::db::Tsdb;
+use crate::error::TsdbError;
+use crate::point::DataPoint;
+use crate::tags::SeriesKey;
+
+/// One parsed line-protocol record (one field ⇒ one [`ParsedPoint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedPoint {
+    /// Destination series (measurement.field plus the record tags).
+    pub key: SeriesKey,
+    /// The sample.
+    pub point: DataPoint,
+}
+
+/// Parses a line-protocol document into points.
+///
+/// Records missing a timestamp take `default_ts` plus the 0-based record
+/// index (so repeated calls with increasing bases stay ordered).
+pub fn parse(text: &str, default_ts: i64) -> Result<Vec<ParsedPoint>, TsdbError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.extend(parse_line(line, line_no, default_ts + idx as i64)?);
+    }
+    Ok(out)
+}
+
+/// Parses a document and writes every point into `db`.
+///
+/// Returns the number of points written. Writes are per-series ordered
+/// only if the input is; ordering violations surface as
+/// [`TsdbError::OutOfOrder`].
+pub fn ingest(db: &Tsdb, text: &str, default_ts: i64) -> Result<usize, TsdbError> {
+    let points = parse(text, default_ts)?;
+    for p in &points {
+        db.write(&p.key, p.point)?;
+    }
+    Ok(points.len())
+}
+
+fn parse_line(
+    line: &str,
+    line_no: usize,
+    fallback_ts: i64,
+) -> Result<Vec<ParsedPoint>, TsdbError> {
+    let err = |reason: &'static str| TsdbError::Parse {
+        line: line_no,
+        reason,
+    };
+    let mut sections = line.split_whitespace();
+    let head = sections.next().ok_or_else(|| err("empty record"))?;
+    let fields = sections.next().ok_or_else(|| err("missing field set"))?;
+    let ts = match sections.next() {
+        Some(t) => t
+            .parse::<i64>()
+            .map_err(|_| err("timestamp is not an integer"))?,
+        None => fallback_ts,
+    };
+    if sections.next().is_some() {
+        return Err(err("trailing tokens after timestamp"));
+    }
+
+    // Head: measurement[,tag=value...]
+    let mut head_parts = head.split(',');
+    let measurement = head_parts.next().filter(|m| !m.is_empty()).ok_or_else(|| err("empty measurement name"))?;
+    let mut tags = Vec::new();
+    for pair in head_parts {
+        let (k, v) = pair.split_once('=').ok_or_else(|| err("malformed tag pair"))?;
+        if k.is_empty() || v.is_empty() {
+            return Err(err("empty tag key or value"));
+        }
+        tags.push((k, v));
+    }
+
+    // Fields: name=value[,name=value...]
+    let mut out = Vec::new();
+    for pair in fields.split(',') {
+        let (name, raw) = pair.split_once('=').ok_or_else(|| err("malformed field pair"))?;
+        if name.is_empty() {
+            return Err(err("empty field name"));
+        }
+        // Accept Influx's integer suffix `i` as well as plain floats.
+        let raw = raw.strip_suffix('i').unwrap_or(raw);
+        let value: f64 = raw.parse().map_err(|_| err("field value is not numeric"))?;
+        let mut key = SeriesKey::metric(format!("{measurement}.{name}"));
+        for &(k, v) in &tags {
+            key = key.with_tag(k, v);
+        }
+        out.push(ParsedPoint {
+            key,
+            point: DataPoint::new(ts, value),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_record_parses() {
+        let pts = parse("cpu,host=a,dc=west usage=42.5,idle=57.5 1600000000", 0).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].key.metric_name(), "cpu.usage");
+        assert_eq!(pts[0].key.tag("host"), Some("a"));
+        assert_eq!(pts[0].key.tag("dc"), Some("west"));
+        assert_eq!(pts[0].point, DataPoint::new(1_600_000_000, 42.5));
+        assert_eq!(pts[1].key.metric_name(), "cpu.idle");
+        assert_eq!(pts[1].point.value, 57.5);
+    }
+
+    #[test]
+    fn tagless_and_timestampless_records_parse() {
+        let pts = parse("load value=1.5", 99).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].key.metric_name(), "load.value");
+        assert!(pts[0].key.tags().is_empty());
+        assert_eq!(pts[0].point.timestamp, 99, "fallback timestamp applied");
+    }
+
+    #[test]
+    fn fallback_timestamps_increase_with_line_index() {
+        let pts = parse("a v=1\na v=2\na v=3", 100).unwrap();
+        let ts: Vec<_> = pts.iter().map(|p| p.point.timestamp).collect();
+        assert_eq!(ts, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn integer_suffix_accepted() {
+        let pts = parse("net bytes=1024i 5", 0).unwrap();
+        assert_eq!(pts[0].point.value, 1024.0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let pts = parse("# header\n\ncpu v=1 10\n  \n# trailing", 0).unwrap();
+        assert_eq!(pts.len(), 1);
+    }
+
+    #[test]
+    fn malformed_records_report_line_numbers() {
+        let cases = [
+            ("cpu", "missing field set"),
+            ("cpu v=abc 5", "field value is not numeric"),
+            ("cpu v=1 notatime", "timestamp is not an integer"),
+            ("cpu,host v=1 5", "malformed tag pair"),
+            ("cpu,host= v=1 5", "empty tag key or value"),
+            ("cpu =1 5", "empty field name"),
+            ("cpu v=1 5 extra", "trailing tokens after timestamp"),
+            (",host=a v=1 5", "empty measurement name"),
+        ];
+        for (text, want) in cases {
+            let doc = format!("# comment\n{text}");
+            match parse(&doc, 0) {
+                Err(TsdbError::Parse { line, reason }) => {
+                    assert_eq!(line, 2, "line number for {text:?}");
+                    assert_eq!(reason, want, "reason for {text:?}");
+                }
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_writes_into_db() {
+        let db = Tsdb::new();
+        let n = ingest(
+            &db,
+            "cpu,host=a usage=10 1\ncpu,host=a usage=20 2\ncpu,host=b usage=5 1",
+            0,
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.series_count(), 2);
+        let key = SeriesKey::metric("cpu.usage").with_tag("host", "a");
+        let out = db
+            .query(&key, crate::query::RangeQuery::raw(0, 10))
+            .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn ingest_surfaces_out_of_order() {
+        let db = Tsdb::new();
+        let err = ingest(&db, "cpu v=1 10\ncpu v=2 5", 0).unwrap_err();
+        assert!(matches!(err, TsdbError::OutOfOrder { last: 10, got: 5 }));
+    }
+}

@@ -1,0 +1,173 @@
+//! The mutable head of a series: an append buffer that seals into blocks.
+
+use crate::block::Block;
+use crate::error::TsdbError;
+use crate::point::DataPoint;
+
+/// Append buffer holding the newest, still-uncompressed points of a series.
+///
+/// Enforces the two ingestion invariants the rest of the engine relies on:
+/// strictly increasing timestamps and finite values. When the buffer
+/// reaches its capacity the owner seals it into a [`Block`].
+#[derive(Debug)]
+pub struct MemTable {
+    points: Vec<DataPoint>,
+    capacity: usize,
+}
+
+impl MemTable {
+    /// Creates an empty memtable that signals "full" at `capacity` points.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            points: Vec::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// True when the buffer has reached its seal threshold.
+    pub fn is_full(&self) -> bool {
+        self.points.len() >= self.capacity
+    }
+
+    /// Timestamp of the newest buffered point, if any.
+    pub fn last_timestamp(&self) -> Option<i64> {
+        self.points.last().map(|p| p.timestamp)
+    }
+
+    /// Buffered points, oldest first.
+    pub fn points(&self) -> &[DataPoint] {
+        &self.points
+    }
+
+    /// Appends one point, validating ordering and finiteness.
+    ///
+    /// Ordering is validated against the memtable's own newest point; the
+    /// owning series additionally checks against its sealed blocks when the
+    /// memtable is empty.
+    pub fn append(&mut self, point: DataPoint) -> Result<(), TsdbError> {
+        if !point.value.is_finite() {
+            return Err(TsdbError::NonFiniteValue {
+                timestamp: point.timestamp,
+            });
+        }
+        if let Some(last) = self.last_timestamp() {
+            if point.timestamp <= last {
+                return Err(TsdbError::OutOfOrder {
+                    last,
+                    got: point.timestamp,
+                });
+            }
+        }
+        self.points.push(point);
+        Ok(())
+    }
+
+    /// Points with timestamps in `[start, end)`, oldest first.
+    pub fn range(&self, start: i64, end: i64) -> &[DataPoint] {
+        let lo = self.points.partition_point(|p| p.timestamp < start);
+        let hi = self.points.partition_point(|p| p.timestamp < end);
+        &self.points[lo..hi]
+    }
+
+    /// Seals the buffered points into a block and clears the buffer.
+    ///
+    /// Returns `None` when the buffer is empty.
+    pub fn seal(&mut self) -> Option<Result<Block, TsdbError>> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let block = Block::seal(&self.points);
+        self.points.clear();
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_enforces_strict_ordering() {
+        let mut m = MemTable::new(16);
+        m.append(DataPoint::new(10, 1.0)).unwrap();
+        assert_eq!(
+            m.append(DataPoint::new(10, 2.0)),
+            Err(TsdbError::OutOfOrder { last: 10, got: 10 }),
+            "duplicate timestamps rejected"
+        );
+        assert_eq!(
+            m.append(DataPoint::new(5, 2.0)),
+            Err(TsdbError::OutOfOrder { last: 10, got: 5 })
+        );
+        m.append(DataPoint::new(11, 2.0)).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn append_rejects_non_finite() {
+        let mut m = MemTable::new(16);
+        assert_eq!(
+            m.append(DataPoint::new(1, f64::NAN)),
+            Err(TsdbError::NonFiniteValue { timestamp: 1 })
+        );
+        assert_eq!(
+            m.append(DataPoint::new(2, f64::INFINITY)),
+            Err(TsdbError::NonFiniteValue { timestamp: 2 })
+        );
+        assert!(m.is_empty(), "rejected writes leave no residue");
+    }
+
+    #[test]
+    fn is_full_at_capacity() {
+        let mut m = MemTable::new(3);
+        for i in 0..3 {
+            assert!(!m.is_full());
+            m.append(DataPoint::new(i, 0.0)).unwrap();
+        }
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut m = MemTable::new(0);
+        assert!(!m.is_full());
+        m.append(DataPoint::new(0, 0.0)).unwrap();
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn range_is_half_open_binary_searched() {
+        let mut m = MemTable::new(64);
+        for i in 0..10 {
+            m.append(DataPoint::new(i * 10, i as f64)).unwrap();
+        }
+        let r = m.range(20, 50);
+        let ts: Vec<_> = r.iter().map(|p| p.timestamp).collect();
+        assert_eq!(ts, vec![20, 30, 40]);
+        assert!(m.range(100, 200).is_empty());
+        assert_eq!(m.range(i64::MIN, i64::MAX).len(), 10);
+    }
+
+    #[test]
+    fn seal_drains_and_round_trips() {
+        let mut m = MemTable::new(8);
+        for i in 0..5 {
+            m.append(DataPoint::new(i, i as f64 * 2.0)).unwrap();
+        }
+        let block = m.seal().unwrap().unwrap();
+        assert!(m.is_empty());
+        assert_eq!(block.len(), 5);
+        assert_eq!(block.decode().unwrap()[3], DataPoint::new(3, 6.0));
+        assert!(m.seal().is_none(), "sealing an empty memtable yields None");
+    }
+}

@@ -1,0 +1,38 @@
+//! The elementary storage record.
+
+/// One timestamped sample of one series.
+///
+/// Timestamps are `i64` in caller-defined units (the engine is agnostic;
+/// seconds and milliseconds since the epoch are both common). Values are
+/// `f64`, matching the ASAP kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataPoint {
+    /// Sample time, in caller-defined units.
+    pub timestamp: i64,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl DataPoint {
+    /// Creates a point.
+    pub fn new(timestamp: i64, value: f64) -> Self {
+        Self { timestamp, value }
+    }
+}
+
+impl From<(i64, f64)> for DataPoint {
+    fn from((timestamp, value): (i64, f64)) -> Self {
+        Self { timestamp, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_conversion() {
+        let p: DataPoint = (5, 1.5).into();
+        assert_eq!(p, DataPoint::new(5, 1.5));
+    }
+}

@@ -1,0 +1,281 @@
+//! Watermark-based reordering for out-of-order telemetry.
+//!
+//! The storage engine requires strictly increasing timestamps per series
+//! (a consequence of delta-of-delta compression). Real collection
+//! pipelines deliver *mostly* ordered data with bounded lateness — agents
+//! retry, UDP reorders, scrapes jitter. A [`ReorderBuffer`] absorbs that:
+//! it holds each series' recent points in a small buffer and only releases
+//! a point once the series' watermark (`max timestamp seen − allowed
+//! lateness`) passes it, so anything at most `lateness` late is sorted
+//! into place instead of rejected. Points later than the watermark are
+//! counted and dropped, mirroring the late-data policy of stream
+//! processors.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::db::Tsdb;
+use crate::error::TsdbError;
+use crate::point::DataPoint;
+use crate::tags::SeriesKey;
+
+/// Per-series state: pending points keyed by timestamp, plus the maximum
+/// timestamp observed (the watermark anchor).
+#[derive(Debug)]
+struct SeriesBuffer {
+    pending: BTreeMap<i64, f64>,
+    max_seen: i64,
+}
+
+/// Statistics of a [`ReorderBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Points accepted into a buffer.
+    pub accepted: usize,
+    /// Points released to the database.
+    pub released: usize,
+    /// Points dropped for arriving later than the allowed lateness.
+    pub dropped_late: usize,
+    /// Points dropped as duplicates of a pending timestamp.
+    pub dropped_duplicate: usize,
+}
+
+/// Reorders bounded-lateness telemetry in front of a [`Tsdb`].
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    db: Tsdb,
+    lateness: i64,
+    buffers: HashMap<SeriesKey, SeriesBuffer>,
+    stats: ReorderStats,
+}
+
+impl ReorderBuffer {
+    /// Creates a buffer that tolerates up to `lateness` timestamp units of
+    /// disorder per series.
+    pub fn new(db: Tsdb, lateness: i64) -> Result<Self, TsdbError> {
+        if lateness < 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "lateness",
+                message: "allowed lateness must be non-negative",
+            });
+        }
+        Ok(Self {
+            db,
+            lateness,
+            buffers: HashMap::new(),
+            stats: ReorderStats::default(),
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ReorderStats {
+        self.stats
+    }
+
+    /// Number of points currently buffered across all series.
+    pub fn pending(&self) -> usize {
+        self.buffers.values().map(|b| b.pending.len()).sum()
+    }
+
+    /// Offers a point, advancing the series watermark and releasing every
+    /// pending point at or below it.
+    ///
+    /// Returns the number of points released to the database.
+    pub fn offer(&mut self, key: &SeriesKey, point: DataPoint) -> Result<usize, TsdbError> {
+        if !point.value.is_finite() {
+            return Err(TsdbError::NonFiniteValue {
+                timestamp: point.timestamp,
+            });
+        }
+        let buf = self.buffers.entry(key.clone()).or_default();
+        // A point is too late once the watermark has passed it — unless
+        // this series has seen nothing yet (max_seen still at its i64::MIN
+        // sentinel).
+        let fresh_series = buf.max_seen == i64::MIN;
+        if !fresh_series && point.timestamp <= buf.max_seen.saturating_sub(self.lateness) {
+            self.stats.dropped_late += 1;
+            return Ok(0);
+        }
+        if buf.pending.contains_key(&point.timestamp) {
+            self.stats.dropped_duplicate += 1;
+            return Ok(0);
+        }
+        buf.pending.insert(point.timestamp, point.value);
+        buf.max_seen = buf.max_seen.max(point.timestamp);
+        self.stats.accepted += 1;
+
+        // Release everything at or below the watermark, in order.
+        let watermark = buf.max_seen.saturating_sub(self.lateness);
+        let mut released = 0;
+        while let Some((&ts, &v)) = buf.pending.first_key_value() {
+            if ts > watermark {
+                break;
+            }
+            buf.pending.remove(&ts);
+            match self.db.write(key, DataPoint::new(ts, v)) {
+                Ok(()) => released += 1,
+                // Already persisted beyond this timestamp (e.g. pre-existing
+                // data in the series): count as late rather than failing.
+                Err(TsdbError::OutOfOrder { .. }) => self.stats.dropped_late += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        self.stats.released += released;
+        Ok(released)
+    }
+
+    /// Flushes every buffered point regardless of watermark (end of
+    /// stream). Returns the number of points released.
+    pub fn flush(&mut self) -> Result<usize, TsdbError> {
+        let mut released = 0;
+        for (key, buf) in &mut self.buffers {
+            while let Some((&ts, &v)) = buf.pending.first_key_value() {
+                buf.pending.remove(&ts);
+                match self.db.write(key, DataPoint::new(ts, v)) {
+                    Ok(()) => released += 1,
+                    Err(TsdbError::OutOfOrder { .. }) => self.stats.dropped_late += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        self.stats.released += released;
+        Ok(released)
+    }
+}
+
+impl Default for SeriesBuffer {
+    fn default() -> Self {
+        Self {
+            pending: BTreeMap::new(),
+            max_seen: i64::MIN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::RangeQuery;
+
+    fn setup(lateness: i64) -> (Tsdb, ReorderBuffer, SeriesKey) {
+        let db = Tsdb::new();
+        let rb = ReorderBuffer::new(db.clone(), lateness).unwrap();
+        (db, rb, SeriesKey::metric("m"))
+    }
+
+    fn stored(db: &Tsdb, key: &SeriesKey) -> Vec<i64> {
+        db.query(key, RangeQuery::raw(i64::MIN + 1, i64::MAX))
+            .map(|pts| pts.iter().map(|p| p.timestamp).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn negative_lateness_rejected() {
+        let db = Tsdb::new();
+        assert!(ReorderBuffer::new(db, -1).is_err());
+    }
+
+    #[test]
+    fn bounded_disorder_is_fully_repaired() {
+        let (db, mut rb, key) = setup(10);
+        // Timestamps shuffled within a ±5 jitter of their slot.
+        let ts = [3i64, 1, 2, 7, 5, 4, 9, 6, 8, 12, 10, 11, 20, 15];
+        for &t in &ts {
+            rb.offer(&key, DataPoint::new(t, t as f64)).unwrap();
+        }
+        rb.flush().unwrap();
+        let mut want: Vec<i64> = ts.to_vec();
+        want.sort_unstable();
+        assert_eq!(stored(&db, &key), want, "all points, in order");
+        assert_eq!(rb.stats().dropped_late, 0);
+    }
+
+    #[test]
+    fn points_beyond_lateness_are_dropped_not_errors() {
+        let (db, mut rb, key) = setup(5);
+        rb.offer(&key, DataPoint::new(100, 1.0)).unwrap();
+        // Watermark is 95; 90 is too late.
+        rb.offer(&key, DataPoint::new(90, 2.0)).unwrap();
+        assert_eq!(rb.stats().dropped_late, 1);
+        // 96 is within lateness and accepted.
+        rb.offer(&key, DataPoint::new(96, 3.0)).unwrap();
+        rb.flush().unwrap();
+        assert_eq!(stored(&db, &key), vec![96, 100]);
+    }
+
+    #[test]
+    fn duplicates_within_buffer_dropped() {
+        let (db, mut rb, key) = setup(100);
+        rb.offer(&key, DataPoint::new(5, 1.0)).unwrap();
+        rb.offer(&key, DataPoint::new(5, 2.0)).unwrap();
+        assert_eq!(rb.stats().dropped_duplicate, 1);
+        rb.flush().unwrap();
+        assert_eq!(stored(&db, &key), vec![5]);
+        assert_eq!(db.query(&key, RangeQuery::raw(0, 10)).unwrap()[0].value, 1.0);
+    }
+
+    #[test]
+    fn release_happens_as_watermark_advances() {
+        let (db, mut rb, key) = setup(3);
+        rb.offer(&key, DataPoint::new(1, 0.0)).unwrap();
+        rb.offer(&key, DataPoint::new(2, 0.0)).unwrap();
+        assert!(stored(&db, &key).is_empty(), "still within lateness");
+        assert_eq!(rb.pending(), 2);
+        // max_seen = 10 ⇒ watermark 7 releases 1 and 2.
+        let released = rb.offer(&key, DataPoint::new(10, 0.0)).unwrap();
+        assert_eq!(released, 2);
+        assert_eq!(stored(&db, &key), vec![1, 2]);
+        assert_eq!(rb.pending(), 1);
+    }
+
+    #[test]
+    fn zero_lateness_is_pass_through_ordering_filter() {
+        let (db, mut rb, key) = setup(0);
+        rb.offer(&key, DataPoint::new(1, 0.0)).unwrap();
+        rb.offer(&key, DataPoint::new(3, 0.0)).unwrap();
+        rb.offer(&key, DataPoint::new(2, 0.0)).unwrap(); // late, dropped
+        rb.flush().unwrap();
+        assert_eq!(stored(&db, &key), vec![1, 3]);
+        assert_eq!(rb.stats().dropped_late, 1);
+    }
+
+    #[test]
+    fn per_series_watermarks_are_independent() {
+        let db = Tsdb::new();
+        let mut rb = ReorderBuffer::new(db.clone(), 5).unwrap();
+        let a = SeriesKey::metric("a");
+        let b = SeriesKey::metric("b");
+        rb.offer(&a, DataPoint::new(1_000, 0.0)).unwrap();
+        // Series b starts far behind series a: accepted, not "late".
+        rb.offer(&b, DataPoint::new(10, 0.0)).unwrap();
+        rb.flush().unwrap();
+        assert_eq!(stored(&db, &a), vec![1_000]);
+        assert_eq!(stored(&db, &b), vec![10]);
+    }
+
+    #[test]
+    fn non_finite_rejected_before_buffering() {
+        let (_, mut rb, key) = setup(5);
+        assert!(matches!(
+            rb.offer(&key, DataPoint::new(1, f64::NAN)),
+            Err(TsdbError::NonFiniteValue { timestamp: 1 })
+        ));
+        assert_eq!(rb.pending(), 0);
+    }
+
+    #[test]
+    fn stats_account_for_every_offer() {
+        let (_, mut rb, key) = setup(4);
+        let ts = [5i64, 3, 9, 2, 9, 14, 1];
+        for &t in &ts {
+            let _ = rb.offer(&key, DataPoint::new(t, 0.0));
+        }
+        rb.flush().unwrap();
+        let s = rb.stats();
+        assert_eq!(
+            s.accepted + s.dropped_late + s.dropped_duplicate,
+            ts.len(),
+            "every offer accounted for"
+        );
+        assert_eq!(s.released, s.accepted, "flush drains everything accepted");
+    }
+}

@@ -1,0 +1,189 @@
+//! A braille dot-matrix canvas for terminal plotting.
+//!
+//! Unicode braille patterns (U+2800–U+28FF) pack a 2×4 dot grid into one
+//! character cell, giving terminal charts 2× horizontal and 4× vertical
+//! resolution over plain block characters. Each canvas pixel is one braille
+//! dot; lines are drawn with Bresenham's algorithm.
+
+/// Dot offsets within a braille cell, indexed by `(x % 2, y % 4)`.
+///
+/// Braille bit layout (ISO/TR 11548-1): dots 1–3 and 7 form the left
+/// column, 4–6 and 8 the right.
+const DOT_BITS: [[u8; 4]; 2] = [
+    [0x01, 0x02, 0x04, 0x40], // left column, rows 0..3
+    [0x08, 0x10, 0x20, 0x80], // right column, rows 0..3
+];
+
+/// A fixed-size dot matrix rendered to braille characters.
+#[derive(Debug, Clone)]
+pub struct BrailleCanvas {
+    /// Width in character cells.
+    cells_w: usize,
+    /// Height in character cells.
+    cells_h: usize,
+    /// One braille bitmask per cell, row-major.
+    cells: Vec<u8>,
+}
+
+impl BrailleCanvas {
+    /// Creates a canvas of `cells_w × cells_h` character cells
+    /// (`2*cells_w × 4*cells_h` dots).
+    pub fn new(cells_w: usize, cells_h: usize) -> Self {
+        Self {
+            cells_w,
+            cells_h,
+            cells: vec![0; cells_w * cells_h],
+        }
+    }
+
+    /// Dot-grid width.
+    pub fn width(&self) -> usize {
+        self.cells_w * 2
+    }
+
+    /// Dot-grid height.
+    pub fn height(&self) -> usize {
+        self.cells_h * 4
+    }
+
+    /// Sets the dot at `(x, y)`; out-of-bounds dots are silently clipped
+    /// (chart edges routinely land half a dot outside).
+    pub fn set(&mut self, x: i64, y: i64) {
+        if x < 0 || y < 0 || x >= self.width() as i64 || y >= self.height() as i64 {
+            return;
+        }
+        let (x, y) = (x as usize, y as usize);
+        let cell = (y / 4) * self.cells_w + (x / 2);
+        self.cells[cell] |= DOT_BITS[x % 2][y % 4];
+    }
+
+    /// True when the dot at `(x, y)` is set (false outside the canvas).
+    pub fn get(&self, x: i64, y: i64) -> bool {
+        if x < 0 || y < 0 || x >= self.width() as i64 || y >= self.height() as i64 {
+            return false;
+        }
+        let (x, y) = (x as usize, y as usize);
+        let cell = (y / 4) * self.cells_w + (x / 2);
+        self.cells[cell] & DOT_BITS[x % 2][y % 4] != 0
+    }
+
+    /// Draws a line from `(x0, y0)` to `(x1, y1)` (Bresenham).
+    pub fn line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        let (mut x, mut y) = (x0, y0);
+        loop {
+            self.set(x, y);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Renders the canvas as lines of braille characters.
+    pub fn render(&self) -> Vec<String> {
+        (0..self.cells_h)
+            .map(|row| {
+                (0..self.cells_w)
+                    .map(|col| {
+                        let mask = self.cells[row * self.cells_w + col];
+                        char::from_u32(0x2800 + u32::from(mask)).expect("valid braille")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_canvas_renders_blank_braille() {
+        let c = BrailleCanvas::new(3, 2);
+        let lines = c.render();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.chars().all(|ch| ch == '\u{2800}')));
+    }
+
+    #[test]
+    fn set_and_get_round_trip_every_dot() {
+        let mut c = BrailleCanvas::new(2, 2);
+        for x in 0..c.width() as i64 {
+            for y in 0..c.height() as i64 {
+                assert!(!c.get(x, y));
+                c.set(x, y);
+                assert!(c.get(x, y), "dot ({x},{y})");
+            }
+        }
+        // All dots set ⇒ every cell is the full braille block.
+        assert!(c
+            .render()
+            .iter()
+            .all(|l| l.chars().all(|ch| ch == '\u{28FF}')));
+    }
+
+    #[test]
+    fn out_of_bounds_clips_silently() {
+        let mut c = BrailleCanvas::new(2, 2);
+        c.set(-1, 0);
+        c.set(0, -1);
+        c.set(100, 0);
+        c.set(0, 100);
+        assert!(!c.get(-1, 0));
+        assert!(c.render().iter().all(|l| l.chars().all(|ch| ch == '\u{2800}')));
+    }
+
+    #[test]
+    fn horizontal_line_sets_expected_dots() {
+        let mut c = BrailleCanvas::new(4, 1);
+        c.line(0, 2, 7, 2);
+        for x in 0..8 {
+            assert!(c.get(x, 2));
+        }
+        assert!(!c.get(0, 1));
+    }
+
+    #[test]
+    fn diagonal_line_is_monotone() {
+        let mut c = BrailleCanvas::new(4, 2);
+        c.line(0, 0, 7, 7);
+        for i in 0..8 {
+            assert!(c.get(i, i), "diagonal dot ({i},{i})");
+        }
+    }
+
+    #[test]
+    fn line_connects_endpoints_in_both_directions() {
+        // Bresenham tie-rounding differs by direction; endpoints and
+        // column coverage must hold either way.
+        for (x0, y0, x1, y1) in [(1, 6, 7, 1), (7, 1, 1, 6)] {
+            let mut c = BrailleCanvas::new(4, 2);
+            c.line(x0, y0, x1, y1);
+            assert!(c.get(x0, y0) && c.get(x1, y1));
+            for x in 1..=7 {
+                assert!((0..8).any(|y| c.get(x, y)), "column {x} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_line() {
+        let mut c = BrailleCanvas::new(2, 1);
+        c.line(1, 1, 1, 1);
+        assert!(c.get(1, 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the rendering substrate.
+
+use std::fmt;
+
+/// Errors produced while building charts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VizError {
+    /// A series to plot was empty.
+    EmptySeries,
+    /// A chart dimension (width/height) was zero or too small to render.
+    InvalidDimensions {
+        /// Human-readable description of the violated constraint.
+        message: &'static str,
+    },
+    /// The data contained a NaN or infinity, which has no screen position.
+    NonFinite {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::EmptySeries => write!(f, "cannot plot an empty series"),
+            VizError::InvalidDimensions { message } => {
+                write!(f, "invalid chart dimensions: {message}")
+            }
+            VizError::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index} has no screen position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VizError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VizError::EmptySeries.to_string().contains("empty"));
+        assert!(VizError::InvalidDimensions { message: "w=0" }
+            .to_string()
+            .contains("w=0"));
+        assert!(VizError::NonFinite { index: 4 }.to_string().contains('4'));
+    }
+}

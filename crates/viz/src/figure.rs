@@ -1,0 +1,154 @@
+//! Multi-panel figures: vertically stacked charts sharing a width.
+//!
+//! The paper's gallery figures (Fig. 1–3, C.2) are stacked panels of the
+//! same series under different treatments (raw / ASAP / oversmoothed).
+//! [`Figure`] composes [`SvgChart`]s into one SVG document in that layout.
+
+use std::fmt::Write as _;
+
+use crate::error::VizError;
+use crate::svg::SvgChart;
+
+/// A vertical stack of charts rendered into one SVG document.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Width of every panel, in pixels.
+    pub width: u32,
+    /// Height of each panel, in pixels.
+    pub panel_height: u32,
+    /// Vertical gap between panels, in pixels.
+    pub gap: u32,
+    panels: Vec<SvgChart>,
+}
+
+impl Figure {
+    /// Creates an empty figure with the given panel geometry.
+    pub fn new(width: u32, panel_height: u32) -> Self {
+        Self {
+            width,
+            panel_height,
+            gap: 6,
+            panels: Vec::new(),
+        }
+    }
+
+    /// Appends a panel. The panel's own width/height are overridden by the
+    /// figure geometry.
+    pub fn panel(mut self, mut chart: SvgChart) -> Self {
+        chart.width = self.width;
+        chart.height = self.panel_height;
+        self.panels.push(chart);
+        self
+    }
+
+    /// Number of panels.
+    pub fn len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// True when the figure has no panels.
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty()
+    }
+
+    /// Renders the stacked document.
+    pub fn render(&self) -> Result<String, VizError> {
+        if self.panels.is_empty() {
+            return Err(VizError::EmptySeries);
+        }
+        let total_h =
+            self.panel_height * self.panels.len() as u32 + self.gap * (self.panels.len() as u32 - 1);
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+            w = self.width,
+            h = total_h
+        );
+        for (i, panel) in self.panels.iter().enumerate() {
+            let y = i as u32 * (self.panel_height + self.gap);
+            let inner = panel.render()?;
+            // Strip the inner document's <svg> wrapper and nest it.
+            let body = inner
+                .strip_prefix('<')
+                .and_then(|s| s.split_once('>'))
+                .map(|(_, rest)| rest.trim_end_matches("</svg>"))
+                .unwrap_or("");
+            let _ = write!(
+                out,
+                r#"<g transform="translate(0 {y})">{body}</g>"#
+            );
+        }
+        out.push_str("</svg>");
+        Ok(out)
+    }
+
+    /// Renders and writes the figure to `path`.
+    pub fn write_to(&self, path: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+        let svg = self.render()?;
+        std::fs::write(path, svg)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svg::SvgSeries;
+
+    fn chart(label: &str) -> SvgChart {
+        let data: Vec<f64> = (0..64).map(|i| (i as f64 / 5.0).cos()).collect();
+        SvgChart::new(10, 10)
+            .title(label)
+            .series(SvgSeries::from_values(label, &data))
+    }
+
+    #[test]
+    fn stacks_panels_with_offsets() {
+        let fig = Figure::new(640, 200)
+            .panel(chart("raw"))
+            .panel(chart("asap"))
+            .panel(chart("oversmoothed"));
+        assert_eq!(fig.len(), 3);
+        let svg = fig.render().unwrap();
+        assert!(svg.contains(r#"height="612""#), "3*200 + 2*6 gap");
+        assert!(svg.contains("translate(0 0)"));
+        assert!(svg.contains("translate(0 206)"));
+        assert!(svg.contains("translate(0 412)"));
+        assert!(svg.contains("raw"));
+        assert!(svg.contains("oversmoothed"));
+        // Exactly one outer svg element.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn panel_geometry_overrides_chart_geometry() {
+        let fig = Figure::new(800, 150).panel(chart("x"));
+        let svg = fig.render().unwrap();
+        assert!(svg.contains(r#"width="800""#));
+        assert!(svg.contains(r#"height="150""#));
+    }
+
+    #[test]
+    fn empty_figure_errors() {
+        assert_eq!(
+            Figure::new(640, 200).render().unwrap_err(),
+            VizError::EmptySeries
+        );
+    }
+
+    #[test]
+    fn write_to_creates_file() {
+        let dir = std::env::temp_dir().join("asap_viz_fig_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.svg");
+        Figure::new(320, 120)
+            .panel(chart("p"))
+            .write_to(&path)
+            .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("<svg"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! Chart rendering substrate for the ASAP reproduction.
+//!
+//! ASAP is a *visualization* operator — its output is meant to be drawn.
+//! The paper ships a JavaScript front-end; this crate is the Rust
+//! equivalent for the reproduction's figures and examples:
+//!
+//! * [`svg`] — dependency-free SVG line charts (axes, nice ticks, multiple
+//!   series, anomaly-band highlights, legends);
+//! * [`figure`] — vertically stacked multi-panel figures, the layout of
+//!   the paper's raw/ASAP/oversmoothed galleries (Fig. 1–3, C.2);
+//! * [`terminal`] — braille-canvas terminal charts and block sparklines
+//!   for the runnable examples;
+//! * [`canvas`] / [`scale`] — the dot-matrix and data→screen mapping
+//!   substrates beneath both back-ends.
+//!
+//! # Example
+//!
+//! ```
+//! use asap_viz::{SvgChart, SvgSeries, TerminalChart};
+//!
+//! let noisy: Vec<f64> = (0..200).map(|i| (i as f64 / 12.0).sin()).collect();
+//! // Terminal chart (braille canvas):
+//! let text = TerminalChart::new(60, 8).title("wave").render(&[&noisy]).unwrap();
+//! assert!(text.contains("wave"));
+//! // SVG chart:
+//! let svg = SvgChart::new(640, 240)
+//!     .series(SvgSeries::from_values("wave", &noisy))
+//!     .render()
+//!     .unwrap();
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canvas;
+pub mod error;
+pub mod figure;
+pub mod scale;
+pub mod svg;
+pub mod terminal;
+
+pub use canvas::BrailleCanvas;
+pub use error::VizError;
+pub use figure::Figure;
+pub use scale::{format_tick, nice_ticks, LinearScale};
+pub use svg::{Highlight, SvgChart, SvgSeries};
+pub use terminal::{sparkline, TerminalChart};

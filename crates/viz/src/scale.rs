@@ -1,0 +1,180 @@
+//! Linear data→screen scales and "nice" axis tick generation.
+
+/// Affine map from a data domain onto a screen range.
+///
+/// Degenerate domains (min == max) are widened symmetrically so a constant
+/// series renders as a centered horizontal line instead of dividing by zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    r0: f64,
+    r1: f64,
+}
+
+impl LinearScale {
+    /// Creates a scale mapping `[domain_min, domain_max]` → `[range_min, range_max]`.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        let (mut d0, mut d1) = domain;
+        if d0 == d1 {
+            // Widen by half a unit (or half the magnitude) on each side.
+            let pad = if d0 == 0.0 { 0.5 } else { d0.abs() * 0.5 };
+            d0 -= pad;
+            d1 += pad;
+        }
+        Self {
+            d0,
+            d1,
+            r0: range.0,
+            r1: range.1,
+        }
+    }
+
+    /// Maps a data value to screen coordinates (extrapolates outside the domain).
+    pub fn apply(&self, v: f64) -> f64 {
+        self.r0 + (v - self.d0) / (self.d1 - self.d0) * (self.r1 - self.r0)
+    }
+
+    /// Maps a screen coordinate back to the data domain.
+    pub fn invert(&self, p: f64) -> f64 {
+        self.d0 + (p - self.r0) / (self.r1 - self.r0) * (self.d1 - self.d0)
+    }
+
+    /// The (possibly widened) data domain.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.d0, self.d1)
+    }
+}
+
+/// Returns ~`count` round tick positions covering `[min, max]`.
+///
+/// Ticks are multiples of 1, 2, or 5 × 10^k (the conventional "nice
+/// numbers" algorithm), clipped to the domain.
+pub fn nice_ticks(min: f64, max: f64, count: usize) -> Vec<f64> {
+    if !(min.is_finite() && max.is_finite()) || count == 0 {
+        return Vec::new();
+    }
+    let (min, max) = if min <= max { (min, max) } else { (max, min) };
+    if min == max {
+        return vec![min];
+    }
+    let raw_step = (max - min) / count as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag; // in [1, 10)
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    // Tolerate rounding at the upper edge.
+    while t <= max + step * 1e-9 {
+        // Snap values like 0.30000000000000004 to a clean representation.
+        let snapped = (t / step).round() * step;
+        ticks.push(if snapped == 0.0 { 0.0 } else { snapped });
+        t += step;
+    }
+    if ticks.is_empty() {
+        // A coarse step may hold no round multiple inside a narrow range
+        // (e.g. count = 1 over a span that straddles no round number);
+        // always give the axis at least its midpoint.
+        ticks.push((min + max) / 2.0);
+    }
+    ticks
+}
+
+/// Formats a tick label compactly (trims trailing zeros, switches to
+/// scientific notation for extreme magnitudes).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-4..1e7).contains(&a) {
+        return format!("{v:.1e}");
+    }
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_endpoints_and_midpoint() {
+        let s = LinearScale::new((0.0, 10.0), (100.0, 200.0));
+        assert_eq!(s.apply(0.0), 100.0);
+        assert_eq!(s.apply(10.0), 200.0);
+        assert_eq!(s.apply(5.0), 150.0);
+    }
+
+    #[test]
+    fn inverted_range_flips_axis() {
+        // SVG y grows downward; charts hand an inverted range.
+        let s = LinearScale::new((0.0, 1.0), (100.0, 0.0));
+        assert_eq!(s.apply(0.0), 100.0);
+        assert_eq!(s.apply(1.0), 0.0);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let s = LinearScale::new((-3.0, 7.0), (0.0, 640.0));
+        for v in [-3.0, 0.0, 1.234, 7.0] {
+            assert!((s.invert(s.apply(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_domain_widens() {
+        let s = LinearScale::new((5.0, 5.0), (0.0, 100.0));
+        assert_eq!(s.apply(5.0), 50.0, "constant series centers");
+        let s = LinearScale::new((0.0, 0.0), (0.0, 100.0));
+        assert_eq!(s.apply(0.0), 50.0);
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover_domain() {
+        let t = nice_ticks(0.0, 100.0, 5);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let t = nice_ticks(-2.3, 2.3, 4);
+        assert!(t.contains(&0.0));
+        assert!(t.iter().all(|&x| (-2.3..=2.3).contains(&x)));
+    }
+
+    #[test]
+    fn ticks_handle_edge_cases() {
+        assert!(nice_ticks(f64::NAN, 1.0, 5).is_empty());
+        assert!(nice_ticks(0.0, 1.0, 0).is_empty());
+        assert_eq!(nice_ticks(3.0, 3.0, 5), vec![3.0]);
+        // Inverted bounds are reordered.
+        let t = nice_ticks(10.0, 0.0, 5);
+        assert!(t.first().unwrap() >= &0.0 && t.last().unwrap() <= &10.0);
+    }
+
+    #[test]
+    fn tick_labels_are_compact() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(20.0), "20");
+        assert_eq!(format_tick(0.5), "0.5");
+        assert_eq!(format_tick(-1.25), "-1.25");
+        assert!(format_tick(3.0e9).contains('e'));
+        assert!(format_tick(2.0e-6).contains('e'));
+    }
+
+    #[test]
+    fn small_fractional_steps_stay_clean() {
+        let t = nice_ticks(0.0, 1.0, 5);
+        assert_eq!(t.len(), 6);
+        for (i, &tick) in t.iter().enumerate() {
+            assert!((tick - 0.2 * i as f64).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! SVG line-chart generation (no external dependencies).
+//!
+//! Produces self-contained `<svg>` documents: axes with nice ticks, one
+//! polyline per series, optional shaded x-regions (used to mark anomaly
+//! windows in the user-study figures), a legend, and a title. The figure
+//! binaries write these next to their printed tables so the reproduction's
+//! plots can be eyeballed against the paper's.
+
+use std::fmt::Write as _;
+
+use crate::error::VizError;
+use crate::scale::{format_tick, nice_ticks, LinearScale};
+
+/// Default qualitative palette (ColorBrewer Set1-like).
+const PALETTE: [&str; 6] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#666666",
+];
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (`None` picks from the palette by index).
+    pub color: Option<String>,
+}
+
+impl SvgSeries {
+    /// Creates a series from y-values plotted against their index.
+    pub fn from_values(label: impl Into<String>, values: &[f64]) -> Self {
+        Self {
+            label: label.into(),
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64, v))
+                .collect(),
+            color: None,
+        }
+    }
+
+    /// Creates a series from explicit `(x, y)` pairs.
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            color: None,
+        }
+    }
+
+    /// Overrides the stroke color.
+    pub fn color(mut self, c: impl Into<String>) -> Self {
+        self.color = Some(c.into());
+        self
+    }
+}
+
+/// A shaded vertical band marking an x-interval of interest.
+#[derive(Debug, Clone, Copy)]
+pub struct Highlight {
+    /// Band start in data x-coordinates.
+    pub x0: f64,
+    /// Band end in data x-coordinates.
+    pub x1: f64,
+}
+
+/// An SVG line-chart builder.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Chart title.
+    pub title: Option<String>,
+    /// y-axis label.
+    pub y_label: Option<String>,
+    /// Shaded x-bands.
+    pub highlights: Vec<Highlight>,
+    series: Vec<SvgSeries>,
+}
+
+impl SvgChart {
+    /// Creates an empty chart of the given pixel dimensions.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            title: None,
+            y_label: None,
+            highlights: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the title.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Sets the y-axis label.
+    pub fn y_label(mut self, t: impl Into<String>) -> Self {
+        self.y_label = Some(t.into());
+        self
+    }
+
+    /// Adds a shaded x-band.
+    pub fn highlight(mut self, x0: f64, x1: f64) -> Self {
+        self.highlights.push(Highlight { x0, x1 });
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, s: SvgSeries) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart to an SVG document string.
+    pub fn render(&self) -> Result<String, VizError> {
+        if self.width < 80 || self.height < 60 {
+            return Err(VizError::InvalidDimensions {
+                message: "svg chart needs at least 80x60 pixels",
+            });
+        }
+        if self.series.is_empty() || self.series.iter().any(|s| s.points.is_empty()) {
+            return Err(VizError::EmptySeries);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                if !(x.is_finite() && y.is_finite()) {
+                    return Err(VizError::NonFinite { index: i });
+                }
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+        }
+
+        // Layout: margins hold title, ticks, labels, legend.
+        let ml = 52.0;
+        let mr = 12.0;
+        let mt = if self.title.is_some() { 28.0 } else { 10.0 };
+        let mb = 30.0;
+        let plot_w = self.width as f64 - ml - mr;
+        let plot_h = self.height as f64 - mt - mb;
+        let xs = LinearScale::new((x0, x1), (ml, ml + plot_w));
+        let ys = LinearScale::new((y0, y1), (mt + plot_h, mt));
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="Helvetica,Arial,sans-serif">"##,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(
+            svg,
+            r##"<rect width="{}" height="{}" fill="white"/>"##,
+            self.width, self.height
+        );
+
+        // Shaded highlight bands, clipped to the plot area.
+        for hl in &self.highlights {
+            let (a, b) = (xs.apply(hl.x0), xs.apply(hl.x1));
+            let (a, b) = (a.min(b), a.max(b));
+            let a = a.clamp(ml, ml + plot_w);
+            let b = b.clamp(ml, ml + plot_w);
+            if b > a {
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{a:.1}" y="{mt:.1}" width="{:.1}" height="{plot_h:.1}" fill="#fdd" fill-opacity="0.6"/>"##,
+                    b - a
+                );
+            }
+        }
+
+        // Grid + ticks.
+        for t in nice_ticks(y0, y1, 4) {
+            let y = ys.apply(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd" stroke-width="1"/>"##,
+                ml + plot_w
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" fill="#444">{}</text>"##,
+                ml - 5.0,
+                y + 3.0,
+                format_tick(t)
+            );
+        }
+        for t in nice_ticks(x0, x1, 6) {
+            let x = xs.apply(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#444" stroke-width="1"/>"##,
+                mt + plot_h,
+                mt + plot_h + 4.0
+            );
+            let _ = write!(
+                svg,
+                r##"<text x="{x:.1}" y="{:.1}" font-size="10" text-anchor="middle" fill="#444">{}</text>"##,
+                mt + plot_h + 15.0,
+                format_tick(t)
+            );
+        }
+        // Axes.
+        let _ = write!(
+            svg,
+            r##"<rect x="{ml}" y="{mt}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#444" stroke-width="1"/>"##
+        );
+
+        // Series polylines.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = s
+                .color
+                .clone()
+                .unwrap_or_else(|| PALETTE[i % PALETTE.len()].to_string());
+            let mut d = String::with_capacity(s.points.len() * 12);
+            for (j, &(x, y)) in s.points.iter().enumerate() {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.1} {:.1}", xs.apply(x), ys.apply(y));
+            }
+            let _ = write!(
+                svg,
+                r##"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.2"/>"##
+            );
+        }
+
+        // Legend (only when more than one series).
+        if self.series.len() > 1 {
+            let mut lx = ml + 8.0;
+            let ly = mt + 12.0;
+            for (i, s) in self.series.iter().enumerate() {
+                let color = s
+                    .color
+                    .clone()
+                    .unwrap_or_else(|| PALETTE[i % PALETTE.len()].to_string());
+                let _ = write!(
+                    svg,
+                    r##"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"##,
+                    lx + 14.0
+                );
+                let _ = write!(
+                    svg,
+                    r##"<text x="{:.1}" y="{:.1}" font-size="10" fill="#222">{}</text>"##,
+                    lx + 18.0,
+                    ly + 3.0,
+                    escape(&s.label)
+                );
+                lx += 18.0 + 7.0 * s.label.len() as f64 + 12.0;
+            }
+        }
+
+        if let Some(t) = &self.title {
+            let _ = write!(
+                svg,
+                r##"<text x="{:.1}" y="18" font-size="13" font-weight="bold" text-anchor="middle" fill="#111">{}</text>"##,
+                self.width as f64 / 2.0,
+                escape(t)
+            );
+        }
+        if let Some(t) = &self.y_label {
+            let _ = write!(
+                svg,
+                r##"<text x="12" y="{:.1}" font-size="10" fill="#444" transform="rotate(-90 12 {0:.1})" text-anchor="middle">{1}</text>"##,
+                mt + plot_h / 2.0,
+                escape(t)
+            );
+        }
+        svg.push_str("</svg>");
+        Ok(svg)
+    }
+}
+
+/// Escapes text for embedding in SVG.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 / 8.0).sin()).collect()
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = SvgChart::new(640, 240)
+            .title("test & <chart>")
+            .y_label("zscore")
+            .series(SvgSeries::from_values("raw", &wave(200)))
+            .render()
+            .unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("test &amp; &lt;chart&gt;"), "escaped title");
+        assert!(svg.contains("<path"), "series polyline present");
+        assert_eq!(svg.matches("<path").count(), 1);
+    }
+
+    #[test]
+    fn multi_series_gets_legend_and_distinct_colors() {
+        let svg = SvgChart::new(640, 240)
+            .series(SvgSeries::from_values("a", &wave(50)))
+            .series(SvgSeries::from_values("b", &wave(80)))
+            .render()
+            .unwrap();
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn highlight_band_rendered_within_plot() {
+        let svg = SvgChart::new(640, 240)
+            .highlight(10.0, 20.0)
+            .series(SvgSeries::from_values("raw", &wave(100)))
+            .render()
+            .unwrap();
+        assert!(svg.contains("#fdd"), "highlight band fill present");
+    }
+
+    #[test]
+    fn out_of_domain_highlight_is_clipped_away() {
+        let svg = SvgChart::new(640, 240)
+            .highlight(-500.0, -400.0)
+            .series(SvgSeries::from_values("raw", &wave(100)))
+            .render()
+            .unwrap();
+        assert!(!svg.contains("#fdd"), "fully clipped band omitted");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert_eq!(
+            SvgChart::new(640, 240).render().unwrap_err(),
+            VizError::EmptySeries
+        );
+        assert!(matches!(
+            SvgChart::new(10, 10)
+                .series(SvgSeries::from_values("x", &[1.0]))
+                .render()
+                .unwrap_err(),
+            VizError::InvalidDimensions { .. }
+        ));
+        assert_eq!(
+            SvgChart::new(640, 240)
+                .series(SvgSeries::from_values("x", &[1.0, f64::NAN]))
+                .render()
+                .unwrap_err(),
+            VizError::NonFinite { index: 1 }
+        );
+    }
+
+    #[test]
+    fn explicit_color_and_points_respected() {
+        let svg = SvgChart::new(640, 240)
+            .series(
+                SvgSeries::from_points("x", vec![(0.0, 1.0), (5.0, 2.0)]).color("#123456"),
+            )
+            .render()
+            .unwrap();
+        assert!(svg.contains("#123456"));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let svg = SvgChart::new(640, 240)
+            .series(SvgSeries::from_values("flat", &[2.0; 10]))
+            .render()
+            .unwrap();
+        assert!(svg.contains("<path"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Terminal line charts with axes, built on the braille canvas.
+
+use crate::canvas::BrailleCanvas;
+use crate::error::VizError;
+use crate::scale::{format_tick, nice_ticks, LinearScale};
+
+/// Configuration for a terminal chart.
+#[derive(Debug, Clone)]
+pub struct TerminalChart {
+    /// Plot width in character cells (excluding the y-label gutter).
+    pub width: usize,
+    /// Plot height in character cells.
+    pub height: usize,
+    /// Optional title printed above the plot.
+    pub title: Option<String>,
+    /// Number of y-axis labels (0 disables the gutter).
+    pub y_ticks: usize,
+}
+
+impl Default for TerminalChart {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            height: 12,
+            title: None,
+            y_ticks: 3,
+        }
+    }
+}
+
+impl TerminalChart {
+    /// Creates a chart of `width × height` character cells.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the title.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Renders one or more series (each an equal-footing line) to text.
+    ///
+    /// All series share the y-scale; x is the sample index of the longest
+    /// series. Returns the chart as a newline-joined string.
+    pub fn render(&self, series: &[&[f64]]) -> Result<String, VizError> {
+        if self.width < 8 || self.height < 2 {
+            return Err(VizError::InvalidDimensions {
+                message: "terminal chart needs at least 8x2 cells",
+            });
+        }
+        if series.is_empty() || series.iter().any(|s| s.is_empty()) {
+            return Err(VizError::EmptySeries);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in series {
+            for (i, &v) in s.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(VizError::NonFinite { index: i });
+                }
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        let longest = series.iter().map(|s| s.len()).max().unwrap_or(1);
+
+        let mut canvas = BrailleCanvas::new(self.width, self.height);
+        let y_scale = LinearScale::new((min, max), (canvas.height() as f64 - 1.0, 0.0));
+        for s in series {
+            let x_scale =
+                LinearScale::new((0.0, (s.len() - 1).max(1) as f64), (0.0, canvas.width() as f64 - 1.0));
+            let px = |i: usize, v: f64| {
+                (
+                    x_scale.apply(i as f64).round() as i64,
+                    y_scale.apply(v).round() as i64,
+                )
+            };
+            if s.len() == 1 {
+                let (x, y) = px(0, s[0]);
+                canvas.set(x, y);
+                continue;
+            }
+            for i in 0..s.len() - 1 {
+                let (x0, y0) = px(i, s[i]);
+                let (x1, y1) = px(i + 1, s[i + 1]);
+                canvas.line(x0, y0, x1, y1);
+            }
+        }
+
+        // Assemble: title, rows with a right-aligned y-label gutter, x-axis.
+        let labels = self.y_labels(min, max);
+        let gutter = labels.iter().map(|(_, l)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&" ".repeat(gutter + 1));
+            out.push_str(t);
+            out.push('\n');
+        }
+        for (row, line) in canvas.render().into_iter().enumerate() {
+            let label = labels
+                .iter()
+                .find(|(r, _)| *r == row)
+                .map(|(_, l)| l.as_str())
+                .unwrap_or("");
+            out.push_str(&format!("{label:>gutter$}|{line}\n"));
+        }
+        out.push_str(&" ".repeat(gutter + 1));
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:gutter$} 0{:>w$}\n",
+            "",
+            longest - 1,
+            w = self.width.saturating_sub(2)
+        ));
+        Ok(out)
+    }
+
+    /// Picks `(row, label)` pairs for the y gutter.
+    fn y_labels(&self, min: f64, max: f64) -> Vec<(usize, String)> {
+        if self.y_ticks == 0 {
+            return Vec::new();
+        }
+        let scale = LinearScale::new((min, max), ((self.height * 4) as f64 - 1.0, 0.0));
+        nice_ticks(min, max, self.y_ticks)
+            .into_iter()
+            .map(|t| {
+                let row = (scale.apply(t) / 4.0).floor().clamp(0.0, self.height as f64 - 1.0);
+                (row as usize, format_tick(t))
+            })
+            .collect()
+    }
+}
+
+/// Renders a one-line block-character sparkline (`▁▂▃▄▅▆▇█`).
+///
+/// Values are binned to the available width; NaN samples render as spaces.
+pub fn sparkline(data: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if data.is_empty() || width == 0 {
+        return String::new();
+    }
+    let finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(width.min(data.len()));
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if max > min { max - min } else { 1.0 };
+    let width = width.min(data.len());
+    let per = data.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * per) as usize;
+            let hi = (((i + 1) as f64 * per) as usize).clamp(lo + 1, data.len());
+            let bucket: Vec<f64> = data[lo..hi].iter().copied().filter(|v| v.is_finite()).collect();
+            if bucket.is_empty() {
+                return ' ';
+            }
+            let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+            let level = ((mean - min) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            BLOCKS[level]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_expected_shape() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin()).collect();
+        let out = TerminalChart::new(40, 8)
+            .title("sine")
+            .render(&[&data])
+            .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // title + 8 rows + axis + x labels
+        assert_eq!(lines.len(), 1 + 8 + 1 + 1);
+        assert!(lines[0].contains("sine"));
+        assert!(out.contains('⠀') || out.contains('⡀') || out.chars().any(|c| ('\u{2800}'..='\u{28FF}').contains(&c)));
+        assert!(lines.last().unwrap().contains("99"), "x extent labelled");
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let c = TerminalChart::new(40, 8);
+        assert_eq!(c.render(&[]).unwrap_err(), VizError::EmptySeries);
+        let empty: &[f64] = &[];
+        assert_eq!(c.render(&[empty]).unwrap_err(), VizError::EmptySeries);
+        assert_eq!(
+            c.render(&[&[1.0, f64::NAN]]).unwrap_err(),
+            VizError::NonFinite { index: 1 }
+        );
+        assert!(matches!(
+            TerminalChart::new(2, 1).render(&[&[1.0]]),
+            Err(VizError::InvalidDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_series_renders_mid_line() {
+        let out = TerminalChart::new(20, 4).render(&[&[5.0; 40]]).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn multiple_series_share_scale() {
+        let a: Vec<f64> = vec![0.0; 50];
+        let b: Vec<f64> = vec![10.0; 50];
+        let out = TerminalChart::new(30, 6).render(&[&a, &b]).unwrap();
+        // Both flat lines visible: braille dots in top and bottom rows.
+        let rows: Vec<&str> = out.lines().collect();
+        let braille = |s: &str| s.chars().any(|c| c > '\u{2800}' && c <= '\u{28FF}');
+        assert!(braille(rows[0]), "top series drawn");
+        assert!(braille(rows[5]), "bottom series drawn");
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let out = TerminalChart::new(20, 4).render(&[&[3.0]]).unwrap();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn sparkline_levels_track_magnitude() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn sparkline_bins_wide_input() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&data, 10);
+        assert_eq!(s.chars().count(), 10);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert!(last > first, "monotone data yields increasing blocks");
+    }
+
+    #[test]
+    fn sparkline_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN], 2), "  ");
+        assert_eq!(sparkline(&[2.0, 2.0], 2).chars().count(), 2);
+    }
+}

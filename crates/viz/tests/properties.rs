@@ -1,0 +1,95 @@
+//! Property-based tests for the rendering substrate.
+//!
+//! Rendering must be *total* over finite inputs: any finite series, any
+//! sane geometry, produces well-formed output without panicking. These
+//! properties matter because chart code sits at the end of every pipeline
+//! — a panic here takes down a dashboard on exactly the anomalous data the
+//! operator most needs to see.
+
+use asap_viz::{nice_ticks, sparkline, LinearScale, SvgChart, SvgSeries, TerminalChart};
+use proptest::prelude::*;
+
+fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e12..1.0e12f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn scale_round_trips_within_domain(
+        d0 in -1.0e9..1.0e9f64,
+        span in 1.0e-3..1.0e9f64,
+        r0 in -1.0e4..1.0e4f64,
+        rspan in 1.0..1.0e4f64,
+        t in 0.0..1.0f64,
+    ) {
+        let s = LinearScale::new((d0, d0 + span), (r0, r0 + rspan));
+        let v = d0 + t * span;
+        let back = s.invert(s.apply(v));
+        // Relative tolerance scaled to the domain magnitude.
+        let tol = 1e-9 * (v.abs() + span);
+        prop_assert!((back - v).abs() <= tol, "{back} vs {v}");
+    }
+
+    #[test]
+    fn ticks_are_sorted_unique_and_in_range(
+        a in -1.0e9..1.0e9f64,
+        span in 1.0e-6..1.0e9f64,
+        count in 1usize..12,
+    ) {
+        let (min, max) = (a, a + span);
+        let ticks = nice_ticks(min, max, count);
+        prop_assert!(!ticks.is_empty(), "non-degenerate range yields ticks");
+        for w in ticks.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted and unique");
+        }
+        let step_tol = span * 1e-6;
+        for &t in &ticks {
+            prop_assert!(t >= min - step_tol && t <= max + step_tol);
+        }
+    }
+
+    #[test]
+    fn terminal_chart_is_total_over_finite_input(
+        data in finite_series(400),
+        width in 8usize..100,
+        height in 2usize..24,
+    ) {
+        let out = TerminalChart::new(width, height).render(&[&data]).unwrap();
+        // Geometry: height rows + axis + x labels.
+        prop_assert_eq!(out.lines().count(), height + 2);
+        // Every braille row is exactly gutter + 1 + width chars wide.
+        let rows: Vec<&str> = out.lines().collect();
+        let w0 = rows[0].chars().count();
+        for row in rows.iter().take(height) {
+            prop_assert_eq!(row.chars().count(), w0);
+        }
+    }
+
+    #[test]
+    fn svg_chart_is_total_and_well_formed(
+        data in finite_series(300),
+        width in 80u32..1200,
+        height in 60u32..600,
+    ) {
+        let svg = SvgChart::new(width, height)
+            .series(SvgSeries::from_values("s", &data))
+            .render()
+            .unwrap();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("<path").count(), 1);
+        // No NaN coordinates ever reach the document.
+        prop_assert!(!svg.contains("NaN"));
+        prop_assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn sparkline_length_and_charset(
+        data in finite_series(500),
+        width in 1usize..120,
+    ) {
+        let s = sparkline(&data, width);
+        prop_assert_eq!(s.chars().count(), width.min(data.len()));
+        prop_assert!(s.chars().all(|c| ('▁'..='█').contains(&c) || c == ' '));
+    }
+}

@@ -1,0 +1,69 @@
+//! Streaming dashboard: ASAP as a continuous operator over live telemetry.
+//!
+//! Run with: `cargo run --release --example monitoring_dashboard`
+//!
+//! Reproduces the paper's application-monitoring case study (§2, Figure 2):
+//! an on-call operator watches ten days of cluster CPU telemetry on a
+//! smartphone. The stream is fed point-by-point through
+//! [`asap::core::StreamingAsap`]; every refresh emits a frame smoothed
+//! with a freshly validated window. The terminal usage spike — invisible
+//! in the raw 5-minute feed — dominates the final smoothed frames.
+
+use asap::core::{StreamingAsap, StreamingConfig};
+
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-12);
+    let step = (values.len() as f64 / width as f64).max(1.0);
+    (0..width.min(values.len()))
+        .map(|c| {
+            let i = ((c as f64) * step) as usize;
+            BARS[(((values[i] - min) / span * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+fn main() {
+    // Ten days of 5-minute CPU utilization with a terminal usage spike.
+    let telemetry = asap::data::cpu_cluster();
+    let n = telemetry.len();
+    println!(
+        "streaming {} points of {} (5-minute cluster CPU averages)...\n",
+        n,
+        telemetry.name()
+    );
+
+    // Visualize the full 10-day window at 360 px (a phone-sized chart),
+    // refreshing the dashboard once per simulated day (288 points).
+    let mut operator = StreamingAsap::new(StreamingConfig::new(n, 360, 288));
+
+    for (i, &cpu) in telemetry.values().iter().enumerate() {
+        if let Some(frame) = operator.push(cpu).expect("stream is well-formed") {
+            let day = (i + 1) as f64 / 288.0;
+            println!(
+                "day {day:>4.1} | window {:>3} agg pts | {} ",
+                frame.outcome.window,
+                sparkline(&frame.smoothed, 64)
+            );
+        }
+    }
+
+    let final_frame = operator.refresh().expect("final refresh");
+    println!(
+        "\nfinal frame: window = {} aggregated points, {} searches run for {} points",
+        final_frame.outcome.window,
+        operator.searches_run(),
+        operator.points_ingested()
+    );
+    println!(
+        "on-demand refresh saved {}x search invocations vs per-point updates",
+        operator.points_ingested() / operator.searches_run().max(1)
+    );
+    println!("\nThe rising tail (the incident) stands out in the last frames; the raw");
+    println!("feed hides it behind minute-scale fluctuation.");
+}

@@ -1,0 +1,198 @@
+//! `asap-cli` — smooth a time series from the command line.
+//!
+//! ```text
+//! asap-cli datasets
+//!     list the built-in dataset simulators
+//!
+//! asap-cli smooth [--dataset NAME | --csv PATH] [--resolution N]
+//!                 [--svg PATH] [--term] [--no-preagg]
+//!     run ASAP on a built-in dataset or a CSV file (timestamp,value per
+//!     line) and report the chosen window; optionally render the result
+//!     as an SVG figure or a terminal chart.
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin asap-cli -- smooth --dataset Taxi --term
+//! cargo run --release --bin asap-cli -- smooth --csv data.csv --resolution 800 --svg out.svg
+//! ```
+
+use asap::core::Asap;
+use asap::timeseries::{kurtosis, roughness, zscore};
+use asap::viz::{Figure, SvgChart, SvgSeries, TerminalChart};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("datasets") => cmd_datasets(),
+        Some("smooth") => cmd_smooth(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!("usage:");
+    eprintln!("  asap-cli datasets");
+    eprintln!("  asap-cli smooth [--dataset NAME | --csv PATH] [--resolution N]");
+    eprintln!("                  [--svg PATH] [--term] [--no-preagg]");
+}
+
+fn cmd_datasets() -> i32 {
+    println!("{:<16} {:>9}  description", "name", "points");
+    for info in asap::data::all_datasets() {
+        println!("{:<16} {:>9}  {}", info.name, info.n_points, info.description);
+    }
+    0
+}
+
+/// Parsed flags of the `smooth` subcommand.
+struct SmoothArgs {
+    dataset: Option<String>,
+    csv: Option<String>,
+    resolution: usize,
+    svg: Option<String>,
+    term: bool,
+    preagg: bool,
+}
+
+fn parse_smooth_args(args: &[String]) -> Result<SmoothArgs, String> {
+    let mut out = SmoothArgs {
+        dataset: None,
+        csv: None,
+        resolution: 800,
+        svg: None,
+        term: false,
+        preagg: true,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => out.dataset = Some(value("--dataset")?),
+            "--csv" => out.csv = Some(value("--csv")?),
+            "--resolution" => {
+                out.resolution = value("--resolution")?
+                    .parse()
+                    .map_err(|_| "resolution must be a positive integer".to_string())?;
+            }
+            "--svg" => out.svg = Some(value("--svg")?),
+            "--term" => out.term = true,
+            "--no-preagg" => out.preagg = false,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if out.dataset.is_some() == out.csv.is_some() {
+        return Err("exactly one of --dataset or --csv is required".into());
+    }
+    if out.resolution == 0 {
+        return Err("resolution must be positive".into());
+    }
+    Ok(out)
+}
+
+fn cmd_smooth(args: &[String]) -> i32 {
+    let args = match parse_smooth_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            return 2;
+        }
+    };
+
+    let (name, values) = if let Some(ds) = &args.dataset {
+        match asap::data::by_name(ds) {
+            Some(info) => (info.name.to_string(), info.generate().values().to_vec()),
+            None => {
+                eprintln!("error: unknown dataset `{ds}` (see `asap-cli datasets`)");
+                return 2;
+            }
+        }
+    } else {
+        let path = args.csv.as_deref().expect("validated");
+        match asap::data::read_csv(std::path::Path::new(path), path) {
+            Ok(series) => (path.to_string(), series.values().to_vec()),
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return 1;
+            }
+        }
+    };
+
+    let asap_op = Asap::builder()
+        .resolution(args.resolution)
+        .preaggregate(args.preagg)
+        .build();
+    let result = match asap_op.smooth(&values) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: smoothing failed: {e}");
+            return 1;
+        }
+    };
+
+    let raw_rough = roughness(&result.aggregated).unwrap_or(f64::NAN);
+    let raw_kurt = kurtosis(&result.aggregated).unwrap_or(f64::NAN);
+    println!("series:           {name} ({} points)", values.len());
+    println!("resolution:       {} px (pixel ratio {})", args.resolution, result.pixel_ratio);
+    println!(
+        "chosen window:    {} aggregated points = {} raw points",
+        result.window, result.window_raw_points
+    );
+    println!("candidates:       {}", result.candidates_checked);
+    println!("roughness:        {raw_rough:.4} -> {:.4}", result.roughness);
+    println!("kurtosis:         {raw_kurt:.3} -> {:.3}", result.kurtosis);
+    if result.is_unsmoothed() {
+        println!("(left unsmoothed: kurtosis constraint binds, as for spiky series)");
+    }
+
+    if args.term {
+        let chart = TerminalChart::new(72, 10).title(format!("{name} — ASAP"));
+        match chart.render(&[&result.smoothed]) {
+            Ok(txt) => print!("{txt}"),
+            Err(e) => eprintln!("terminal render failed: {e}"),
+        }
+    }
+    if let Some(svg_path) = &args.svg {
+        let raw_z = zscore(&values).unwrap_or_else(|_| values.to_vec());
+        let smooth_z = zscore(&result.smoothed).unwrap_or_else(|_| result.smoothed.clone());
+        let fig = Figure::new(900, 220)
+            .panel(
+                SvgChart::new(1, 1)
+                    .title(format!("{name} — raw"))
+                    .y_label("zscore")
+                    .series(SvgSeries::from_values("raw", &raw_z).color("#377eb8")),
+            )
+            .panel(
+                SvgChart::new(1, 1)
+                    .title(format!(
+                        "{name} — ASAP (window {} raw points)",
+                        result.window_raw_points
+                    ))
+                    .y_label("zscore")
+                    .series(SvgSeries::from_values("asap", &smooth_z).color("#e41a1c")),
+            );
+        match fig.write_to(std::path::Path::new(svg_path)) {
+            Ok(()) => println!("wrote {svg_path}"),
+            Err(e) => {
+                eprintln!("error: writing {svg_path}: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

