@@ -3,6 +3,7 @@
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use asap_data::DatasetInfo;
 

@@ -1,0 +1,222 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset it uses: [`Bytes`] (cheaply cloneable, sliceable,
+//! immutable byte buffer), [`BytesMut`] (growable buffer that freezes into
+//! `Bytes`), and the [`BufMut`] append trait. `Bytes` shares one
+//! reference-counted allocation across clones and slices, so `slice` is
+//! O(1) and allocation-free, as in the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Bound, Deref, Index, IndexMut, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a slice of `self` for the given subrange, sharing the same
+    /// underlying allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &**self)
+    }
+}
+
+/// Growable byte buffer that freezes into an immutable [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Index<usize> for BytesMut {
+    type Output = u8;
+    fn index(&self, i: usize) -> &u8 {
+        &self.vec[i]
+    }
+}
+
+impl IndexMut<usize> for BytesMut {
+    fn index_mut(&mut self, i: usize) -> &mut u8 {
+        &mut self.vec[i]
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Trait for appending fixed-width values to a growable buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a byte slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_slice_share_contents() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        let frozen = b.freeze();
+        assert_eq!(&*frozen, &[1, 2, 3, 4]);
+        let half = frozen.slice(0..2);
+        assert_eq!(&*half, &[1, 2]);
+        let nested = half.slice(1..2);
+        assert_eq!(&*nested, &[2]);
+    }
+
+    #[test]
+    fn index_mut_edits_last_byte() {
+        let mut b = BytesMut::new();
+        b.put_u8(0);
+        b[0] |= 0b1000_0000;
+        assert_eq!(b[0], 128);
+    }
+
+    #[test]
+    fn equality_ignores_slice_offsets() {
+        let a = Bytes::from(vec![9, 9, 5]).slice(2..3);
+        let b = Bytes::from(vec![5]);
+        assert_eq!(a, b);
+    }
+}

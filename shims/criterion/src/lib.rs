@@ -1,0 +1,285 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use: `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs batches until a fixed wall-clock budget is spent, and prints
+//! the median per-iteration time (plus throughput when declared). There is
+//! no statistical analysis, outlier detection, or HTML report — good
+//! enough to compare hot paths run-to-run on one machine, which is all the
+//! BENCH_* figures need. The budget is tunable via `CRITERION_BUDGET_MS`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work. Delegates to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration work declaration used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Times `f`, called repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = self.budget;
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≥ ~1% of the budget, so timer overhead stays small.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget / 100 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn budget_ms() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn report(group: Option<&str>, id: &str, median: Duration, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  ({per_sec:.3e} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  ({per_sec:.3e} B/s)")
+        }
+        None => String::new(),
+    };
+    println!("{full:<60} median {median:>12.3?}{rate}");
+}
+
+/// Top-level benchmark registry and driver.
+#[derive(Debug)]
+pub struct Criterion {
+    // Read once at construction: the environment is never touched again,
+    // so concurrent test threads cannot race setenv against getenv.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            budget: budget_ms(),
+        }
+    }
+}
+
+impl Criterion {
+    #[cfg(test)]
+    fn with_budget(ms: u64) -> Self {
+        Self {
+            budget: Duration::from_millis(ms),
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(None, id, b.median(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            _parent: self,
+            budget,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    budget: Duration,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(Some(&self.name), &id.into().id, b.median(), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b, input);
+        report(Some(&self.name), &id.into().id, b.median(), self.throughput);
+        self
+    }
+
+    /// Finishes the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`
+/// registrars.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| black_box(2u64 + 2));
+        assert!(!b.samples.is_empty());
+        assert!(b.median() > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::with_budget(5);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("f", 100), &100u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

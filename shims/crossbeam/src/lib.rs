@@ -1,0 +1,60 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset it uses: `crossbeam::channel`'s bounded MPSC
+//! channel, implemented over `std::sync::mpsc::sync_channel`. Semantics
+//! match what the stream runtime relies on: `send` blocks when the channel
+//! is full and errors after the receiver hangs up, `Receiver::iter` blocks
+//! until the senders hang up, and `try_iter` never blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// Receiving half of a bounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    /// Error returned by [`Sender::send`] after the receiver disconnects.
+    pub type SendError<T> = std::sync::mpsc::SendError<T>;
+
+    /// Creates a bounded channel with room for `cap` in-flight messages.
+    ///
+    /// A capacity of zero degenerates to a rendezvous channel, as in
+    /// crossbeam.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn send_receive_round_trip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_iter_is_nonblocking() {
+        let (tx, rx) = bounded::<i32>(4);
+        assert_eq!(rx.try_iter().count(), 0);
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

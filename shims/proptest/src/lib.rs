@@ -1,0 +1,526 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, and
+//!   `prop_flat_map` combinators;
+//! * range strategies over the common numeric types, [`Just`], tuple
+//!   strategies, `collection::vec`, and the `num::f64` bit-class flags;
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`], and
+//!   [`prop_assume!`] macros and a deterministic runner.
+//!
+//! Differences from the real crate, deliberate for a hermetic build:
+//! **no shrinking** (a failing case reports its full input instead of a
+//! minimal one) and a fixed per-test seed derived from the test name, so
+//! failures reproduce exactly run-to-run. The case count honors the
+//! `PROPTEST_CASES` environment variable (default 64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Deterministic generator state handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Why a generated case did not run to completion.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by a filter or `prop_assume!`; it does not
+    /// count toward the case budget.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A recipe for generating random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Generates one value, or `Err` when a filter rejected the draw.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, String>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`; the runner re-draws.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Builds a second strategy from each generated value and draws from
+    /// it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Result<O, String> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, String> {
+        let v = self.inner.generate(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(self.reason.to_string())
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, String> {
+        let first = self.inner.generate(rng)?;
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// Strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, String> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, String> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Ok(((self.start as i128) + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, String> {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                let v = self.start + unit * (self.end - self.start);
+                Ok(if v >= self.end { self.start } else { v })
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, String> {
+                let ($($name,)+) = self;
+                Ok(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, String> {
+            let n = self.len.clone().generate(rng)?;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric bit-class strategies.
+pub mod num {
+    /// Strategies over `f64` bit classes.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use std::ops::BitOr;
+
+        /// A union of IEEE-754 `f64` value classes to draw from.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct FloatClasses(u8);
+
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses(1);
+        /// Subnormal values (zero exponent, nonzero mantissa).
+        pub const SUBNORMAL: FloatClasses = FloatClasses(2);
+        /// Normal values of either sign, over the full exponent range.
+        pub const NORMAL: FloatClasses = FloatClasses(4);
+        /// Positive and negative infinity.
+        pub const INFINITE: FloatClasses = FloatClasses(8);
+
+        impl BitOr for FloatClasses {
+            type Output = FloatClasses;
+            fn bitor(self, o: FloatClasses) -> FloatClasses {
+                FloatClasses(self.0 | o.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> Result<f64, String> {
+                let classes: Vec<u8> =
+                    [1u8, 2, 4, 8].into_iter().filter(|c| self.0 & c != 0).collect();
+                assert!(!classes.is_empty(), "empty float class union");
+                let class = classes[rng.below(classes.len() as u64) as usize];
+                let sign = rng.next_u64() & (1 << 63);
+                let bits = match class {
+                    1 => sign,
+                    2 => sign | (1 + rng.below((1u64 << 52) - 1)),
+                    4 => {
+                        let exp = 1 + rng.below(2046);
+                        let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                        sign | (exp << 52) | mantissa
+                    }
+                    _ => sign | (0x7FFu64 << 52),
+                };
+                Ok(f64::from_bits(bits))
+            }
+        }
+    }
+}
+
+/// The namespace alias the real crate's prelude exposes as `prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runs one property: draws up to the configured number of cases from
+/// `strategy` and applies `body` to each. Panics on the first failing
+/// case, reporting the full input (this shim does not shrink).
+pub fn run_property<S: Strategy>(
+    name: &str,
+    strategy: S,
+    mut body: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    // Deterministic seed from the test name: failures reproduce exactly.
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+    let mut rng = TestRng::new(seed);
+    let mut executed = 0u64;
+    let mut rejected = 0u64;
+    let max_rejects = cases.saturating_mul(50).max(1000);
+    while executed < cases {
+        let value = match strategy.generate(&mut rng) {
+            Ok(v) => v,
+            Err(reason) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many rejected draws ({rejected}), last reason: {reason}"
+                );
+                continue;
+            }
+        };
+        let shown = format!("{value:?}");
+        match body(value) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {executed} passing case(s): {msg}\n\
+                     input: {shown}\n(no shrinking in the offline proptest shim)"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    stringify!($name),
+                    ($($strat,)+),
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // The stringified condition may contain braces (closures, struct
+        // patterns); pass it as a format argument, never as a format string.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body via [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skips the current case (without counting it) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        let strat = prop::collection::vec(-2.0..2.0f64, 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = (1usize..10)
+            .prop_map(|n| n * 2)
+            .prop_filter("even only", |n| n % 4 == 0)
+            .prop_flat_map(|n| (Just(n), 0usize..n));
+        let mut accepted = 0;
+        for _ in 0..300 {
+            if let Ok((n, k)) = strat.generate(&mut rng) {
+                assert_eq!(n % 4, 0);
+                assert!(k < n);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0);
+    }
+
+    #[test]
+    fn float_classes_generate_the_right_kind() {
+        let mut rng = crate::TestRng::new(3);
+        let strat = prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert!(v.is_finite());
+        }
+        for _ in 0..100 {
+            let z = prop::num::f64::ZERO.generate(&mut rng).unwrap();
+            assert_eq!(z, 0.0);
+            let s = prop::num::f64::SUBNORMAL.generate(&mut rng).unwrap();
+            assert!(s.is_subnormal(), "{s}");
+            let n = prop::num::f64::NORMAL.generate(&mut rng).unwrap();
+            assert!(n.is_normal(), "{n}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0usize..100, v in prop::collection::vec(0i64..50, 0..8)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|e| (0..50).contains(e)));
+            // Conditions containing braces must survive the single-argument
+            // form (stringify output is a format *argument*, not a string).
+            prop_assert!(v.iter().all(|e| { *e < 50 }));
+            prop_assert!(matches!(v.len(), 0..=7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no shrinking")]
+    fn failing_property_reports_input() {
+        crate::run_property("always_fails", (0usize..4,), |(_x,)| {
+            prop_assert!(false, "forced");
+            Ok(())
+        });
+    }
+}

@@ -42,6 +42,7 @@
 //! | [`viz`] | `asap-viz` | SVG and terminal chart rendering |
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use asap_baselines as baselines;
 pub use asap_core as core;
