@@ -1,0 +1,213 @@
+//! Ingest-vs-query contention benchmark for the sharded engine.
+//!
+//! Measures, per shard count, the wall-clock throughput of concurrent
+//! ingest (one writer thread per series, per-point writes — the contended
+//! path) while smoothing readers race on the same store, plus the
+//! parallel-vs-serial latency of a multi-series `smooth_query_selector`
+//! after ingest quiesces. Results are written to `BENCH_shard.json`
+//! (see `EXPERIMENTS.md` for the recorded run).
+//!
+//! Hand-timed wall clock, median of `BENCH_SHARD_RUNS` runs — the
+//! criterion shim's budgeted micro-timing is wrong for multi-threaded
+//! phases, which need one timed span per full ingest.
+//!
+//! Knobs: `BENCH_SHARD_POINTS` (points per writer, default 200_000),
+//! `BENCH_SHARD_RUNS` (default 3).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use asap_core::Asap;
+use asap_tsdb::{DataPoint, SeriesKey, Selector, ShardedConfig, ShardedDb};
+
+const WRITERS: usize = 8;
+const READERS: usize = 4;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn series_key(w: usize) -> SeriesKey {
+    SeriesKey::metric("req_rate").with_tag("host", format!("h{w:02}"))
+}
+
+fn value_at(w: usize, t: i64) -> f64 {
+    (std::f64::consts::TAU * t as f64 / 900.0).sin() + w as f64
+}
+
+struct RunResult {
+    ingest_wall_ms: f64,
+    ingest_points_per_sec: f64,
+    frames_during_ingest: u64,
+    serial_smooth_ms: f64,
+    parallel_smooth_ms: f64,
+}
+
+/// One timed contention run at the given shard count.
+fn run_once(shards: usize, points_per_writer: i64) -> RunResult {
+    let db = ShardedDb::with_config(ShardedConfig::new(shards, 4096));
+    let writers_done = AtomicBool::new(false);
+    let frames = AtomicU64::new(0);
+
+    let start = Instant::now();
+    let ingest_wall = std::thread::scope(|scope| {
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            let db = db.clone();
+            writer_handles.push(scope.spawn(move || {
+                let key = series_key(w);
+                for t in 0..points_per_writer {
+                    db.write(&key, DataPoint::new(t, value_at(w, t))).unwrap();
+                }
+            }));
+        }
+        for r in 0..READERS {
+            let db = db.clone();
+            let writers_done = &writers_done;
+            let frames = &frames;
+            scope.spawn(move || {
+                let asap = Asap::builder().resolution(100).build();
+                let mut round = r;
+                while !writers_done.load(Ordering::Acquire) {
+                    round += 1;
+                    let key = series_key(round % WRITERS);
+                    let end = points_per_writer.max(1_000);
+                    if asap_tsdb::smooth_query(&db, &key, &asap, 0, end, end / 1_000)
+                        .is_ok()
+                    {
+                        frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for h in writer_handles {
+            h.join().unwrap();
+        }
+        let wall = start.elapsed();
+        writers_done.store(true, Ordering::Release);
+        wall
+    });
+
+    // Quiescent multi-series smoothing: serial oracle pipeline vs the
+    // shard-parallel fan-out on identical data.
+    let asap = Asap::builder().resolution(400).build();
+    let sel = Selector::metric("req_rate");
+    let end = points_per_writer;
+    let bucket = (end / 4_000).max(1);
+
+    let t = Instant::now();
+    let serial =
+        asap_tsdb::smooth_query_selector(&db, &sel, &asap, 0, end, bucket).unwrap();
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let parallel = db.smooth_query_selector(&sel, &asap, 0, end, bucket).unwrap();
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, parallel, "fan-out must be byte-identical");
+
+    let total_points = (WRITERS as i64 * points_per_writer) as f64;
+    RunResult {
+        ingest_wall_ms: ingest_wall.as_secs_f64() * 1e3,
+        ingest_points_per_sec: total_points / ingest_wall.as_secs_f64(),
+        frames_during_ingest: frames.load(Ordering::Relaxed),
+        serial_smooth_ms: serial_ms,
+        parallel_smooth_ms: parallel_ms,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let points_per_writer = env_usize("BENCH_SHARD_POINTS", 200_000) as i64;
+    let runs = env_usize("BENCH_SHARD_RUNS", 3).max(1);
+    let shard_counts = [1usize, 2, 4, 8];
+
+    println!(
+        "shard contention: {WRITERS} writers x {points_per_writer} pts, {READERS} smoothing readers, median of {runs} ({} host cpus)",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    println!(
+        "{:>7} {:>14} {:>12} {:>10} {:>12} {:>12}",
+        "shards", "ingest pts/s", "ingest ms", "frames", "serial ms", "parallel ms"
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let results: Vec<RunResult> = (0..runs)
+            .map(|_| run_once(shards, points_per_writer))
+            .collect();
+        let row = RunResult {
+            ingest_wall_ms: median(results.iter().map(|r| r.ingest_wall_ms).collect()),
+            ingest_points_per_sec: median(
+                results.iter().map(|r| r.ingest_points_per_sec).collect(),
+            ),
+            frames_during_ingest: results
+                .iter()
+                .map(|r| r.frames_during_ingest)
+                .sum::<u64>()
+                / runs as u64,
+            serial_smooth_ms: median(results.iter().map(|r| r.serial_smooth_ms).collect()),
+            parallel_smooth_ms: median(
+                results.iter().map(|r| r.parallel_smooth_ms).collect(),
+            ),
+        };
+        println!(
+            "{:>7} {:>14.3e} {:>12.1} {:>10} {:>12.2} {:>12.2}",
+            shards,
+            row.ingest_points_per_sec,
+            row.ingest_wall_ms,
+            row.frames_during_ingest,
+            row.serial_smooth_ms,
+            row.parallel_smooth_ms
+        );
+        rows.push((shards, row));
+    }
+
+    let base = rows[0].1.ingest_points_per_sec;
+    let best = rows
+        .iter()
+        .map(|(_, r)| r.ingest_points_per_sec)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("best multi-shard ingest speedup over 1 shard: {:.2}x", best / base);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"shard_contention\",\n");
+    json.push_str(
+        "  \"note\": \"hand-timed wall clock (not the criterion shim); absolute numbers are machine-relative, compare configurations within one run\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str(&format!("  \"writers\": {WRITERS},\n"));
+    json.push_str(&format!("  \"smoothing_readers\": {READERS},\n"));
+    json.push_str(&format!("  \"points_per_writer\": {points_per_writer},\n"));
+    json.push_str(&format!("  \"runs_per_config\": {runs},\n"));
+    json.push_str("  \"configs\": [\n");
+    for (i, (shards, r)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"ingest_points_per_sec\": {:.0}, \"ingest_wall_ms\": {:.2}, \"ingest_speedup_vs_1_shard\": {:.3}, \"frames_during_ingest\": {}, \"serial_smooth_ms\": {:.2}, \"parallel_smooth_ms\": {:.2}}}{}\n",
+            r.ingest_points_per_sec,
+            r.ingest_wall_ms,
+            r.ingest_points_per_sec / base,
+            r.frames_during_ingest,
+            r.serial_smooth_ms,
+            r.parallel_smooth_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_shard.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_shard.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+}

@@ -3,7 +3,8 @@
 //! §2: "for servers with a large number of visualization consumers, ASAP
 //! can execute on the server, sending clients the smoothed stream; this is
 //! the execution mode that MacroBase adopts." [`Fleet`] manages a set of
-//! independent [`StreamingAsap`] operators keyed by metric name, with a
+//! independent [`crate::streaming::StreamingAsap`] operators keyed by
+//! metric name, with a
 //! shared configuration template — the shape of a monitoring backend
 //! smoothing every panel of a dashboard.
 //!
@@ -14,9 +15,8 @@
 //! embarrassingly parallel (wrap shards in `parking_lot::Mutex` or route
 //! by hash).
 
-use crate::streaming::{Frame, StreamingAsap, StreamingConfig};
+use crate::streaming::{Frame, MultiStreamingAsap, StreamingConfig};
 use asap_timeseries::TimeSeriesError;
-use std::collections::HashMap;
 
 /// A named frame produced by one of the fleet's metrics.
 #[derive(Debug, Clone)]
@@ -28,11 +28,11 @@ pub struct FleetFrame {
 }
 
 /// A collection of per-metric streaming ASAP operators with a shared
-/// configuration template.
+/// configuration template — a thin, metric-name-keyed wrapper over
+/// [`MultiStreamingAsap`].
 #[derive(Debug)]
 pub struct Fleet {
-    template: StreamingConfig,
-    operators: HashMap<String, StreamingAsap>,
+    inner: MultiStreamingAsap<String>,
 }
 
 impl Fleet {
@@ -40,68 +40,58 @@ impl Fleet {
     /// resolution, refresh cadence).
     pub fn new(template: StreamingConfig) -> Self {
         Fleet {
-            template,
-            operators: HashMap::new(),
+            inner: MultiStreamingAsap::new(template),
         }
     }
 
     /// Number of metrics currently tracked.
     pub fn len(&self) -> usize {
-        self.operators.len()
+        self.inner.len()
     }
 
     /// True when no metric has been ingested yet.
     pub fn is_empty(&self) -> bool {
-        self.operators.is_empty()
+        self.inner.is_empty()
     }
 
-    /// Names of tracked metrics (arbitrary order).
+    /// Names of tracked metrics, in name order.
     pub fn metrics(&self) -> impl Iterator<Item = &str> {
-        self.operators.keys().map(String::as_str)
+        self.inner.keys().map(String::as_str)
     }
 
     /// Ingests one point for `metric`, creating its operator on first
     /// sight. Returns a frame when that metric's refresh fired.
     pub fn push(&mut self, metric: &str, value: f64) -> Result<Option<FleetFrame>, TimeSeriesError> {
-        let op = match self.operators.get_mut(metric) {
-            Some(op) => op,
-            None => self
-                .operators
-                .entry(metric.to_string())
-                .or_insert_with(|| StreamingAsap::new(self.template.clone())),
-        };
-        Ok(op.push(value)?.map(|frame| FleetFrame {
-            metric: metric.to_string(),
-            frame,
-        }))
+        Ok(self
+            .inner
+            .push_with(metric, value, str::to_string)?
+            .map(|frame| FleetFrame {
+                metric: metric.to_string(),
+                frame,
+            }))
     }
 
     /// Forces a refresh of every metric with enough data, returning one
-    /// frame per metric — the "render the whole dashboard now" operation.
+    /// frame per metric in name order — the "render the whole dashboard
+    /// now" operation.
     pub fn refresh_all(&mut self) -> Vec<FleetFrame> {
-        let mut out: Vec<FleetFrame> = self
-            .operators
-            .iter_mut()
-            .filter_map(|(name, op)| {
-                op.refresh().ok().map(|frame| FleetFrame {
-                    metric: name.clone(),
-                    frame,
-                })
-            })
-            .collect();
-        out.sort_by(|a, b| a.metric.cmp(&b.metric));
-        out
+        self.inner
+            .refresh_all()
+            .into_iter()
+            .map(|(metric, frame)| FleetFrame { metric, frame })
+            .collect()
     }
 
     /// Total searches run across the fleet.
     pub fn total_searches(&self) -> u64 {
-        self.operators.values().map(StreamingAsap::searches_run).sum()
+        self.inner.total_searches()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn signal(metric_idx: usize, i: usize) -> f64 {
         let period = 200.0 + 100.0 * metric_idx as f64;

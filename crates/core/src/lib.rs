@@ -52,7 +52,7 @@ pub use incremental::{SlidingMoments, SlidingRoughness};
 pub use pyramid::ZoomPyramid;
 pub use problem::{SearchOutcome, SmoothingResult};
 pub use search::{binary, exhaustive, grid, SearchStrategy};
-pub use streaming::{Frame, StreamingAsap, StreamingConfig};
+pub use streaming::{Frame, MultiStreamingAsap, StreamingAsap, StreamingConfig};
 
 use asap_timeseries::TimeSeriesError;
 

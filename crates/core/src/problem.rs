@@ -16,7 +16,7 @@ pub struct SearchOutcome {
 }
 
 /// Full result of [`crate::Asap::smooth`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmoothingResult {
     /// Chosen window in preaggregated points.
     pub window: usize,

@@ -15,11 +15,17 @@
 //! chosen window — which is also the unit Figure 10 measures throughput
 //! over.
 
+use std::collections::BTreeMap;
+
 use crate::config::AsapConfig;
 use crate::problem::SearchOutcome;
 use crate::search::asap;
 use asap_stream::{Operator, PaneAggregator, RefreshClock, SlidingWindow};
 use asap_timeseries::TimeSeriesError;
+
+/// Minimum panes in the sliding window before a refresh is meaningful
+/// (the search needs a handful of points to estimate anything).
+const MIN_WARM_PANES: usize = 4;
 
 /// Configuration of the streaming operator.
 #[derive(Debug, Clone)]
@@ -88,8 +94,22 @@ impl StreamingAsap {
     pub fn new(config: StreamingConfig) -> Self {
         assert!(config.window_points > 0, "window_points must be positive");
         assert!(config.refresh_interval > 0, "refresh_interval must be positive");
+        assert!(
+            config.asap.resolution > 0,
+            "resolution must be positive: zero pixels means zero-sized panes"
+        );
         let pane_size = config.pane_size();
         let capacity = config.window_points.div_ceil(pane_size).max(2);
+        // A window that cannot ever hold MIN_WARM_PANES panes would never
+        // warm up: every push returns Ok(None) forever and finish() emits
+        // nothing — silent total frame suppression. Reject the degenerate
+        // config here instead (happens when resolution or window_points
+        // is below MIN_WARM_PANES).
+        assert!(
+            capacity >= MIN_WARM_PANES,
+            "window covers only {capacity} panes but refresh needs {MIN_WARM_PANES}: \
+             raise window_points or resolution"
+        );
         StreamingAsap {
             panes: PaneAggregator::new(pane_size),
             window: SlidingWindow::new(capacity),
@@ -117,6 +137,12 @@ impl StreamingAsap {
         self.searches
     }
 
+    /// Whether the window holds enough panes for a refresh to produce a
+    /// frame (a cold operator's [`StreamingAsap::refresh`] errors).
+    pub fn is_warm(&self) -> bool {
+        self.window.len() >= MIN_WARM_PANES
+    }
+
     /// Ingests one raw point; returns a frame when a refresh fired.
     ///
     /// UPDATEWINDOW of Algorithm 3: sub-aggregate, update the pane window,
@@ -131,15 +157,22 @@ impl StreamingAsap {
         if let Some(pane) = self.panes.push(value) {
             self.window.push(pane);
         }
-        if self.clock.tick() && self.window.len() >= 4 {
+        if self.clock.tick() && self.is_warm() {
             return self.refresh().map(Some);
         }
         Ok(None)
     }
 
     /// Forces a refresh now (used at end-of-stream).
+    ///
+    /// Errors with [`TimeSeriesError::Empty`] when no pane has completed
+    /// yet — an empty window would otherwise yield a meaningless frame
+    /// (empty smoothed series, NaN kurtosis).
     pub fn refresh(&mut self) -> Result<Frame, TimeSeriesError> {
         let series = self.window.pane_means();
+        if series.is_empty() {
+            return Err(TimeSeriesError::Empty);
+        }
         self.searches += 1;
         let outcome = asap::search_seeded(&series, &self.config.asap, self.previous_window)?;
         self.previous_window = Some(outcome.window);
@@ -164,11 +197,129 @@ impl Operator<f64, Frame> for StreamingAsap {
     }
 
     fn finish(&mut self, out: &mut Vec<Frame>) {
-        if self.window.len() >= 4 {
+        if self.is_warm() {
             if let Ok(frame) = self.refresh() {
                 out.push(frame);
             }
         }
+    }
+}
+
+/// A multi-series streaming driver: one runtime instance serving many
+/// keys.
+///
+/// Server-side deployments (§2) smooth every panel of a dashboard — or
+/// every series of a sharded store — from a single operator process. This
+/// driver owns one [`StreamingAsap`] per key, created lazily from a shared
+/// configuration template, and keeps them in a `BTreeMap` so every
+/// cross-key operation ([`MultiStreamingAsap::refresh_all`],
+/// [`MultiStreamingAsap::keys`]) is in deterministic key order.
+///
+/// The key type is generic: monitoring backends use metric names
+/// (see [`crate::fleet::Fleet`], a thin wrapper over
+/// `MultiStreamingAsap<String>`), while storage layers can drive it with
+/// richer series identities.
+#[derive(Debug)]
+pub struct MultiStreamingAsap<K: Ord + Clone> {
+    template: StreamingConfig,
+    operators: BTreeMap<K, StreamingAsap>,
+}
+
+impl<K: Ord + Clone> MultiStreamingAsap<K> {
+    /// Creates a driver whose per-key operators all use `template`.
+    ///
+    /// # Panics
+    /// Panics on the invalid templates [`StreamingAsap::new`] rejects
+    /// (zero `window_points`, `resolution`, or `refresh_interval`), so a
+    /// bad configuration fails at construction rather than at first push.
+    pub fn new(template: StreamingConfig) -> Self {
+        // Validate eagerly by building (and discarding) one operator.
+        let _probe = StreamingAsap::new(template.clone());
+        MultiStreamingAsap {
+            template,
+            operators: BTreeMap::new(),
+        }
+    }
+
+    /// The shared configuration template.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.template
+    }
+
+    /// Number of keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// True when no key has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Tracked keys, in key order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.operators.keys()
+    }
+
+    /// The per-key operator, if `key` has been seen.
+    pub fn operator<Q>(&self, key: &Q) -> Option<&StreamingAsap>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.operators.get(key)
+    }
+
+    /// Ingests one point for `key`, creating its operator on first sight
+    /// via `to_owned`. Returns a frame when that key's refresh fired.
+    ///
+    /// The borrowed-key form lets hot ingest paths look up by `&str` (or
+    /// any borrowed form) without allocating an owned key per point.
+    pub fn push_with<Q>(
+        &mut self,
+        key: &Q,
+        value: f64,
+        to_owned: impl FnOnce(&Q) -> K,
+    ) -> Result<Option<Frame>, TimeSeriesError>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let op = match self.operators.get_mut(key) {
+            Some(op) => op,
+            None => self
+                .operators
+                .entry(to_owned(key))
+                .or_insert_with(|| StreamingAsap::new(self.template.clone())),
+        };
+        op.push(value)
+    }
+
+    /// Ingests one point for `key` (cloning it on first sight). Returns a
+    /// frame when that key's refresh fired.
+    pub fn push(&mut self, key: &K, value: f64) -> Result<Option<Frame>, TimeSeriesError> {
+        self.push_with(key, value, K::clone)
+    }
+
+    /// Forces a refresh of every warm key, returning `(key, frame)` pairs
+    /// in key order — the "render the whole dashboard now" operation.
+    /// Cold keys (window not yet warm) are skipped.
+    pub fn refresh_all(&mut self) -> Vec<(K, Frame)> {
+        self.operators
+            .iter_mut()
+            .filter(|(_, op)| op.is_warm())
+            .filter_map(|(key, op)| op.refresh().ok().map(|frame| (key.clone(), frame)))
+            .collect()
+    }
+
+    /// Total searches run across all keys.
+    pub fn total_searches(&self) -> u64 {
+        self.operators.values().map(StreamingAsap::searches_run).sum()
+    }
+
+    /// Total raw points ingested across all keys.
+    pub fn total_points(&self) -> u64 {
+        self.operators.values().map(StreamingAsap::points_ingested).sum()
     }
 }
 
@@ -286,6 +437,149 @@ mod tests {
     #[should_panic(expected = "refresh_interval")]
     fn zero_refresh_interval_panics() {
         StreamingAsap::new(StreamingConfig::new(100, 10, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_pane_size_is_rejected() {
+        // resolution 0 would mean zero-sized panes; construction rejects it
+        // instead of silently degrading to one giant pane per point.
+        StreamingAsap::new(StreamingConfig::new(100, 0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "window_points")]
+    fn zero_window_points_panics() {
+        StreamingAsap::new(StreamingConfig::new(0, 10, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "panes")]
+    fn permanently_cold_window_is_rejected() {
+        // resolution 3 caps the pane window below the warm threshold: the
+        // operator could never emit a frame. Construction must say so.
+        StreamingAsap::new(StreamingConfig::new(100, 3, 1));
+    }
+
+    #[test]
+    fn forced_refresh_before_any_data_errors_cleanly() {
+        let mut op = StreamingAsap::new(StreamingConfig::new(1_000, 100, 100));
+        assert!(!op.is_warm());
+        // Nothing ingested: the window holds no panes, and a forced
+        // refresh reports Empty rather than emitting a frame with an
+        // empty smoothed series and NaN kurtosis.
+        let err = op.refresh().unwrap_err();
+        assert!(matches!(err, TimeSeriesError::Empty));
+        assert_eq!(op.searches_run(), 0, "no search ran on an empty window");
+    }
+
+    #[test]
+    fn window_not_yet_warm_suppresses_interval_frames() {
+        // Pane size is 10 (1000 points / 100 pixels); with refresh every
+        // point, no frame may fire until 4 panes (40 points) exist.
+        let mut op = StreamingAsap::new(StreamingConfig::new(1_000, 100, 1));
+        let mut first_frame_at = None;
+        for i in 0..100usize {
+            if op.push(i as f64).unwrap().is_some() && first_frame_at.is_none() {
+                first_frame_at = Some(i + 1);
+            }
+        }
+        assert_eq!(
+            first_frame_at,
+            Some(40),
+            "first frame exactly when the fourth pane completes"
+        );
+    }
+
+    #[test]
+    fn refresh_interval_one_fires_every_point_once_warm() {
+        let mut op = StreamingAsap::new(StreamingConfig::new(1_000, 100, 1));
+        let mut frames = 0u64;
+        for &v in &stream_data(200, 50) {
+            if op.push(v).unwrap().is_some() {
+                frames += 1;
+            }
+        }
+        // 200 points, warm from point 40 onward: one frame per push.
+        assert_eq!(frames, 200 - 39);
+        assert_eq!(op.searches_run(), frames);
+    }
+
+    #[test]
+    fn forced_refresh_with_few_panes_still_emits() {
+        // 3 panes is below the warm threshold for *automatic* frames, but
+        // an explicit end-of-stream refresh with ≥1 pane must not panic —
+        // it either smooths what exists or reports a clean error.
+        let mut op = StreamingAsap::new(StreamingConfig::new(1_000, 100, 1_000_000));
+        for i in 0..30 {
+            op.push(i as f64).unwrap(); // 3 full panes of 10
+        }
+        assert!(!op.is_warm());
+        match op.refresh() {
+            Ok(frame) => assert!(frame.smoothed.len() <= 3),
+            Err(e) => assert!(matches!(
+                e,
+                TimeSeriesError::Empty | TimeSeriesError::TooShort { .. }
+            )),
+        }
+    }
+
+    #[test]
+    fn multi_series_driver_serves_many_keys_deterministically() {
+        let mut multi = MultiStreamingAsap::new(StreamingConfig::new(2_000, 100, 100_000));
+        let keys = ["zeta", "alpha", "mid"];
+        for i in 0..2_000usize {
+            for (k, key) in keys.iter().enumerate() {
+                multi
+                    .push_with(*key, 1.0 + (i as f64 / (30.0 * (k + 1) as f64)).sin(), |s| {
+                        s.to_string()
+                    })
+                    .unwrap();
+            }
+        }
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi.total_points(), 6_000);
+        let listed: Vec<&String> = multi.keys().collect();
+        assert_eq!(listed, ["alpha", "mid", "zeta"], "key order, not insertion");
+        let frames = multi.refresh_all();
+        assert_eq!(frames.len(), 3);
+        let order: Vec<&str> = frames.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(order, ["alpha", "mid", "zeta"]);
+        assert!(multi.total_searches() >= 3);
+        assert!(multi.operator("alpha").unwrap().is_warm());
+        assert!(multi.operator("ghost").is_none());
+    }
+
+    #[test]
+    fn multi_series_driver_skips_cold_keys_on_refresh_all() {
+        let mut multi: MultiStreamingAsap<String> =
+            MultiStreamingAsap::new(StreamingConfig::new(1_000, 100, 100_000));
+        for i in 0..1_000usize {
+            multi.push(&"warm".to_string(), (i as f64 / 25.0).sin()).unwrap();
+        }
+        for i in 0..5usize {
+            multi.push(&"cold".to_string(), i as f64).unwrap();
+        }
+        let frames = multi.refresh_all();
+        assert_eq!(frames.len(), 1, "cold key skipped, not errored");
+        assert_eq!(frames[0].0, "warm");
+    }
+
+    #[test]
+    fn multi_series_driver_isolates_bad_points() {
+        let mut multi: MultiStreamingAsap<String> =
+            MultiStreamingAsap::new(StreamingConfig::new(100, 10, 10));
+        multi.push(&"ok".to_string(), 1.0).unwrap();
+        assert!(multi.push(&"bad".to_string(), f64::NAN).is_err());
+        // Both keys keep working afterwards.
+        assert!(multi.push(&"ok".to_string(), 2.0).unwrap().is_none());
+        assert!(multi.push(&"bad".to_string(), 2.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn multi_series_driver_validates_template_eagerly() {
+        let _ = MultiStreamingAsap::<String>::new(StreamingConfig::new(100, 0, 10));
     }
 
     #[test]

@@ -1,14 +1,11 @@
-//! The database facade: a concurrent map of series stores.
+//! The database facade: a single-[`Shard`] engine front-end.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
-
-use parking_lot::RwLock;
 
 use crate::error::TsdbError;
 use crate::point::DataPoint;
-use crate::query::RangeQuery;
-use crate::series::SeriesStore;
+use crate::query::{RangeQuery, SeriesReader};
+use crate::shard::Shard;
 use crate::tags::{Selector, SeriesKey};
 
 /// Engine configuration.
@@ -46,18 +43,24 @@ pub struct SeriesStats {
 /// memtables into Gorilla-compressed [`crate::block::Block`]s. Readers run
 /// [`RangeQuery`]s against a single series or a [`Selector`] over many.
 ///
+/// `Tsdb` is a facade over exactly one [`Shard`] — the storage partition
+/// type the engine is built from. The horizontally partitioned
+/// [`crate::sharded::ShardedDb`] front-end mirrors this API over many
+/// shards and, because both run the identical `Shard` code, produces
+/// byte-identical query results.
+///
 /// Concurrency model: a `RwLock` over the series map (series creation is
 /// rare), with each store behind its own `RwLock` so unrelated series never
 /// contend. Handles are `Arc`-shared; `Tsdb` itself is cheap to clone.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Tsdb {
-    inner: Arc<TsdbInner>,
+    inner: Arc<Shard>,
 }
 
-#[derive(Debug, Default)]
-struct TsdbInner {
-    config: RwLock<TsdbConfig>,
-    series: RwLock<BTreeMap<SeriesKey, Arc<RwLock<SeriesStore>>>>,
+impl Default for Tsdb {
+    fn default() -> Self {
+        Self::with_config(TsdbConfig::default())
+    }
 }
 
 impl Tsdb {
@@ -68,62 +71,29 @@ impl Tsdb {
 
     /// Creates an engine with the given configuration.
     pub fn with_config(config: TsdbConfig) -> Self {
-        let db = Self::new();
-        *db.inner.config.write() = config;
-        db
+        Self {
+            inner: Arc::new(Shard::new(config)),
+        }
     }
 
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
-        self.inner.series.read().len()
+        self.inner.series_count()
     }
 
     /// Writes one point, creating the series on first touch.
     pub fn write(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
-        let store = self.store_or_create(key);
-        let result = store.write().append(point);
-        result
+        self.inner.write(key, point)
     }
 
     /// Writes a batch of points to one series (points must be in order).
     pub fn write_batch(&self, key: &SeriesKey, points: &[DataPoint]) -> Result<(), TsdbError> {
-        let store = self.store_or_create(key);
-        let mut guard = store.write();
-        for &p in points {
-            guard.append(p)?;
-        }
-        Ok(())
-    }
-
-    fn store_or_create(&self, key: &SeriesKey) -> Arc<RwLock<SeriesStore>> {
-        if let Some(s) = self.inner.series.read().get(key) {
-            return Arc::clone(s);
-        }
-        let block_capacity = self.inner.config.read().block_capacity;
-        let mut map = self.inner.series.write();
-        Arc::clone(
-            map.entry(key.clone())
-                .or_insert_with(|| Arc::new(RwLock::new(SeriesStore::new(block_capacity)))),
-        )
-    }
-
-    fn store(&self, key: &SeriesKey) -> Result<Arc<RwLock<SeriesStore>>, TsdbError> {
-        self.inner
-            .series
-            .read()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| TsdbError::SeriesNotFound {
-                key: key.to_string(),
-            })
+        self.inner.write_batch(key, points)
     }
 
     /// Runs a query against one series.
     pub fn query(&self, key: &SeriesKey, query: RangeQuery) -> Result<Vec<DataPoint>, TsdbError> {
-        query.validate()?;
-        let store = self.store(key)?;
-        let raw = store.read().scan(query.start, query.end)?;
-        query.shape(&raw)
+        self.inner.query(key, query)
     }
 
     /// Runs a query against every series matching `selector`, returning
@@ -133,54 +103,23 @@ impl Tsdb {
         selector: &Selector,
         query: RangeQuery,
     ) -> Result<Vec<(SeriesKey, Vec<DataPoint>)>, TsdbError> {
-        query.validate()?;
-        let matching: Vec<(SeriesKey, Arc<RwLock<SeriesStore>>)> = self
-            .inner
-            .series
-            .read()
-            .iter()
-            .filter(|(k, _)| selector.matches(k))
-            .map(|(k, s)| (k.clone(), Arc::clone(s)))
-            .collect();
-        let mut out = Vec::with_capacity(matching.len());
-        for (key, store) in matching {
-            let raw = store.read().scan(query.start, query.end)?;
-            out.push((key, query.shape(&raw)?));
-        }
-        Ok(out)
+        self.inner.query_selector(selector, query)
     }
 
     /// Lists keys of series matching `selector`, in key order.
     pub fn list_series(&self, selector: &Selector) -> Vec<SeriesKey> {
-        self.inner
-            .series
-            .read()
-            .keys()
-            .filter(|k| selector.matches(k))
-            .cloned()
-            .collect()
+        self.inner.list_series(selector)
     }
 
     /// Seals every series' memtable (e.g. before measuring compression).
     pub fn flush(&self) -> Result<(), TsdbError> {
-        let stores: Vec<_> = self.inner.series.read().values().cloned().collect();
-        for store in stores {
-            store.write().seal_active()?;
-        }
-        Ok(())
+        self.inner.flush()
     }
 
     /// Evicts sealed blocks older than `cutoff` from every series and drops
     /// series left completely empty. Returns total evicted points.
     pub fn evict_before(&self, cutoff: i64) -> usize {
-        let mut evicted = 0;
-        let mut map = self.inner.series.write();
-        map.retain(|_, store| {
-            let mut guard = store.write();
-            evicted += guard.evict_before(cutoff);
-            !guard.is_empty()
-        });
-        evicted
+        self.inner.evict_before(cutoff)
     }
 
     /// Summary statistics (count/min/max/sum/mean) of one series over
@@ -193,18 +132,14 @@ impl Tsdb {
         start: i64,
         end: i64,
     ) -> Result<Option<crate::series::RangeSummary>, TsdbError> {
-        let store = self.store(key)?;
-        let result = store.read().summarize(start, end);
-        result
+        self.inner.summarize(key, start, end)
     }
 
     /// Returns clones of one series' sealed blocks (cheap: payloads are
     /// reference-counted). Used by snapshot persistence; call
     /// [`Tsdb::flush`] first to include memtable contents.
     pub fn export_blocks(&self, key: &SeriesKey) -> Result<Vec<crate::block::Block>, TsdbError> {
-        let store = self.store(key)?;
-        let guard = store.read();
-        Ok(guard.blocks().to_vec())
+        self.inner.export_blocks(key)
     }
 
     /// Imports pre-sealed blocks into a series (snapshot restore), creating
@@ -214,46 +149,29 @@ impl Tsdb {
         key: &SeriesKey,
         blocks: Vec<crate::block::Block>,
     ) -> Result<(), TsdbError> {
-        let store = self.store_or_create(key);
-        let result = store.write().import_blocks(blocks);
-        result
+        self.inner.import_blocks(key, blocks)
     }
 
     /// Evicts sealed blocks older than `cutoff` from one series. The series
     /// is dropped if left completely empty. Returns evicted points; missing
     /// series evict nothing.
     pub fn evict_series_before(&self, key: &SeriesKey, cutoff: i64) -> usize {
-        let store = match self.store(key) {
-            Ok(s) => s,
-            Err(_) => return 0,
-        };
-        let (evicted, empty) = {
-            let mut guard = store.write();
-            let evicted = guard.evict_before(cutoff);
-            (evicted, guard.is_empty())
-        };
-        if empty {
-            self.inner.series.write().remove(key);
-        }
-        evicted
+        self.inner.evict_series_before(key, cutoff)
     }
 
     /// Per-series occupancy statistics, in key order.
     pub fn stats(&self) -> Vec<SeriesStats> {
-        self.inner
-            .series
-            .read()
-            .iter()
-            .map(|(k, s)| {
-                let guard = s.read();
-                SeriesStats {
-                    key: k.clone(),
-                    points: guard.len(),
-                    blocks: guard.block_count(),
-                    compressed_bytes: guard.compressed_bytes(),
-                }
-            })
-            .collect()
+        self.inner.stats()
+    }
+}
+
+impl SeriesReader for Tsdb {
+    fn read_series(&self, key: &SeriesKey, query: RangeQuery) -> Result<Vec<DataPoint>, TsdbError> {
+        self.query(key, query)
+    }
+
+    fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey> {
+        self.list_series(selector)
     }
 }
 

@@ -14,6 +14,10 @@
 //!   store that merges them;
 //! * [`tags`] / [`db`] — metric+tag series identity, selectors, and the
 //!   concurrent engine facade;
+//! * [`shard`] / [`sharded`] — the storage partition both front-ends are
+//!   built from, and the horizontally sharded engine that routes series by
+//!   tag-aware hash and fans multi-series smoothing queries out across
+//!   shard-parallel worker threads;
 //! * [`query`] — range scans, bucketed aggregation, and the grid
 //!   alignment + gap-fill ASAP's equi-spaced SMA model requires;
 //! * [`line_protocol`] — InfluxDB-style text ingestion;
@@ -56,6 +60,8 @@ pub mod query;
 pub mod reorder;
 pub mod retention;
 pub mod series;
+pub mod shard;
+pub mod sharded;
 pub mod smooth;
 pub mod tags;
 
@@ -66,11 +72,15 @@ pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};
 pub use line_protocol::{ingest, parse, ParsedPoint};
 pub use persist::{load as load_snapshot, save as save_snapshot, SnapshotError};
 pub use point::DataPoint;
-pub use query::{Aggregator, FillPolicy, RangeQuery};
+pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader};
 pub use reorder::{ReorderBuffer, ReorderStats};
 pub use retention::{
     rollup_key, CompactionReport, Compactor, RetentionPolicy, RollupLevel, ROLLUP_TAG,
 };
 pub use series::{RangeSummary, SeriesStore};
-pub use smooth::{smooth_query, smooth_query_with_fill, SmoothQueryError, SmoothedFrame};
+pub use shard::Shard;
+pub use sharded::{ShardedConfig, ShardedDb};
+pub use smooth::{
+    smooth_query, smooth_query_selector, smooth_query_with_fill, SmoothQueryError, SmoothedFrame,
+};
 pub use tags::{Selector, SeriesKey};

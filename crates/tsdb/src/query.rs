@@ -9,6 +9,21 @@
 
 use crate::error::TsdbError;
 use crate::point::DataPoint;
+use crate::tags::{Selector, SeriesKey};
+
+/// A queryable series store — the engine-side contract the query→ASAP
+/// bridge ([`crate::smooth`]) is written against.
+///
+/// Implemented by the single-shard [`crate::db::Tsdb`], the partitioned
+/// [`crate::sharded::ShardedDb`], and each individual shard, so smoothing
+/// code runs identically over any front-end.
+pub trait SeriesReader {
+    /// Runs a query against one series.
+    fn read_series(&self, key: &SeriesKey, query: RangeQuery) -> Result<Vec<DataPoint>, TsdbError>;
+
+    /// Lists keys of series matching `selector`, in key order.
+    fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey>;
+}
 
 /// Reduction applied to the points that fall in one bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,14 +14,13 @@
 use asap_core::{Asap, SmoothingResult};
 use asap_timeseries::TimeSeriesError;
 
-use crate::db::Tsdb;
 use crate::error::TsdbError;
 use crate::point::DataPoint;
-use crate::query::{FillPolicy, RangeQuery};
-use crate::tags::SeriesKey;
+use crate::query::{FillPolicy, RangeQuery, SeriesReader};
+use crate::tags::{Selector, SeriesKey};
 
 /// A smoothed visualization frame produced from storage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmoothedFrame {
     /// The ASAP outcome (window choice, metrics, smoothed values).
     pub result: SmoothingResult,
@@ -77,8 +76,8 @@ impl From<TimeSeriesError> for SmoothQueryError {
 /// Gaps in the stored data are linearly interpolated ([`FillPolicy::Linear`])
 /// so the grid handed to ASAP is complete; use [`smooth_query_with_fill`] to
 /// choose a different policy.
-pub fn smooth_query(
-    db: &Tsdb,
+pub fn smooth_query<D: SeriesReader + ?Sized>(
+    db: &D,
     key: &SeriesKey,
     asap: &Asap,
     start: i64,
@@ -92,8 +91,8 @@ pub fn smooth_query(
 ///
 /// [`FillPolicy::Skip`] is rejected: it produces a non-equi-spaced grid,
 /// which would silently violate ASAP's SMA model.
-pub fn smooth_query_with_fill(
-    db: &Tsdb,
+pub fn smooth_query_with_fill<D: SeriesReader + ?Sized>(
+    db: &D,
     key: &SeriesKey,
     asap: &Asap,
     start: i64,
@@ -107,7 +106,7 @@ pub fn smooth_query_with_fill(
             message: "Skip produces an irregular grid; ASAP requires equi-spaced input",
         }));
     }
-    let grid = db.query(key, RangeQuery::bucketed(start, end, bucket).fill(fill))?;
+    let grid = db.read_series(key, RangeQuery::bucketed(start, end, bucket).fill(fill))?;
     if grid.is_empty() {
         return Err(SmoothQueryError::Smoothing(TimeSeriesError::Empty));
     }
@@ -131,9 +130,32 @@ pub fn smooth_query_with_fill(
     })
 }
 
+/// Smooths every series matching `selector` over `[start, end)` at grid
+/// step `bucket`, serially, returning `(key, frame)` pairs in key order.
+///
+/// Fails on the first failing key in key order — e.g. a matching series
+/// with no data in the interval reports
+/// [`TimeSeriesError::Empty`]. The shard-parallel
+/// [`crate::sharded::ShardedDb::smooth_query_selector`] is defined to
+/// produce exactly this function's output (frames and errors alike).
+pub fn smooth_query_selector<D: SeriesReader + ?Sized>(
+    db: &D,
+    selector: &Selector,
+    asap: &Asap,
+    start: i64,
+    end: i64,
+    bucket: i64,
+) -> Result<Vec<(SeriesKey, SmoothedFrame)>, SmoothQueryError> {
+    db.matching_series(selector)
+        .into_iter()
+        .map(|key| smooth_query(db, &key, asap, start, end, bucket).map(|f| (key, f)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::Tsdb;
 
     /// A noisy periodic series long enough for ASAP to smooth confidently.
     fn seed_db(n: i64, step: i64) -> (Tsdb, SeriesKey) {
@@ -203,6 +225,29 @@ mod tests {
         let asap = Asap::builder().resolution(50).build();
         let err = smooth_query(&db, &key, &asap, 5_000, 6_000, 10).unwrap_err();
         assert_eq!(err, SmoothQueryError::Smoothing(TimeSeriesError::Empty));
+    }
+
+    #[test]
+    fn selector_smoothing_returns_key_ordered_frames() {
+        let db = Tsdb::new();
+        for host in ["b", "a", "c"] {
+            let key = SeriesKey::metric("cpu").with_tag("host", host);
+            for i in 0..2000i64 {
+                let v = (std::f64::consts::TAU * i as f64 / 48.0).sin()
+                    + 0.4 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                db.write(&key, DataPoint::new(i * 10, v)).unwrap();
+            }
+        }
+        let asap = Asap::builder().resolution(200).build();
+        let frames =
+            smooth_query_selector(&db, &Selector::metric("cpu"), &asap, 0, 20_000, 10).unwrap();
+        let hosts: Vec<_> = frames.iter().map(|(k, _)| k.tag("host").unwrap()).collect();
+        assert_eq!(hosts, vec!["a", "b", "c"]);
+        // Each frame equals the single-series entry point's output.
+        for (key, frame) in &frames {
+            let single = smooth_query(&db, key, &asap, 0, 20_000, 10).unwrap();
+            assert_eq!(*frame, single);
+        }
     }
 
     #[test]

@@ -2,10 +2,16 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the API subset it uses: `crossbeam::channel`'s bounded MPSC
-//! channel, implemented over `std::sync::mpsc::sync_channel`. Semantics
-//! match what the stream runtime relies on: `send` blocks when the channel
-//! is full and errors after the receiver hangs up, `Receiver::iter` blocks
-//! until the senders hang up, and `try_iter` never blocks.
+//! channel, implemented over `std::sync::mpsc::sync_channel`, and
+//! `crossbeam::thread::scope`'s borrowing scoped threads, implemented over
+//! `std::thread::scope`. Channel semantics match what the stream runtime
+//! relies on: `send` blocks when the channel is full and errors after the
+//! receiver hangs up, `Receiver::iter` blocks until the senders hang up,
+//! and `try_iter` never blocks. Scope semantics match what the sharded
+//! query engine relies on: spawned closures may borrow from the enclosing
+//! frame, every thread is joined before `scope` returns, and a panicking
+//! child propagates at scope exit (the real crate reports it through the
+//! returned `Result` instead; both surface at the same `.unwrap()`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +34,92 @@ pub mod channel {
     }
 }
 
+/// Scoped threads that may borrow from the caller's stack frame.
+pub mod thread {
+    /// Spawning handle passed to the [`scope`] closure and to every
+    /// spawned closure (the real crate's signature, enabling nested
+    /// spawns).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err`
+        /// holds the panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope; the closure receives the
+        /// scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow non-`'static`
+    /// data; all threads are joined before this returns.
+    ///
+    /// Unjoined panicking children propagate their panic here rather than
+    /// through the `Err` variant (see the crate docs for why that is an
+    /// acceptable deviation for this workspace).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::bounded;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(|_| chunk.iter().sum::<u64>()));
+            }
+            for h in handles {
+                sums.lock().unwrap().push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
 
     #[test]
     fn send_receive_round_trip() {
