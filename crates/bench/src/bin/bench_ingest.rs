@@ -1,0 +1,182 @@
+//! Line-protocol ingest-pipeline benchmark for the sharded engine.
+//!
+//! Measures, per (shards, parsers) configuration, the wall-clock
+//! throughput of the concurrent ingest pipeline (`tsdb::ingest`:
+//! parser workers → per-shard bounded channels → per-shard writers)
+//! against the serial `line_protocol::ingest` baseline on the same
+//! document, and asserts the resulting stores are observationally
+//! identical before trusting any number. Results are written to
+//! `BENCH_ingest.json` (see `EXPERIMENTS.md` for the recorded run).
+//!
+//! Hand-timed wall clock, median of `BENCH_INGEST_RUNS` runs — the
+//! criterion shim's budgeted micro-timing is wrong for multi-threaded
+//! phases, which need one timed span per full ingest.
+//!
+//! Knobs: `BENCH_INGEST_POINTS` (points per series, default 100_000),
+//! `BENCH_INGEST_SERIES` (default 8), `BENCH_INGEST_RUNS` (default 3).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use asap_tsdb::{
+    line_protocol, pipeline_ingest, IngestConfig, RangeQuery, Selector, ShardedConfig,
+    ShardedDb, Tsdb, TsdbConfig,
+};
+
+const BLOCK_CAPACITY: usize = 4096;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One interleaved line-protocol document: `series` hosts × `points`
+/// samples, two fields per record.
+fn build_doc(series: usize, points: usize) -> String {
+    let mut doc = String::with_capacity(series * points * 48);
+    for t in 0..points {
+        for h in 0..series {
+            doc.push_str(&format!(
+                "req,host=h{h:02} rate={:.4},errors={} {t}\n",
+                (std::f64::consts::TAU * t as f64 / 900.0).sin() + h as f64,
+                (t % 17) as f64,
+            ));
+        }
+    }
+    doc
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let points = env_usize("BENCH_INGEST_POINTS", 100_000);
+    let series = env_usize("BENCH_INGEST_SERIES", 8);
+    let runs = env_usize("BENCH_INGEST_RUNS", 3).max(1);
+    let doc = build_doc(series, points);
+    let total_points = series * points * 2;
+
+    println!(
+        "ingest pipeline: {series} series x {points} records (x2 fields = {total_points} pts), median of {runs} ({} host cpus)",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+
+    // Serial baseline: parse + write on one thread, fresh store per run.
+    let serial_secs = median(
+        (0..runs)
+            .map(|_| {
+                let db = Tsdb::with_config(TsdbConfig {
+                    block_capacity: BLOCK_CAPACITY,
+                });
+                let t = Instant::now();
+                let n = line_protocol::ingest(&db, &doc, 0).unwrap();
+                let secs = t.elapsed().as_secs_f64();
+                assert_eq!(n, total_points);
+                secs
+            })
+            .collect(),
+    );
+    let serial_pts_per_sec = total_points as f64 / serial_secs;
+    println!(
+        "{:>7} {:>8} {:>14} {:>12}   (serial baseline)",
+        "-", "-", format!("{serial_pts_per_sec:.3e}"), format!("{:.1}", serial_secs * 1e3)
+    );
+
+    // The oracle the pipeline output is checked against.
+    let oracle = Tsdb::with_config(TsdbConfig {
+        block_capacity: BLOCK_CAPACITY,
+    });
+    line_protocol::ingest(&oracle, &doc, 0).unwrap();
+    let oracle_out = oracle
+        .query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+        .unwrap();
+
+    println!(
+        "{:>7} {:>8} {:>14} {:>12} {:>10}",
+        "shards", "parsers", "ingest pts/s", "ingest ms", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &(shards, parsers) in &[(1usize, 1usize), (1, 4), (2, 4), (4, 4), (8, 4), (8, 8)] {
+        let config = IngestConfig {
+            parsers,
+            queue_depth: 8,
+            chunk_lines: 1024,
+        };
+        let secs = median(
+            (0..runs)
+                .map(|_| {
+                    let db = ShardedDb::with_config(ShardedConfig::new(shards, BLOCK_CAPACITY));
+                    let t = Instant::now();
+                    let report = pipeline_ingest(&db, &doc, 0, &config).unwrap();
+                    let secs = t.elapsed().as_secs_f64();
+                    assert!(report.is_clean(), "{report:?}");
+                    assert_eq!(report.points, total_points);
+                    secs
+                })
+                .collect(),
+        );
+        // Correctness gate: the measured path must equal the oracle.
+        let db = ShardedDb::with_config(ShardedConfig::new(shards, BLOCK_CAPACITY));
+        pipeline_ingest(&db, &doc, 0, &config).unwrap();
+        assert_eq!(
+            db.query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+                .unwrap(),
+            oracle_out,
+            "pipeline output diverges from serial oracle at shards={shards}"
+        );
+        let pts_per_sec = total_points as f64 / secs;
+        println!(
+            "{:>7} {:>8} {:>14.3e} {:>12.1} {:>10.2}",
+            shards,
+            parsers,
+            pts_per_sec,
+            secs * 1e3,
+            pts_per_sec / serial_pts_per_sec
+        );
+        rows.push((shards, parsers, pts_per_sec, secs));
+    }
+
+    let best = rows.iter().map(|&(_, _, p, _)| p).fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "best pipeline speedup over serial ingest: {:.2}x",
+        best / serial_pts_per_sec
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingest_pipeline\",\n");
+    json.push_str(
+        "  \"note\": \"hand-timed wall clock (not the criterion shim); absolute numbers are machine-relative, compare configurations within one run; output checked byte-identical to the serial oracle before timing is trusted\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str(&format!("  \"series\": {series},\n"));
+    json.push_str(&format!("  \"records_per_series\": {points},\n"));
+    json.push_str(&format!("  \"total_points\": {total_points},\n"));
+    json.push_str(&format!("  \"runs_per_config\": {runs},\n"));
+    json.push_str(&format!(
+        "  \"serial_baseline\": {{\"points_per_sec\": {serial_pts_per_sec:.0}, \"wall_ms\": {:.2}}},\n",
+        serial_secs * 1e3
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, (shards, parsers, pts_per_sec, secs)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"parsers\": {parsers}, \"points_per_sec\": {pts_per_sec:.0}, \"wall_ms\": {:.2}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            secs * 1e3,
+            pts_per_sec / serial_pts_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_ingest.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_ingest.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_ingest.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,557 @@
+//! Concurrent line-protocol ingest pipeline for the sharded engine.
+//!
+//! The ASAP paper (§2) places the operator downstream of production TSDBs
+//! fed by live telemetry; this module is the front-end that feeds a
+//! [`ShardedDb`] at that rate. The serial [`crate::line_protocol::ingest`]
+//! parses and writes one line at a time on the caller's thread; here both
+//! halves run concurrently and in parallel:
+//!
+//! ```text
+//!              chunks p, p+P, p+2P, …             bounded(queue_depth)
+//!  document ─┬─▶ parser worker 0 ──┐  Batch{chunk, pts} ┌─▶ shard writer 0
+//!            ├─▶ parser worker 1 ──┼──── per-shard ─────┼─▶ shard writer 1
+//!            └─▶ parser worker P-1 ┘      channels      └─▶ shard writer N-1
+//! ```
+//!
+//! * the document is split into fixed-size line chunks; parser worker `p`
+//!   owns chunks `p, p+P, …` (static assignment — no shared work queue);
+//! * each parsed point is routed by the engine's tag-aware shard hash and
+//!   batched per `(chunk, shard)`; every chunk sends exactly one batch to
+//!   every shard (empty batches included), so writers can apply chunks
+//!   **strictly in document order** with a small reorder buffer;
+//! * channels are bounded ([`IngestConfig::queue_depth`] batches), and
+//!   parsers additionally throttle against the slowest writer's
+//!   applied-chunk watermark (a window of `parsers + queue_depth`
+//!   chunks), so neither a slow writer nor a stalled peer parser can
+//!   cause unbounded buffering anywhere — channel and reorder buffer
+//!   are both bounded;
+//! * per-shard writers apply points through the same [`Shard`] code the
+//!   serial path uses, so a pipeline-ingested store is byte-identical to a
+//!   serially ingested one (pinned by `tests/ops_properties.rs`).
+//!
+//! Because chunk application is in document order, per-series write order
+//! equals document order no matter how threads interleave — which makes
+//! the whole pipeline deterministic: same input, same final store, same
+//! [`IngestReport`], at any parser/shard/queue configuration.
+//!
+//! Unlike the serial path, the pipeline does not abort on the first bad
+//! line: malformed lines and rejected writes are skipped and reported in
+//! the [`IngestReport`] (a live telemetry socket cannot un-send a line).
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::error::TsdbError;
+use crate::line_protocol::{fallback_ts, parse_line, ParsedPoint};
+use crate::shard::Shard;
+use crate::sharded::ShardedDb;
+
+/// Tuning knobs of the ingest pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Parser worker threads (default 4).
+    pub parsers: usize,
+    /// Bound of each per-shard channel, in batches (default 8). Smaller
+    /// values bound memory harder and throttle parsers sooner; larger
+    /// values absorb burstier shard skew.
+    pub queue_depth: usize,
+    /// Lines per chunk (default 256). A chunk is the unit of parser
+    /// scheduling and of writer-side ordering.
+    pub chunk_lines: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            parsers: 4,
+            queue_depth: 8,
+            chunk_lines: 256,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Validates the knobs (all must be positive).
+    pub fn validate(&self) -> Result<(), TsdbError> {
+        let bad = |name: &'static str| TsdbError::InvalidParameter {
+            name,
+            message: "ingest pipeline knobs must be positive",
+        };
+        if self.parsers == 0 {
+            return Err(bad("parsers"));
+        }
+        if self.queue_depth == 0 {
+            return Err(bad("queue_depth"));
+        }
+        if self.chunk_lines == 0 {
+            return Err(bad("chunk_lines"));
+        }
+        Ok(())
+    }
+}
+
+/// One malformed line, skipped by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFailure {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// Why it failed to parse.
+    pub reason: &'static str,
+}
+
+/// One parsed point the engine rejected (out-of-order, non-finite, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteFailure {
+    /// 1-based line number the point came from.
+    pub line: usize,
+    /// The engine's rejection.
+    pub error: TsdbError,
+}
+
+/// Outcome of one pipeline ingest, deterministic for a given input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Total lines in the document (including blanks and comments).
+    pub lines: usize,
+    /// Points written into the store.
+    pub points: usize,
+    /// Malformed lines, sorted by line number.
+    pub parse_failures: Vec<ParseFailure>,
+    /// Rejected writes, sorted by line number.
+    pub write_failures: Vec<WriteFailure>,
+}
+
+impl IngestReport {
+    /// Whether every line parsed and every point was accepted.
+    pub fn is_clean(&self) -> bool {
+        self.parse_failures.is_empty() && self.write_failures.is_empty()
+    }
+}
+
+/// One chunk's points for one shard. Every chunk sends exactly one batch
+/// to every shard — empty ones advance the writer's ordering clock.
+struct Batch {
+    chunk: usize,
+    points: Vec<(usize, ParsedPoint)>,
+}
+
+/// Shared pipeline progress: per shard, the next chunk its writer will
+/// apply. Parsers wait until their chunk is within `window` of the
+/// slowest writer, which bounds every writer's reorder buffer (a batch
+/// is only ever sent while its chunk is less than `min applied +
+/// window`, so a writer at chunk `next` buffers fewer than `window`
+/// chunks ahead of it).
+///
+/// Deadlock-free by construction: the parser owning the minimum
+/// unapplied chunk `m` is working on some chunk `<= m < m + window`, so
+/// it is never gated, and writers always drain their channels, so its
+/// sends always complete — `m` strictly advances.
+struct Progress {
+    applied: Vec<std::sync::atomic::AtomicUsize>,
+    gate: std::sync::Mutex<()>,
+    wake: std::sync::Condvar,
+}
+
+impl Progress {
+    fn new(shards: usize) -> Self {
+        Self {
+            applied: (0..shards).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect(),
+            gate: std::sync::Mutex::new(()),
+            wake: std::sync::Condvar::new(),
+        }
+    }
+
+    fn min_applied(&self) -> usize {
+        self.applied
+            .iter()
+            .map(|a| a.load(std::sync::atomic::Ordering::Acquire))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Blocks until `chunk < min applied + window`.
+    fn wait_until_within(&self, chunk: usize, window: usize) {
+        if chunk < self.min_applied().saturating_add(window) {
+            return;
+        }
+        let mut guard = self.gate.lock().expect("ingest gate poisoned");
+        while chunk >= self.min_applied().saturating_add(window) {
+            guard = self.wake.wait(guard).expect("ingest gate poisoned");
+        }
+    }
+
+    /// Records that `shard`'s writer will next apply `next`.
+    fn advance(&self, shard: usize, next: usize) {
+        // Store under the gate so a parser cannot check-then-sleep
+        // between the store and the notify (missed wakeup).
+        let _guard = self.gate.lock().expect("ingest gate poisoned");
+        self.applied[shard].store(next, std::sync::atomic::Ordering::Release);
+        self.wake.notify_all();
+    }
+}
+
+/// Ingests a line-protocol document into `db` through the concurrent
+/// pipeline; see the module docs for topology and semantics.
+///
+/// Records missing a timestamp take `default_ts` plus the 0-based line
+/// index, exactly like the serial [`crate::line_protocol::ingest`].
+/// Returns `Err` only for an invalid `config`; data problems (malformed
+/// lines, rejected writes) are skipped and reported.
+pub fn pipeline_ingest(
+    db: &ShardedDb,
+    text: &str,
+    default_ts: i64,
+    config: &IngestConfig,
+) -> Result<IngestReport, TsdbError> {
+    config.validate()?;
+    let lines: Vec<&str> = text.lines().collect();
+    let chunk_count = lines.len().div_ceil(config.chunk_lines);
+    let shards = db.shards();
+
+    let mut report = IngestReport {
+        lines: lines.len(),
+        ..IngestReport::default()
+    };
+
+    let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(shards.len());
+    let mut rxs: Vec<Receiver<Batch>> = Vec::with_capacity(shards.len());
+    for _ in 0..shards.len() {
+        let (tx, rx) = crossbeam::channel::bounded(config.queue_depth);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let progress = Progress::new(shards.len());
+    crossbeam::thread::scope(|scope| {
+        let mut writers = Vec::with_capacity(shards.len());
+        for (idx, (shard, rx)) in shards.iter().zip(rxs.drain(..)).enumerate() {
+            let progress = &progress;
+            writers.push(scope.spawn(move |_| shard_writer(shard, rx, idx, progress)));
+        }
+        let mut parsers = Vec::with_capacity(config.parsers);
+        for p in 0..config.parsers {
+            let txs = txs.clone();
+            let lines = &lines;
+            let progress = &progress;
+            parsers.push(scope.spawn(move |_| {
+                parse_worker(p, config, lines, chunk_count, default_ts, db, &txs, progress)
+            }));
+        }
+        // The spawned parsers hold their own sender clones; dropping ours
+        // lets writers observe hangup as soon as the last parser exits.
+        drop(txs);
+        for h in parsers {
+            report
+                .parse_failures
+                .extend(h.join().expect("ingest parser worker panicked"));
+        }
+        for h in writers {
+            let (written, failures) = h.join().expect("ingest shard writer panicked");
+            report.points += written;
+            report.write_failures.extend(failures);
+        }
+    })
+    .expect("ingest pipeline scope failed");
+
+    report.parse_failures.sort_by_key(|f| f.line);
+    report.write_failures.sort_by_key(|f| f.line);
+    Ok(report)
+}
+
+/// Parses chunks `p, p+P, …`, routes points to per-shard batches, and
+/// sends one batch per (chunk, shard). Returns the chunk's parse failures.
+#[allow(clippy::too_many_arguments)]
+fn parse_worker(
+    p: usize,
+    config: &IngestConfig,
+    lines: &[&str],
+    chunk_count: usize,
+    default_ts: i64,
+    db: &ShardedDb,
+    txs: &[Sender<Batch>],
+    progress: &Progress,
+) -> Vec<ParseFailure> {
+    let window = config.parsers + config.queue_depth;
+    let mut failures = Vec::new();
+    let mut chunk = p;
+    while chunk < chunk_count {
+        // Don't run unboundedly ahead of the slowest writer: this keeps
+        // every writer's reorder buffer within `window` chunks even when
+        // a peer parser stalls on an earlier chunk.
+        progress.wait_until_within(chunk, window);
+        let lo = chunk * config.chunk_lines;
+        let hi = (lo + config.chunk_lines).min(lines.len());
+        let mut per_shard: Vec<Vec<(usize, ParsedPoint)>> = vec![Vec::new(); txs.len()];
+        for (idx, raw) in lines[lo..hi].iter().enumerate() {
+            let idx = lo + idx;
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_line(line, line_no, fallback_ts(default_ts, idx)) {
+                Ok(points) => {
+                    for point in points {
+                        per_shard[db.shard_of(&point.key)].push((line_no, point));
+                    }
+                }
+                Err(TsdbError::Parse { line, reason }) => {
+                    failures.push(ParseFailure { line, reason });
+                }
+                // parse_line only constructs Parse errors; anything else
+                // would be a bug worth surfacing loudly.
+                Err(other) => panic!("parse_line returned a non-parse error: {other:?}"),
+            }
+        }
+        for (tx, points) in txs.iter().zip(per_shard) {
+            // Blocks when the shard's queue is full: backpressure. Fails
+            // only if the writer died, which only happens on panic.
+            tx.send(Batch { chunk, points })
+                .expect("ingest shard writer hung up");
+        }
+        chunk += config.parsers;
+    }
+    failures
+}
+
+/// Applies batches to one shard strictly in chunk order, buffering
+/// out-of-order arrivals (bounded: parsers only send chunks within the
+/// [`Progress`] window of the slowest writer). Returns points written
+/// and rejected writes.
+fn shard_writer(
+    shard: &Shard,
+    rx: Receiver<Batch>,
+    shard_idx: usize,
+    progress: &Progress,
+) -> (usize, Vec<WriteFailure>) {
+    let mut written = 0usize;
+    let mut failures = Vec::new();
+    let mut pending: BTreeMap<usize, Vec<(usize, ParsedPoint)>> = BTreeMap::new();
+    let mut next = 0usize;
+    for batch in rx.iter() {
+        pending.insert(batch.chunk, batch.points);
+        let before = next;
+        while let Some(points) = pending.remove(&next) {
+            apply_batch(shard, points, &mut written, &mut failures);
+            next += 1;
+        }
+        if next != before {
+            progress.advance(shard_idx, next);
+        }
+    }
+    // Senders hung up: every chunk has arrived, the leftovers are the
+    // contiguous tail — a BTreeMap iterates them in chunk order.
+    for (_, points) in std::mem::take(&mut pending) {
+        apply_batch(shard, points, &mut written, &mut failures);
+    }
+    (written, failures)
+}
+
+fn apply_batch(
+    shard: &Shard,
+    points: Vec<(usize, ParsedPoint)>,
+    written: &mut usize,
+    failures: &mut Vec<WriteFailure>,
+) {
+    for (line, point) in points {
+        match shard.write(&point.key, point.point) {
+            Ok(()) => *written += 1,
+            Err(error) => failures.push(WriteFailure { line, error }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Tsdb, TsdbConfig};
+    use crate::line_protocol;
+    use crate::query::RangeQuery;
+    use crate::sharded::ShardedConfig;
+    use crate::tags::{Selector, SeriesKey};
+
+    /// A document with several interleaved series, explicit timestamps.
+    fn doc(hosts: usize, points: i64) -> String {
+        let mut out = String::new();
+        for t in 0..points {
+            for h in 0..hosts {
+                out.push_str(&format!(
+                    "cpu,host=h{h} usage={},idle={} {t}\n",
+                    (t as f64 * 0.1).sin() + h as f64,
+                    100 - h as i64,
+                ));
+            }
+        }
+        out
+    }
+
+    fn configs() -> Vec<IngestConfig> {
+        vec![
+            IngestConfig::default(),
+            IngestConfig {
+                parsers: 1,
+                queue_depth: 1,
+                chunk_lines: 1,
+            },
+            IngestConfig {
+                parsers: 7,
+                queue_depth: 2,
+                chunk_lines: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let db = ShardedDb::new();
+        for config in [
+            IngestConfig {
+                parsers: 0,
+                ..IngestConfig::default()
+            },
+            IngestConfig {
+                queue_depth: 0,
+                ..IngestConfig::default()
+            },
+            IngestConfig {
+                chunk_lines: 0,
+                ..IngestConfig::default()
+            },
+        ] {
+            let err = pipeline_ingest(&db, "cpu v=1 1", 0, &config).unwrap_err();
+            assert!(matches!(err, TsdbError::InvalidParameter { .. }));
+        }
+    }
+
+    #[test]
+    fn empty_document_reports_zeroes() {
+        let db = ShardedDb::new();
+        let report = pipeline_ingest(&db, "", 0, &IngestConfig::default()).unwrap();
+        assert_eq!(report, IngestReport::default());
+        assert_eq!(db.series_count(), 0);
+    }
+
+    #[test]
+    fn pipeline_matches_serial_ingest() {
+        let text = doc(5, 200);
+        for config in configs() {
+            let sharded = ShardedDb::with_config(ShardedConfig::new(4, 32));
+            let report = pipeline_ingest(&sharded, &text, 0, &config).unwrap();
+            let oracle = Tsdb::with_config(TsdbConfig { block_capacity: 32 });
+            let n = line_protocol::ingest(&oracle, &text, 0).unwrap();
+            assert!(report.is_clean(), "{report:?}");
+            assert_eq!(report.points, n);
+            assert_eq!(report.lines, text.lines().count());
+            let sel = Selector::any();
+            let q = RangeQuery::raw(i64::MIN, i64::MAX);
+            assert_eq!(
+                sharded.query_selector(&sel, q).unwrap(),
+                oracle.query_selector(&sel, q).unwrap(),
+                "config {config:?}"
+            );
+            sharded.flush().unwrap();
+            oracle.flush().unwrap();
+            assert_eq!(sharded.stats(), oracle.stats());
+        }
+    }
+
+    #[test]
+    fn fallback_timestamps_use_global_line_index() {
+        // Chunked parsing must produce the same fallback timestamps as
+        // the serial path: default_ts + 0-based line index.
+        let text = "a v=1\nb v=2\n\na v=3\n# note\nb v=4\n";
+        let config = IngestConfig {
+            parsers: 3,
+            queue_depth: 1,
+            chunk_lines: 2,
+        };
+        let sharded = ShardedDb::with_config(ShardedConfig::new(3, 16));
+        pipeline_ingest(&sharded, text, 1000, &config).unwrap();
+        let oracle = Tsdb::new();
+        line_protocol::ingest(&oracle, text, 1000).unwrap();
+        let q = RangeQuery::raw(i64::MIN, i64::MAX);
+        for key in ["a.v", "b.v"] {
+            let key = SeriesKey::metric(key);
+            assert_eq!(
+                sharded.query(&key, q).unwrap(),
+                oracle.query(&key, q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_skipped_and_reported_in_order() {
+        let text = "cpu v=1 1\nbogus\ncpu v=2 2\ncpu v=nope 3\ncpu v=3 4\n";
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let report =
+            pipeline_ingest(&db, text, 0, &IngestConfig::default()).unwrap();
+        assert_eq!(report.points, 3);
+        assert_eq!(
+            report.parse_failures,
+            vec![
+                ParseFailure {
+                    line: 2,
+                    reason: "missing field set"
+                },
+                ParseFailure {
+                    line: 4,
+                    reason: "field value is not numeric"
+                },
+            ]
+        );
+        assert!(report.write_failures.is_empty());
+        let key = SeriesKey::metric("cpu.v");
+        assert_eq!(
+            db.query(&key, RangeQuery::raw(0, 10)).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn rejected_writes_reported_with_line_numbers() {
+        // Line 3 goes backwards in time for cpu.v; line 4 is NaN. Both
+        // are deterministic rejections regardless of thread interleaving.
+        let text = "cpu v=1 10\ncpu v=2 20\ncpu v=3 5\ncpu v=NaN 30\ncpu v=4 40\n";
+        for config in configs() {
+            let db = ShardedDb::with_config(ShardedConfig::new(3, 16));
+            let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+            assert_eq!(report.points, 3, "config {config:?}");
+            assert!(report.parse_failures.is_empty());
+            assert_eq!(report.write_failures.len(), 2);
+            assert_eq!(report.write_failures[0].line, 3);
+            assert!(matches!(
+                report.write_failures[0].error,
+                TsdbError::OutOfOrder { last: 20, got: 5 }
+            ));
+            assert_eq!(report.write_failures[1].line, 4);
+            assert!(matches!(
+                report.write_failures[1].error,
+                TsdbError::NonFiniteValue { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn report_is_deterministic_across_configs_and_reruns() {
+        let mut text = doc(4, 50);
+        text.push_str("junk line\ncpu,host=h0 usage=1 0\n"); // parse + write failure
+        let mut reports = Vec::new();
+        for config in configs() {
+            let db = ShardedDb::with_config(ShardedConfig::new(5, 8));
+            reports.push(pipeline_ingest(&db, &text, 0, &config).unwrap());
+        }
+        for pair in reports.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn single_shard_pipeline_still_works() {
+        let text = doc(3, 40);
+        let db = ShardedDb::with_config(ShardedConfig::new(1, 16));
+        let report = pipeline_ingest(&db, &text, 0, &IngestConfig::default()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(db.series_count(), 6);
+    }
+}

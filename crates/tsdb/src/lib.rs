@@ -21,9 +21,14 @@
 //! * [`query`] — range scans, bucketed aggregation, and the grid
 //!   alignment + gap-fill ASAP's equi-spaced SMA model requires;
 //! * [`line_protocol`] — InfluxDB-style text ingestion;
+//! * [`mod@ingest`] — the concurrent ingest pipeline: parser workers feeding
+//!   per-shard bounded channels with per-shard writers, backpressure, and
+//!   a deterministic ingest report;
 //! * [`retention`] — TTLs and continuous-aggregate rollups (the raw-hot /
-//!   downsampled-cold tiering monitoring dashboards sit on);
-//! * [`persist`] — single-file snapshots for restart durability;
+//!   downsampled-cold tiering monitoring dashboards sit on), fanned out
+//!   per shard on the partitioned engine;
+//! * [`persist`] — single-file snapshots for restart durability (v2
+//!   serializes and loads shards in parallel);
 //! * [`reorder`] — watermark-based reordering so bounded-lateness
 //!   out-of-order telemetry survives the engine's strict ordering;
 //! * [`smooth`] — the query→ASAP bridge: smooth a visualization interval
@@ -52,6 +57,7 @@ pub mod block;
 pub mod db;
 pub mod error;
 pub mod gorilla;
+pub mod ingest;
 pub mod line_protocol;
 pub mod memtable;
 pub mod persist;
@@ -69,13 +75,20 @@ pub use block::{Block, BlockSummary};
 pub use db::{SeriesStats, Tsdb, TsdbConfig};
 pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};
+pub use ingest::{
+    pipeline_ingest, IngestConfig, IngestReport, ParseFailure, WriteFailure,
+};
 pub use line_protocol::{ingest, parse, ParsedPoint};
-pub use persist::{load as load_snapshot, save as save_snapshot, SnapshotError};
+pub use persist::{
+    load as load_snapshot, load_sharded as load_sharded_snapshot, save as save_snapshot,
+    save_sharded as save_sharded_snapshot, SnapshotError,
+};
 pub use point::DataPoint;
 pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader};
 pub use reorder::{ReorderBuffer, ReorderStats};
 pub use retention::{
-    rollup_key, CompactionReport, Compactor, RetentionPolicy, RollupLevel, ROLLUP_TAG,
+    rollup_key, CompactionReport, Compactor, RetentionPolicy, RetentionStore, RollupLevel,
+    ROLLUP_TAG,
 };
 pub use series::{RangeSummary, SeriesStore};
 pub use shard::Shard;

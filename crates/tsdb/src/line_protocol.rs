@@ -28,8 +28,9 @@ pub struct ParsedPoint {
 
 /// Parses a line-protocol document into points.
 ///
-/// Records missing a timestamp take `default_ts` plus the 0-based record
-/// index (so repeated calls with increasing bases stay ordered).
+/// Records missing a timestamp take `default_ts` plus the 0-based line
+/// index (so repeated calls with increasing bases stay ordered). The sum
+/// saturates at `i64::MAX` rather than overflowing for absurd bases.
 pub fn parse(text: &str, default_ts: i64) -> Result<Vec<ParsedPoint>, TsdbError> {
     let mut out = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -38,9 +39,15 @@ pub fn parse(text: &str, default_ts: i64) -> Result<Vec<ParsedPoint>, TsdbError>
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.extend(parse_line(line, line_no, default_ts + idx as i64)?);
+        out.extend(parse_line(line, line_no, fallback_ts(default_ts, idx))?);
     }
     Ok(out)
+}
+
+/// The timestamp a record on 0-based line `idx` falls back to when it
+/// carries none: `default_ts + idx`, saturating instead of overflowing.
+pub(crate) fn fallback_ts(default_ts: i64, idx: usize) -> i64 {
+    default_ts.saturating_add(i64::try_from(idx).unwrap_or(i64::MAX))
 }
 
 /// Parses a document and writes every point into `db`.
@@ -56,7 +63,10 @@ pub fn ingest(db: &Tsdb, text: &str, default_ts: i64) -> Result<usize, TsdbError
     Ok(points.len())
 }
 
-fn parse_line(
+/// Parses one pre-trimmed, non-comment record; `line_no` is the 1-based
+/// line number carried into any [`TsdbError::Parse`]. Shared by the serial
+/// [`parse`] loop and the concurrent [`crate::ingest`] parser workers.
+pub(crate) fn parse_line(
     line: &str,
     line_no: usize,
     fallback_ts: i64,
@@ -203,5 +213,150 @@ mod tests {
         let db = Tsdb::new();
         let err = ingest(&db, "cpu v=1 10\ncpu v=2 5", 0).unwrap_err();
         assert!(matches!(err, TsdbError::OutOfOrder { last: 10, got: 5 }));
+    }
+
+    #[test]
+    fn duplicate_tags_last_value_wins() {
+        // SeriesKey::with_tag replaces on duplicate keys, so the record's
+        // rightmost duplicate determines the series — never two tags with
+        // the same key, never a panic.
+        let pts = parse("cpu,host=a,host=b v=1 5", 0).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].key.tag("host"), Some("b"));
+        assert_eq!(pts[0].key.tags().len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_timestamps_error_with_line_number() {
+        // Larger than i64::MAX: not representable, must be a parse error
+        // on the right line, not a panic.
+        let doc = "ok v=1 5\ncpu v=1 99999999999999999999999999";
+        match parse(doc, 0) {
+            Err(TsdbError::Parse { line: 2, reason }) => {
+                assert_eq!(reason, "timestamp is not an integer");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Extremes that *are* representable parse fine.
+        let pts = parse(&format!("cpu v=1 {}\n", i64::MAX), 0).unwrap();
+        assert_eq!(pts[0].point.timestamp, i64::MAX);
+        let pts = parse(&format!("cpu v=1 {}\n", i64::MIN), 0).unwrap();
+        assert_eq!(pts[0].point.timestamp, i64::MIN);
+    }
+
+    #[test]
+    fn fallback_timestamp_saturates_instead_of_overflowing() {
+        // default_ts near i64::MAX plus a line index must not overflow
+        // (debug builds would panic on `+`).
+        let pts = parse("a v=1\nb v=2\nc v=3", i64::MAX - 1).unwrap();
+        assert_eq!(pts[0].point.timestamp, i64::MAX - 1);
+        assert_eq!(pts[1].point.timestamp, i64::MAX);
+        assert_eq!(pts[2].point.timestamp, i64::MAX, "saturated, not wrapped");
+    }
+
+    #[test]
+    fn comments_mid_document_keep_line_numbers_honest() {
+        let doc = "cpu v=1 1\n# interlude\n  # indented comment\ncpu v=oops 2";
+        match parse(doc, 0) {
+            Err(TsdbError::Parse { line, reason }) => {
+                assert_eq!(line, 4, "comment lines still count");
+                assert_eq!(reason, "field value is not numeric");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_field_sets_are_errors_not_panics() {
+        for doc in [
+            "cpu",              // nothing after measurement
+            "cpu 1234",         // timestamp where the field set belongs
+            "cpu ,",            // empty field pair
+            "cpu v=",           // field with empty value
+            "cpu v= 5",         // ditto, with timestamp
+            "cpu =5 5",         // missing field name
+            "cpu,host=a",       // tags but no fields
+        ] {
+            match parse(doc, 0) {
+                Err(TsdbError::Parse { line: 1, .. }) => {}
+                other => panic!("expected line-1 parse error for {doc:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_junk_never_panics() {
+        // The supported subset has no escaping; backslashes, quotes and
+        // other junk must surface as clean per-line errors (or parse as
+        // literal token bytes), never a panic.
+        for doc in [
+            "m,t=a\\ b v=1",
+            "m \"v\"=1",
+            "m,t=\"x y\" v=1 5",
+            "m v=1\\n2",
+            "\\",
+            "m,=x v=1",
+            "m,t== v=1",
+            "m v==1",
+            "\u{0}weird\u{7f} v=1",
+            "m,t=\u{1f600} v=1 5",
+        ] {
+            let _ = parse(doc, 0); // Ok or Err both fine; panics are not.
+        }
+        // A tag value that is itself junk-free parses as literal bytes.
+        let pts = parse("m,t=\u{1f600} v=1 5", 0).unwrap();
+        assert_eq!(pts[0].key.tag("t"), Some("\u{1f600}"));
+    }
+
+    use proptest::prelude::*;
+
+    /// Checks totality on one document: parse must return `Ok` or a
+    /// line-numbered `Parse` error inside the document — nothing else,
+    /// and never a panic.
+    fn assert_total(doc: &str, base: i64) -> proptest::TestCaseResult {
+        match parse(doc, base) {
+            Ok(_) => {}
+            Err(TsdbError::Parse { line, .. }) => {
+                prop_assert!(line >= 1);
+                prop_assert!(line <= doc.lines().count());
+            }
+            Err(other) => {
+                return Err(proptest::TestCaseError::fail(format!(
+                    "non-parse error from parse(): {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// The parser is total over arbitrary byte soup (lossily decoded
+        /// to UTF-8): any input either parses or reports a line-numbered
+        /// error — it never panics.
+        #[test]
+        fn parser_never_panics_on_junk(
+            bytes in prop::collection::vec(0u32..256, 0..80),
+            base in (i64::MIN..i64::MAX),
+        ) {
+            let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+            let doc = String::from_utf8_lossy(&raw).into_owned();
+            assert_total(&doc, base)?;
+        }
+
+        /// Structured-ish junk built from line-protocol punctuation hits
+        /// the deeper branches (tag pairs, field pairs, timestamps);
+        /// still total, still line-accurate.
+        #[test]
+        fn parser_never_panics_on_protocol_shaped_junk(
+            picks in prop::collection::vec(0usize..18, 0..120),
+            base in (i64::MIN..i64::MAX),
+        ) {
+            const ALPHABET: [char; 18] = [
+                'a', 'z', '=', ',', '.', '#', ' ', '0', '9', 'i', '\\', '\n',
+                '-', '{', '}', '"', '\t', '\u{1f600}',
+            ];
+            let doc: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+            assert_total(&doc, base)?;
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Snapshot persistence: serialize a [`Tsdb`] to a single file and back.
+//! Snapshot persistence: serialize an engine to a single file and back.
 //!
 //! The engine is in-memory (like the hot tier of Gorilla, which keeps 26
 //! hours in RAM); snapshots provide the restart-durability story: flush
@@ -7,10 +7,10 @@
 //! Gorilla-compressed payloads, so a snapshot is roughly the engine's
 //! compressed in-memory footprint.
 //!
-//! ## Format (little-endian, version 1)
+//! ## Format version 1 (little-endian) — single-shard, sequential
 //!
 //! ```text
-//! magic "ASAPTSDB" | u32 version | u32 series_count
+//! magic "ASAPTSDB" | u32 1 | u32 series_count
 //! per series:
 //!   u32 key_len   | key bytes (display form: metric{k=v,...})
 //!   u32 block_count
@@ -18,12 +18,60 @@
 //!     u64 count | u64 len_bits | u32 byte_len | payload bytes
 //! ```
 //!
+//! ## Format version 2 (little-endian) — sharded, parallel
+//!
+//! ```text
+//! magic "ASAPTSDB" | u32 2 | u32 series_count
+//! directory, series sorted by key:
+//!   u32 key_len | key bytes | u32 block_count
+//!   u64 payload_offset (from file start) | u64 payload_len
+//! payloads, same order: block records as in v1
+//! ```
+//!
+//! Version 2 is produced by [`save_sharded`]: one worker per shard
+//! serializes its series concurrently, and the per-shard results are
+//! merged into key order before anything touches the file — so the bytes
+//! are **independent of the writer's shard count** (a 1-shard and an
+//! 8-shard store holding the same points produce identical files). The
+//! directory's offsets let [`load_sharded`] hand each shard worker its
+//! own file handle and read payloads in parallel.
+//!
+//! Both loaders accept both versions: a v1 file loads into any shard
+//! count (series re-route by hash), and a v2 file loads into a
+//! single-shard [`Tsdb`] sequentially.
+//!
 //! The display form of [`SeriesKey`] is unambiguous as long as metric and
 //! tag tokens exclude the structural characters `{`, `}`, `,`, `=`;
-//! [`save`] rejects keys that violate this (line-protocol ingestion can
+//! saving rejects keys that violate this (line-protocol ingestion can
 //! never produce them).
+//!
+//! ## Consistency under concurrent writers
+//!
+//! Saving never holds more than one series lock at a time, and each only
+//! briefly: the initial flush seals memtables series-by-series, and each
+//! series' blocks are then cloned under that series' read lock alone. The
+//! snapshot therefore captures a **per-series consistency point** — every
+//! series is internally consistent as of the moment its blocks were
+//! exported — but not a single cross-series cut: a writer racing the save
+//! may land a sealed block in series B after A was exported and before B
+//! is. Concretely:
+//!
+//! * each saved series is a prefix (in time) of that series' final
+//!   contents — never torn mid-block;
+//! * points accepted after a series' flush stay in its memtable and are
+//!   excluded, unless they fill a block first;
+//! * series created after the key listing are excluded entirely;
+//! * writers are never blocked for the duration of the save and the save
+//!   never deadlocks (`tests/ops_properties.rs` races writers against
+//!   repeated saves to pin this down).
+//!
+//! Callers needing a true cross-series cut must quiesce writers first.
+//!
+//! Both writers stage into a sibling `*.tmp` file and rename it over
+//! `path` on success, so a save that fails partway (full disk, crash,
+//! unsnapshotable key) never clobbers an existing good snapshot.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use bytes::Bytes;
@@ -32,10 +80,12 @@ use crate::block::Block;
 use crate::db::{Tsdb, TsdbConfig};
 use crate::error::TsdbError;
 use crate::gorilla::CompressedChunk;
+use crate::sharded::{ShardedConfig, ShardedDb};
 use crate::tags::{Selector, SeriesKey};
 
 const MAGIC: &[u8; 8] = b"ASAPTSDB";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Error of snapshot I/O: either the storage engine or the filesystem.
 #[derive(Debug)]
@@ -80,93 +130,331 @@ fn corrupt(reason: &'static str) -> SnapshotError {
     SnapshotError::Tsdb(TsdbError::CorruptBlock { reason })
 }
 
-/// Writes a snapshot of `db` to `path`.
-///
-/// The database is flushed first (memtables sealed into blocks) so the
-/// snapshot captures every accepted point.
-pub fn save(db: &Tsdb, path: &Path) -> Result<(), SnapshotError> {
-    db.flush()?;
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-
-    let keys = db.list_series(&Selector::any());
-    w.write_all(&(keys.len() as u32).to_le_bytes())?;
-    for key in keys {
-        let name = key.to_string();
-        // The display form is only unambiguous when tokens avoid the
-        // structural characters; reject such keys rather than writing a
-        // snapshot that cannot be read back.
-        let structural = |t: &str| t.contains(['{', '}', ',', '=']);
-        if structural(key.metric_name())
-            || key.tags().iter().any(|(k, v)| structural(k) || structural(v))
-        {
-            return Err(SnapshotError::Tsdb(TsdbError::InvalidParameter {
-                name: "key",
-                message: "series keys containing '{', '}', ',' or '=' are not snapshotable",
-            }));
+/// Writes a snapshot through `write` into a sibling temp file, then
+/// renames it over `path` — so a save that fails partway (full disk,
+/// crash, unsnapshotable key discovered mid-write) never destroys a
+/// previous good snapshot at `path`.
+fn replace_file(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError> {
+    let mut tmp_name = path
+        .file_name()
+        .map(std::ffi::OsString::from)
+        .unwrap_or_else(|| std::ffi::OsString::from("snapshot"));
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        write(&mut w)?;
+        w.flush()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            std::fs::rename(&tmp, path)?;
+            Ok(())
         }
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name.as_bytes())?;
-        let blocks = db.export_blocks(&key)?;
-        w.write_all(&(blocks.len() as u32).to_le_bytes())?;
-        for block in blocks {
-            let chunk = block.chunk();
-            w.write_all(&(chunk.count as u64).to_le_bytes())?;
-            w.write_all(&(chunk.len_bits as u64).to_le_bytes())?;
-            w.write_all(&(chunk.data.len() as u32).to_le_bytes())?;
-            w.write_all(&chunk.data)?;
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
         }
     }
-    w.flush()?;
+}
+
+/// Rejects keys whose display form would not parse back.
+fn validate_key(key: &SeriesKey) -> Result<(), SnapshotError> {
+    let structural = |t: &str| t.contains(['{', '}', ',', '=']);
+    if structural(key.metric_name())
+        || key.tags().iter().any(|(k, v)| structural(k) || structural(v))
+    {
+        return Err(SnapshotError::Tsdb(TsdbError::InvalidParameter {
+            name: "key",
+            message: "series keys containing '{', '}', ',' or '=' are not snapshotable",
+        }));
+    }
     Ok(())
 }
 
-/// Loads a snapshot from `path` into a fresh [`Tsdb`] with `config`.
+/// Encodes one series' block records (the shared v1/v2 payload form).
+fn encode_blocks(blocks: &[Block], out: &mut Vec<u8>) {
+    for block in blocks {
+        let chunk = block.chunk();
+        out.extend_from_slice(&(chunk.count as u64).to_le_bytes());
+        out.extend_from_slice(&(chunk.len_bits as u64).to_le_bytes());
+        out.extend_from_slice(&(chunk.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&chunk.data);
+    }
+}
+
+/// Reads `block_count` block records (the shared v1/v2 payload form).
+fn read_blocks(r: &mut impl Read, block_count: u32) -> Result<Vec<Block>, SnapshotError> {
+    // `block_count` is untrusted input: cap the pre-allocation so a
+    // corrupt field yields a clean error once the payload runs out,
+    // never an allocator abort.
+    let mut blocks = Vec::with_capacity(block_count.min(1 << 16) as usize);
+    for _ in 0..block_count {
+        let count = read_u64(r)? as usize;
+        let len_bits = read_u64(r)? as usize;
+        let byte_len = read_u32(r)? as usize;
+        if byte_len > 1 << 30 {
+            return Err(corrupt("implausible block payload length"));
+        }
+        if len_bits > byte_len * 8 {
+            return Err(corrupt("bit length exceeds payload"));
+        }
+        let mut payload = vec![0u8; byte_len];
+        r.read_exact(&mut payload)?;
+        let chunk = CompressedChunk {
+            data: Bytes::from(payload),
+            len_bits,
+            count,
+        };
+        blocks.push(Block::from_chunk(chunk)?);
+    }
+    Ok(blocks)
+}
+
+/// Writes a version-1 snapshot of `db` to `path`.
+///
+/// The database is flushed first (memtables sealed into blocks) so the
+/// snapshot captures every point accepted before the call; see the module
+/// docs for the exact consistency point under concurrent writers.
+pub fn save(db: &Tsdb, path: &Path) -> Result<(), SnapshotError> {
+    db.flush()?;
+    replace_file(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION_V1.to_le_bytes())?;
+
+        let keys = db.list_series(&Selector::any());
+        w.write_all(&(keys.len() as u32).to_le_bytes())?;
+        for key in keys {
+            validate_key(&key)?;
+            let name = key.to_string();
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name.as_bytes())?;
+            let blocks = db.export_blocks(&key)?;
+            w.write_all(&(blocks.len() as u32).to_le_bytes())?;
+            let mut payload = Vec::new();
+            encode_blocks(&blocks, &mut payload);
+            w.write_all(&payload)?;
+        }
+        Ok(())
+    })
+}
+
+/// One merged series entry awaiting the v2 directory write.
+type EncodedSeries = (SeriesKey, u32, Vec<u8>);
+
+/// Writes a version-2 snapshot of `db` to `path`, serializing shards in
+/// parallel (one worker per non-empty shard) and merging the per-shard
+/// results into key order — so the file bytes are independent of the
+/// shard count. Same per-series consistency point as [`save`].
+pub fn save_sharded(db: &ShardedDb, path: &Path) -> Result<(), SnapshotError> {
+    db.flush()?;
+    let mut entries: Vec<EncodedSeries> = Vec::new();
+    crossbeam::thread::scope(|scope| -> Result<(), SnapshotError> {
+        let mut handles = Vec::new();
+        for shard in db.shards() {
+            if shard.series_count() == 0 {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| -> Result<Vec<EncodedSeries>, SnapshotError> {
+                let mut out = Vec::new();
+                for key in shard.list_series(&Selector::any()) {
+                    validate_key(&key)?;
+                    let blocks = shard.export_blocks(&key)?;
+                    let mut payload = Vec::new();
+                    encode_blocks(&blocks, &mut payload);
+                    out.push((key, blocks.len() as u32, payload));
+                }
+                Ok(out)
+            }));
+        }
+        for handle in handles {
+            entries.extend(handle.join().expect("snapshot worker panicked")?);
+        }
+        Ok(())
+    })
+    .expect("snapshot scope failed")?;
+    entries.sort_by(|(a, _, _), (b, _, _)| a.cmp(b));
+
+    replace_file(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION_V2.to_le_bytes())?;
+        w.write_all(&(entries.len() as u32).to_le_bytes())?;
+
+        let names: Vec<String> = entries.iter().map(|(k, _, _)| k.to_string()).collect();
+        let dir_len: usize = names.iter().map(|n| 4 + n.len() + 4 + 8 + 8).sum();
+        let mut offset = (MAGIC.len() + 4 + 4 + dir_len) as u64;
+        for ((_, block_count, payload), name) in entries.iter().zip(&names) {
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name.as_bytes())?;
+            w.write_all(&block_count.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            offset += payload.len() as u64;
+        }
+        for (_, _, payload) in &entries {
+            w.write_all(payload)?;
+        }
+        Ok(())
+    })
+}
+
+/// Loads a snapshot (either version) from `path` into a fresh [`Tsdb`]
+/// with `config`.
 pub fn load(path: &Path, config: TsdbConfig) -> Result<Tsdb, SnapshotError> {
     let file = std::fs::File::open(path)?;
     let mut r = BufReader::new(file);
+    let db = Tsdb::with_config(config);
+    match read_header(&mut r)? {
+        VERSION_V1 => load_v1_records(&mut r, |key, blocks| db.import_blocks(&key, blocks))?,
+        VERSION_V2 => {
+            for entry in read_directory(&mut r)? {
+                r.seek(SeekFrom::Start(entry.offset))?;
+                let mut bounded = (&mut r).take(entry.len);
+                let blocks = read_blocks(&mut bounded, entry.block_count)?;
+                if bounded.limit() != 0 {
+                    return Err(corrupt("series payload shorter than directory claims"));
+                }
+                db.import_blocks(&entry.key, blocks)?;
+            }
+        }
+        _ => return Err(corrupt("unsupported snapshot version")),
+    }
+    Ok(db)
+}
+
+/// Loads a snapshot (either version) from `path` into a fresh
+/// [`ShardedDb`] with `config`. Series re-route to `config.shards`
+/// partitions regardless of the writer's shard count; version-2 payloads
+/// are read in parallel, one worker per destination shard with its own
+/// file handle.
+pub fn load_sharded(path: &Path, config: ShardedConfig) -> Result<ShardedDb, SnapshotError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let db = ShardedDb::with_config(config);
+    match read_header(&mut r)? {
+        VERSION_V1 => load_v1_records(&mut r, |key, blocks| db.import_blocks(&key, blocks))?,
+        VERSION_V2 => {
+            let directory = read_directory(&mut r)?;
+            drop(r);
+            load_v2_parallel(path, &db, directory)?;
+        }
+        _ => return Err(corrupt("unsupported snapshot version")),
+    }
+    Ok(db)
+}
+
+/// Checks the magic and returns the format version.
+fn read_header(r: &mut impl Read) -> Result<u32, SnapshotError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(corrupt("bad magic"));
     }
-    if read_u32(&mut r)? != VERSION {
-        return Err(corrupt("unsupported snapshot version"));
-    }
-    let db = Tsdb::with_config(config);
-    let series_count = read_u32(&mut r)?;
+    read_u32(r)
+}
+
+/// Reads every v1 series record, handing each to `import`.
+fn load_v1_records(
+    r: &mut impl Read,
+    mut import: impl FnMut(SeriesKey, Vec<Block>) -> Result<(), TsdbError>,
+) -> Result<(), SnapshotError> {
+    let series_count = read_u32(r)?;
     for _ in 0..series_count {
-        let key_len = read_u32(&mut r)? as usize;
-        if key_len > 1 << 20 {
-            return Err(corrupt("implausible key length"));
-        }
-        let mut key_bytes = vec![0u8; key_len];
-        r.read_exact(&mut key_bytes)?;
-        let name = String::from_utf8(key_bytes).map_err(|_| corrupt("key is not UTF-8"))?;
-        let key = parse_key(&name)?;
-        let block_count = read_u32(&mut r)?;
-        let mut blocks = Vec::with_capacity(block_count as usize);
-        for _ in 0..block_count {
-            let count = read_u64(&mut r)? as usize;
-            let len_bits = read_u64(&mut r)? as usize;
-            let byte_len = read_u32(&mut r)? as usize;
-            if len_bits > byte_len * 8 {
-                return Err(corrupt("bit length exceeds payload"));
-            }
-            let mut payload = vec![0u8; byte_len];
-            r.read_exact(&mut payload)?;
-            let chunk = CompressedChunk {
-                data: Bytes::from(payload),
-                len_bits,
-                count,
-            };
-            blocks.push(Block::from_chunk(chunk)?);
-        }
-        db.import_blocks(&key, blocks)?;
+        let key = read_key(r)?;
+        let block_count = read_u32(r)?;
+        let blocks = read_blocks(r, block_count)?;
+        import(key, blocks)?;
     }
-    Ok(db)
+    Ok(())
+}
+
+/// One v2 directory entry.
+struct DirEntry {
+    key: SeriesKey,
+    block_count: u32,
+    offset: u64,
+    len: u64,
+}
+
+/// Reads the v2 series directory (assumes the header was consumed).
+fn read_directory(r: &mut impl Read) -> Result<Vec<DirEntry>, SnapshotError> {
+    let series_count = read_u32(r)?;
+    let mut out = Vec::with_capacity(series_count.min(1 << 20) as usize);
+    for _ in 0..series_count {
+        let key = read_key(r)?;
+        let block_count = read_u32(r)?;
+        let offset = read_u64(r)?;
+        let len = read_u64(r)?;
+        if len > 1 << 40 {
+            return Err(corrupt("implausible series payload length"));
+        }
+        out.push(DirEntry {
+            key,
+            block_count,
+            offset,
+            len,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads every directory entry's payload in parallel — one worker per
+/// destination shard, each with its own file handle — and imports the
+/// decoded blocks into `db`.
+fn load_v2_parallel(
+    path: &Path,
+    db: &ShardedDb,
+    directory: Vec<DirEntry>,
+) -> Result<(), SnapshotError> {
+    let mut by_shard: Vec<Vec<DirEntry>> = (0..db.shard_count()).map(|_| Vec::new()).collect();
+    for entry in directory {
+        by_shard[db.shard_of(&entry.key)].push(entry);
+    }
+    let shards = db.shards();
+    crossbeam::thread::scope(|scope| -> Result<(), SnapshotError> {
+        let mut handles = Vec::new();
+        for (shard, entries) in shards.iter().zip(by_shard) {
+            if entries.is_empty() {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| -> Result<(), SnapshotError> {
+                let file = std::fs::File::open(path)?;
+                let mut r = BufReader::new(file);
+                for entry in entries {
+                    r.seek(SeekFrom::Start(entry.offset))?;
+                    let mut bounded = (&mut r).take(entry.len);
+                    let blocks = read_blocks(&mut bounded, entry.block_count)?;
+                    if bounded.limit() != 0 {
+                        return Err(corrupt("series payload shorter than directory claims"));
+                    }
+                    shard.import_blocks(&entry.key, blocks)?;
+                }
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("snapshot load worker panicked")?;
+        }
+        Ok(())
+    })
+    .expect("snapshot load scope failed")
+}
+
+/// Reads a length-prefixed series key in display form.
+fn read_key(r: &mut impl Read) -> Result<SeriesKey, SnapshotError> {
+    let key_len = read_u32(r)? as usize;
+    if key_len > 1 << 20 {
+        return Err(corrupt("implausible key length"));
+    }
+    let mut key_bytes = vec![0u8; key_len];
+    r.read_exact(&mut key_bytes)?;
+    let name = String::from_utf8(key_bytes).map_err(|_| corrupt("key is not UTF-8"))?;
+    parse_key(&name)
 }
 
 fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
@@ -236,6 +524,14 @@ mod tests {
         db
     }
 
+    fn seeded_sharded(shards: usize) -> ShardedDb {
+        ShardedDb::from_tsdb(&seeded(), ShardedConfig::new(shards, 64)).unwrap()
+    }
+
+    fn full() -> RangeQuery {
+        RangeQuery::raw(i64::MIN + 1, i64::MAX)
+    }
+
     #[test]
     fn round_trip_preserves_every_point() {
         let db = seeded();
@@ -244,10 +540,8 @@ mod tests {
         let restored = load(&path, TsdbConfig::default()).unwrap();
         assert_eq!(restored.series_count(), db.series_count());
         for key in db.list_series(&Selector::any()) {
-            let a = db.query(&key, RangeQuery::raw(i64::MIN + 1, i64::MAX)).unwrap();
-            let b = restored
-                .query(&key, RangeQuery::raw(i64::MIN + 1, i64::MAX))
-                .unwrap();
+            let a = db.query(&key, full()).unwrap();
+            let b = restored.query(&key, full()).unwrap();
             assert_eq!(a, b, "series {key}");
         }
         std::fs::remove_file(&path).ok();
@@ -279,8 +573,8 @@ mod tests {
         // Truncate a valid snapshot mid-payload.
         let db = seeded();
         save(&db, &path).unwrap();
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let full_bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full_bytes[..full_bytes.len() / 2]).unwrap();
         assert!(load(&path, TsdbConfig::default()).is_err());
         std::fs::remove_file(&path).ok();
     }
@@ -321,6 +615,179 @@ mod tests {
             size < 16 * 10_000 / 4,
             "snapshot {size} bytes should be far below raw 160000"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_round_trips_through_sharded_engines() {
+        let db = seeded_sharded(4);
+        let path = tmp("v2_roundtrip.snap");
+        save_sharded(&db, &path).unwrap();
+        // Reload at several shard counts; all must agree with the source.
+        for shards in [1usize, 3, 8] {
+            let restored = load_sharded(&path, ShardedConfig::new(shards, 64)).unwrap();
+            assert_eq!(restored.shard_count(), shards);
+            assert_eq!(
+                restored.query_selector(&Selector::any(), full()).unwrap(),
+                db.query_selector(&Selector::any(), full()).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_bytes_are_independent_of_shard_count() {
+        let a = tmp("v2_one_shard.snap");
+        let b = tmp("v2_many_shards.snap");
+        save_sharded(&seeded_sharded(1), &a).unwrap();
+        save_sharded(&seeded_sharded(7), &b).unwrap();
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&b).unwrap(),
+            "v2 snapshot bytes must not depend on the writer's shard count"
+        );
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn v1_file_loads_into_any_shard_count() {
+        let db = seeded();
+        let path = tmp("v1_crossload.snap");
+        save(&db, &path).unwrap();
+        for shards in [1usize, 2, 5] {
+            let restored = load_sharded(&path, ShardedConfig::new(shards, 64)).unwrap();
+            assert_eq!(
+                restored.query_selector(&Selector::any(), full()).unwrap(),
+                db.query_selector(&Selector::any(), full()).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_file_loads_into_single_shard_tsdb() {
+        let db = seeded_sharded(4);
+        let path = tmp("v2_to_tsdb.snap");
+        save_sharded(&db, &path).unwrap();
+        let restored = load(&path, TsdbConfig::default()).unwrap();
+        assert_eq!(
+            restored.query_selector(&Selector::any(), full()).unwrap(),
+            db.query_selector(&Selector::any(), full()).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_truncation_and_bad_version_rejected() {
+        let db = seeded_sharded(3);
+        let path = tmp("v2_truncated.snap");
+        save_sharded(&db, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncate inside the payload section: directory reads fine, the
+        // parallel payload read must fail cleanly.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(load_sharded(&path, ShardedConfig::default()).is_err());
+
+        // Truncate inside the directory.
+        std::fs::write(&path, &bytes[..24]).unwrap();
+        assert!(load_sharded(&path, ShardedConfig::default()).is_err());
+
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_sharded(&path, ShardedConfig::default()),
+            Err(SnapshotError::Tsdb(TsdbError::CorruptBlock { .. }))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_sharded_db_round_trips_v2() {
+        let db = ShardedDb::with_config(ShardedConfig::new(3, 64));
+        let path = tmp("v2_empty.snap");
+        save_sharded(&db, &path).unwrap();
+        let restored = load_sharded(&path, ShardedConfig::new(2, 64)).unwrap();
+        assert_eq!(restored.series_count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn structural_keys_rejected_by_both_writers() {
+        let bad = SeriesKey::metric("cpu").with_tag("host", "a=b");
+        let db = Tsdb::new();
+        db.write(&bad, DataPoint::new(1, 1.0)).unwrap();
+        let path = tmp("badkey.snap");
+        assert!(save(&db, &path).is_err());
+        let sharded = ShardedDb::with_config(ShardedConfig::new(2, 64));
+        sharded.write(&bad, DataPoint::new(1, 1.0)).unwrap();
+        assert!(save_sharded(&sharded, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_save_preserves_previous_snapshot() {
+        let path = tmp("keepold.snap");
+        let good = seeded();
+        save(&good, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // A later save that errors mid-write (unsnapshotable key) must
+        // leave the previous good file untouched — both writers.
+        let bad_key = SeriesKey::metric("cpu").with_tag("host", "a=b");
+        let bad = Tsdb::new();
+        bad.write(&SeriesKey::metric("aaa"), DataPoint::new(1, 1.0)).unwrap();
+        bad.write(&bad_key, DataPoint::new(1, 1.0)).unwrap();
+        assert!(save(&bad, &path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+
+        let bad_sharded = ShardedDb::from_tsdb(&bad, ShardedConfig::new(3, 64)).unwrap();
+        assert!(save_sharded(&bad_sharded, &path).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), before, "v2 writer clobbered the old file");
+
+        // No stray temp file left behind.
+        assert!(!path.with_file_name("keepold.snap.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_block_count_is_an_error_not_an_abort() {
+        // A v1 header claiming one series with u32::MAX blocks and no
+        // payload must surface as a clean error (the pre-allocation is
+        // capped), not an allocator abort.
+        let path = tmp("hugeblocks.snap");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ASAPTSDB");
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // version
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // series_count
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // key_len
+        bytes.extend_from_slice(b"cpu");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // block_count
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path, TsdbConfig::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_payload_overrun_rejected_by_both_loaders() {
+        // Shrink a directory len field so the payload read overruns the
+        // declared extent: both loaders must reject identically.
+        let db = seeded_sharded(2);
+        let path = tmp("lenlie.snap");
+        save_sharded(&db, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // First directory entry: magic(8) version(4) count(4) key_len(4)
+        // + key + block_count(4) + offset(8), then the 8-byte len.
+        let key_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let len_pos = 20 + key_len + 4 + 8;
+        let len = u64::from_le_bytes(bytes[len_pos..len_pos + 8].try_into().unwrap());
+        bytes[len_pos..len_pos + 8].copy_from_slice(&(len - 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_sharded(&path, ShardedConfig::default()).is_err());
+        assert!(load(&path, TsdbConfig::default()).is_err());
         std::fs::remove_file(&path).ok();
     }
 }

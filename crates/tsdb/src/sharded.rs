@@ -153,6 +153,42 @@ impl ShardedDb {
         self.shards.len()
     }
 
+    /// The underlying shard array. Crate-internal: the operations layer —
+    /// the ingest pipeline, parallel snapshot persistence, and per-shard
+    /// retention — fans its workers out over this.
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Ingests a line-protocol document through the concurrent pipeline
+    /// (parser workers → per-shard bounded channels → per-shard writers);
+    /// see [`mod@crate::ingest`] for topology, backpressure, and the
+    /// report's semantics.
+    pub fn ingest(
+        &self,
+        text: &str,
+        default_ts: i64,
+        config: &crate::ingest::IngestConfig,
+    ) -> Result<crate::ingest::IngestReport, TsdbError> {
+        crate::ingest::pipeline_ingest(self, text, default_ts, config)
+    }
+
+    /// Writes a version-2 snapshot of the whole store to `path`, shards
+    /// serialized in parallel; see [`crate::persist::save_sharded`].
+    pub fn save(&self, path: &std::path::Path) -> Result<(), crate::persist::SnapshotError> {
+        crate::persist::save_sharded(self, path)
+    }
+
+    /// Loads a version-1 or version-2 snapshot from `path` into a fresh
+    /// engine with `config` (series re-route to the new shard count); see
+    /// [`crate::persist::load_sharded`].
+    pub fn load(
+        path: &std::path::Path,
+        config: ShardedConfig,
+    ) -> Result<Self, crate::persist::SnapshotError> {
+        crate::persist::load_sharded(path, config)
+    }
+
     /// The shard index `key` routes to — deterministic for a fixed shard
     /// count (tag-aware FNV-1a of metric + tags, mod shard count).
     pub fn shard_of(&self, key: &SeriesKey) -> usize {
