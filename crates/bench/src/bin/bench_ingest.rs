@@ -105,6 +105,7 @@ fn main() {
             parsers,
             queue_depth: 8,
             chunk_lines: 1024,
+            lateness: None,
         };
         let secs = median(
             (0..runs)

@@ -1,0 +1,275 @@
+//! Streaming ingest benchmark: out-of-order byte streams through
+//! `ingest_reader` vs the in-memory pipeline vs serial ingest.
+//!
+//! Measures, per (shards, parsers) configuration, the wall-clock
+//! throughput of draining a lateness-shuffled line-protocol byte stream
+//! through `tsdb::ingest::ingest_reader` (chunker → parser workers →
+//! per-shard writers with a reorder stage), against two references on
+//! the same data: the serial `line_protocol::ingest` of the *sorted*
+//! document, and the in-memory `pipeline_ingest` of the sorted document.
+//! Before any number is trusted, the streamed store is asserted
+//! identical to the sorted serial oracle — the reorder stage must repair
+//! the disorder losslessly, with zero write failures. Results are
+//! written to `BENCH_stream.json` (see `EXPERIMENTS.md` for the
+//! recorded run).
+//!
+//! Hand-timed wall clock, median of `BENCH_STREAM_RUNS` runs — the
+//! criterion shim's budgeted micro-timing is wrong for multi-threaded
+//! phases, which need one timed span per full ingest.
+//!
+//! Knobs: `BENCH_STREAM_POINTS` (records per series, default 50_000),
+//! `BENCH_STREAM_SERIES` (default 8), `BENCH_STREAM_RUNS` (default 3),
+//! `BENCH_STREAM_LATENESS` (shuffle window in timestamp units,
+//! default 64).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use asap_tsdb::{
+    ingest_reader, line_protocol, pipeline_ingest, IngestConfig, RangeQuery, Selector,
+    SeriesKey, ShardedConfig, ShardedDb, Tsdb, TsdbConfig,
+};
+
+const BLOCK_CAPACITY: usize = 4096;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One interleaved line-protocol document, sorted: `series` hosts ×
+/// `points` samples, two fields per record, explicit timestamps.
+fn build_sorted_doc(series: usize, points: usize) -> String {
+    let mut doc = String::with_capacity(series * points * 48);
+    for t in 0..points {
+        for h in 0..series {
+            doc.push_str(&format!(
+                "req,host=h{h:02} rate={:.4},errors={} {t}\n",
+                (std::f64::consts::TAU * t as f64 / 900.0).sin() + h as f64,
+                (t % 17) as f64,
+            ));
+        }
+    }
+    doc
+}
+
+/// The same document with its lines displaced by a deterministic jitter
+/// strictly below `lateness` — bounded disorder the reorder stage must
+/// repair without drops.
+fn shuffle_within(doc: &str, lateness: i64) -> String {
+    let mut keyed: Vec<(i64, usize, &str)> = doc
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            let ts: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            (ts + (i as i64 * 13) % lateness, i, line)
+        })
+        .collect();
+    keyed.sort_by_key(|&(key, i, _)| (key, i));
+    let mut out = String::with_capacity(doc.len());
+    for (_, _, line) in keyed {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let points = env_usize("BENCH_STREAM_POINTS", 50_000);
+    let series = env_usize("BENCH_STREAM_SERIES", 8);
+    let runs = env_usize("BENCH_STREAM_RUNS", 3).max(1);
+    let lateness = env_usize("BENCH_STREAM_LATENESS", 64).max(1) as i64;
+    let sorted = build_sorted_doc(series, points);
+    let shuffled = shuffle_within(&sorted, lateness);
+    let total_points = series * points * 2;
+
+    println!(
+        "streaming ingest: {series} series x {points} records (x2 fields = {total_points} pts), \
+         disorder window {lateness}, median of {runs} ({} host cpus)",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+
+    // Serial baseline: parse + write the *sorted* document on one thread.
+    let serial_secs = median(
+        (0..runs)
+            .map(|_| {
+                let db = Tsdb::with_config(TsdbConfig {
+                    block_capacity: BLOCK_CAPACITY,
+                });
+                let t = Instant::now();
+                let n = line_protocol::ingest(&db, &sorted, 0).unwrap();
+                let secs = t.elapsed().as_secs_f64();
+                assert_eq!(n, total_points);
+                secs
+            })
+            .collect(),
+    );
+    let serial_pts_per_sec = total_points as f64 / serial_secs;
+    println!(
+        "{:>7} {:>8} {:>14} {:>12}   (serial baseline, sorted input)",
+        "-",
+        "-",
+        format!("{serial_pts_per_sec:.3e}"),
+        format!("{:.1}", serial_secs * 1e3)
+    );
+
+    // The oracle every streamed store is checked against.
+    let oracle = Tsdb::with_config(TsdbConfig {
+        block_capacity: BLOCK_CAPACITY,
+    });
+    line_protocol::ingest(&oracle, &sorted, 0).unwrap();
+    let oracle_out = oracle
+        .query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+        .unwrap();
+
+    // In-memory pipeline reference on the sorted document (no reorder
+    // stage): what streaming overhead should be compared against.
+    let pipeline_config = IngestConfig {
+        parsers: 4,
+        queue_depth: 8,
+        chunk_lines: 1024,
+        lateness: None,
+    };
+    let pipeline_secs = median(
+        (0..runs)
+            .map(|_| {
+                let db = ShardedDb::with_config(ShardedConfig::new(4, BLOCK_CAPACITY));
+                let t = Instant::now();
+                let report = pipeline_ingest(&db, &sorted, 0, &pipeline_config).unwrap();
+                let secs = t.elapsed().as_secs_f64();
+                assert!(report.is_clean(), "{report:?}");
+                assert_eq!(report.points, total_points);
+                secs
+            })
+            .collect(),
+    );
+    let pipeline_pts_per_sec = total_points as f64 / pipeline_secs;
+    println!(
+        "{:>7} {:>8} {:>14} {:>12}   (in-memory pipeline, sorted input, 4 shards)",
+        "-",
+        "-",
+        format!("{pipeline_pts_per_sec:.3e}"),
+        format!("{:.1}", pipeline_secs * 1e3)
+    );
+
+    println!(
+        "{:>7} {:>8} {:>14} {:>12} {:>10} {:>10}",
+        "shards", "parsers", "stream pts/s", "stream ms", "reordered", "vs serial"
+    );
+    let mut rows = Vec::new();
+    for &(shards, parsers) in &[(1usize, 1usize), (1, 4), (2, 4), (4, 4), (8, 4), (8, 8)] {
+        let config = IngestConfig {
+            parsers,
+            queue_depth: 8,
+            chunk_lines: 1024,
+            lateness: Some(lateness),
+        };
+        let mut reordered = 0usize;
+        let secs = median(
+            (0..runs)
+                .map(|_| {
+                    let db = ShardedDb::with_config(ShardedConfig::new(shards, BLOCK_CAPACITY));
+                    let t = Instant::now();
+                    let report = ingest_reader(
+                        &db,
+                        std::io::Cursor::new(shuffled.as_bytes()),
+                        0,
+                        &config,
+                    )
+                    .unwrap();
+                    let secs = t.elapsed().as_secs_f64();
+                    assert!(report.is_clean(), "{report:?}");
+                    assert_eq!(report.points, total_points);
+                    assert_eq!(report.dropped_late, 0, "shuffle exceeded lateness");
+                    reordered = report.reordered;
+                    secs
+                })
+                .collect(),
+        );
+        // Correctness gate: the measured path must equal the oracle.
+        let db = ShardedDb::with_config(ShardedConfig::new(shards, BLOCK_CAPACITY));
+        ingest_reader(&db, std::io::Cursor::new(shuffled.as_bytes()), 0, &config).unwrap();
+        assert_eq!(
+            db.query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+                .unwrap(),
+            oracle_out,
+            "streamed output diverges from sorted serial oracle at shards={shards}"
+        );
+        // Spot-check one series is genuinely queryable through the bridge.
+        let key = SeriesKey::metric("req.rate").with_tag("host", "h00");
+        assert_eq!(
+            db.query(&key, RangeQuery::raw(0, points as i64)).unwrap().len(),
+            points
+        );
+        let pts_per_sec = total_points as f64 / secs;
+        println!(
+            "{:>7} {:>8} {:>14.3e} {:>12.1} {:>10} {:>10.2}",
+            shards,
+            parsers,
+            pts_per_sec,
+            secs * 1e3,
+            reordered,
+            pts_per_sec / serial_pts_per_sec
+        );
+        rows.push((shards, parsers, pts_per_sec, secs, reordered));
+    }
+
+    let best = rows
+        .iter()
+        .map(|&(_, _, p, _, _)| p)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "best streaming throughput vs sorted serial ingest: {:.2}x",
+        best / serial_pts_per_sec
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"stream_ingest\",\n");
+    json.push_str(
+        "  \"note\": \"hand-timed wall clock (not the criterion shim); absolute numbers are \
+         machine-relative, compare configurations within one run; the streamed store is \
+         asserted identical to the sorted serial oracle before timing is trusted — the input \
+         stream is lateness-shuffled, so every configuration also pays the reorder stage\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str(&format!("  \"series\": {series},\n"));
+    json.push_str(&format!("  \"records_per_series\": {points},\n"));
+    json.push_str(&format!("  \"total_points\": {total_points},\n"));
+    json.push_str(&format!("  \"disorder_window\": {lateness},\n"));
+    json.push_str(&format!("  \"runs_per_config\": {runs},\n"));
+    json.push_str(&format!(
+        "  \"serial_baseline\": {{\"points_per_sec\": {serial_pts_per_sec:.0}, \"wall_ms\": {:.2}}},\n",
+        serial_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "  \"in_memory_pipeline\": {{\"points_per_sec\": {pipeline_pts_per_sec:.0}, \"wall_ms\": {:.2}}},\n",
+        pipeline_secs * 1e3
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, (shards, parsers, pts_per_sec, secs, reordered)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"parsers\": {parsers}, \"points_per_sec\": \
+             {pts_per_sec:.0}, \"wall_ms\": {:.2}, \"reordered\": {reordered}, \
+             \"speedup_vs_serial\": {:.3}}}{}\n",
+            secs * 1e3,
+            pts_per_sec / serial_pts_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut file = std::fs::File::create("BENCH_stream.json").expect("create BENCH_stream.json");
+    file.write_all(json.as_bytes()).expect("write BENCH_stream.json");
+    println!("wrote BENCH_stream.json");
+}

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use crate::error::TsdbError;
 use crate::point::DataPoint;
-use crate::query::{RangeQuery, SeriesReader};
+use crate::query::{RangeQuery, SeriesReader, SeriesWriter};
 use crate::shard::Shard;
 use crate::tags::{Selector, SeriesKey};
 
@@ -172,6 +172,12 @@ impl SeriesReader for Tsdb {
 
     fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey> {
         self.list_series(selector)
+    }
+}
+
+impl SeriesWriter for Tsdb {
+    fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
+        self.write(key, point)
     }
 }
 

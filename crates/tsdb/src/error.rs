@@ -47,6 +47,13 @@ pub enum TsdbError {
         /// Human-readable description of the failure.
         reason: &'static str,
     },
+    /// An ingest source failed mid-stream (e.g. a reader error). The
+    /// message is the source error's rendering; points fed before the
+    /// failure are already durable in the store.
+    Io {
+        /// Human-readable description of the source failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for TsdbError {
@@ -67,6 +74,7 @@ impl fmt::Display for TsdbError {
             TsdbError::Parse { line, reason } => {
                 write!(f, "line protocol parse error on line {line}: {reason}")
             }
+            TsdbError::Io { message } => write!(f, "ingest source error: {message}"),
         }
     }
 }
@@ -96,6 +104,10 @@ mod tests {
             reason: "missing field set",
         };
         assert!(e.to_string().contains("line 7"));
+        let e = TsdbError::Io {
+            message: "connection reset".into(),
+        };
+        assert!(e.to_string().contains("connection reset"));
     }
 
     #[test]

@@ -1,64 +1,116 @@
-//! Concurrent line-protocol ingest pipeline for the sharded engine.
+//! Streaming concurrent line-protocol ingest for the sharded engine.
 //!
 //! The ASAP paper (§2) places the operator downstream of production TSDBs
 //! fed by live telemetry; this module is the front-end that feeds a
 //! [`ShardedDb`] at that rate. The serial [`crate::line_protocol::ingest`]
-//! parses and writes one line at a time on the caller's thread; here both
-//! halves run concurrently and in parallel:
+//! parses and writes one line at a time on the caller's thread; here the
+//! document is a *byte stream* — any [`std::io::Read`], a socket, or
+//! incremental [`StreamIngestor::feed`] calls — consumed in bounded
+//! memory with both halves running concurrently and in parallel:
 //!
 //! ```text
-//!              chunks p, p+P, p+2P, …             bounded(queue_depth)
-//!  document ─┬─▶ parser worker 0 ──┐  Batch{chunk, pts} ┌─▶ shard writer 0
-//!            ├─▶ parser worker 1 ──┼──── per-shard ─────┼─▶ shard writer 1
-//!            └─▶ parser worker P-1 ┘      channels      └─▶ shard writer N-1
+//!  bytes ─▶ chunker ─▶ bounded work queue ─▶ parser worker 0 ─┐
+//!           (line-                        ├─▶ parser worker 1 ─┤ Batch{chunk,pts}
+//!            complete                     └─▶ parser worker P-1┘        │
+//!            owned chunks)                                     per-shard bounded
+//!                                                                  channels
+//!                                       ┌─ reorder stage ─ shard writer 0 ◀┤
+//!                                       ├─ reorder stage ─ shard writer 1 ◀┤
+//!                                       └─ reorder stage ─ shard writer S-1◀┘
 //! ```
 //!
-//! * the document is split into fixed-size line chunks; parser worker `p`
-//!   owns chunks `p, p+P, …` (static assignment — no shared work queue);
-//! * each parsed point is routed by the engine's tag-aware shard hash and
-//!   batched per `(chunk, shard)`; every chunk sends exactly one batch to
-//!   every shard (empty batches included), so writers can apply chunks
-//!   **strictly in document order** with a small reorder buffer;
-//! * channels are bounded ([`IngestConfig::queue_depth`] batches), and
-//!   parsers additionally throttle against the slowest writer's
-//!   applied-chunk watermark (a window of `parsers + queue_depth`
-//!   chunks), so neither a slow writer nor a stalled peer parser can
-//!   cause unbounded buffering anywhere — channel and reorder buffer
-//!   are both bounded;
-//! * per-shard writers apply points through the same [`Shard`] code the
-//!   serial path uses, so a pipeline-ingested store is byte-identical to a
-//!   serially ingested one (pinned by `tests/ops_properties.rs`).
+//! * the **chunker** reassembles complete lines out of arbitrary byte
+//!   pieces (reader chunks may split mid-float, mid-escape, or mid-UTF-8
+//!   code point — see [`crate::line_protocol`]'s `LineAssembler`) and
+//!   groups them into owned chunks of [`IngestConfig::chunk_lines`]
+//!   lines, each tagged with its global starting line index;
+//! * chunks flow through a bounded **work queue** to the parser workers
+//!   (shared queue — any idle worker takes the next chunk, replacing the
+//!   old static chunk assignment that required knowing the whole document
+//!   up front); each parsed point is routed by the engine's tag-aware
+//!   shard hash and batched per `(chunk, shard)`; every chunk sends
+//!   exactly one batch to every shard (empty batches included), so
+//!   writers can apply chunks **strictly in stream order** with a small
+//!   chunk-reorder buffer;
+//! * all buffering is bounded: the work queue and per-shard channels hold
+//!   [`IngestConfig::queue_depth`] entries, and parsers additionally
+//!   throttle against the slowest writer's applied-chunk watermark (a
+//!   window of `parsers + queue_depth` chunks), so the pipeline holds at
+//!   most `2·(parsers + queue_depth)` chunks at any moment no matter how
+//!   long the stream runs — a slow writer backpressures all the way to
+//!   the byte source;
+//! * with [`IngestConfig::lateness`] set, a per-shard **reorder stage**
+//!   (a [`ReorderBuffer`] over that writer's [`crate::shard::Shard`])
+//!   sits between the
+//!   writer and storage: bounded out-of-order telemetry is buffered and
+//!   applied in timestamp order instead of failing per line, late and
+//!   duplicate points are counted ([`IngestReport::dropped_late`],
+//!   [`IngestReport::dropped_duplicate`]) rather than reported as
+//!   failures, and [`StreamIngestor::finish`] flushes every buffer at end
+//!   of stream. With `lateness: None` writes go straight to the shard and
+//!   ordering violations surface as per-line [`WriteFailure`]s, exactly
+//!   like the pre-streaming pipeline.
 //!
-//! Because chunk application is in document order, per-series write order
-//! equals document order no matter how threads interleave — which makes
-//! the whole pipeline deterministic: same input, same final store, same
-//! [`IngestReport`], at any parser/shard/queue configuration.
+//! Because chunk application is in stream order, per-series offer order
+//! equals stream order no matter how threads interleave — which makes the
+//! whole pipeline deterministic: same bytes, same final store, same
+//! [`IngestReport`], at any parser/shard/queue/read-buffer configuration.
 //!
 //! Unlike the serial path, the pipeline does not abort on the first bad
 //! line: malformed lines and rejected writes are skipped and reported in
 //! the [`IngestReport`] (a live telemetry socket cannot un-send a line).
+//!
+//! Entry points, thinnest to most general:
+//!
+//! * [`pipeline_ingest`] / [`ShardedDb::ingest`] — a whole in-memory
+//!   document;
+//! * [`ingest_reader`] / [`ShardedDb::ingest_reader`] — drain any
+//!   [`std::io::Read`] to end of stream;
+//! * [`StreamIngestor`] / [`ShardedDb::stream_ingestor`] — a long-running
+//!   handle: feed byte pieces as they arrive, poll a live
+//!   [`StreamProgress`], `finish()` to flush and collect the final
+//!   report. This is the shape a socket listener plugs into.
 
 use std::collections::BTreeMap;
+use std::io::Read;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::error::TsdbError;
-use crate::line_protocol::{fallback_ts, parse_line, ParsedPoint};
-use crate::shard::Shard;
+use crate::line_protocol::{fallback_ts, parse_line, LineAssembler, ParsedPoint};
+use crate::point::DataPoint;
+use crate::query::SeriesWriter;
+use crate::reorder::{ReorderBuffer, ReorderStats};
 use crate::sharded::ShardedDb;
+use crate::tags::SeriesKey;
 
 /// Tuning knobs of the ingest pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct IngestConfig {
     /// Parser worker threads (default 4).
     pub parsers: usize,
-    /// Bound of each per-shard channel, in batches (default 8). Smaller
-    /// values bound memory harder and throttle parsers sooner; larger
-    /// values absorb burstier shard skew.
+    /// Bound of the work queue and of each per-shard channel, in
+    /// chunks/batches (default 8). Smaller values bound memory harder and
+    /// throttle the byte source sooner; larger values absorb burstier
+    /// shard skew.
     pub queue_depth: usize,
     /// Lines per chunk (default 256). A chunk is the unit of parser
     /// scheduling and of writer-side ordering.
     pub chunk_lines: usize,
+    /// Out-of-order tolerance of the per-shard reorder stage, in
+    /// timestamp units (default `None`).
+    ///
+    /// `None` disables the stage: writes go straight to storage and
+    /// ordering violations surface as per-line [`WriteFailure`]s.
+    /// `Some(l)` buffers each series' recent points and applies them in
+    /// timestamp order, tolerating up to `l` units of lateness; points
+    /// later than that are counted in [`IngestReport::dropped_late`]
+    /// instead of failing. `Some(0)` is an ordering filter: in-order
+    /// input passes through, stragglers are dropped, nothing fails.
+    pub lateness: Option<i64>,
 }
 
 impl Default for IngestConfig {
@@ -67,12 +119,14 @@ impl Default for IngestConfig {
             parsers: 4,
             queue_depth: 8,
             chunk_lines: 256,
+            lateness: None,
         }
     }
 }
 
 impl IngestConfig {
-    /// Validates the knobs (all must be positive).
+    /// Validates the knobs (counts must be positive, lateness
+    /// non-negative).
     pub fn validate(&self) -> Result<(), TsdbError> {
         let bad = |name: &'static str| TsdbError::InvalidParameter {
             name,
@@ -86,6 +140,12 @@ impl IngestConfig {
         }
         if self.chunk_lines == 0 {
             return Err(bad("chunk_lines"));
+        }
+        if self.lateness.is_some_and(|l| l < 0) {
+            return Err(TsdbError::InvalidParameter {
+                name: "lateness",
+                message: "allowed lateness must be non-negative",
+            });
         }
         Ok(())
     }
@@ -112,10 +172,21 @@ pub struct WriteFailure {
 /// Outcome of one pipeline ingest, deterministic for a given input.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestReport {
-    /// Total lines in the document (including blanks and comments).
+    /// Total lines in the stream (including blanks and comments).
     pub lines: usize,
     /// Points written into the store.
     pub points: usize,
+    /// Points that arrived out of order but within the configured
+    /// lateness and were sorted back into place by the reorder stage
+    /// (always 0 with `lateness: None`).
+    pub reordered: usize,
+    /// Points the reorder stage dropped for arriving later than the
+    /// configured lateness (always 0 with `lateness: None`, where such
+    /// points surface as [`WriteFailure`]s instead).
+    pub dropped_late: usize,
+    /// Points the reorder stage dropped as duplicates of a pending
+    /// timestamp (always 0 with `lateness: None`).
+    pub dropped_duplicate: usize,
     /// Malformed lines, sorted by line number.
     pub parse_failures: Vec<ParseFailure>,
     /// Rejected writes, sorted by line number.
@@ -123,10 +194,51 @@ pub struct IngestReport {
 }
 
 impl IngestReport {
-    /// Whether every line parsed and every point was accepted.
+    /// Whether every line parsed and every point was accepted by the
+    /// engine. Reorder-stage drops (`dropped_late`, `dropped_duplicate`)
+    /// are counted separately and do not make a report unclean — they are
+    /// the configured late-data policy doing its job.
     pub fn is_clean(&self) -> bool {
         self.parse_failures.is_empty() && self.write_failures.is_empty()
     }
+}
+
+/// Live counters of a [`StreamIngestor`], safe to poll while the
+/// pipeline runs. Counters trail the byte source slightly (points are
+/// counted when a writer applies them, not when they are fed) but are
+/// exact once [`StreamIngestor::finish`] returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Lines completed by the chunker so far.
+    pub lines: usize,
+    /// Points written into the store so far.
+    pub points: usize,
+    /// Out-of-order points repaired by the reorder stage so far.
+    pub reordered: usize,
+    /// Points dropped as later than the configured lateness so far.
+    pub dropped_late: usize,
+    /// Points dropped as duplicate timestamps so far.
+    pub dropped_duplicate: usize,
+    /// Malformed lines seen so far.
+    pub parse_failures: usize,
+    /// Rejected writes seen so far.
+    pub write_failures: usize,
+    /// Chunks created but not yet fully applied by every writer — the
+    /// pipeline's in-flight buffering, never more than
+    /// `2 · (parsers + queue_depth)`.
+    pub in_flight_chunks: usize,
+    /// Points currently held by the reorder stages across all shards.
+    pub pending_reorder: usize,
+}
+
+/// One complete-line chunk of the stream, tagged with its position.
+struct Chunk {
+    /// 0-based index in stream order — the writer-side ordering clock.
+    index: usize,
+    /// Global 0-based line index of `lines[0]` (line numbers and
+    /// fallback timestamps are derived from it).
+    start_line: usize,
+    lines: Vec<String>,
 }
 
 /// One chunk's points for one shard. Every chunk sends exactly one batch
@@ -138,26 +250,28 @@ struct Batch {
 
 /// Shared pipeline progress: per shard, the next chunk its writer will
 /// apply. Parsers wait until their chunk is within `window` of the
-/// slowest writer, which bounds every writer's reorder buffer (a batch
-/// is only ever sent while its chunk is less than `min applied +
+/// slowest writer, which bounds every writer's chunk-reorder buffer (a
+/// batch is only ever sent while its chunk is less than `min applied +
 /// window`, so a writer at chunk `next` buffers fewer than `window`
 /// chunks ahead of it).
 ///
-/// Deadlock-free by construction: the parser owning the minimum
-/// unapplied chunk `m` is working on some chunk `<= m < m + window`, so
-/// it is never gated, and writers always drain their channels, so its
+/// Deadlock-free by construction: chunks enter the work queue in index
+/// order and parsers dequeue in FIFO order, so the parser holding the
+/// minimum unapplied chunk `m` (or about to take it) is never gated
+/// (`m < m + window`), and writers always drain their channels, so its
 /// sends always complete — `m` strictly advances.
+#[derive(Debug)]
 struct Progress {
-    applied: Vec<std::sync::atomic::AtomicUsize>,
-    gate: std::sync::Mutex<()>,
+    applied: Vec<AtomicUsize>,
+    gate: Mutex<()>,
     wake: std::sync::Condvar,
 }
 
 impl Progress {
     fn new(shards: usize) -> Self {
         Self {
-            applied: (0..shards).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect(),
-            gate: std::sync::Mutex::new(()),
+            applied: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            gate: Mutex::new(()),
             wake: std::sync::Condvar::new(),
         }
     }
@@ -165,7 +279,7 @@ impl Progress {
     fn min_applied(&self) -> usize {
         self.applied
             .iter()
-            .map(|a| a.load(std::sync::atomic::Ordering::Acquire))
+            .map(|a| a.load(Ordering::Acquire))
             .min()
             .unwrap_or(usize::MAX)
     }
@@ -186,13 +300,63 @@ impl Progress {
         // Store under the gate so a parser cannot check-then-sleep
         // between the store and the notify (missed wakeup).
         let _guard = self.gate.lock().expect("ingest gate poisoned");
-        self.applied[shard].store(next, std::sync::atomic::Ordering::Release);
+        self.applied[shard].store(next, Ordering::Release);
         self.wake.notify_all();
     }
 }
 
-/// Ingests a line-protocol document into `db` through the concurrent
-/// pipeline; see the module docs for topology and semantics.
+/// Counters shared by the chunker, parsers, and writers — the source of
+/// [`StreamProgress`] snapshots.
+#[derive(Debug)]
+struct Shared {
+    progress: Progress,
+    lines: AtomicUsize,
+    /// Chunks emitted by the chunker so far.
+    chunks: AtomicUsize,
+    points: AtomicUsize,
+    reordered: AtomicUsize,
+    dropped_late: AtomicUsize,
+    dropped_duplicate: AtomicUsize,
+    parse_failed: AtomicUsize,
+    write_failed: AtomicUsize,
+    /// Per shard: points currently pending in that writer's reorder
+    /// stage.
+    pending_reorder: Vec<AtomicUsize>,
+}
+
+impl Shared {
+    fn new(shards: usize) -> Self {
+        Self {
+            progress: Progress::new(shards),
+            lines: AtomicUsize::new(0),
+            chunks: AtomicUsize::new(0),
+            points: AtomicUsize::new(0),
+            reordered: AtomicUsize::new(0),
+            dropped_late: AtomicUsize::new(0),
+            dropped_duplicate: AtomicUsize::new(0),
+            parse_failed: AtomicUsize::new(0),
+            write_failed: AtomicUsize::new(0),
+            pending_reorder: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+}
+
+/// Write-only handle to one shard of the engine — the sink each writer's
+/// reorder stage releases into.
+struct ShardSink {
+    db: ShardedDb,
+    idx: usize,
+}
+
+impl SeriesWriter for ShardSink {
+    fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
+        self.db.shards()[self.idx].write(key, point)
+    }
+}
+
+/// Ingests a whole in-memory line-protocol document into `db` through
+/// the streaming pipeline; see the module docs for topology and
+/// semantics.
 ///
 /// Records missing a timestamp take `default_ts` plus the 0-based line
 /// index, exactly like the serial [`crate::line_protocol::ingest`].
@@ -204,87 +368,322 @@ pub fn pipeline_ingest(
     default_ts: i64,
     config: &IngestConfig,
 ) -> Result<IngestReport, TsdbError> {
-    config.validate()?;
-    let lines: Vec<&str> = text.lines().collect();
-    let chunk_count = lines.len().div_ceil(config.chunk_lines);
-    let shards = db.shards();
+    let mut ingestor = StreamIngestor::new(db, default_ts, *config)?;
+    ingestor.feed(text.as_bytes());
+    Ok(ingestor.finish())
+}
 
-    let mut report = IngestReport {
-        lines: lines.len(),
-        ..IngestReport::default()
-    };
-
-    let mut txs: Vec<Sender<Batch>> = Vec::with_capacity(shards.len());
-    let mut rxs: Vec<Receiver<Batch>> = Vec::with_capacity(shards.len());
-    for _ in 0..shards.len() {
-        let (tx, rx) = crossbeam::channel::bounded(config.queue_depth);
-        txs.push(tx);
-        rxs.push(rx);
-    }
-
-    let progress = Progress::new(shards.len());
-    crossbeam::thread::scope(|scope| {
-        let mut writers = Vec::with_capacity(shards.len());
-        for (idx, (shard, rx)) in shards.iter().zip(rxs.drain(..)).enumerate() {
-            let progress = &progress;
-            writers.push(scope.spawn(move |_| shard_writer(shard, rx, idx, progress)));
+/// Drains `reader` to end of stream through the streaming pipeline in
+/// bounded memory, using a fixed-size read buffer (the pipeline is
+/// oblivious to where reads split — any piece boundary, including
+/// mid-line and mid-UTF-8, tokenizes identically).
+///
+/// Returns `Err` for an invalid `config` or a reader error
+/// ([`TsdbError::Io`]); in the latter case the pipeline is shut down
+/// via [`StreamIngestor::abort`] first, so every *complete* line fed
+/// before the failure is applied (reorder buffers flushed) while a
+/// trailing partial line — truncated mid-record by the failure — is
+/// discarded rather than ingested as if it were whole. The partial
+/// report is discarded with it; a caller that needs progress
+/// accounting across source failures should drive a
+/// [`StreamIngestor`] directly. Data problems are skipped and
+/// reported, as in [`pipeline_ingest`].
+pub fn ingest_reader<R: Read>(
+    db: &ShardedDb,
+    mut reader: R,
+    default_ts: i64,
+    config: &IngestConfig,
+) -> Result<IngestReport, TsdbError> {
+    let mut ingestor = StreamIngestor::new(db, default_ts, *config)?;
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => ingestor.feed(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // Apply every complete line fed so far (the truncated
+                // tail is discarded), then surface the source failure.
+                ingestor.abort();
+                return Err(TsdbError::Io {
+                    message: e.to_string(),
+                });
+            }
         }
+    }
+    Ok(ingestor.finish())
+}
+
+/// A long-running handle on the streaming pipeline: feed byte pieces as
+/// they arrive, poll a live [`StreamProgress`], and
+/// [`finish`](StreamIngestor::finish) to flush the reorder stages and
+/// collect the final [`IngestReport`]. Created by
+/// [`ShardedDb::stream_ingestor`].
+///
+/// [`feed`](StreamIngestor::feed) blocks when the pipeline's bounded
+/// queues are full — backpressure reaches the byte source, so a handle
+/// fed from a socket holds bounded memory no matter how fast data
+/// arrives. Dropping the handle without `finish` applies every complete
+/// line already fed (the drop blocks until the workers drain, flush
+/// their reorder stages, and exit) but abandons the report and discards
+/// a trailing partial line; [`abort`](StreamIngestor::abort) does the
+/// same while handing the report back.
+#[derive(Debug)]
+pub struct StreamIngestor {
+    assembler: LineAssembler,
+    chunk_lines: usize,
+    /// Lines accumulated toward the next chunk.
+    pending_lines: Vec<String>,
+    /// Global 0-based line index of `pending_lines[0]`.
+    chunk_start: usize,
+    line_count: usize,
+    next_chunk: usize,
+    work_tx: Option<Sender<Chunk>>,
+    parsers: Vec<JoinHandle<Vec<ParseFailure>>>,
+    writers: Vec<JoinHandle<(usize, Vec<WriteFailure>)>>,
+    shared: Arc<Shared>,
+    /// Scratch for lines completed by one `feed` call.
+    scratch: Vec<String>,
+}
+
+impl StreamIngestor {
+    /// Builds the pipeline (spawns parser and writer threads) against
+    /// `db`. Returns `Err` only for an invalid `config`.
+    pub fn new(
+        db: &ShardedDb,
+        default_ts: i64,
+        config: IngestConfig,
+    ) -> Result<Self, TsdbError> {
+        config.validate()?;
+        let shards = db.shard_count();
+        let shared = Arc::new(Shared::new(shards));
+        let window = config.parsers + config.queue_depth;
+
+        let mut batch_txs: Vec<Sender<Batch>> = Vec::with_capacity(shards);
+        let mut writers = Vec::with_capacity(shards);
+        for idx in 0..shards {
+            let (tx, rx) = crossbeam::channel::bounded(config.queue_depth);
+            batch_txs.push(tx);
+            let db = db.clone();
+            let shared = Arc::clone(&shared);
+            let lateness = config.lateness;
+            writers.push(std::thread::spawn(move || {
+                shard_writer(db, idx, rx, shared, lateness)
+            }));
+        }
+
+        let (work_tx, work_rx) = crossbeam::channel::bounded::<Chunk>(config.queue_depth);
+        let work_rx = Arc::new(Mutex::new(work_rx));
         let mut parsers = Vec::with_capacity(config.parsers);
-        for p in 0..config.parsers {
-            let txs = txs.clone();
-            let lines = &lines;
-            let progress = &progress;
-            parsers.push(scope.spawn(move |_| {
-                parse_worker(p, config, lines, chunk_count, default_ts, db, &txs, progress)
+        for _ in 0..config.parsers {
+            let db = db.clone();
+            let work_rx = Arc::clone(&work_rx);
+            let batch_txs = batch_txs.clone();
+            let shared = Arc::clone(&shared);
+            parsers.push(std::thread::spawn(move || {
+                parse_worker(db, work_rx, batch_txs, shared, default_ts, window)
             }));
         }
         // The spawned parsers hold their own sender clones; dropping ours
         // lets writers observe hangup as soon as the last parser exits.
-        drop(txs);
-        for h in parsers {
-            report
-                .parse_failures
-                .extend(h.join().expect("ingest parser worker panicked"));
-        }
-        for h in writers {
-            let (written, failures) = h.join().expect("ingest shard writer panicked");
-            report.points += written;
-            report.write_failures.extend(failures);
-        }
-    })
-    .expect("ingest pipeline scope failed");
+        drop(batch_txs);
 
-    report.parse_failures.sort_by_key(|f| f.line);
-    report.write_failures.sort_by_key(|f| f.line);
-    Ok(report)
+        Ok(Self {
+            assembler: LineAssembler::new(),
+            chunk_lines: config.chunk_lines,
+            pending_lines: Vec::new(),
+            chunk_start: 0,
+            line_count: 0,
+            next_chunk: 0,
+            work_tx: Some(work_tx),
+            parsers,
+            writers,
+            shared,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Feeds the next piece of the byte stream. Pieces may split
+    /// anywhere — lines are reassembled across calls. Blocks when the
+    /// pipeline's bounded queues are full (backpressure).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        let mut completed = std::mem::take(&mut self.scratch);
+        self.assembler.push(bytes, &mut completed);
+        for line in completed.drain(..) {
+            self.push_line(line);
+        }
+        self.scratch = completed;
+    }
+
+    /// A live snapshot of the pipeline's counters.
+    pub fn progress(&self) -> StreamProgress {
+        let chunks = self.shared.chunks.load(Ordering::Acquire);
+        let applied = self.shared.progress.min_applied().min(chunks);
+        StreamProgress {
+            lines: self.shared.lines.load(Ordering::Acquire),
+            points: self.shared.points.load(Ordering::Acquire),
+            reordered: self.shared.reordered.load(Ordering::Acquire),
+            dropped_late: self.shared.dropped_late.load(Ordering::Acquire),
+            dropped_duplicate: self.shared.dropped_duplicate.load(Ordering::Acquire),
+            parse_failures: self.shared.parse_failed.load(Ordering::Acquire),
+            write_failures: self.shared.write_failed.load(Ordering::Acquire),
+            in_flight_chunks: chunks - applied,
+            pending_reorder: self
+                .shared
+                .pending_reorder
+                .iter()
+                .map(|p| p.load(Ordering::Acquire))
+                .sum(),
+        }
+    }
+
+    /// Ends the stream after a source failure: every *complete* line
+    /// already fed is applied and every reorder stage flushed, but a
+    /// trailing partial line — known to be truncated, not a real
+    /// record — is discarded instead of ingested. Returns the report of
+    /// what did land.
+    pub fn abort(mut self) -> IngestReport {
+        self.assembler = LineAssembler::new();
+        self.finish()
+    }
+
+    /// Ends the stream: the trailing unterminated line (if any) becomes
+    /// the last line, every reorder stage is flushed, all workers are
+    /// joined, and the final deterministic [`IngestReport`] is returned.
+    pub fn finish(mut self) -> IngestReport {
+        let mut tail = std::mem::take(&mut self.scratch);
+        self.assembler.finish(&mut tail);
+        for line in tail.drain(..) {
+            self.push_line(line);
+        }
+        let mut report = self.shutdown(true);
+        report.reordered = self.shared.reordered.load(Ordering::Acquire);
+        report.dropped_late = self.shared.dropped_late.load(Ordering::Acquire);
+        report.dropped_duplicate = self.shared.dropped_duplicate.load(Ordering::Acquire);
+        report.parse_failures.sort_by_key(|f| f.line);
+        report.write_failures.sort_by_key(|f| f.line);
+        report
+    }
+
+    /// Sends the pending chunk, hangs up the work queue (parsers drain
+    /// it and exit, writers see their senders drop, apply the tail, and
+    /// flush their reorder stages), and joins every worker. Shared by
+    /// [`StreamIngestor::finish`] and `Drop`; idempotent. `Drop` passes
+    /// `propagate_panics: false` so a panicking worker does not abort
+    /// the process with a double panic.
+    fn shutdown(&mut self, propagate_panics: bool) -> IngestReport {
+        if self.work_tx.is_some() {
+            if propagate_panics {
+                self.flush_chunk();
+            } else {
+                // Inside `Drop` (possibly mid-unwind): a dead parser
+                // must not turn into a double panic and abort.
+                let _ = self.try_flush_chunk();
+            }
+        }
+        drop(self.work_tx.take());
+        let mut report = IngestReport {
+            lines: self.line_count,
+            ..IngestReport::default()
+        };
+        for handle in self.parsers.drain(..) {
+            match handle.join() {
+                Ok(failures) => report.parse_failures.extend(failures),
+                Err(panic) if propagate_panics => {
+                    panic!("ingest parser worker panicked: {panic:?}")
+                }
+                Err(_) => {}
+            }
+        }
+        for handle in self.writers.drain(..) {
+            match handle.join() {
+                Ok((written, failures)) => {
+                    report.points += written;
+                    report.write_failures.extend(failures);
+                }
+                Err(panic) if propagate_panics => {
+                    panic!("ingest shard writer panicked: {panic:?}")
+                }
+                Err(_) => {}
+            }
+        }
+        report
+    }
+
+    fn push_line(&mut self, line: String) {
+        if self.pending_lines.is_empty() {
+            self.chunk_start = self.line_count;
+        }
+        self.line_count += 1;
+        self.shared.lines.fetch_add(1, Ordering::Release);
+        self.pending_lines.push(line);
+        if self.pending_lines.len() == self.chunk_lines {
+            self.flush_chunk();
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        // A send fails only if every parser died, which only happens on
+        // panic — worth surfacing loudly on the normal path.
+        self.try_flush_chunk().expect("ingest parser workers hung up");
+    }
+
+    fn try_flush_chunk(&mut self) -> Result<(), crossbeam::channel::SendError<Chunk>> {
+        if self.pending_lines.is_empty() {
+            return Ok(());
+        }
+        let chunk = Chunk {
+            index: self.next_chunk,
+            start_line: self.chunk_start,
+            lines: std::mem::take(&mut self.pending_lines),
+        };
+        self.next_chunk += 1;
+        self.shared.chunks.store(self.next_chunk, Ordering::Release);
+        self.work_tx
+            .as_ref()
+            .expect("stream already finished")
+            // Blocks when the work queue is full: backpressure.
+            .send(chunk)
+    }
 }
 
-/// Parses chunks `p, p+P, …`, routes points to per-shard batches, and
-/// sends one batch per (chunk, shard). Returns the chunk's parse failures.
-#[allow(clippy::too_many_arguments)]
+impl Drop for StreamIngestor {
+    /// Applies every complete line already fed (blocking until the
+    /// workers drain and flush their reorder stages), discarding the
+    /// report and any trailing partial line. A no-op after
+    /// [`StreamIngestor::finish`] / [`StreamIngestor::abort`].
+    fn drop(&mut self) {
+        self.shutdown(false);
+    }
+}
+
+/// Takes chunks off the shared work queue (FIFO), parses them, routes
+/// points to per-shard batches, and sends one batch per (chunk, shard).
+/// Returns this worker's parse failures.
 fn parse_worker(
-    p: usize,
-    config: &IngestConfig,
-    lines: &[&str],
-    chunk_count: usize,
+    db: ShardedDb,
+    work: Arc<Mutex<Receiver<Chunk>>>,
+    batch_txs: Vec<Sender<Batch>>,
+    shared: Arc<Shared>,
     default_ts: i64,
-    db: &ShardedDb,
-    txs: &[Sender<Batch>],
-    progress: &Progress,
+    window: usize,
 ) -> Vec<ParseFailure> {
-    let window = config.parsers + config.queue_depth;
     let mut failures = Vec::new();
-    let mut chunk = p;
-    while chunk < chunk_count {
+    loop {
+        let next = {
+            let guard = work.lock().expect("ingest work queue poisoned");
+            guard.recv()
+        };
+        let Ok(chunk) = next else {
+            break; // chunker hung up: stream over
+        };
         // Don't run unboundedly ahead of the slowest writer: this keeps
-        // every writer's reorder buffer within `window` chunks even when
-        // a peer parser stalls on an earlier chunk.
-        progress.wait_until_within(chunk, window);
-        let lo = chunk * config.chunk_lines;
-        let hi = (lo + config.chunk_lines).min(lines.len());
-        let mut per_shard: Vec<Vec<(usize, ParsedPoint)>> = vec![Vec::new(); txs.len()];
-        for (idx, raw) in lines[lo..hi].iter().enumerate() {
-            let idx = lo + idx;
+        // every writer's chunk-reorder buffer within `window` chunks even
+        // when a peer parser stalls on an earlier chunk.
+        shared.progress.wait_until_within(chunk.index, window);
+        let mut per_shard: Vec<Vec<(usize, ParsedPoint)>> = vec![Vec::new(); batch_txs.len()];
+        for (offset, raw) in chunk.lines.iter().enumerate() {
+            let idx = chunk.start_line + offset;
             let line_no = idx + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -297,6 +696,7 @@ fn parse_worker(
                     }
                 }
                 Err(TsdbError::Parse { line, reason }) => {
+                    shared.parse_failed.fetch_add(1, Ordering::Release);
                     failures.push(ParseFailure { line, reason });
                 }
                 // parse_line only constructs Parse errors; anything else
@@ -304,27 +704,42 @@ fn parse_worker(
                 Err(other) => panic!("parse_line returned a non-parse error: {other:?}"),
             }
         }
-        for (tx, points) in txs.iter().zip(per_shard) {
+        for (tx, points) in batch_txs.iter().zip(per_shard) {
             // Blocks when the shard's queue is full: backpressure. Fails
             // only if the writer died, which only happens on panic.
-            tx.send(Batch { chunk, points })
-                .expect("ingest shard writer hung up");
+            tx.send(Batch {
+                chunk: chunk.index,
+                points,
+            })
+            .expect("ingest shard writer hung up");
         }
-        chunk += config.parsers;
     }
     failures
 }
 
 /// Applies batches to one shard strictly in chunk order, buffering
-/// out-of-order arrivals (bounded: parsers only send chunks within the
-/// [`Progress`] window of the slowest writer). Returns points written
-/// and rejected writes.
+/// out-of-order chunk arrivals (bounded: parsers only send chunks within
+/// the [`Progress`] window of the slowest writer), feeding points
+/// through the optional reorder stage. Returns points written and
+/// rejected writes.
 fn shard_writer(
-    shard: &Shard,
-    rx: Receiver<Batch>,
+    db: ShardedDb,
     shard_idx: usize,
-    progress: &Progress,
+    rx: Receiver<Batch>,
+    shared: Arc<Shared>,
+    lateness: Option<i64>,
 ) -> (usize, Vec<WriteFailure>) {
+    let mut reorder = lateness.map(|l| {
+        ReorderBuffer::new(
+            ShardSink {
+                db: db.clone(),
+                idx: shard_idx,
+            },
+            l,
+        )
+        .expect("lateness validated by IngestConfig::validate")
+    });
+    let mut published = ReorderStats::default();
     let mut written = 0usize;
     let mut failures = Vec::new();
     let mut pending: BTreeMap<usize, Vec<(usize, ParsedPoint)>> = BTreeMap::new();
@@ -333,33 +748,106 @@ fn shard_writer(
         pending.insert(batch.chunk, batch.points);
         let before = next;
         while let Some(points) = pending.remove(&next) {
-            apply_batch(shard, points, &mut written, &mut failures);
+            apply_batch(
+                &db,
+                shard_idx,
+                points,
+                reorder.as_mut(),
+                &mut written,
+                &mut failures,
+                &shared,
+            );
             next += 1;
         }
         if next != before {
-            progress.advance(shard_idx, next);
+            publish_reorder(&shared, shard_idx, reorder.as_ref(), &mut published);
+            shared.progress.advance(shard_idx, next);
         }
     }
     // Senders hung up: every chunk has arrived, the leftovers are the
     // contiguous tail — a BTreeMap iterates them in chunk order.
-    for (_, points) in std::mem::take(&mut pending) {
-        apply_batch(shard, points, &mut written, &mut failures);
+    let tail = std::mem::take(&mut pending);
+    let applied_tail = !tail.is_empty();
+    for (_, points) in tail {
+        apply_batch(
+            &db,
+            shard_idx,
+            points,
+            reorder.as_mut(),
+            &mut written,
+            &mut failures,
+            &shared,
+        );
+        next += 1;
+    }
+    // End of stream: release everything still held back by watermarks.
+    if let Some(rb) = reorder.as_mut() {
+        let released = rb
+            .flush()
+            .expect("shard flush failed on a validated sink");
+        written += released;
+        shared.points.fetch_add(released, Ordering::Release);
+    }
+    publish_reorder(&shared, shard_idx, reorder.as_ref(), &mut published);
+    if applied_tail {
+        shared.progress.advance(shard_idx, next);
     }
     (written, failures)
 }
 
+/// Applies one batch's points through the reorder stage (or straight to
+/// the shard), updating live counters.
 fn apply_batch(
-    shard: &Shard,
+    db: &ShardedDb,
+    shard_idx: usize,
     points: Vec<(usize, ParsedPoint)>,
+    mut reorder: Option<&mut ReorderBuffer<ShardSink>>,
     written: &mut usize,
     failures: &mut Vec<WriteFailure>,
+    shared: &Shared,
 ) {
+    let mut batch_written = 0usize;
     for (line, point) in points {
-        match shard.write(&point.key, point.point) {
-            Ok(()) => *written += 1,
-            Err(error) => failures.push(WriteFailure { line, error }),
+        let result = match reorder.as_deref_mut() {
+            None => db.shards()[shard_idx]
+                .write(&point.key, point.point)
+                .map(|()| 1),
+            Some(rb) => rb.offer(&point.key, point.point),
+        };
+        match result {
+            Ok(released) => batch_written += released,
+            Err(error) => {
+                shared.write_failed.fetch_add(1, Ordering::Release);
+                failures.push(WriteFailure { line, error });
+            }
         }
     }
+    *written += batch_written;
+    shared.points.fetch_add(batch_written, Ordering::Release);
+}
+
+/// Publishes the delta of this writer's reorder statistics into the
+/// shared live counters (no-op without a reorder stage).
+fn publish_reorder(
+    shared: &Shared,
+    shard_idx: usize,
+    reorder: Option<&ReorderBuffer<ShardSink>>,
+    published: &mut ReorderStats,
+) {
+    let Some(rb) = reorder else { return };
+    let stats = rb.stats();
+    shared
+        .reordered
+        .fetch_add(stats.reordered - published.reordered, Ordering::Release);
+    shared
+        .dropped_late
+        .fetch_add(stats.dropped_late - published.dropped_late, Ordering::Release);
+    shared.dropped_duplicate.fetch_add(
+        stats.dropped_duplicate - published.dropped_duplicate,
+        Ordering::Release,
+    );
+    shared.pending_reorder[shard_idx].store(rb.pending(), Ordering::Release);
+    *published = stats;
 }
 
 #[cfg(test)]
@@ -393,13 +881,19 @@ mod tests {
                 parsers: 1,
                 queue_depth: 1,
                 chunk_lines: 1,
+                lateness: None,
             },
             IngestConfig {
                 parsers: 7,
                 queue_depth: 2,
                 chunk_lines: 3,
+                lateness: None,
             },
         ]
+    }
+
+    fn full() -> RangeQuery {
+        RangeQuery::raw(i64::MIN + 1, i64::MAX)
     }
 
     #[test]
@@ -416,6 +910,10 @@ mod tests {
             },
             IngestConfig {
                 chunk_lines: 0,
+                ..IngestConfig::default()
+            },
+            IngestConfig {
+                lateness: Some(-1),
                 ..IngestConfig::default()
             },
         ] {
@@ -465,6 +963,7 @@ mod tests {
             parsers: 3,
             queue_depth: 1,
             chunk_lines: 2,
+            lateness: None,
         };
         let sharded = ShardedDb::with_config(ShardedConfig::new(3, 16));
         pipeline_ingest(&sharded, text, 1000, &config).unwrap();
@@ -553,5 +1052,230 @@ mod tests {
         let report = pipeline_ingest(&db, &text, 0, &IngestConfig::default()).unwrap();
         assert!(report.is_clean());
         assert_eq!(db.series_count(), 6);
+    }
+
+    #[test]
+    fn reader_ingest_matches_in_memory_pipeline() {
+        let text = doc(4, 120);
+        let config = IngestConfig {
+            parsers: 3,
+            queue_depth: 2,
+            chunk_lines: 7,
+            lateness: None,
+        };
+        let streamed = ShardedDb::with_config(ShardedConfig::new(3, 32));
+        let report_r = ingest_reader(
+            &streamed,
+            std::io::Cursor::new(text.as_bytes()),
+            0,
+            &config,
+        )
+        .unwrap();
+        let in_memory = ShardedDb::with_config(ShardedConfig::new(3, 32));
+        let report_m = pipeline_ingest(&in_memory, &text, 0, &config).unwrap();
+        assert_eq!(report_r, report_m);
+        assert_eq!(
+            streamed.query_selector(&Selector::any(), full()).unwrap(),
+            in_memory.query_selector(&Selector::any(), full()).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_feeds_split_anywhere_match_whole_document() {
+        // Feed one byte at a time: every line boundary, float, and escape
+        // is split mid-token at some point.
+        let mut text = doc(3, 30);
+        text.push_str("tail v=9"); // no trailing newline
+        let config = IngestConfig {
+            parsers: 2,
+            queue_depth: 1,
+            chunk_lines: 3,
+            lateness: None,
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+        for b in text.as_bytes() {
+            ing.feed(std::slice::from_ref(b));
+        }
+        let report = ing.finish();
+        let whole = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let whole_report = pipeline_ingest(&whole, &text, 0, &config).unwrap();
+        assert_eq!(report, whole_report);
+        assert_eq!(report.lines, text.lines().count());
+        assert_eq!(
+            db.query_selector(&Selector::any(), full()).unwrap(),
+            whole.query_selector(&Selector::any(), full()).unwrap()
+        );
+    }
+
+    #[test]
+    fn lateness_repairs_out_of_order_stream_without_failures() {
+        // Each series' timestamps arrive jittered by at most 2 slots;
+        // lateness 5 covers it — so the strict engine sees only in-order
+        // writes and the report is clean.
+        let text = "m v=3 3\nm v=1 1\nm v=2 2\nm v=7 7\nm v=5 5\nm v=4 4\n\
+                    m v=9 9\nm v=6 6\nm v=8 8\nm v=12 12\nm v=10 10\nm v=11 11\n";
+        for chunk_lines in [1, 4, 100] {
+            let config = IngestConfig {
+                parsers: 2,
+                queue_depth: 2,
+                chunk_lines,
+                lateness: Some(5),
+            };
+            let db = ShardedDb::with_config(ShardedConfig::new(2, 4));
+            let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+            assert!(report.is_clean(), "{report:?}");
+            assert_eq!(report.points, 12);
+            assert_eq!(report.dropped_late, 0);
+            assert_eq!(report.dropped_duplicate, 0);
+            // 1, 2, 5, 4, 6, 8, 10, 11 arrive after a later timestamp:
+            // 8 repaired reorderings, deterministically.
+            assert_eq!(report.reordered, 8);
+            let got = db.query(&SeriesKey::metric("m.v"), full()).unwrap();
+            let want: Vec<_> = (1..=12).map(|t| DataPoint::new(t, t as f64)).collect();
+            assert_eq!(got, want, "chunk_lines {chunk_lines}");
+        }
+    }
+
+    #[test]
+    fn lateness_drops_are_counted_not_failed() {
+        // 100 then 10: 10 is 90 late, beyond lateness 5 — dropped and
+        // counted, not a write failure. The NaN still fails per line.
+        let text = "m v=1 100\nm v=2 10\nm v=NaN 200\nm v=3 150\n";
+        let config = IngestConfig {
+            lateness: Some(5),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+        assert_eq!(report.points, 2);
+        assert_eq!(report.dropped_late, 1);
+        assert_eq!(report.write_failures.len(), 1);
+        assert_eq!(report.write_failures[0].line, 3);
+        assert!(matches!(
+            report.write_failures[0].error,
+            TsdbError::NonFiniteValue { .. }
+        ));
+        let got = db.query(&SeriesKey::metric("m.v"), full()).unwrap();
+        assert_eq!(got, vec![DataPoint::new(100, 1.0), DataPoint::new(150, 3.0)]);
+    }
+
+    #[test]
+    fn finish_flushes_points_still_inside_the_lateness_window() {
+        // All points are within lateness of the stream end; without the
+        // finish-flush they would be lost.
+        let text = "m v=1 1\nm v=2 2\nm v=3 3\n";
+        let config = IngestConfig {
+            lateness: Some(1_000),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+        assert_eq!(report.points, 3);
+        assert_eq!(
+            db.query(&SeriesKey::metric("m.v"), full()).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn live_progress_counts_lines_and_settles_on_finish() {
+        let text = doc(2, 40);
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let mut ing = StreamIngestor::new(
+            &db,
+            0,
+            IngestConfig {
+                parsers: 2,
+                queue_depth: 2,
+                chunk_lines: 4,
+                lateness: Some(3),
+            },
+        )
+        .unwrap();
+        let half = text.len() / 2;
+        ing.feed(&text.as_bytes()[..half]);
+        let mid = ing.progress();
+        assert!(mid.lines > 0, "chunker counted completed lines");
+        assert!(mid.lines <= text.lines().count());
+        ing.feed(&text.as_bytes()[half..]);
+        let report = ing.finish();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.lines, text.lines().count());
+        assert_eq!(report.points, 2 * 40 * 2);
+    }
+
+    #[test]
+    fn reader_errors_surface_as_io_after_clean_shutdown() {
+        struct FailingReader {
+            fed: bool,
+        }
+        impl Read for FailingReader {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.fed {
+                    Err(std::io::Error::other("connection reset"))
+                } else {
+                    self.fed = true;
+                    // The last record is truncated mid-value by the
+                    // failure: "m v=99" was meant to be "m v=999 3\n".
+                    let text = b"m v=1 1\nm v=2 2\nm v=99";
+                    buf[..text.len()].copy_from_slice(text);
+                    Ok(text.len())
+                }
+            }
+        }
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let err = ingest_reader(
+            &db,
+            FailingReader { fed: false },
+            0,
+            &IngestConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TsdbError::Io { .. }), "{err:?}");
+        // Every complete line fed before the failure was applied; the
+        // truncated tail was discarded, not ingested as a bogus point.
+        let got = db.query(&SeriesKey::metric("m.v"), full()).unwrap();
+        assert_eq!(got, vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)]);
+    }
+
+    #[test]
+    fn abort_applies_complete_lines_and_discards_the_partial() {
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let config = IngestConfig {
+            lateness: Some(10),
+            ..IngestConfig::default()
+        };
+        let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+        ing.feed(b"m v=2 2\nm v=1 1\nm v=3");
+        let report = ing.abort();
+        assert_eq!(report.points, 2, "complete lines flushed, partial dropped");
+        assert_eq!(report.lines, 2);
+        assert_eq!(report.reordered, 1);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(
+            db.query(&SeriesKey::metric("m.v"), full()).unwrap(),
+            vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)]
+        );
+    }
+
+    #[test]
+    fn dropping_the_handle_applies_every_complete_fed_line() {
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let config = IngestConfig {
+            lateness: Some(10),
+            ..IngestConfig::default()
+        };
+        {
+            let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+            // Fewer lines than chunk_lines (256): they sit in the
+            // pending chunk until shutdown flushes it.
+            ing.feed(b"m v=2 2\nm v=1 1\nm v=3");
+        } // dropped without finish()
+        assert_eq!(
+            db.query(&SeriesKey::metric("m.v"), full()).unwrap(),
+            vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)],
+            "complete lines applied on drop, partial line discarded"
+        );
     }
 }

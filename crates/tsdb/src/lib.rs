@@ -21,16 +21,19 @@
 //! * [`query`] — range scans, bucketed aggregation, and the grid
 //!   alignment + gap-fill ASAP's equi-spaced SMA model requires;
 //! * [`line_protocol`] — InfluxDB-style text ingestion;
-//! * [`mod@ingest`] — the concurrent ingest pipeline: parser workers feeding
-//!   per-shard bounded channels with per-shard writers, backpressure, and
-//!   a deterministic ingest report;
+//! * [`mod@ingest`] — the streaming concurrent ingest pipeline: a
+//!   bounded-memory chunker over any byte source (`io::Read`, a socket,
+//!   incremental feeds), parser workers feeding per-shard bounded
+//!   channels, per-shard writers with an optional watermark reorder
+//!   stage, end-to-end backpressure, and a deterministic ingest report;
 //! * [`retention`] — TTLs and continuous-aggregate rollups (the raw-hot /
 //!   downsampled-cold tiering monitoring dashboards sit on), fanned out
 //!   per shard on the partitioned engine;
 //! * [`persist`] — single-file snapshots for restart durability (v2
 //!   serializes and loads shards in parallel);
-//! * [`reorder`] — watermark-based reordering so bounded-lateness
-//!   out-of-order telemetry survives the engine's strict ordering;
+//! * [`reorder`] — watermark-based reordering, generic over the
+//!   [`SeriesWriter`] sink, so bounded-lateness out-of-order telemetry
+//!   survives the engine's strict ordering;
 //! * [`smooth`] — the query→ASAP bridge: smooth a visualization interval
 //!   straight out of storage.
 //!
@@ -76,7 +79,8 @@ pub use db::{SeriesStats, Tsdb, TsdbConfig};
 pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};
 pub use ingest::{
-    pipeline_ingest, IngestConfig, IngestReport, ParseFailure, WriteFailure,
+    ingest_reader, pipeline_ingest, IngestConfig, IngestReport, ParseFailure, StreamIngestor,
+    StreamProgress, WriteFailure,
 };
 pub use line_protocol::{ingest, parse, ParsedPoint};
 pub use persist::{
@@ -84,7 +88,7 @@ pub use persist::{
     save_sharded as save_sharded_snapshot, SnapshotError,
 };
 pub use point::DataPoint;
-pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader};
+pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader, SeriesWriter};
 pub use reorder::{ReorderBuffer, ReorderStats};
 pub use retention::{
     rollup_key, CompactionReport, Compactor, RetentionPolicy, RetentionStore, RollupLevel,

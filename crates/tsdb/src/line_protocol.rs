@@ -50,6 +50,75 @@ pub(crate) fn fallback_ts(default_ts: i64, idx: usize) -> i64 {
     default_ts.saturating_add(i64::try_from(idx).unwrap_or(i64::MAX))
 }
 
+/// Reassembles complete lines out of an arbitrary byte stream.
+///
+/// The streaming ingest pipeline ([`mod@crate::ingest`]) receives the
+/// document as raw reader chunks that may split anywhere — mid-float,
+/// mid-escape, even mid-UTF-8 code point. This accumulator buffers bytes
+/// until a `\n` completes a line, reproducing `str::lines` semantics
+/// exactly so a streamed document tokenizes identically to an in-memory
+/// one:
+///
+/// * lines are terminated by `\n`; a `\r` immediately before the `\n` is
+///   stripped (a `\r` anywhere else is line content);
+/// * a trailing line without a final `\n` is emitted by
+///   [`LineAssembler::finish`]; a document ending in `\n` yields no extra
+///   empty line;
+/// * completed lines are decoded with `String::from_utf8_lossy` — for
+///   valid UTF-8 input (any document that ever existed as a `&str`) this
+///   is exact, and chunk boundaries inside a multi-byte code point cannot
+///   corrupt it because decoding happens only on complete lines.
+#[derive(Debug, Default)]
+pub(crate) struct LineAssembler {
+    partial: Vec<u8>,
+}
+
+impl LineAssembler {
+    /// Creates an empty assembler.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes, appending every newly completed line to `out`.
+    pub(crate) fn push(&mut self, bytes: &[u8], out: &mut Vec<String>) {
+        let mut rest = bytes;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..]; // skip the newline itself
+            let line = if self.partial.is_empty() {
+                strip_cr(head).to_vec()
+            } else {
+                self.partial.extend_from_slice(head);
+                let mut line = std::mem::take(&mut self.partial);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                line
+            };
+            out.push(String::from_utf8_lossy(&line).into_owned());
+        }
+        self.partial.extend_from_slice(rest);
+    }
+
+    /// Emits the trailing unterminated line, if any bytes are pending.
+    pub(crate) fn finish(&mut self, out: &mut Vec<String>) {
+        if !self.partial.is_empty() {
+            let line = std::mem::take(&mut self.partial);
+            // No trailing `\n`, so a final `\r` is content (as in
+            // `str::lines`).
+            out.push(String::from_utf8_lossy(&line).into_owned());
+        }
+    }
+}
+
+/// Strips one `\r` from the end of a `\n`-terminated line body.
+fn strip_cr(line: &[u8]) -> &[u8] {
+    match line {
+        [head @ .., b'\r'] => head,
+        _ => line,
+    }
+}
+
 /// Parses a document and writes every point into `db`.
 ///
 /// Returns the number of points written. Writes are per-series ordered
@@ -306,6 +375,56 @@ mod tests {
         // A tag value that is itself junk-free parses as literal bytes.
         let pts = parse("m,t=\u{1f600} v=1 5", 0).unwrap();
         assert_eq!(pts[0].key.tag("t"), Some("\u{1f600}"));
+    }
+
+    /// Collects the assembler's output for one split of `doc` into
+    /// byte pieces.
+    fn assemble(doc: &[u8], piece: usize) -> Vec<String> {
+        let mut asm = LineAssembler::new();
+        let mut out = Vec::new();
+        for chunk in doc.chunks(piece.max(1)) {
+            asm.push(chunk, &mut out);
+        }
+        asm.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn line_assembler_matches_str_lines_at_any_split() {
+        let docs = [
+            "cpu v=1 1\ncpu v=2 2\n",
+            "no trailing newline",
+            "",
+            "\n",
+            "\r\n",
+            "a\r\nb\nc\r",          // CRLF, LF, and a content \r at EOF
+            "mid\rline\n",          // \r not before \n is content
+            "m,t=\u{1f600} v=1 5\n# comment \u{00e9}\u{6f22}\n", // multi-byte
+            "a\n\n\nb",
+        ];
+        for doc in docs {
+            let want: Vec<String> = doc.lines().map(str::to_owned).collect();
+            // Every piece size, down to one byte — splits land mid-UTF-8.
+            for piece in 1..=doc.len().max(1) {
+                assert_eq!(
+                    assemble(doc.as_bytes(), piece),
+                    want,
+                    "doc {doc:?} split every {piece} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_assembler_finish_is_idempotent_and_final_cr_is_content() {
+        let mut asm = LineAssembler::new();
+        let mut out = Vec::new();
+        asm.push(b"tail\r", &mut out);
+        assert!(out.is_empty(), "no newline yet");
+        asm.finish(&mut out);
+        assert_eq!(out, vec!["tail\r".to_owned()], "EOF \\r is content");
+        asm.finish(&mut out);
+        assert_eq!(out.len(), 1, "second finish emits nothing");
     }
 
     use proptest::prelude::*;

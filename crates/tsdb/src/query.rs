@@ -25,6 +25,20 @@ pub trait SeriesReader {
     fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey>;
 }
 
+/// A writable series store — the engine-side contract ingest-side
+/// adapters (notably [`crate::reorder::ReorderBuffer`]) are written
+/// against, mirroring [`SeriesReader`] on the write path.
+///
+/// Implemented by the single-shard [`crate::db::Tsdb`], the partitioned
+/// [`crate::sharded::ShardedDb`], and each individual
+/// [`crate::shard::Shard`], so reordering and other write-side stages run
+/// identically in front of any front-end.
+pub trait SeriesWriter {
+    /// Writes one point, creating the series on first touch. Timestamps
+    /// must be strictly increasing per series.
+    fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError>;
+}
+
 /// Reduction applied to the points that fall in one bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregator {

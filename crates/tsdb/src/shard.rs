@@ -21,7 +21,7 @@ use crate::block::Block;
 use crate::db::{SeriesStats, TsdbConfig};
 use crate::error::TsdbError;
 use crate::point::DataPoint;
-use crate::query::{RangeQuery, SeriesReader};
+use crate::query::{RangeQuery, SeriesReader, SeriesWriter};
 use crate::series::{RangeSummary, SeriesStore};
 use crate::tags::{Selector, SeriesKey};
 
@@ -232,5 +232,11 @@ impl SeriesReader for Shard {
 
     fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey> {
         self.list_series(selector)
+    }
+}
+
+impl SeriesWriter for Shard {
+    fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
+        self.write(key, point)
     }
 }

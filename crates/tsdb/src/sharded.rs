@@ -32,7 +32,7 @@ use crate::block::Block;
 use crate::db::{SeriesStats, Tsdb, TsdbConfig};
 use crate::error::TsdbError;
 use crate::point::DataPoint;
-use crate::query::{RangeQuery, SeriesReader};
+use crate::query::{RangeQuery, SeriesReader, SeriesWriter};
 use crate::series::RangeSummary;
 use crate::shard::Shard;
 use crate::smooth::{smooth_query, SmoothQueryError, SmoothedFrame};
@@ -171,6 +171,31 @@ impl ShardedDb {
         config: &crate::ingest::IngestConfig,
     ) -> Result<crate::ingest::IngestReport, TsdbError> {
         crate::ingest::pipeline_ingest(self, text, default_ts, config)
+    }
+
+    /// Drains `reader` to end of stream through the streaming pipeline in
+    /// bounded memory; see [`crate::ingest::ingest_reader`] for chunking,
+    /// reorder-stage, and report semantics.
+    pub fn ingest_reader<R: std::io::Read>(
+        &self,
+        reader: R,
+        default_ts: i64,
+        config: &crate::ingest::IngestConfig,
+    ) -> Result<crate::ingest::IngestReport, TsdbError> {
+        crate::ingest::ingest_reader(self, reader, default_ts, config)
+    }
+
+    /// Opens a long-running streaming ingest handle: feed byte pieces as
+    /// they arrive, poll a live [`crate::ingest::StreamProgress`], and
+    /// `finish()` to flush the reorder stages and collect the final
+    /// report — the shape a socket listener plugs into. See
+    /// [`crate::ingest::StreamIngestor`].
+    pub fn stream_ingestor(
+        &self,
+        default_ts: i64,
+        config: crate::ingest::IngestConfig,
+    ) -> Result<crate::ingest::StreamIngestor, TsdbError> {
+        crate::ingest::StreamIngestor::new(self, default_ts, config)
     }
 
     /// Writes a version-2 snapshot of the whole store to `path`, shards
@@ -369,6 +394,12 @@ impl SeriesReader for ShardedDb {
 
     fn matching_series(&self, selector: &Selector) -> Vec<SeriesKey> {
         self.list_series(selector)
+    }
+}
+
+impl SeriesWriter for ShardedDb {
+    fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
+        self.write(key, point)
     }
 }
 

@@ -121,6 +121,7 @@ fn ops_case() -> impl Strategy<Value = OpsCase> {
                         parsers,
                         queue_depth,
                         chunk_lines,
+                        lateness: None,
                     },
                 }
             },
@@ -460,6 +461,7 @@ fn pipeline_ingest_under_concurrent_readers_stays_exact() {
                 parsers: 3,
                 queue_depth: 2,
                 chunk_lines: 64,
+                lateness: None,
             },
         )
         .unwrap();
