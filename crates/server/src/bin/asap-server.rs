@@ -1,0 +1,138 @@
+//! `asap-server` — serve a [`asap_tsdb::ShardedDb`] over TCP.
+//!
+//! ```text
+//! asap-server [--ingest ADDR] [--query ADDR] [--shards N] [--block-capacity N]
+//!             [--lateness L] [--max-connections N]
+//!             [--compact-interval SECS [--compact-jitter SECS]
+//!              [--rollup BUCKET] [--raw-ttl T]]
+//!             [--snapshot PATH]
+//! ```
+//!
+//! Feed it InfluxDB-style line protocol on the ingest port; speak the
+//! text protocol (`SMOOTH`, `RANGE`, `STATS`, `HEALTH`, `SNAPSHOT`,
+//! `SHUTDOWN`) on the query port. The process runs until a client sends
+//! `SHUTDOWN`, then drains gracefully and prints the final report.
+
+use std::time::Duration;
+
+use asap_server::{CompactionClock, CompactionConfig, Server, ServerConfig};
+use asap_tsdb::{
+    Aggregator, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig, ShardedDb,
+};
+
+const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
+                     [--block-capacity N] [--lateness L] [--max-connections N] \
+                     [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
+                     [--raw-ttl T]] [--snapshot PATH]";
+
+fn fail(message: &str) -> ! {
+    eprintln!("asap-server: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    let Some(value) = value else {
+        fail(&format!("{flag} needs a value"));
+    };
+    value
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("{flag}: cannot parse `{value}`")))
+}
+
+fn main() {
+    let mut ingest_addr = "127.0.0.1:9009".to_owned();
+    let mut query_addr = "127.0.0.1:9010".to_owned();
+    let mut shards = 8usize;
+    let mut block_capacity = 4096usize;
+    let mut lateness: Option<i64> = None;
+    let mut max_connections = 64usize;
+    let mut compact_interval: Option<u64> = None;
+    let mut compact_jitter = 0u64;
+    let mut rollup: Option<i64> = None;
+    let mut raw_ttl: Option<i64> = None;
+    let mut snapshot = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--ingest" => ingest_addr = parse(args.next(), "--ingest"),
+            "--query" => query_addr = parse(args.next(), "--query"),
+            "--shards" => shards = parse(args.next(), "--shards"),
+            "--block-capacity" => block_capacity = parse(args.next(), "--block-capacity"),
+            "--lateness" => lateness = Some(parse(args.next(), "--lateness")),
+            "--max-connections" => max_connections = parse(args.next(), "--max-connections"),
+            "--compact-interval" => {
+                compact_interval = Some(parse(args.next(), "--compact-interval"))
+            }
+            "--compact-jitter" => compact_jitter = parse(args.next(), "--compact-jitter"),
+            "--rollup" => rollup = Some(parse(args.next(), "--rollup")),
+            "--raw-ttl" => raw_ttl = Some(parse(args.next(), "--raw-ttl")),
+            "--snapshot" => snapshot = Some(std::path::PathBuf::from(
+                parse::<String>(args.next(), "--snapshot"),
+            )),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let compaction = compact_interval.map(|secs| CompactionConfig {
+        policy: RetentionPolicy {
+            raw_ttl,
+            rollups: rollup
+                .map(|bucket| RollupLevel {
+                    bucket,
+                    aggregator: Aggregator::Mean,
+                    ttl: None,
+                })
+                .into_iter()
+                .collect(),
+        },
+        schedule: Schedule::every(Duration::from_secs(secs))
+            .with_jitter(Duration::from_secs(compact_jitter)),
+        seed: 0x5eed,
+        clock: CompactionClock::WallClock,
+    });
+
+    let config = ServerConfig {
+        ingest_addr,
+        query_addr,
+        max_ingest_connections: max_connections,
+        ingest: IngestConfig {
+            lateness,
+            ..IngestConfig::default()
+        },
+        compaction,
+        final_snapshot: snapshot,
+        verbose: true,
+        ..ServerConfig::default()
+    };
+    let db = ShardedDb::with_config(ShardedConfig::new(shards, block_capacity));
+    let server = match Server::start(db, config) {
+        Ok(server) => server,
+        Err(e) => fail(&e.to_string()),
+    };
+    eprintln!(
+        "asap-server: ingest on {} (line protocol), queries on {} \
+         (SMOOTH|RANGE|STATS|HEALTH|SNAPSHOT|SHUTDOWN); awaiting SHUTDOWN",
+        server.ingest_addr(),
+        server.query_addr()
+    );
+    let report = server.run();
+    eprintln!(
+        "asap-server: drained; ingested lines={} points={} over {} connections \
+         ({} rejected); compaction runs={} rolled_up={}",
+        report.ingest.lines,
+        report.ingest.points,
+        report.ingest.connections,
+        report.ingest.rejected_connections,
+        report.compaction.runs,
+        report.compaction.rolled_up,
+    );
+    if let Some(e) = report.final_snapshot_error {
+        eprintln!("asap-server: final snapshot failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Network front-end for the ASAP reproduction: a threaded TCP server
+//! over one shared [`asap_tsdb::ShardedDb`].
+//!
+//! The ASAP paper (§2) frames smoothing as an operator pointed at *live*
+//! dashboards fed by production telemetry. Every entry point the
+//! workspace had so far is in-process; this crate is the missing network
+//! layer that turns the engine into a servable system:
+//!
+//! ```text
+//!  telemetry agents            operators / dashboards
+//!        │ line protocol             │ text protocol
+//!        ▼                           ▼
+//!  ┌─ ingest listener ─┐      ┌─ query listener ──┐
+//!  │ 1 conn = 1        │      │ SMOOTH RANGE      │
+//!  │ StreamIngestor    │      │ STATS HEALTH      │
+//!  │ (cap, back-       │      │ SNAPSHOT SHUTDOWN │
+//!  │  pressure)        │      └────────┬──────────┘
+//!  └────────┬──────────┘               │
+//!           ▼                          ▼
+//!        ┌──────────── ShardedDb ───────────┐   ┌ compaction scheduler ┐
+//!        │  shards · reorder · smoothing    │◀──│ Compactor::run_sharded│
+//!        └──────────────────────────────────┘   │ jittered ticks       │
+//!                                               └──────────────────────┘
+//! ```
+//!
+//! * **Ingest listener** — each accepted connection gets its own
+//!   [`asap_tsdb::StreamIngestor`] draining the socket with end-to-end
+//!   backpressure (a full pipeline stops reading, TCP flow control
+//!   stalls the sender); the connection cap bounds server threads. On
+//!   close the final [`asap_tsdb::IngestReport`] is written back as one
+//!   stable `key=value` line.
+//! * **Query/ops protocol** — a line-oriented text protocol (see
+//!   [`protocol`]) serving smoothing (`SMOOTH`), range reads (`RANGE`),
+//!   live counters (`STATS`, `HEALTH` — aggregated
+//!   [`asap_tsdb::StreamProgress`] plus per-shard
+//!   series/point/watermark occupancy), snapshots (`SNAPSHOT`), and
+//!   graceful shutdown (`SHUTDOWN`).
+//! * **Compaction scheduler** — a background thread driving
+//!   [`asap_tsdb::Compactor::run_sharded`] on jittered ticks
+//!   ([`asap_tsdb::Schedule`]), mutually exclusive with snapshot saves,
+//!   its cumulative counters surfaced through `STATS`.
+//! * **Graceful shutdown** — `SHUTDOWN` (or [`Server::shutdown`]) stops
+//!   accepting, lets every ingest connection flush its reorder buffers
+//!   via `finish()`, stops the scheduler, optionally writes a final
+//!   snapshot, and returns a [`ServerReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::net::TcpStream;
+//! use asap_server::{Server, ServerConfig};
+//! use asap_tsdb::ShardedDb;
+//!
+//! let server = Server::start(ShardedDb::new(), ServerConfig::default()).unwrap();
+//! let mut conn = TcpStream::connect(server.ingest_addr()).unwrap();
+//! conn.write_all(b"cpu,host=a usage=0.5 1\n").unwrap();
+//! conn.shutdown(std::net::Shutdown::Write).unwrap();
+//! let mut report = String::new();
+//! conn.read_to_string(&mut report).unwrap();
+//! assert!(report.contains("points=1"), "{report}");
+//! let report = server.shutdown();
+//! assert_eq!(report.ingest.points, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+mod scheduler;
+mod server;
+
+pub use server::{
+    CompactionClock, CompactionConfig, CompactionStats, IngestTotals, Server, ServerConfig,
+    ServerError, ServerReport,
+};

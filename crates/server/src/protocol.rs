@@ -1,0 +1,401 @@
+//! The line-oriented text protocol of the query/ops port.
+//!
+//! One request per line, whitespace-separated tokens; one response per
+//! request. Responses are machine-parseable:
+//!
+//! * errors are a single line `ERR <message>` (the message never contains
+//!   a newline);
+//! * single-line successes start with `OK `;
+//! * multi-line successes start with `OK <count>` (or `OK stats`), carry
+//!   `count` self-describing sections, and always terminate with a lone
+//!   `END` line, so clients can stream-parse without knowing the shape of
+//!   every section.
+//!
+//! Grammar (verbs are case-insensitive, arguments are not):
+//!
+//! ```text
+//! RANGE    <selector> <start> <end> [<bucket> [<agg>]]
+//! SMOOTH   <selector> <start> <end> <bucket> [<resolution>]
+//! STATS
+//! HEALTH
+//! SNAPSHOT <path>
+//! SHUTDOWN
+//! ```
+//!
+//! `<selector>` picks series: `*` (every series), `metric`,
+//! `metric{k=v,k2=*}` (tag `k` equal to `v`, tag `k2` present with any
+//! value), or `*{k=v}` / `{k=v}` (any metric, tag-filtered). Selectors
+//! are one token — metric names and tag values containing whitespace are
+//! not addressable over this protocol. `<agg>` is one of `mean`, `min`,
+//! `max`, `sum`, `count`, `first`, `last`. Timestamps and buckets are
+//! plain `i64` in the store's native units.
+//!
+//! `RANGE`/`SMOOTH` data sections are
+//! `SERIES <key> <n> [k=v ...]` followed by `n` lines of
+//! `<timestamp> <value>`; values render through Rust's shortest-roundtrip
+//! `f64` display, so `parse::<f64>()` reconstructs them exactly.
+
+use asap_tsdb::{Aggregator, DataPoint, Selector, SeriesKey, SmoothedFrame};
+
+/// Display resolution (target pixel width) `SMOOTH` uses when the
+/// request does not name one — the paper's canonical chart width.
+pub const DEFAULT_RESOLUTION: usize = 800;
+
+/// One parsed request of the query/ops protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `RANGE <selector> <start> <end> [<bucket> [<agg>]]` — raw or
+    /// bucket-aggregated points of every matching series.
+    Range {
+        /// Which series to read.
+        selector: Selector,
+        /// Inclusive scan start.
+        start: i64,
+        /// Exclusive scan end.
+        end: i64,
+        /// Bucket width; `None` returns raw points.
+        bucket: Option<i64>,
+        /// Per-bucket reduction (ignored for raw scans).
+        aggregator: Aggregator,
+    },
+    /// `SMOOTH <selector> <start> <end> <bucket> [<resolution>]` — the
+    /// ASAP-smoothed frame of every matching series.
+    Smooth {
+        /// Which series to smooth.
+        selector: Selector,
+        /// Inclusive interval start.
+        start: i64,
+        /// Exclusive interval end.
+        end: i64,
+        /// Grid step handed to the query→ASAP bridge.
+        bucket: i64,
+        /// Target display resolution (pixels).
+        resolution: usize,
+    },
+    /// `STATS` — the full counter dump (ingest, compaction, per-shard).
+    Stats,
+    /// `HEALTH` — a single-line liveness summary.
+    Health,
+    /// `SNAPSHOT <path>` — write a v2 snapshot of the whole store.
+    Snapshot {
+        /// Destination path on the server's filesystem.
+        path: String,
+    },
+    /// `SHUTDOWN` — request a graceful server shutdown.
+    Shutdown,
+}
+
+/// Parses one selector token; see the module docs for the grammar.
+pub fn parse_selector(token: &str) -> Result<Selector, String> {
+    let (metric, tags) = match token.find('{') {
+        None => (token, None),
+        Some(open) => {
+            let Some(inner) = token[open + 1..].strip_suffix('}') else {
+                return Err(format!("selector `{token}`: unterminated tag block"));
+            };
+            (&token[..open], Some(inner))
+        }
+    };
+    let mut selector = match metric {
+        "" | "*" => Selector::any(),
+        name => Selector::metric(name),
+    };
+    if let Some(tags) = tags {
+        for clause in tags.split(',') {
+            if clause.is_empty() {
+                return Err(format!("selector `{token}`: empty tag clause"));
+            }
+            let Some((key, value)) = clause.split_once('=') else {
+                return Err(format!(
+                    "selector `{token}`: tag clause `{clause}` is not key=value"
+                ));
+            };
+            if key.is_empty() {
+                return Err(format!("selector `{token}`: empty tag key"));
+            }
+            selector = if value == "*" {
+                selector.tag_present(key)
+            } else {
+                selector.tag_eq(key, value)
+            };
+        }
+    }
+    Ok(selector)
+}
+
+fn parse_aggregator(token: &str) -> Result<Aggregator, String> {
+    match token.to_ascii_lowercase().as_str() {
+        "mean" => Ok(Aggregator::Mean),
+        "min" => Ok(Aggregator::Min),
+        "max" => Ok(Aggregator::Max),
+        "sum" => Ok(Aggregator::Sum),
+        "count" => Ok(Aggregator::Count),
+        "first" => Ok(Aggregator::First),
+        "last" => Ok(Aggregator::Last),
+        other => Err(format!(
+            "unknown aggregator `{other}` (mean|min|max|sum|count|first|last)"
+        )),
+    }
+}
+
+fn parse_i64(token: &str, what: &str) -> Result<i64, String> {
+    token
+        .parse()
+        .map_err(|_| format!("{what} `{token}` is not an integer"))
+}
+
+fn parse_usize(token: &str, what: &str) -> Result<usize, String> {
+    token
+        .parse()
+        .map_err(|_| format!("{what} `{token}` is not a non-negative integer"))
+}
+
+/// Parses one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut tokens = line.split_whitespace();
+    let Some(verb) = tokens.next() else {
+        return Err("empty command".to_owned());
+    };
+    let args: Vec<&str> = tokens.collect();
+    let arity = |lo: usize, hi: usize, usage: &str| -> Result<(), String> {
+        if args.len() < lo || args.len() > hi {
+            Err(format!("usage: {usage}"))
+        } else {
+            Ok(())
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "RANGE" => {
+            arity(3, 5, "RANGE <selector> <start> <end> [<bucket> [<agg>]]")?;
+            let bucket = match args.get(3) {
+                None => None,
+                Some(b) => Some(parse_i64(b, "bucket")?),
+            };
+            Ok(Command::Range {
+                selector: parse_selector(args[0])?,
+                start: parse_i64(args[1], "start")?,
+                end: parse_i64(args[2], "end")?,
+                bucket,
+                aggregator: match args.get(4) {
+                    None => Aggregator::Mean,
+                    Some(a) => parse_aggregator(a)?,
+                },
+            })
+        }
+        "SMOOTH" => {
+            arity(4, 5, "SMOOTH <selector> <start> <end> <bucket> [<resolution>]")?;
+            Ok(Command::Smooth {
+                selector: parse_selector(args[0])?,
+                start: parse_i64(args[1], "start")?,
+                end: parse_i64(args[2], "end")?,
+                bucket: parse_i64(args[3], "bucket")?,
+                resolution: match args.get(4) {
+                    None => DEFAULT_RESOLUTION,
+                    Some(r) => parse_usize(r, "resolution")?,
+                },
+            })
+        }
+        "STATS" => {
+            arity(0, 0, "STATS")?;
+            Ok(Command::Stats)
+        }
+        "HEALTH" => {
+            arity(0, 0, "HEALTH")?;
+            Ok(Command::Health)
+        }
+        "SNAPSHOT" => {
+            arity(1, 1, "SNAPSHOT <path>")?;
+            Ok(Command::Snapshot {
+                path: args[0].to_owned(),
+            })
+        }
+        "SHUTDOWN" => {
+            arity(0, 0, "SHUTDOWN")?;
+            Ok(Command::Shutdown)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Renders an error response: a single `ERR` line with newlines in the
+/// message flattened so the response stays one line.
+pub fn render_error(message: &str) -> String {
+    format!("ERR {}\n", message.replace('\n', "; "))
+}
+
+/// Renders a `RANGE` result: `OK <n>`, one `SERIES <key> <n_points>`
+/// section per series with `<timestamp> <value>` lines, then `END`.
+pub fn render_range(results: &[(SeriesKey, Vec<DataPoint>)]) -> String {
+    let mut out = format!("OK {}\n", results.len());
+    for (key, points) in results {
+        out.push_str(&format!("SERIES {key} {}\n", points.len()));
+        for p in points {
+            out.push_str(&format!("{} {}\n", p.timestamp, p.value));
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Renders a `SMOOTH` result: `OK <n>`, one
+/// `SERIES <key> <n_points> window=<w> pixel_ratio=<r> roughness=<σ>`
+/// section per series with the smoothed `<timestamp> <value>` lines,
+/// then `END`.
+pub fn render_smooth(frames: &[(SeriesKey, SmoothedFrame)]) -> String {
+    let mut out = format!("OK {}\n", frames.len());
+    for (key, frame) in frames {
+        out.push_str(&format!(
+            "SERIES {key} {} window={} pixel_ratio={} roughness={}\n",
+            frame.smoothed_points.len(),
+            frame.result.window,
+            frame.result.pixel_ratio,
+            frame.result.roughness,
+        ));
+        for p in &frame.smoothed_points {
+            out.push_str(&format!("{} {}\n", p.timestamp, p.value));
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_grammar_round_trips_onto_keys() {
+        let k = SeriesKey::metric("cpu").with_tag("host", "a").with_tag("dc", "west");
+        for (token, matches) in [
+            ("*", true),
+            ("cpu", true),
+            ("mem", false),
+            ("cpu{host=a}", true),
+            ("cpu{host=b}", false),
+            ("cpu{host=a,dc=west}", true),
+            ("cpu{host=*}", true),
+            ("cpu{rack=*}", false),
+            ("*{dc=west}", true),
+            ("{dc=west}", true),
+            ("{dc=east}", false),
+        ] {
+            let sel = parse_selector(token).unwrap();
+            assert_eq!(sel.matches(&k), matches, "selector `{token}`");
+        }
+    }
+
+    #[test]
+    fn bad_selectors_are_rejected_with_reasons() {
+        for token in ["cpu{host=a", "cpu{host}", "cpu{=a}", "cpu{,}", "cpu{}"] {
+            let err = parse_selector(token).unwrap_err();
+            assert!(err.contains("selector"), "`{token}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn commands_parse_with_defaults_and_case_insensitive_verbs() {
+        assert_eq!(
+            parse_command("range * 0 100").unwrap(),
+            Command::Range {
+                selector: parse_selector("*").unwrap(),
+                start: 0,
+                end: 100,
+                bucket: None,
+                aggregator: Aggregator::Mean,
+            }
+        );
+        assert_eq!(
+            parse_command("RANGE cpu{host=a} -50 100 10 max").unwrap(),
+            Command::Range {
+                selector: parse_selector("cpu{host=a}").unwrap(),
+                start: -50,
+                end: 100,
+                bucket: Some(10),
+                aggregator: Aggregator::Max,
+            }
+        );
+        assert_eq!(
+            parse_command("smooth cpu 0 1000 10").unwrap(),
+            Command::Smooth {
+                selector: parse_selector("cpu").unwrap(),
+                start: 0,
+                end: 1000,
+                bucket: 10,
+                resolution: DEFAULT_RESOLUTION,
+            }
+        );
+        assert_eq!(
+            parse_command("SMOOTH cpu 0 1000 10 320").unwrap(),
+            Command::Smooth {
+                selector: parse_selector("cpu").unwrap(),
+                start: 0,
+                end: 1000,
+                bucket: 10,
+                resolution: 320,
+            }
+        );
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("Health").unwrap(), Command::Health);
+        assert_eq!(
+            parse_command("SNAPSHOT /tmp/a.snap").unwrap(),
+            Command::Snapshot {
+                path: "/tmp/a.snap".to_owned()
+            }
+        );
+        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+    }
+
+    #[test]
+    fn malformed_commands_report_usage() {
+        for (line, needle) in [
+            ("", "empty command"),
+            ("FLY * 0 10", "unknown command"),
+            ("RANGE *", "usage:"),
+            ("RANGE * 0 ten", "not an integer"),
+            ("RANGE * 0 10 5 median", "unknown aggregator"),
+            ("SMOOTH * 0 10", "usage:"),
+            ("SMOOTH * 0 10 5 -3", "not a non-negative integer"),
+            ("STATS now", "usage:"),
+            ("SNAPSHOT", "usage:"),
+        ] {
+            let err = parse_command(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn range_rendering_is_count_prefixed_and_end_terminated() {
+        let key = SeriesKey::metric("cpu").with_tag("host", "a");
+        let rendered = render_range(&[(
+            key,
+            vec![DataPoint::new(1, 0.5), DataPoint::new(2, -1.25)],
+        )]);
+        assert_eq!(
+            rendered,
+            "OK 1\nSERIES cpu{host=a} 2\n1 0.5\n2 -1.25\nEND\n"
+        );
+        assert_eq!(render_range(&[]), "OK 0\nEND\n");
+    }
+
+    #[test]
+    fn rendered_values_round_trip_through_f64_parse() {
+        let values = [0.1 + 0.2, 1.0 / 3.0, -1.0e-300, f64::MAX];
+        let points: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DataPoint::new(i as i64, v))
+            .collect();
+        let rendered = render_range(&[(SeriesKey::metric("m"), points)]);
+        for (line, &want) in rendered.lines().skip(2).take(values.len()).zip(&values) {
+            let got: f64 = line.split(' ').nth(1).unwrap().parse().unwrap();
+            assert_eq!(got, want, "value failed to round-trip: {line}");
+        }
+    }
+
+    #[test]
+    fn error_rendering_never_spans_lines() {
+        let rendered = render_error("first\nsecond");
+        assert_eq!(rendered, "ERR first; second\n");
+        assert_eq!(rendered.matches('\n').count(), 1);
+    }
+}

@@ -1,0 +1,991 @@
+//! The threaded TCP server: ingest listener, query/ops listener,
+//! background compaction, graceful shutdown.
+//!
+//! See the crate docs for the architecture diagram and lifecycle
+//! ordering. Everything here is built on blocking sockets with short
+//! read timeouts: every connection thread polls the drain flag between
+//! reads, so a graceful shutdown needs no signal machinery — set the
+//! flag, nudge the two accept loops awake, and join.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use asap_core::Asap;
+use asap_tsdb::{
+    IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule, ShardedDb, StreamProgress,
+    TsdbError,
+};
+
+use crate::protocol::{self, Command};
+use crate::scheduler;
+
+/// Configuration of an [`Server`] instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address of the ingest listener (default `127.0.0.1:0` — an
+    /// ephemeral port, reported by [`Server::ingest_addr`]).
+    pub ingest_addr: String,
+    /// Bind address of the query/ops listener (default `127.0.0.1:0`).
+    pub query_addr: String,
+    /// Concurrent ingest connection cap (default 64). Connections over
+    /// the cap are refused with one `ERR` line. Each accepted connection
+    /// owns a full [`asap_tsdb::StreamIngestor`] pipeline (parser and
+    /// writer threads), so the cap bounds server threads and memory.
+    pub max_ingest_connections: usize,
+    /// Concurrent query/ops connection cap (default 64), enforced the
+    /// same way — one connection is one server thread, so remote
+    /// clients must not be able to spawn unboundedly many.
+    pub max_query_connections: usize,
+    /// The streaming pipeline configuration every ingest connection runs
+    /// with (parsers, queue depth, chunk size, lateness).
+    pub ingest: IngestConfig,
+    /// Fallback timestamp base for records without one (see
+    /// [`asap_tsdb::ingest::pipeline_ingest`]).
+    pub default_ts: i64,
+    /// Background compaction; `None` disables the scheduler thread.
+    pub compaction: Option<CompactionConfig>,
+    /// Where to write a final snapshot during shutdown, after every
+    /// connection has drained (`None` skips it).
+    pub final_snapshot: Option<PathBuf>,
+    /// Socket read timeout — the granularity at which connection threads
+    /// notice the drain flag (default 25ms). Smaller values shut down
+    /// faster at the cost of more idle wakeups.
+    pub poll_interval: Duration,
+    /// Log one line per connection close / compaction error to stderr
+    /// (default `false`; the `asap-server` binary turns it on).
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            ingest_addr: "127.0.0.1:0".to_owned(),
+            query_addr: "127.0.0.1:0".to_owned(),
+            max_ingest_connections: 64,
+            max_query_connections: 64,
+            ingest: IngestConfig::default(),
+            default_ts: 0,
+            compaction: None,
+            final_snapshot: None,
+            poll_interval: Duration::from_millis(25),
+            verbose: false,
+        }
+    }
+}
+
+/// What the background compaction scheduler runs and when.
+#[derive(Debug, Clone)]
+pub struct CompactionConfig {
+    /// Retention/rollup policy driven by the scheduler.
+    pub policy: RetentionPolicy,
+    /// Tick plan: base interval plus jitter (see
+    /// [`asap_tsdb::Schedule`]).
+    pub schedule: Schedule,
+    /// Seed of the scheduler's jitter RNG — fixed so a server's tick
+    /// plan is reproducible run to run.
+    pub seed: u64,
+    /// Where the compactor's logical `now` comes from.
+    pub clock: CompactionClock,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        Self {
+            policy: RetentionPolicy::default(),
+            schedule: Schedule::every(Duration::from_secs(60))
+                .with_jitter(Duration::from_secs(5)),
+            seed: 0,
+            clock: CompactionClock::WallClock,
+        }
+    }
+}
+
+/// Source of the logical `now` handed to [`asap_tsdb::Compactor`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionClock {
+    /// Unix wall-clock seconds — for telemetry timestamped in epoch
+    /// seconds, the production default.
+    WallClock,
+    /// The newest timestamp currently stored across all shards — time
+    /// advances with the data, so retention works for any timestamp
+    /// unit (and for tests driving logical time). Ticks on an empty
+    /// store are counted as skipped.
+    DataWatermark,
+}
+
+/// Failure starting an [`Server`].
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket setup failed (bind, local_addr).
+    Io(std::io::Error),
+    /// A configuration knob failed validation.
+    Config(TsdbError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io: {e}"),
+            ServerError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<TsdbError> for ServerError {
+    fn from(e: TsdbError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+/// Cumulative ingest-side counters across every connection the server
+/// has served, live connections included (their contribution comes from
+/// the last published [`StreamProgress`], so totals trail the sockets
+/// slightly until connections close).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestTotals {
+    /// Ingest connections accepted (live + closed).
+    pub connections: u64,
+    /// Connections refused at the [`ServerConfig::max_ingest_connections`] cap.
+    pub rejected_connections: u64,
+    /// Lines consumed.
+    pub lines: usize,
+    /// Points written into the store.
+    pub points: usize,
+    /// Out-of-order points repaired by the reorder stages.
+    pub reordered: usize,
+    /// Points dropped as later than the configured lateness.
+    pub dropped_late: usize,
+    /// Points dropped as duplicate timestamps.
+    pub dropped_duplicate: usize,
+    /// Malformed lines skipped.
+    pub parse_failures: usize,
+    /// Writes the engine rejected.
+    pub write_failures: usize,
+    /// Chunks currently in flight across live connections (gauge).
+    pub in_flight_chunks: usize,
+    /// Points currently pending in reorder stages across live
+    /// connections (gauge).
+    pub pending_reorder: usize,
+}
+
+impl IngestTotals {
+    fn add_report(&mut self, report: &IngestReport) {
+        self.lines += report.lines;
+        self.points += report.points;
+        self.reordered += report.reordered;
+        self.dropped_late += report.dropped_late;
+        self.dropped_duplicate += report.dropped_duplicate;
+        self.parse_failures += report.parse_failures.len();
+        self.write_failures += report.write_failures.len();
+    }
+
+    fn add_progress(&mut self, progress: &StreamProgress) {
+        self.lines += progress.lines;
+        self.points += progress.points;
+        self.reordered += progress.reordered;
+        self.dropped_late += progress.dropped_late;
+        self.dropped_duplicate += progress.dropped_duplicate;
+        self.parse_failures += progress.parse_failures;
+        self.write_failures += progress.write_failures;
+        self.in_flight_chunks += progress.in_flight_chunks;
+        self.pending_reorder += progress.pending_reorder;
+    }
+}
+
+/// Cumulative background-compaction counters, surfaced through `STATS`
+/// and the final [`ServerReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Completed compaction passes.
+    pub runs: u64,
+    /// Ticks skipped because no logical `now` was available (empty
+    /// store under [`CompactionClock::DataWatermark`]).
+    pub skipped: u64,
+    /// Failed passes.
+    pub errors: u64,
+    /// Rollup points materialized across all runs.
+    pub rolled_up: usize,
+    /// Raw points evicted across all runs.
+    pub raw_evicted: usize,
+    /// Rollup points evicted across all runs.
+    pub rollup_evicted: usize,
+    /// Rendering of the most recent failure, if any.
+    pub last_error: Option<String>,
+}
+
+/// Final accounting handed back by [`Server::shutdown`] / [`Server::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// Ingest totals at shutdown (all connections drained, so the live
+    /// gauges are zero and counts are exact).
+    pub ingest: IngestTotals,
+    /// Compaction totals at shutdown.
+    pub compaction: CompactionStats,
+    /// Rendering of the final-snapshot failure, if one was requested
+    /// and failed (the drain still completes).
+    pub final_snapshot_error: Option<String>,
+}
+
+#[derive(Default)]
+struct Lifecycle {
+    /// A `SHUTDOWN` command (or [`Server::shutdown`]) asked for a
+    /// graceful stop; [`Server::run`] waits on this.
+    shutdown_requested: bool,
+    /// The drain has started: accept loops exit, connection threads
+    /// finish their streams, the scheduler stops.
+    draining: bool,
+}
+
+/// State shared by the accept loops, connection threads, the scheduler,
+/// and the [`Server`] handle.
+pub(crate) struct Shared {
+    db: ShardedDb,
+    config: ServerConfig,
+    draining: AtomicBool,
+    lifecycle: Mutex<Lifecycle>,
+    lifecycle_cv: Condvar,
+    /// Held for the duration of every snapshot save; the scheduler
+    /// acquires it per pass, so compaction pauses while a snapshot is
+    /// being written (and vice versa).
+    snapshot_gate: Mutex<()>,
+    live: Mutex<HashMap<u64, Arc<Mutex<StreamProgress>>>>,
+    finished: Mutex<IngestTotals>,
+    active: AtomicUsize,
+    query_active: AtomicUsize,
+    next_conn_id: AtomicU64,
+    compaction: Mutex<CompactionStats>,
+}
+
+impl Shared {
+    fn new(db: ShardedDb, config: ServerConfig) -> Self {
+        Self {
+            db,
+            config,
+            draining: AtomicBool::new(false),
+            lifecycle: Mutex::new(Lifecycle::default()),
+            lifecycle_cv: Condvar::new(),
+            snapshot_gate: Mutex::new(()),
+            live: Mutex::new(HashMap::new()),
+            finished: Mutex::new(IngestTotals::default()),
+            active: AtomicUsize::new(0),
+            query_active: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
+            compaction: Mutex::new(CompactionStats::default()),
+        }
+    }
+
+    pub(crate) fn db(&self) -> &ShardedDb {
+        &self.db
+    }
+
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn verbose(&self) -> bool {
+        self.config.verbose
+    }
+
+    /// Holds the gate that keeps snapshot saves and compaction passes
+    /// mutually exclusive.
+    pub(crate) fn snapshot_gate(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.snapshot_gate
+            .lock()
+            .expect("snapshot gate poisoned")
+    }
+
+    pub(crate) fn record_compaction<F: FnOnce(&mut CompactionStats)>(&self, update: F) {
+        update(&mut self.compaction.lock().expect("compaction stats poisoned"));
+    }
+
+    fn request_shutdown(&self) {
+        let mut guard = self.lifecycle.lock().expect("lifecycle poisoned");
+        guard.shutdown_requested = true;
+        self.lifecycle_cv.notify_all();
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        let mut guard = self.lifecycle.lock().expect("lifecycle poisoned");
+        guard.shutdown_requested = true;
+        guard.draining = true;
+        self.lifecycle_cv.notify_all();
+    }
+
+    fn wait_shutdown_requested(&self) {
+        let mut guard = self.lifecycle.lock().expect("lifecycle poisoned");
+        while !guard.shutdown_requested {
+            guard = self
+                .lifecycle_cv
+                .wait(guard)
+                .expect("lifecycle poisoned");
+        }
+    }
+
+    /// Sleeps up to `timeout`, returning `true` early if the drain
+    /// started — the scheduler's interruptible tick wait.
+    pub(crate) fn wait_drain_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.lifecycle.lock().expect("lifecycle poisoned");
+        while !guard.draining {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            guard = self
+                .lifecycle_cv
+                .wait_timeout(guard, remaining)
+                .expect("lifecycle poisoned")
+                .0;
+        }
+        true
+    }
+
+    fn register_connection(&self) -> u64 {
+        let id = self.next_conn_id.fetch_add(1, Ordering::AcqRel);
+        self.live
+            .lock()
+            .expect("live registry poisoned")
+            .insert(id, Arc::new(Mutex::new(StreamProgress::default())));
+        self.finished
+            .lock()
+            .expect("ingest totals poisoned")
+            .connections += 1;
+        id
+    }
+
+    fn publish_progress(&self, id: u64, progress: StreamProgress) {
+        if let Some(slot) = self.live.lock().expect("live registry poisoned").get(&id) {
+            *slot.lock().expect("progress slot poisoned") = progress;
+        }
+    }
+
+    fn finish_connection(&self, id: u64, report: &IngestReport) {
+        // Take both locks in registry order (live, then finished) so the
+        // connection moves atomically from the live sum to the totals —
+        // aggregate counters never double-count it.
+        let mut live = self.live.lock().expect("live registry poisoned");
+        let mut finished = self.finished.lock().expect("ingest totals poisoned");
+        live.remove(&id);
+        finished.add_report(report);
+    }
+
+    fn reject_connection(&self) {
+        self.finished
+            .lock()
+            .expect("ingest totals poisoned")
+            .rejected_connections += 1;
+    }
+
+    /// The aggregate ingest counters: closed-connection totals plus the
+    /// latest published progress of every live connection.
+    fn ingest_totals(&self) -> IngestTotals {
+        let live = self.live.lock().expect("live registry poisoned");
+        let mut totals = *self.finished.lock().expect("ingest totals poisoned");
+        for slot in live.values() {
+            totals.add_progress(&slot.lock().expect("progress slot poisoned"));
+        }
+        totals
+    }
+}
+
+/// Which per-listener connection counter a handler holds a slot in.
+#[derive(Clone, Copy)]
+enum Port {
+    Ingest,
+    Query,
+}
+
+impl Port {
+    fn counter(self, shared: &Shared) -> &AtomicUsize {
+        match self {
+            Port::Ingest => &shared.active,
+            Port::Query => &shared.query_active,
+        }
+    }
+}
+
+/// Decrements a listener's active-connection count when its handler
+/// exits, however it exits.
+struct ActiveGuard(Arc<Shared>, Port);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.1.counter(&self.0).fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running ASAP server: two TCP listeners plus the optional compaction
+/// scheduler over one shared [`ShardedDb`].
+///
+/// The handle owns the lifecycle: [`Server::shutdown`] (or a client's
+/// `SHUTDOWN` command followed by [`Server::run`] returning) drains
+/// everything gracefully. The store itself is shared — clone the
+/// `ShardedDb` before [`Server::start`] to keep querying it after the
+/// server is gone.
+pub struct Server {
+    shared: Arc<Shared>,
+    ingest_addr: SocketAddr,
+    query_addr: SocketAddr,
+    accept_threads: Vec<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds both listeners, spawns the accept loops and (if configured)
+    /// the compaction scheduler, and returns the running server.
+    ///
+    /// Fails fast on configuration errors ([`ServerError::Config`]) and
+    /// socket errors ([`ServerError::Io`]); nothing is spawned on
+    /// failure.
+    pub fn start(db: ShardedDb, config: ServerConfig) -> Result<Self, ServerError> {
+        config.ingest.validate()?;
+        if config.max_ingest_connections == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "max_ingest_connections",
+                message: "the ingest connection cap must be positive",
+            }
+            .into());
+        }
+        if config.max_query_connections == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "max_query_connections",
+                message: "the query connection cap must be positive",
+            }
+            .into());
+        }
+        if config.poll_interval.is_zero() {
+            return Err(TsdbError::InvalidParameter {
+                name: "poll_interval",
+                message: "the shutdown poll interval must be positive",
+            }
+            .into());
+        }
+        if let Some(compaction) = &config.compaction {
+            compaction.policy.validate()?;
+            compaction.schedule.validate()?;
+        }
+        let ingest_listener = TcpListener::bind(&config.ingest_addr)?;
+        let query_listener = TcpListener::bind(&config.query_addr)?;
+        let ingest_addr = ingest_listener.local_addr()?;
+        let query_addr = query_listener.local_addr()?;
+        let compaction = config.compaction.clone();
+        let shared = Arc::new(Shared::new(db, config));
+
+        let mut accept_threads = Vec::with_capacity(2);
+        let s = Arc::clone(&shared);
+        let ingest_cap = s.config.max_ingest_connections;
+        accept_threads.push(std::thread::spawn(move || {
+            accept_loop(ingest_listener, &s, Port::Ingest, ingest_cap, handle_ingest)
+        }));
+        let s = Arc::clone(&shared);
+        let query_cap = s.config.max_query_connections;
+        accept_threads.push(std::thread::spawn(move || {
+            accept_loop(query_listener, &s, Port::Query, query_cap, handle_query)
+        }));
+        let scheduler_thread = compaction.map(|cfg| {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler::run(&s, &cfg))
+        });
+
+        Ok(Self {
+            shared,
+            ingest_addr,
+            query_addr,
+            accept_threads,
+            scheduler_thread,
+        })
+    }
+
+    /// The bound address of the ingest listener (resolves `:0` binds).
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound address of the query/ops listener.
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// The served store (cheap clone; shares storage with the server).
+    pub fn db(&self) -> ShardedDb {
+        self.shared.db.clone()
+    }
+
+    /// Current aggregate ingest counters (what `STATS` reports).
+    pub fn ingest_totals(&self) -> IngestTotals {
+        self.shared.ingest_totals()
+    }
+
+    /// Current compaction counters (what `STATS` reports).
+    pub fn compaction_stats(&self) -> CompactionStats {
+        self.shared
+            .compaction
+            .lock()
+            .expect("compaction stats poisoned")
+            .clone()
+    }
+
+    /// Blocks until a client issues `SHUTDOWN` (or another thread calls
+    /// [`Server::shutdown`] via a clone of the handle — there is none,
+    /// so in practice: until `SHUTDOWN` arrives), then drains and
+    /// returns the final report. This is the serve loop of the
+    /// `asap-server` binary.
+    pub fn run(self) -> ServerReport {
+        self.shared.wait_shutdown_requested();
+        self.drain()
+    }
+
+    /// Gracefully stops the server now: stops accepting, lets every
+    /// ingest connection flush its reorder buffers via `finish()`, stops
+    /// the compaction scheduler, writes the final snapshot if
+    /// configured, and returns the final report.
+    pub fn shutdown(self) -> ServerReport {
+        self.drain()
+    }
+
+    fn drain(mut self) -> ServerReport {
+        // Ordering: (1) raise the drain flag — connection threads finish
+        // their streams at the next poll tick, flushing reorder buffers;
+        // (2) nudge both accept loops off their blocking accept; (3) join
+        // accept loops, which join every connection thread; (4) the
+        // scheduler observed the flag via the condvar — join it; (5) with
+        // all writers drained and the compactor stopped, write the final
+        // snapshot; (6) assemble the report (gauges now zero).
+        self.shared.begin_drain();
+        let _ = TcpStream::connect(self.ingest_addr);
+        let _ = TcpStream::connect(self.query_addr);
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scheduler_thread.take() {
+            let _ = handle.join();
+        }
+        let mut final_snapshot_error = None;
+        if let Some(path) = self.shared.config.final_snapshot.clone() {
+            let _gate = self.shared.snapshot_gate();
+            if let Err(e) = self.shared.db.save(&path) {
+                final_snapshot_error = Some(e.to_string());
+            }
+        }
+        ServerReport {
+            ingest: self.shared.ingest_totals(),
+            compaction: self
+                .shared
+                .compaction
+                .lock()
+                .expect("compaction stats poisoned")
+                .clone(),
+            final_snapshot_error,
+        }
+    }
+}
+
+/// Joins finished handler threads, keeping the live ones.
+fn reap(handlers: Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
+    let (done, live): (Vec<_>, Vec<_>) = handlers.into_iter().partition(JoinHandle::is_finished);
+    for handle in done {
+        let _ = handle.join();
+    }
+    live
+}
+
+/// One listener's accept loop: reap finished handlers, enforce the
+/// port's connection cap (refused connections get one `ERR` line), and
+/// spawn `handle` per accepted stream. Persistent accept errors (e.g.
+/// fd exhaustion) back off by one poll interval instead of spinning.
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    port: Port,
+    cap: usize,
+    handle: fn(TcpStream, &Arc<Shared>),
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.is_draining() {
+                    break;
+                }
+                std::thread::sleep(shared.config.poll_interval);
+                continue;
+            }
+        };
+        if shared.is_draining() {
+            break; // the drain's wake-up connection lands here
+        }
+        handlers = reap(handlers);
+        if port.counter(shared).load(Ordering::Acquire) >= cap {
+            if matches!(port, Port::Ingest) {
+                shared.reject_connection();
+            }
+            let mut stream = stream;
+            let _ = stream.write_all(
+                protocol::render_error(&format!("connection limit reached ({cap} active)"))
+                    .as_bytes(),
+            );
+            let _ = stream.shutdown(SocketShutdown::Both);
+            continue;
+        }
+        port.counter(shared).fetch_add(1, Ordering::AcqRel);
+        let s = Arc::clone(shared);
+        handlers.push(std::thread::spawn(move || handle(stream, &s)));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One ingest connection: drain the socket through a dedicated
+/// [`asap_tsdb::StreamIngestor`] with end-to-end backpressure (a full
+/// pipeline blocks `feed`, which stops reading, which fills the kernel
+/// buffers, which stalls the sender), then write the final
+/// [`IngestReport`] line back on close.
+fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
+    let _active = ActiveGuard(Arc::clone(shared), Port::Ingest);
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut ingestor =
+        match shared
+            .db
+            .stream_ingestor(shared.config.default_ts, shared.config.ingest)
+        {
+            Ok(ingestor) => ingestor,
+            Err(e) => {
+                let _ = (&stream).write_all(protocol::render_error(&e.to_string()).as_bytes());
+                return;
+            }
+        };
+    let id = shared.register_connection();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut source_error = false;
+    loop {
+        if shared.is_draining() {
+            break;
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => break, // client finished its stream
+            Ok(n) => {
+                ingestor.feed(&buf[..n]);
+                shared.publish_progress(id, ingestor.progress());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.publish_progress(id, ingestor.progress());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                source_error = true;
+                break;
+            }
+        }
+    }
+    // A clean close (or drain) flushes the trailing line and every
+    // reorder buffer; a broken socket aborts instead, applying complete
+    // lines but discarding the known-truncated tail (PR 4 semantics).
+    let report = if source_error {
+        ingestor.abort()
+    } else {
+        ingestor.finish()
+    };
+    shared.finish_connection(id, &report);
+    if shared.verbose() {
+        eprintln!("asap-server: ingest {peer} closed: {report}");
+    }
+    let _ = (&stream).write_all(format!("{report}\n").as_bytes());
+    let _ = stream.shutdown(SocketShutdown::Both);
+}
+
+/// Longest accepted request line on the query port. Remote input must
+/// not grow server memory: a client that streams bytes without ever
+/// sending a newline gets one `ERR` and is disconnected.
+const MAX_REQUEST_LINE: usize = 64 * 1024;
+
+/// One query/ops connection: accumulate bytes, execute each complete
+/// line as a [`Command`], write one response per request.
+fn handle_query(stream: TcpStream, shared: &Arc<Shared>) {
+    let _active = ActiveGuard(Arc::clone(shared), Port::Query);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = acc.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&raw);
+            let line = text.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, shutdown_after) = execute(line, shared);
+            if (&stream).write_all(response.as_bytes()).is_err() {
+                return;
+            }
+            if shutdown_after {
+                shared.request_shutdown();
+                let _ = stream.shutdown(SocketShutdown::Both);
+                return;
+            }
+        }
+        if acc.len() > MAX_REQUEST_LINE {
+            let _ = (&stream).write_all(
+                protocol::render_error(&format!(
+                    "request line exceeds {MAX_REQUEST_LINE} bytes"
+                ))
+                .as_bytes(),
+            );
+            let _ = stream.shutdown(SocketShutdown::Both);
+            return;
+        }
+        if shared.is_draining() {
+            return;
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Largest bucketed grid a remote query may materialize. The engine
+/// allocates one slot per grid bucket, so client-chosen
+/// `(start, end, bucket)` must not size server memory — a span/bucket
+/// ratio past this cap is refused before it reaches storage.
+const MAX_GRID_BUCKETS: u64 = 1 << 20;
+
+/// Rejects bucketed ranges whose grid the server is unwilling to
+/// allocate. Shape errors the engine already reports (non-positive
+/// bucket, inverted or overflowing range) pass through to keep error
+/// semantics identical to the in-process API.
+fn check_grid(start: i64, end: i64, bucket: i64) -> Result<(), String> {
+    if bucket <= 0 {
+        return Ok(()); // the engine rejects this with its own message
+    }
+    if let Some(span) = end.checked_sub(start).filter(|s| *s > 0) {
+        let buckets = (span as u64).div_ceil(bucket as u64);
+        if buckets > MAX_GRID_BUCKETS {
+            return Err(format!(
+                "grid of {buckets} buckets exceeds the server cap of {MAX_GRID_BUCKETS}; \
+                 widen the bucket or narrow the range"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Executes one request line; returns the response and whether the
+/// server should begin shutting down after it is sent.
+fn execute(line: &str, shared: &Shared) -> (String, bool) {
+    let command = match protocol::parse_command(line) {
+        Ok(command) => command,
+        Err(e) => return (protocol::render_error(&e), false),
+    };
+    match command {
+        Command::Range {
+            selector,
+            start,
+            end,
+            bucket,
+            aggregator,
+        } => {
+            let query = match bucket {
+                None => RangeQuery::raw(start, end),
+                Some(b) => {
+                    if let Err(e) = check_grid(start, end, b) {
+                        return (protocol::render_error(&e), false);
+                    }
+                    RangeQuery::bucketed(start, end, b).aggregate(aggregator)
+                }
+            };
+            match shared.db.query_selector(&selector, query) {
+                Ok(results) => (protocol::render_range(&results), false),
+                Err(e) => (protocol::render_error(&e.to_string()), false),
+            }
+        }
+        Command::Smooth {
+            selector,
+            start,
+            end,
+            bucket,
+            resolution,
+        } => {
+            if resolution == 0 {
+                return (
+                    protocol::render_error("resolution must be positive"),
+                    false,
+                );
+            }
+            if let Err(e) = check_grid(start, end, bucket) {
+                return (protocol::render_error(&e), false);
+            }
+            let asap = Asap::builder().resolution(resolution).build();
+            match shared
+                .db
+                .smooth_query_selector(&selector, &asap, start, end, bucket)
+            {
+                Ok(frames) => (protocol::render_smooth(&frames), false),
+                Err(e) => (protocol::render_error(&e.to_string()), false),
+            }
+        }
+        Command::Stats => (render_stats(shared), false),
+        Command::Health => (render_health(shared), false),
+        Command::Snapshot { path } => {
+            // Hold the gate for the whole save: the compaction scheduler
+            // pauses rather than mutating the store mid-snapshot.
+            let _gate = shared.snapshot_gate();
+            match shared.db.save(Path::new(&path)) {
+                Ok(()) => (format!("OK snapshot {path}\n"), false),
+                Err(e) => (protocol::render_error(&e.to_string()), false),
+            }
+        }
+        Command::Shutdown => ("OK shutting down\n".to_owned(), true),
+    }
+}
+
+fn fmt_watermark(watermark: Option<i64>) -> String {
+    watermark.map_or_else(|| "none".to_owned(), |ts| ts.to_string())
+}
+
+/// The `STATS` response: `OK stats`, `key value` lines (a stable,
+/// append-only key set), `END`.
+fn render_stats(shared: &Shared) -> String {
+    let totals = shared.ingest_totals();
+    let compaction = shared
+        .compaction
+        .lock()
+        .expect("compaction stats poisoned")
+        .clone();
+    let occupancy = shared.db.shard_occupancy();
+    let mut out = String::from("OK stats\n");
+    out.push_str(&format!(
+        "ingest.active_connections {}\n",
+        shared.active.load(Ordering::Acquire)
+    ));
+    out.push_str(&format!("ingest.total_connections {}\n", totals.connections));
+    out.push_str(&format!(
+        "ingest.rejected_connections {}\n",
+        totals.rejected_connections
+    ));
+    out.push_str(&format!("ingest.lines {}\n", totals.lines));
+    out.push_str(&format!("ingest.points {}\n", totals.points));
+    out.push_str(&format!("ingest.reordered {}\n", totals.reordered));
+    out.push_str(&format!("ingest.dropped_late {}\n", totals.dropped_late));
+    out.push_str(&format!(
+        "ingest.dropped_duplicate {}\n",
+        totals.dropped_duplicate
+    ));
+    out.push_str(&format!("ingest.parse_failures {}\n", totals.parse_failures));
+    out.push_str(&format!("ingest.write_failures {}\n", totals.write_failures));
+    out.push_str(&format!(
+        "ingest.in_flight_chunks {}\n",
+        totals.in_flight_chunks
+    ));
+    out.push_str(&format!(
+        "ingest.pending_reorder {}\n",
+        totals.pending_reorder
+    ));
+    out.push_str(&format!(
+        "compaction.enabled {}\n",
+        u8::from(shared.config.compaction.is_some())
+    ));
+    out.push_str(&format!("compaction.runs {}\n", compaction.runs));
+    out.push_str(&format!("compaction.skipped {}\n", compaction.skipped));
+    out.push_str(&format!("compaction.errors {}\n", compaction.errors));
+    out.push_str(&format!("compaction.rolled_up {}\n", compaction.rolled_up));
+    out.push_str(&format!("compaction.raw_evicted {}\n", compaction.raw_evicted));
+    out.push_str(&format!(
+        "compaction.rollup_evicted {}\n",
+        compaction.rollup_evicted
+    ));
+    let series: usize = occupancy.iter().map(|o| o.series).sum();
+    let points: usize = occupancy.iter().map(|o| o.points).sum();
+    let blocks: usize = occupancy.iter().map(|o| o.blocks).sum();
+    let bytes: usize = occupancy.iter().map(|o| o.compressed_bytes).sum();
+    let watermark = occupancy.iter().filter_map(|o| o.watermark).max();
+    out.push_str(&format!("store.shards {}\n", occupancy.len()));
+    out.push_str(&format!("store.series {series}\n"));
+    out.push_str(&format!("store.points {points}\n"));
+    out.push_str(&format!("store.blocks {blocks}\n"));
+    out.push_str(&format!("store.compressed_bytes {bytes}\n"));
+    out.push_str(&format!("store.watermark {}\n", fmt_watermark(watermark)));
+    for (i, shard) in occupancy.iter().enumerate() {
+        out.push_str(&format!("shard.{i}.series {}\n", shard.series));
+        out.push_str(&format!("shard.{i}.points {}\n", shard.points));
+        out.push_str(&format!("shard.{i}.blocks {}\n", shard.blocks));
+        out.push_str(&format!(
+            "shard.{i}.compressed_bytes {}\n",
+            shard.compressed_bytes
+        ));
+        out.push_str(&format!(
+            "shard.{i}.watermark {}\n",
+            fmt_watermark(shard.watermark)
+        ));
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// The `HEALTH` response: one `OK healthy` line of `key=value` tokens.
+fn render_health(shared: &Shared) -> String {
+    let totals = shared.ingest_totals();
+    let compaction = shared
+        .compaction
+        .lock()
+        .expect("compaction stats poisoned")
+        .clone();
+    let occupancy = shared.db.shard_occupancy();
+    let series: usize = occupancy.iter().map(|o| o.series).sum();
+    let points: usize = occupancy.iter().map(|o| o.points).sum();
+    let watermark = occupancy.iter().filter_map(|o| o.watermark).max();
+    format!(
+        "OK healthy connections={}/{} shards={} series={} points={} watermark={} \
+         ingested_points={} compaction_runs={}\n",
+        shared.active.load(Ordering::Acquire),
+        shared.config.max_ingest_connections,
+        occupancy.len(),
+        series,
+        points,
+        fmt_watermark(watermark),
+        totals.points,
+        compaction.runs,
+    )
+}

@@ -1,0 +1,596 @@
+//! End-to-end tests of the TCP server: real sockets on ephemeral ports,
+//! concurrent clients, and — following the repo-wide pattern
+//! (`stream_properties.rs`, `ops_properties.rs`) — every expectation
+//! derived from a single-shard serial oracle rather than baked in.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use asap_core::Asap;
+use asap_server::{protocol, CompactionClock, CompactionConfig, Server, ServerConfig};
+use asap_tsdb::{
+    line_protocol, smooth, Aggregator, Compactor, DataPoint, IngestConfig, RangeQuery,
+    RetentionPolicy, RollupLevel, Schedule, Selector, SeriesKey, ShardedConfig, ShardedDb, Tsdb,
+    TsdbConfig,
+};
+
+const LATENESS: i64 = 40;
+
+fn full() -> RangeQuery {
+    RangeQuery::raw(i64::MIN + 1, i64::MAX)
+}
+
+/// The fleet's telemetry, per-series sorted: `hosts` series × `points`
+/// samples of a noisy periodic signal ASAP has something to do with.
+fn sorted_doc(hosts: usize, points: i64) -> Vec<String> {
+    let mut lines = Vec::new();
+    for t in 0..points {
+        for h in 0..hosts {
+            let v = (std::f64::consts::TAU * t as f64 / 48.0).sin()
+                + 0.4 * if t % 2 == 0 { 1.0 } else { -1.0 }
+                + h as f64;
+            lines.push(format!("cpu,host=h{h} usage={v} {t}"));
+        }
+    }
+    lines
+}
+
+/// Displaces lines by a deterministic jitter strictly below
+/// [`LATENESS`] — bounded disorder the per-connection reorder stage
+/// must repair losslessly.
+fn shuffle_within_lateness(lines: &[String]) -> Vec<String> {
+    let ts_of = |line: &str| -> i64 { line.rsplit(' ').next().unwrap().parse().unwrap() };
+    let mut keyed: Vec<(i64, usize, &String)> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| (ts_of(line) + (i as i64 * 13) % LATENESS, i, line))
+        .collect();
+    keyed.sort_by_key(|&(key, i, _)| (key, i));
+    keyed.into_iter().map(|(_, _, line)| line.clone()).collect()
+}
+
+/// Streams `doc` to the ingest port in small pieces, half-closes, and
+/// returns the server's final report line.
+fn ingest_doc(addr: SocketAddr, doc: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect ingest");
+    for piece in doc.as_bytes().chunks(113) {
+        conn.write_all(piece).expect("write telemetry");
+    }
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut report = String::new();
+    conn.read_to_string(&mut report).expect("read report");
+    report.trim().to_owned()
+}
+
+/// Sends one command line on a fresh query connection and reads the
+/// complete response (single line, or `OK …`-to-`END` block).
+fn query(addr: SocketAddr, command: &str) -> String {
+    let conn = TcpStream::connect(addr).expect("connect query");
+    (&conn)
+        .write_all(format!("{command}\n").as_bytes())
+        .expect("send command");
+    let mut reader = BufReader::new(&conn);
+    let mut response = String::new();
+    let mut first = String::new();
+    reader.read_line(&mut first).expect("read response head");
+    response.push_str(&first);
+    let multi_line = first
+        .strip_prefix("OK ")
+        .is_some_and(|rest| rest.trim() == "stats" || rest.trim().parse::<usize>().is_ok());
+    if multi_line {
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("read response body") == 0 {
+                panic!("response ended before END: {response}");
+            }
+            response.push_str(&line);
+            if line.trim() == "END" {
+                break;
+            }
+        }
+    }
+    response
+}
+
+/// Extracts one counter from a `STATS` response.
+fn stat(stats: &str, key: &str) -> i64 {
+    stats
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{key} ")))
+        .unwrap_or_else(|| panic!("STATS lacks `{key}`:\n{stats}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// Polls `STATS` until `predicate` holds or the deadline passes.
+fn wait_for_stats(addr: SocketAddr, what: &str, predicate: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = query(addr, "STATS");
+        if predicate(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last STATS:\n{stats}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The acceptance-criteria wall: N concurrent TCP clients stream a
+/// lateness-shuffled document (hosts partitioned across clients, so
+/// per-series order stays within one connection's reorder stage); the
+/// served store and both protocol responses must be byte-identical to
+/// the single-shard serial oracle fed the sorted document.
+#[test]
+fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
+    const HOSTS: usize = 6;
+    const POINTS: i64 = 400;
+    const CLIENTS: usize = 3;
+
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(4, 32)),
+        ServerConfig {
+            ingest: IngestConfig {
+                lateness: Some(LATENESS),
+                ..IngestConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Partition hosts across clients: per-series arrival order is only
+    // defined within one connection (each has its own reorder stage).
+    let all = sorted_doc(HOSTS, POINTS);
+    let client_docs: Vec<String> = (0..CLIENTS)
+        .map(|c| {
+            let mine: Vec<String> = all
+                .iter()
+                .filter(|line| {
+                    let host: usize = line
+                        .split("host=h")
+                        .nth(1)
+                        .unwrap()
+                        .split(' ')
+                        .next()
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    host % CLIENTS == c
+                })
+                .cloned()
+                .collect();
+            shuffle_within_lateness(&mine).join("\n") + "\n"
+        })
+        .collect();
+
+    let ingest_addr = server.ingest_addr();
+    let reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = client_docs
+            .iter()
+            .map(|doc| scope.spawn(move || ingest_doc(ingest_addr, doc)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for report in &reports {
+        assert!(report.contains("clean=true"), "dirty client report: {report}");
+        assert!(report.contains("dropped_late=0"), "{report}");
+    }
+
+    // The serial single-shard oracle over the *sorted* document.
+    let oracle = Tsdb::with_config(TsdbConfig { block_capacity: 32 });
+    let total = line_protocol::ingest(&oracle, &(all.join("\n") + "\n"), 0).unwrap();
+    assert_eq!(total, HOSTS * POINTS as usize);
+
+    // Store identity: every query shape equals the oracle.
+    let db = server.db();
+    assert_eq!(
+        db.query_selector(&Selector::any(), full()).unwrap(),
+        oracle.query_selector(&Selector::any(), full()).unwrap()
+    );
+
+    // Protocol identity: the TCP responses are byte-identical to the
+    // oracle's results rendered through the same protocol.
+    let query_addr = server.query_addr();
+    let range_cmd = format!("RANGE cpu 0 {POINTS}");
+    let oracle_range = oracle
+        .query_selector(&Selector::metric("cpu"), RangeQuery::raw(0, POINTS))
+        .unwrap();
+    assert_eq!(
+        query(query_addr, &range_cmd),
+        protocol::render_range(&oracle_range)
+    );
+    let bucketed_cmd = format!("RANGE cpu{{host=h1}} 0 {POINTS} 20 max");
+    let oracle_bucketed = oracle
+        .query_selector(
+            &Selector::metric("cpu").tag_eq("host", "h1"),
+            RangeQuery::bucketed(0, POINTS, 20).aggregate(Aggregator::Max),
+        )
+        .unwrap();
+    assert_eq!(
+        query(query_addr, &bucketed_cmd),
+        protocol::render_range(&oracle_bucketed)
+    );
+    let smooth_cmd = format!("SMOOTH cpu 0 {POINTS} 1 100");
+    let asap = Asap::builder().resolution(100).build();
+    let oracle_frames =
+        smooth::smooth_query_selector(&oracle, &Selector::metric("cpu"), &asap, 0, POINTS, 1)
+            .unwrap();
+    assert_eq!(
+        query(query_addr, &smooth_cmd),
+        protocol::render_smooth(&oracle_frames)
+    );
+
+    // Live counters aggregate the connections' reports.
+    let stats = query(query_addr, "STATS");
+    assert_eq!(stat(&stats, "ingest.points") as usize, total);
+    assert_eq!(stat(&stats, "ingest.lines") as usize, HOSTS * POINTS as usize);
+    assert_eq!(stat(&stats, "ingest.total_connections") as usize, CLIENTS);
+    assert_eq!(stat(&stats, "ingest.write_failures"), 0);
+    assert_eq!(stat(&stats, "ingest.dropped_late"), 0);
+    assert_eq!(stat(&stats, "store.points") as usize, total);
+    assert_eq!(stat(&stats, "store.watermark"), POINTS - 1);
+    assert!(stat(&stats, "ingest.reordered") > 0, "shuffle produced no disorder?");
+
+    let health = query(query_addr, "HEALTH");
+    assert!(health.starts_with("OK healthy "), "{health}");
+    assert!(health.contains(&format!("points={total}")), "{health}");
+
+    let final_report = server.shutdown();
+    assert_eq!(final_report.ingest.points, total);
+    assert_eq!(final_report.ingest.in_flight_chunks, 0);
+    assert_eq!(final_report.ingest.pending_reorder, 0);
+}
+
+/// Graceful shutdown must flush reorder buffers of connections that are
+/// still open: points inside the lateness window are applied via
+/// `finish()`, not lost.
+#[test]
+fn graceful_shutdown_flushes_reorder_buffers_of_open_connections() {
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(2, 16)),
+        ServerConfig {
+            ingest: IngestConfig {
+                lateness: Some(1_000),
+                ..IngestConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let db = server.db();
+
+    // All three points sit inside the lateness window, so they stay in
+    // the reorder buffer until a flush; the connection stays open.
+    let conn = TcpStream::connect(server.ingest_addr()).unwrap();
+    (&conn)
+        .write_all(b"m v=2 2\nm v=1 1\nm v=3 3\n")
+        .unwrap();
+    wait_for_stats(server.query_addr(), "the server to consume 3 lines", |stats| {
+        stat(stats, "ingest.lines") >= 3
+    });
+    assert_eq!(
+        db.query(&SeriesKey::metric("m.v"), full())
+            .map(|points| points.len())
+            .unwrap_or(0),
+        0,
+        "points should still be pending in the reorder stage"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.ingest.points, 3, "finish() flushed the buffers");
+    assert_eq!(report.ingest.reordered, 1);
+    assert_eq!(report.ingest.pending_reorder, 0);
+    assert_eq!(
+        db.query(&SeriesKey::metric("m.v"), full()).unwrap(),
+        vec![
+            DataPoint::new(1, 1.0),
+            DataPoint::new(2, 2.0),
+            DataPoint::new(3, 3.0)
+        ],
+        "flushed points applied in timestamp order"
+    );
+    // The drained server handed the report back to the open client too.
+    let mut tail = String::new();
+    let mut conn = conn;
+    conn.read_to_string(&mut tail).unwrap();
+    assert!(tail.contains("points=3"), "client report: {tail}");
+}
+
+/// Connections over the cap are refused with one `ERR` line and
+/// counted; the accepted connection is unaffected.
+#[test]
+fn connection_cap_rejects_excess_clients() {
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(2, 16)),
+        ServerConfig {
+            max_ingest_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let first = TcpStream::connect(server.ingest_addr()).unwrap();
+    (&first).write_all(b"m v=1 1\n").unwrap();
+    wait_for_stats(server.query_addr(), "the first connection to register", |stats| {
+        stat(stats, "ingest.active_connections") == 1
+    });
+
+    let second = TcpStream::connect(server.ingest_addr()).unwrap();
+    let mut rejection = String::new();
+    BufReader::new(&second).read_line(&mut rejection).unwrap();
+    assert!(
+        rejection.starts_with("ERR connection limit reached"),
+        "{rejection}"
+    );
+
+    first.shutdown(Shutdown::Write).unwrap();
+    let mut report = String::new();
+    let mut first = first;
+    first.read_to_string(&mut report).unwrap();
+    assert!(report.contains("points=1"), "{report}");
+
+    let final_report = server.shutdown();
+    assert_eq!(final_report.ingest.rejected_connections, 1);
+    assert_eq!(final_report.ingest.connections, 1);
+    assert_eq!(final_report.ingest.points, 1);
+}
+
+/// Malformed requests get single-line `ERR` responses and the
+/// connection keeps serving subsequent requests.
+#[test]
+fn protocol_errors_do_not_poison_the_connection() {
+    let server = Server::start(ShardedDb::new(), ServerConfig::default()).unwrap();
+    let conn = TcpStream::connect(server.query_addr()).unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    fn ask(conn: &TcpStream, reader: &mut impl BufRead, command: &str) -> String {
+        (&*conn)
+            .write_all(format!("{command}\n").as_bytes())
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    }
+    assert!(ask(&conn, &mut reader, "FLY me to the moon").starts_with("ERR unknown command"));
+    assert!(ask(&conn, &mut reader, "RANGE *").starts_with("ERR usage:"));
+    assert!(ask(&conn, &mut reader, "RANGE cpu{open 0 10").starts_with("ERR selector"));
+    assert!(ask(&conn, &mut reader, "SMOOTH * 0 100 10 0").starts_with("ERR resolution"));
+    // Client-chosen ranges must not size server allocations: a grid of
+    // 2^40 buckets is refused before it reaches the engine…
+    assert!(
+        ask(&conn, &mut reader, "RANGE * 0 1099511627776 1").starts_with("ERR grid of"),
+        "giant grid not refused"
+    );
+    assert!(ask(&conn, &mut reader, "SMOOTH * 0 1099511627776 1 100").starts_with("ERR grid of"));
+    // …and a span that overflows i64 is rejected by query validation
+    // instead of wrapping.
+    assert!(
+        ask(
+            &conn,
+            &mut reader,
+            "RANGE * -9223372036854775807 9223372036854775807 5"
+        )
+        .starts_with("ERR "),
+        "overflowing span not rejected"
+    );
+    // A selector matching no series is an empty result, not an error…
+    assert!(ask(&conn, &mut reader, "RANGE ghost 0 10").starts_with("OK 0"));
+    let mut end = String::new();
+    reader.read_line(&mut end).unwrap();
+    assert_eq!(end.trim(), "END");
+    // …and the connection is still healthy.
+    assert!(ask(&conn, &mut reader, "HEALTH").starts_with("OK healthy"));
+
+    // A request "line" that never ends is cut off at the length cap
+    // with one ERR, not accumulated forever. Exactly cap+1 bytes: the
+    // server consumes every byte before refusing, so the close is a
+    // clean FIN and the ERR is always readable.
+    let mut hog = TcpStream::connect(server.query_addr()).unwrap();
+    hog.write_all(&vec![b'x'; 64 * 1024 + 1]).unwrap();
+    let mut refused = String::new();
+    hog.read_to_string(&mut refused).unwrap();
+    assert!(
+        refused.starts_with("ERR request line exceeds"),
+        "oversized line answer: {refused:?}"
+    );
+    server.shutdown();
+}
+
+/// The query port has its own connection cap — remote clients must not
+/// be able to spawn unbounded server threads.
+#[test]
+fn query_connection_cap_rejects_excess_clients() {
+    let server = Server::start(
+        ShardedDb::new(),
+        ServerConfig {
+            max_query_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // The first connection occupies the only slot…
+    let held = TcpStream::connect(server.query_addr()).unwrap();
+    (&held).write_all(b"HEALTH\n").unwrap();
+    let mut ok = String::new();
+    BufReader::new(&held).read_line(&mut ok).unwrap();
+    assert!(ok.starts_with("OK healthy"), "{ok}");
+    // …so the second is refused with one ERR line.
+    let second = TcpStream::connect(server.query_addr()).unwrap();
+    let mut rejection = String::new();
+    BufReader::new(&second).read_line(&mut rejection).unwrap();
+    assert!(
+        rejection.starts_with("ERR connection limit reached"),
+        "{rejection}"
+    );
+    // Releasing the slot frees it for the next client.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let retry = TcpStream::connect(server.query_addr()).unwrap();
+        (&retry).write_all(b"HEALTH\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(&retry).read_line(&mut line).unwrap();
+        if line.starts_with("OK healthy") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after drop; last answer: {line}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// `SNAPSHOT` writes a loadable v2 snapshot equal to the live store.
+#[test]
+fn snapshot_command_round_trips_the_store() {
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(3, 16)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let doc = sorted_doc(3, 50).join("\n") + "\n";
+    let report = ingest_doc(server.ingest_addr(), &doc);
+    assert!(report.contains("clean=true"), "{report}");
+
+    let path = std::env::temp_dir().join(format!("asap_server_snap_{}.bin", std::process::id()));
+    let response = query(server.query_addr(), &format!("SNAPSHOT {}", path.display()));
+    assert_eq!(response.trim(), format!("OK snapshot {}", path.display()));
+
+    let restored = ShardedDb::load(&path, ShardedConfig::new(5, 16)).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        restored.query_selector(&Selector::any(), full()).unwrap(),
+        server.db().query_selector(&Selector::any(), full()).unwrap()
+    );
+
+    // A bad destination is an ERR, not a dead server.
+    let bad = query(server.query_addr(), "SNAPSHOT /nonexistent-dir/x/y.bin");
+    assert!(bad.starts_with("ERR "), "{bad}");
+    assert!(query(server.query_addr(), "HEALTH").starts_with("OK healthy"));
+    server.shutdown();
+}
+
+/// The background scheduler's compaction converges to exactly what a
+/// serial `Compactor::run` produces on the oracle at the same logical
+/// time — and its counters surface through `STATS`.
+#[test]
+fn background_scheduler_compacts_like_serial_compactor() {
+    const POINTS: i64 = 100;
+    let policy = RetentionPolicy {
+        raw_ttl: None,
+        rollups: vec![RollupLevel {
+            bucket: 10,
+            aggregator: Aggregator::Mean,
+            ttl: None,
+        }],
+    };
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(3, 16)),
+        ServerConfig {
+            compaction: Some(CompactionConfig {
+                policy: policy.clone(),
+                schedule: Schedule::every(Duration::from_millis(20))
+                    .with_jitter(Duration::from_millis(10)),
+                seed: 7,
+                clock: CompactionClock::DataWatermark,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let doc = sorted_doc(2, POINTS).join("\n") + "\n";
+    let report = ingest_doc(server.ingest_addr(), &doc);
+    assert!(report.contains("clean=true"), "{report}");
+
+    // The oracle: same data, one serial pass at the data watermark.
+    let oracle = Tsdb::with_config(TsdbConfig { block_capacity: 16 });
+    line_protocol::ingest(&oracle, &doc, 0).unwrap();
+    let expected = Compactor::new(policy)
+        .unwrap()
+        .run(&oracle, POINTS - 1)
+        .unwrap();
+    assert!(expected.rolled_up > 0, "oracle pass was a no-op");
+
+    let stats = wait_for_stats(
+        server.query_addr(),
+        "the scheduler to materialize the rollups",
+        |stats| stat(stats, "compaction.rolled_up") as usize >= expected.rolled_up,
+    );
+    assert_eq!(
+        stat(&stats, "compaction.rolled_up") as usize,
+        expected.rolled_up,
+        "repeated scheduled passes must not double-count"
+    );
+    assert_eq!(stat(&stats, "compaction.errors"), 0);
+    assert!(stat(&stats, "compaction.runs") >= 1);
+
+    // Store identity after background compaction ≡ serial oracle.
+    assert_eq!(
+        server
+            .db()
+            .query_selector(&Selector::any(), full())
+            .unwrap(),
+        oracle.query_selector(&Selector::any(), full()).unwrap()
+    );
+
+    let final_report = server.shutdown();
+    assert_eq!(final_report.compaction.rolled_up, expected.rolled_up);
+    assert_eq!(final_report.compaction.errors, 0);
+}
+
+/// A client's `SHUTDOWN` command ends [`Server::run`], which drains and
+/// returns the final report — the binary's lifecycle.
+#[test]
+fn shutdown_command_ends_run() {
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(2, 16)),
+        ServerConfig {
+            final_snapshot: Some(std::env::temp_dir().join(format!(
+                "asap_server_final_{}.bin",
+                std::process::id()
+            ))),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let ingest_addr = server.ingest_addr();
+    let query_addr = server.query_addr();
+    let db = server.db();
+    let runner = std::thread::spawn(move || server.run());
+
+    let report = ingest_doc(ingest_addr, "m v=1 1\nm v=2 2\n");
+    assert!(report.contains("points=2"), "{report}");
+    let ack = query(query_addr, "SHUTDOWN");
+    assert_eq!(ack.trim(), "OK shutting down");
+
+    let final_report = runner.join().unwrap();
+    assert_eq!(final_report.ingest.points, 2);
+    assert_eq!(final_report.final_snapshot_error, None);
+
+    // The final snapshot captured the drained store.
+    let path = std::env::temp_dir().join(format!("asap_server_final_{}.bin", std::process::id()));
+    let restored = ShardedDb::load(&path, ShardedConfig::new(2, 16)).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        restored.query_selector(&Selector::any(), full()).unwrap(),
+        db.query_selector(&Selector::any(), full()).unwrap()
+    );
+
+    // Post-drain, both ports are closed to new work.
+    assert!(
+        TcpStream::connect(ingest_addr).is_err() || {
+            let mut probe = TcpStream::connect(ingest_addr).unwrap();
+            probe.write_all(b"m v=9 9\n").ok();
+            let mut out = String::new();
+            probe.read_to_string(&mut out).is_err() || out.is_empty()
+        },
+        "ingest port still serving after drain"
+    );
+}

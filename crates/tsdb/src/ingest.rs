@@ -203,6 +203,33 @@ impl IngestReport {
     }
 }
 
+impl std::fmt::Display for IngestReport {
+    /// Stable one-line ops format, `space`-separated `key=value` tokens:
+    ///
+    /// ```text
+    /// lines=12 points=10 reordered=3 dropped_late=0 dropped_duplicate=0 parse_failures=0 write_failures=0 clean=true
+    /// ```
+    ///
+    /// Failure *counts* (not the per-line details) are rendered so the
+    /// line stays bounded no matter how dirty the stream was. The token
+    /// set is append-only: parsers may rely on these names.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lines={} points={} reordered={} dropped_late={} dropped_duplicate={} \
+             parse_failures={} write_failures={} clean={}",
+            self.lines,
+            self.points,
+            self.reordered,
+            self.dropped_late,
+            self.dropped_duplicate,
+            self.parse_failures.len(),
+            self.write_failures.len(),
+            self.is_clean(),
+        )
+    }
+}
+
 /// Live counters of a [`StreamIngestor`], safe to poll while the
 /// pipeline runs. Counters trail the byte source slightly (points are
 /// counted when a writer applies them, not when they are fed) but are
@@ -229,6 +256,32 @@ pub struct StreamProgress {
     pub in_flight_chunks: usize,
     /// Points currently held by the reorder stages across all shards.
     pub pending_reorder: usize,
+}
+
+impl std::fmt::Display for StreamProgress {
+    /// Stable one-line ops format mirroring [`IngestReport`]'s `Display`
+    /// (same `key=value` token names for the shared counters), extended
+    /// with the two live-only gauges:
+    ///
+    /// ```text
+    /// lines=40 points=36 reordered=2 dropped_late=0 dropped_duplicate=0 parse_failures=0 write_failures=0 in_flight_chunks=3 pending_reorder=12
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lines={} points={} reordered={} dropped_late={} dropped_duplicate={} \
+             parse_failures={} write_failures={} in_flight_chunks={} pending_reorder={}",
+            self.lines,
+            self.points,
+            self.reordered,
+            self.dropped_late,
+            self.dropped_duplicate,
+            self.parse_failures,
+            self.write_failures,
+            self.in_flight_chunks,
+            self.pending_reorder,
+        )
+    }
 }
 
 /// One complete-line chunk of the stream, tagged with its position.
@@ -1257,6 +1310,38 @@ mod tests {
             db.query(&SeriesKey::metric("m.v"), full()).unwrap(),
             vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)]
         );
+    }
+
+    #[test]
+    fn report_and_progress_display_are_stable_one_liners() {
+        let text = "m v=2 2\nm v=1 1\nbogus\nm v=3 3\n";
+        let config = IngestConfig {
+            lateness: Some(10),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+        assert_eq!(
+            report.to_string(),
+            "lines=4 points=3 reordered=1 dropped_late=0 dropped_duplicate=0 \
+             parse_failures=1 write_failures=0 clean=false"
+        );
+        let progress = StreamProgress {
+            lines: 40,
+            points: 36,
+            reordered: 2,
+            in_flight_chunks: 3,
+            pending_reorder: 12,
+            ..StreamProgress::default()
+        };
+        assert_eq!(
+            progress.to_string(),
+            "lines=40 points=36 reordered=2 dropped_late=0 dropped_duplicate=0 \
+             parse_failures=0 write_failures=0 in_flight_chunks=3 pending_reorder=12"
+        );
+        // One line, no embedded newlines: safe for log pipelines.
+        assert!(!report.to_string().contains('\n'));
+        assert!(!progress.to_string().contains('\n'));
     }
 
     #[test]

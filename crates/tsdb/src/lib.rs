@@ -92,10 +92,10 @@ pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader, SeriesWriter};
 pub use reorder::{ReorderBuffer, ReorderStats};
 pub use retention::{
     rollup_key, CompactionReport, Compactor, RetentionPolicy, RetentionStore, RollupLevel,
-    ROLLUP_TAG,
+    Schedule, ROLLUP_TAG,
 };
 pub use series::{RangeSummary, SeriesStore};
-pub use shard::Shard;
+pub use shard::{Shard, ShardOccupancy};
 pub use sharded::{ShardedConfig, ShardedDb};
 pub use smooth::{
     smooth_query, smooth_query_selector, smooth_query_with_fill, SmoothQueryError, SmoothedFrame,

@@ -157,6 +157,14 @@ impl RangeQuery {
                     message: "bucket width must be positive",
                 });
             }
+            // The grid math needs the span as a positive i64; a range
+            // like [i64::MIN+1, i64::MAX) would wrap the subtraction.
+            if self.end.checked_sub(self.start).is_none() {
+                return Err(TsdbError::InvalidParameter {
+                    name: "range",
+                    message: "bucketed span overflows the timestamp domain",
+                });
+            }
         }
         Ok(())
     }
@@ -275,6 +283,17 @@ mod tests {
         assert!(RangeQuery::bucketed(0, 10, 0).validate().is_err());
         assert!(RangeQuery::bucketed(0, 10, -5).validate().is_err());
         assert!(RangeQuery::bucketed(0, 10, 3).validate().is_ok());
+    }
+
+    #[test]
+    fn bucketed_span_overflow_is_rejected_not_wrapped() {
+        // end - start wraps i64 for the full timestamp domain: the grid
+        // math must never see it. Raw scans of the same range stay fine
+        // (no grid).
+        let q = RangeQuery::bucketed(i64::MIN + 1, i64::MAX, 10);
+        assert!(q.validate().is_err());
+        assert!(q.shape(&[]).is_err());
+        assert!(RangeQuery::raw(i64::MIN + 1, i64::MAX).validate().is_ok());
     }
 
     #[test]

@@ -39,6 +39,79 @@ use crate::shard::Shard;
 use crate::sharded::ShardedDb;
 use crate::tags::{Selector, SeriesKey};
 
+/// A periodic tick plan for a background compaction driver: a base
+/// `interval` displaced by a uniform random `jitter` each tick.
+///
+/// Fleet-wide schedulers that tick at exactly the same period
+/// self-synchronize — every compactor in a deployment fires at once and
+/// the stores see correlated load spikes. Jitter decorrelates them: each
+/// delay is drawn uniformly from `[interval - jitter, interval + jitter]`.
+///
+/// The draw takes the RNG **by injection** ([`Schedule::next_delay`]) so
+/// callers control determinism: a scheduler thread passes a seeded
+/// [`rand::rngs::StdRng`], and tests assert *bounds* on the drawn delays
+/// rather than stream-specific values (the workspace's rand shim does not
+/// reproduce the real `StdRng` stream — see ROADMAP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Base tick period.
+    pub interval: std::time::Duration,
+    /// Maximum displacement from `interval`, each side. Zero disables
+    /// jitter. Must not exceed `interval` (delays stay positive).
+    pub jitter: std::time::Duration,
+}
+
+impl Schedule {
+    /// A schedule ticking every `interval` with no jitter.
+    pub fn every(interval: std::time::Duration) -> Self {
+        Self {
+            interval,
+            jitter: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Sets the jitter half-width.
+    pub fn with_jitter(mut self, jitter: std::time::Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Validates the shape: a positive interval, jitter no larger than
+    /// the interval (so drawn delays are never zero-or-negative unless
+    /// jitter == interval, where the minimum delay is exactly zero).
+    pub fn validate(&self) -> Result<(), TsdbError> {
+        if self.interval.is_zero() {
+            return Err(TsdbError::InvalidParameter {
+                name: "interval",
+                message: "schedule interval must be positive",
+            });
+        }
+        if self.jitter > self.interval {
+            return Err(TsdbError::InvalidParameter {
+                name: "jitter",
+                message: "schedule jitter must not exceed the interval",
+            });
+        }
+        Ok(())
+    }
+
+    /// Draws the delay until the next tick: uniform in
+    /// `[interval - jitter, interval + jitter]`, inclusive on both ends.
+    /// Deterministic for a given RNG state; a zero-jitter schedule
+    /// returns exactly `interval` without consuming randomness.
+    pub fn next_delay<R: rand::RngCore>(&self, rng: &mut R) -> std::time::Duration {
+        use rand::Rng as _;
+        if self.jitter.is_zero() {
+            return self.interval;
+        }
+        let base = self.interval.as_nanos() as u64;
+        let jitter = self.jitter.as_nanos() as u64;
+        let lo = base.saturating_sub(jitter);
+        let hi = base.saturating_add(jitter);
+        std::time::Duration::from_nanos(rng.gen_range(lo..=hi))
+    }
+}
+
 /// The store surface retention drives: read series (via [`SeriesReader`]),
 /// append rollup batches, and evict expired blocks.
 ///
@@ -534,6 +607,72 @@ mod tests {
         for t in ts {
             db.write(key, DataPoint::new(t, t as f64)).unwrap();
         }
+    }
+
+    #[test]
+    fn schedule_validates_shape() {
+        use std::time::Duration;
+        assert!(Schedule::every(Duration::ZERO).validate().is_err());
+        assert!(Schedule::every(Duration::from_secs(10))
+            .with_jitter(Duration::from_secs(11))
+            .validate()
+            .is_err());
+        assert!(Schedule::every(Duration::from_secs(10))
+            .with_jitter(Duration::from_secs(10))
+            .validate()
+            .is_ok());
+        assert!(Schedule::every(Duration::from_secs(10)).validate().is_ok());
+    }
+
+    #[test]
+    fn schedule_without_jitter_ticks_exactly_at_interval() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::time::Duration;
+        let schedule = Schedule::every(Duration::from_millis(250));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(schedule.next_delay(&mut rng), Duration::from_millis(250));
+        }
+    }
+
+    #[test]
+    fn schedule_jitter_stays_within_bounds_and_spreads() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::time::Duration;
+        // Bounds and spread are asserted, never specific drawn values:
+        // the rand shim's stream differs from real StdRng (ROADMAP).
+        let schedule = Schedule::every(Duration::from_millis(100))
+            .with_jitter(Duration::from_millis(40));
+        schedule.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws: Vec<Duration> = (0..256).map(|_| schedule.next_delay(&mut rng)).collect();
+        let lo = Duration::from_millis(60);
+        let hi = Duration::from_millis(140);
+        for d in &draws {
+            assert!(*d >= lo && *d <= hi, "delay {d:?} escaped [{lo:?}, {hi:?}]");
+        }
+        // The jitter genuinely decorrelates ticks: many distinct delays,
+        // both halves of the window hit.
+        let distinct: std::collections::BTreeSet<Duration> = draws.iter().copied().collect();
+        assert!(distinct.len() > 100, "only {} distinct delays", distinct.len());
+        assert!(draws.iter().any(|d| *d < schedule.interval));
+        assert!(draws.iter().any(|d| *d > schedule.interval));
+    }
+
+    #[test]
+    fn schedule_draws_are_deterministic_for_a_fixed_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::time::Duration;
+        let schedule = Schedule::every(Duration::from_millis(100))
+            .with_jitter(Duration::from_millis(25));
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = StdRng::seed_from_u64(1234);
+        let from_a: Vec<_> = (0..64).map(|_| schedule.next_delay(&mut a)).collect();
+        let from_b: Vec<_> = (0..64).map(|_| schedule.next_delay(&mut b)).collect();
+        assert_eq!(from_a, from_b, "same seed, same tick plan");
     }
 
     #[test]

@@ -25,6 +25,24 @@ use crate::query::{RangeQuery, SeriesReader, SeriesWriter};
 use crate::series::{RangeSummary, SeriesStore};
 use crate::tags::{Selector, SeriesKey};
 
+/// Aggregate occupancy of one shard — the per-shard counters live ops
+/// endpoints report. Produced by [`Shard::occupancy`] /
+/// [`crate::sharded::ShardedDb::shard_occupancy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Distinct series resident in the shard.
+    pub series: usize,
+    /// Total stored points across those series.
+    pub points: usize,
+    /// Sealed block count across those series.
+    pub blocks: usize,
+    /// Compressed bytes across sealed blocks.
+    pub compressed_bytes: usize,
+    /// Newest timestamp across the shard's series (`None` when the
+    /// shard is empty) — the shard's ingest watermark.
+    pub watermark: Option<i64>,
+}
+
 /// One partition of the store: a concurrent map from series key to its
 /// per-series store.
 #[derive(Debug)]
@@ -205,6 +223,27 @@ impl Shard {
             self.series.write().remove(key);
         }
         evicted
+    }
+
+    /// Aggregate occupancy of this shard: series/point/block totals,
+    /// compressed footprint, and the shard's ingest watermark (the
+    /// newest timestamp across its series, `None` when empty). One pass
+    /// under read locks — the per-shard counters live ops endpoints
+    /// aggregate (`STATS`/`HEALTH` in the server layer).
+    pub fn occupancy(&self) -> ShardOccupancy {
+        let mut occ = ShardOccupancy::default();
+        for store in self.series.read().values() {
+            let guard = store.read();
+            occ.series += 1;
+            occ.points += guard.len();
+            occ.blocks += guard.block_count();
+            occ.compressed_bytes += guard.compressed_bytes();
+            occ.watermark = match (occ.watermark, guard.last_timestamp()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        occ
     }
 
     /// Per-series occupancy statistics of this shard, in key order.

@@ -229,6 +229,14 @@ impl ShardedDb {
         self.shards.iter().map(Shard::series_count).sum()
     }
 
+    /// Aggregate occupancy of every shard, in shard-index order — the
+    /// per-shard series/point/watermark counters live ops endpoints
+    /// (`STATS`/`HEALTH`) report. Index `i` of the result describes
+    /// shard `i` (the target of [`ShardedDb::shard_of`]).
+    pub fn shard_occupancy(&self) -> Vec<crate::shard::ShardOccupancy> {
+        self.shards.iter().map(Shard::occupancy).collect()
+    }
+
     /// Writes one point, creating the series on first touch.
     pub fn write(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
         self.shard(key).write(key, point)
@@ -494,6 +502,32 @@ mod tests {
         assert_eq!(sharded.series_count(), 0);
         // Per-series eviction on a missing key evicts nothing.
         assert_eq!(sharded.evict_series_before(&cpu("ghost"), i64::MAX), 0);
+    }
+
+    #[test]
+    fn shard_occupancy_totals_match_store_and_track_watermarks() {
+        let (sharded, oracle) = twin_dbs(4, 6, 50);
+        sharded.flush().unwrap();
+        let occ = sharded.shard_occupancy();
+        assert_eq!(occ.len(), 4);
+        assert_eq!(occ.iter().map(|o| o.series).sum::<usize>(), 6);
+        assert_eq!(
+            occ.iter().map(|o| o.points).sum::<usize>(),
+            oracle.stats().iter().map(|s| s.points).sum::<usize>()
+        );
+        // Every non-empty shard's watermark is the newest written ts.
+        for o in &occ {
+            if o.series > 0 {
+                assert_eq!(o.watermark, Some(49));
+                assert!(o.blocks > 0, "flushed shards hold sealed blocks");
+                assert!(o.compressed_bytes > 0);
+            } else {
+                assert_eq!(*o, crate::shard::ShardOccupancy::default());
+            }
+        }
+        // Occupancy is positional: shard_of(key) indexes into it.
+        let key = cpu("h0");
+        assert!(occ[sharded.shard_of(&key)].series > 0);
     }
 
     #[test]

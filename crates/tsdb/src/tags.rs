@@ -70,7 +70,7 @@ impl fmt::Display for SeriesKey {
 }
 
 /// A predicate over series keys used by multi-series queries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Selector {
     metric: Option<String>,
     /// Tags that must be present with exactly this value.

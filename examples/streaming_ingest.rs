@@ -70,16 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = ShardedDb::with_config(ShardedConfig::new(4, 512));
     let report = db.ingest_reader(std::fs::File::open(&path)?, 0, &config)?;
     std::fs::remove_file(&path).ok();
-    println!(
-        "file drain:  {} lines -> {} points ({} arrived out of order, repaired; \
-         {} too late, {} duplicates, {} failures)",
-        report.lines,
-        report.points,
-        report.reordered,
-        report.dropped_late,
-        report.dropped_duplicate,
-        report.parse_failures.len() + report.write_failures.len(),
-    );
+    // IngestReport renders as the stable one-line ops format the server
+    // also logs — parseable `key=value` tokens.
+    println!("file drain:  {report}");
     assert!(report.is_clean(), "jitter stayed within lateness: {report:?}");
     assert_eq!(report.points, (HOSTS as i64 * SAMPLES) as usize);
 
@@ -90,21 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, piece) in doc.as_bytes().chunks(packet).enumerate() {
         ingestor.feed(piece);
         if i % 64 == 0 {
-            let p = ingestor.progress();
-            println!(
-                "live handle: packet {i:>4}: {:>6} lines, {:>6} pts applied, \
-                 {:>3} chunks in flight, {:>3} pts pending reorder",
-                p.lines, p.points, p.in_flight_chunks, p.pending_reorder
-            );
+            // StreamProgress shares the report's one-line format, plus
+            // the two live gauges (in-flight chunks, pending reorder).
+            println!("live handle: packet {i:>4}: {}", ingestor.progress());
         }
     }
     let live_report = ingestor.finish();
-    println!(
-        "live handle: finished -> {} points, {} reordered, clean = {}",
-        live_report.points,
-        live_report.reordered,
-        live_report.is_clean()
-    );
+    println!("live handle: finished -> {live_report}");
     assert_eq!(live_report, report, "feed-by-packet ≡ file drain");
 
     // ── 3. Smooth a dashboard window straight out of the stream ────────

@@ -39,6 +39,7 @@
 //! | [`baselines`] | `asap-baselines` | M4, PAA, Visvalingam–Whyatt, oversmooth |
 //! | [`eval`] | `asap-eval` | experiment harness and simulated user study |
 //! | [`tsdb`] | `asap-tsdb` | embedded Gorilla-compressed time-series storage |
+//! | [`server`] | `asap-server` | TCP front-end: line-protocol ingest, text query protocol, compaction scheduler |
 //! | [`viz`] | `asap-viz` | SVG and terminal chart rendering |
 
 #![forbid(unsafe_code)]
@@ -49,6 +50,7 @@ pub use asap_core as core;
 pub use asap_data as data;
 pub use asap_dsp as dsp;
 pub use asap_eval as eval;
+pub use asap_server as server;
 pub use asap_stream as stream;
 pub use asap_timeseries as timeseries;
 pub use asap_tsdb as tsdb;
