@@ -5,13 +5,18 @@
 //!             [--lateness L] [--max-connections N]
 //!             [--compact-interval SECS [--compact-jitter SECS]
 //!              [--rollup BUCKET] [--raw-ttl T]]
-//!             [--snapshot PATH]
+//!             [--snapshot PATH] [--snapshot-dir DIR]
 //! ```
 //!
 //! Feed it InfluxDB-style line protocol on the ingest port; speak the
 //! text protocol (`SMOOTH`, `RANGE`, `STATS`, `HEALTH`, `SNAPSHOT`,
-//! `SHUTDOWN`) on the query port. The process runs until a client sends
-//! `SHUTDOWN`, then drains gracefully and prints the final report.
+//! `SHUTDOWN`) on the query port. `--max-connections` caps each
+//! listener (ingest and query) at N concurrent connections.
+//! `SNAPSHOT <name>` writes inside `--snapshot-dir` only; without the
+//! flag the command is disabled — query clients are unauthenticated and
+//! must not choose server filesystem paths. The process runs until a
+//! client sends `SHUTDOWN`, then drains gracefully and prints the
+//! final report.
 
 use std::time::Duration;
 
@@ -23,7 +28,7 @@ use asap_tsdb::{
 const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
                      [--block-capacity N] [--lateness L] [--max-connections N] \
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
-                     [--raw-ttl T]] [--snapshot PATH]";
+                     [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR]";
 
 fn fail(message: &str) -> ! {
     eprintln!("asap-server: {message}\n{USAGE}");
@@ -51,6 +56,7 @@ fn main() {
     let mut rollup: Option<i64> = None;
     let mut raw_ttl: Option<i64> = None;
     let mut snapshot = None;
+    let mut snapshot_dir = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -69,6 +75,9 @@ fn main() {
             "--raw-ttl" => raw_ttl = Some(parse(args.next(), "--raw-ttl")),
             "--snapshot" => snapshot = Some(std::path::PathBuf::from(
                 parse::<String>(args.next(), "--snapshot"),
+            )),
+            "--snapshot-dir" => snapshot_dir = Some(std::path::PathBuf::from(
+                parse::<String>(args.next(), "--snapshot-dir"),
             )),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -100,12 +109,14 @@ fn main() {
         ingest_addr,
         query_addr,
         max_ingest_connections: max_connections,
+        max_query_connections: max_connections,
         ingest: IngestConfig {
             lateness,
             ..IngestConfig::default()
         },
         compaction,
         final_snapshot: snapshot,
+        snapshot_dir,
         verbose: true,
         ..ServerConfig::default()
     };

@@ -18,9 +18,15 @@
 //! SMOOTH   <selector> <start> <end> <bucket> [<resolution>]
 //! STATS
 //! HEALTH
-//! SNAPSHOT <path>
+//! SNAPSHOT <name>
 //! SHUTDOWN
 //! ```
+//!
+//! `SNAPSHOT <name>` resolves inside the server's configured snapshot
+//! directory — a relative path with plain components only. Absolute
+//! paths and `..` are refused, and the whole command is refused when no
+//! directory is configured: query clients are unauthenticated, so they
+//! never get to pick server filesystem paths.
 //!
 //! `<selector>` picks series: `*` (every series), `metric`,
 //! `metric{k=v,k2=*}` (tag `k` equal to `v`, tag `k2` present with any
@@ -76,9 +82,11 @@ pub enum Command {
     Stats,
     /// `HEALTH` — a single-line liveness summary.
     Health,
-    /// `SNAPSHOT <path>` — write a v2 snapshot of the whole store.
+    /// `SNAPSHOT <name>` — write a v2 snapshot of the whole store into
+    /// the server's configured snapshot directory.
     Snapshot {
-        /// Destination path on the server's filesystem.
+        /// Destination relative to the snapshot directory; the server
+        /// refuses absolute paths and `..` components.
         path: String,
     },
     /// `SHUTDOWN` — request a graceful server shutdown.
@@ -204,7 +212,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             Ok(Command::Health)
         }
         "SNAPSHOT" => {
-            arity(1, 1, "SNAPSHOT <path>")?;
+            arity(1, 1, "SNAPSHOT <name>")?;
             Ok(Command::Snapshot {
                 path: args[0].to_owned(),
             })

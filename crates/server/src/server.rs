@@ -2,10 +2,10 @@
 //! background compaction, graceful shutdown.
 //!
 //! See the crate docs for the architecture diagram and lifecycle
-//! ordering. Everything here is built on blocking sockets with short
-//! read timeouts: every connection thread polls the drain flag between
-//! reads, so a graceful shutdown needs no signal machinery — set the
-//! flag, nudge the two accept loops awake, and join.
+//! ordering. Everything here polls the drain flag: connection threads
+//! between reads (blocking sockets with short read timeouts), accept
+//! loops between nonblocking `accept()` attempts. A graceful shutdown
+//! therefore needs no signal machinery — set the flag and join.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -53,6 +53,13 @@ pub struct ServerConfig {
     /// Where to write a final snapshot during shutdown, after every
     /// connection has drained (`None` skips it).
     pub final_snapshot: Option<PathBuf>,
+    /// Directory `SNAPSHOT <name>` targets resolve inside. `None`
+    /// (the default) disables the command: the query port may be bound
+    /// on a non-loopback address, and an unauthenticated client must
+    /// not get to pick arbitrary filesystem paths for the server to
+    /// write with its privileges. Requests naming an absolute path or
+    /// escaping the directory (`..`) are refused.
+    pub snapshot_dir: Option<PathBuf>,
     /// Socket read timeout — the granularity at which connection threads
     /// notice the drain flag (default 25ms). Smaller values shut down
     /// faster at the cost of more idle wakeups.
@@ -73,6 +80,7 @@ impl Default for ServerConfig {
             default_ts: 0,
             compaction: None,
             final_snapshot: None,
+            snapshot_dir: None,
             poll_interval: Duration::from_millis(25),
             verbose: false,
         }
@@ -489,6 +497,13 @@ impl Server {
         }
         let ingest_listener = TcpListener::bind(&config.ingest_addr)?;
         let query_listener = TcpListener::bind(&config.query_addr)?;
+        // Nonblocking accept, polled at the drain granularity: the
+        // accept loops must never park inside `accept()`, where only a
+        // successful inbound connection could wake them — a drain that
+        // relied on such a nudge would hang at join if the nudge
+        // connect failed (e.g. fd exhaustion at shutdown time).
+        ingest_listener.set_nonblocking(true)?;
+        query_listener.set_nonblocking(true)?;
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
         let compaction = config.compaction.clone();
@@ -568,15 +583,13 @@ impl Server {
 
     fn drain(mut self) -> ServerReport {
         // Ordering: (1) raise the drain flag — connection threads finish
-        // their streams at the next poll tick, flushing reorder buffers;
-        // (2) nudge both accept loops off their blocking accept; (3) join
-        // accept loops, which join every connection thread; (4) the
-        // scheduler observed the flag via the condvar — join it; (5) with
+        // their streams at the next poll tick, flushing reorder buffers,
+        // and the nonblocking accept loops exit at theirs; (2) join
+        // accept loops, which join every connection thread; (3) the
+        // scheduler observed the flag via the condvar — join it; (4) with
         // all writers drained and the compactor stopped, write the final
-        // snapshot; (6) assemble the report (gauges now zero).
+        // snapshot; (5) assemble the report (gauges now zero).
         self.shared.begin_drain();
-        let _ = TcpStream::connect(self.ingest_addr);
-        let _ = TcpStream::connect(self.query_addr);
         for handle in self.accept_threads.drain(..) {
             let _ = handle.join();
         }
@@ -614,8 +627,10 @@ fn reap(handlers: Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
 
 /// One listener's accept loop: reap finished handlers, enforce the
 /// port's connection cap (refused connections get one `ERR` line), and
-/// spawn `handle` per accepted stream. Persistent accept errors (e.g.
-/// fd exhaustion) back off by one poll interval instead of spinning.
+/// spawn `handle` per accepted stream. The listener is nonblocking, so
+/// an idle loop (and any persistent accept error, e.g. fd exhaustion)
+/// sleeps one poll interval between drain-flag checks instead of
+/// parking in `accept()` or spinning.
 fn accept_loop(
     listener: TcpListener,
     shared: &Arc<Shared>,
@@ -636,7 +651,14 @@ fn accept_loop(
             }
         };
         if shared.is_draining() {
-            break; // the drain's wake-up connection lands here
+            break; // drop connections that race the drain
+        }
+        // Whether accepted sockets inherit the listener's nonblocking
+        // flag is platform-defined; the handlers need blocking reads
+        // with timeouts.
+        if stream.set_nonblocking(false).is_err() {
+            let _ = stream.shutdown(SocketShutdown::Both);
+            continue;
         }
         handlers = reap(handlers);
         if port.counter(shared).load(Ordering::Acquire) >= cap {
@@ -685,9 +707,14 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
         };
     let id = shared.register_connection();
     let mut buf = vec![0u8; 64 * 1024];
-    let mut source_error = false;
+    let mut truncated = false;
     loop {
         if shared.is_draining() {
+            // The drain cuts the byte stream at an arbitrary read
+            // boundary — an unterminated trailing line is
+            // indistinguishable from a truncated one (`…17` out of
+            // `…1700000000` parses as a valid, wrong point).
+            truncated = true;
             break;
         }
         match (&stream).read(&mut buf) {
@@ -706,15 +733,17 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                source_error = true;
+                truncated = true;
                 break;
             }
         }
     }
-    // A clean close (or drain) flushes the trailing line and every
-    // reorder buffer; a broken socket aborts instead, applying complete
-    // lines but discarding the known-truncated tail (PR 4 semantics).
-    let report = if source_error {
+    // A clean close flushes the trailing line and every reorder buffer;
+    // a broken socket or a mid-stream drain aborts instead, applying
+    // all complete lines and still flushing the reorder buffers, but
+    // discarding the possibly-truncated unterminated tail (PR 4
+    // semantics).
+    let report = if truncated {
         ingestor.abort()
     } else {
         ingestor.finish()
@@ -812,6 +841,34 @@ fn check_grid(start: i64, end: i64, bucket: i64) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a client-supplied `SNAPSHOT` target against the configured
+/// snapshot directory. Remote input must never choose arbitrary server
+/// filesystem paths: the command is refused outright when no directory
+/// is configured, and the name must be relative with plain components
+/// only (no `..`, no root) so the resolved path cannot escape the
+/// directory.
+fn resolve_snapshot_path(dir: Option<&Path>, name: &str) -> Result<PathBuf, String> {
+    let Some(dir) = dir else {
+        return Err(
+            "SNAPSHOT is disabled: the server was started without a snapshot directory \
+             (--snapshot-dir)"
+                .to_owned(),
+        );
+    };
+    let requested = Path::new(name);
+    let escapes = requested.is_absolute()
+        || requested
+            .components()
+            .any(|c| !matches!(c, std::path::Component::Normal(_)));
+    if escapes {
+        return Err(format!(
+            "snapshot target `{name}` must be a relative path inside the snapshot \
+             directory (no absolute paths, no `..`)"
+        ));
+    }
+    Ok(dir.join(requested))
+}
+
 /// Executes one request line; returns the response and whether the
 /// server should begin shutting down after it is sent.
 fn execute(line: &str, shared: &Shared) -> (String, bool) {
@@ -869,10 +926,15 @@ fn execute(line: &str, shared: &Shared) -> (String, bool) {
         Command::Stats => (render_stats(shared), false),
         Command::Health => (render_health(shared), false),
         Command::Snapshot { path } => {
+            let target =
+                match resolve_snapshot_path(shared.config.snapshot_dir.as_deref(), &path) {
+                    Ok(target) => target,
+                    Err(e) => return (protocol::render_error(&e), false),
+                };
             // Hold the gate for the whole save: the compaction scheduler
             // pauses rather than mutating the store mid-snapshot.
             let _gate = shared.snapshot_gate();
-            match shared.db.save(Path::new(&path)) {
+            match shared.db.save(&target) {
                 Ok(()) => (format!("OK snapshot {path}\n"), false),
                 Err(e) => (protocol::render_error(&e.to_string()), false),
             }
@@ -988,4 +1050,36 @@ fn render_health(shared: &Shared) -> String {
         totals.points,
         compaction.runs,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_targets_are_confined_to_the_configured_directory() {
+        let err = resolve_snapshot_path(None, "a.bin").unwrap_err();
+        assert!(err.contains("disabled"), "{err}");
+
+        let dir = Path::new("/var/lib/asap/snapshots");
+        assert_eq!(
+            resolve_snapshot_path(Some(dir), "a.bin").unwrap(),
+            dir.join("a.bin")
+        );
+        assert_eq!(
+            resolve_snapshot_path(Some(dir), "nested/a.bin").unwrap(),
+            dir.join("nested/a.bin")
+        );
+        for bad in [
+            "/etc/passwd",
+            "../escape.bin",
+            "a/../../escape.bin",
+            "..",
+            "./a.bin",
+        ] {
+            let err = resolve_snapshot_path(Some(dir), bad)
+                .expect_err(&format!("`{bad}` was accepted"));
+            assert!(err.contains("relative path"), "`{bad}` -> {err}");
+        }
+    }
 }

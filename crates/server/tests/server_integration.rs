@@ -301,6 +301,50 @@ fn graceful_shutdown_flushes_reorder_buffers_of_open_connections() {
     assert!(tail.contains("points=3"), "client report: {tail}");
 }
 
+/// Draining a connection mid-stream cuts its bytes at an arbitrary
+/// read boundary, so the unterminated tail may be a truncated line
+/// (`m v=9 99` cut out of `m v=9 990\n` parses as a valid point with a
+/// wrong timestamp). The drain must abort — applying every complete
+/// line and flushing reorder buffers, but discarding that tail —
+/// instead of finishing it into the store and the final snapshot.
+#[test]
+fn drain_discards_the_partial_trailing_line_of_open_connections() {
+    let server = Server::start(
+        ShardedDb::with_config(ShardedConfig::new(2, 16)),
+        ServerConfig {
+            ingest: IngestConfig {
+                lateness: Some(1_000),
+                ..IngestConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let db = server.db();
+
+    // Two complete lines held in the reorder stage, plus an
+    // unterminated tail that would parse as a valid (wrong) point.
+    let conn = TcpStream::connect(server.ingest_addr()).unwrap();
+    (&conn).write_all(b"m v=2 2\nm v=1 1\nm v=9 99").unwrap();
+    wait_for_stats(server.query_addr(), "the server to consume 2 lines", |stats| {
+        stat(stats, "ingest.lines") >= 2
+    });
+
+    let report = server.shutdown();
+    assert!(
+        report.ingest.points <= 2,
+        "truncated tail was ingested: {:?}",
+        report.ingest
+    );
+    assert_eq!(report.ingest.pending_reorder, 0);
+    assert_eq!(
+        db.query(&SeriesKey::metric("m.v"), full()).unwrap(),
+        vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)],
+        "drain must flush the complete lines and only those"
+    );
+    drop(conn);
+}
+
 /// Connections over the cap are refused with one `ERR` line and
 /// counted; the accepted connection is unaffected.
 #[test]
@@ -377,6 +421,12 @@ fn protocol_errors_do_not_poison_the_connection() {
         .starts_with("ERR "),
         "overflowing span not rejected"
     );
+    // SNAPSHOT is disabled unless the server is configured with a
+    // snapshot directory (this server is not).
+    assert!(
+        ask(&conn, &mut reader, "SNAPSHOT a.bin").starts_with("ERR SNAPSHOT is disabled"),
+        "SNAPSHOT served without a configured directory"
+    );
     // A selector matching no series is an empty result, not an error…
     assert!(ask(&conn, &mut reader, "RANGE ghost 0 10").starts_with("OK 0"));
     let mut end = String::new();
@@ -446,22 +496,28 @@ fn query_connection_cap_rejects_excess_clients() {
     server.shutdown();
 }
 
-/// `SNAPSHOT` writes a loadable v2 snapshot equal to the live store.
+/// `SNAPSHOT` writes a loadable v2 snapshot equal to the live store —
+/// confined to the configured snapshot directory; escaping targets are
+/// refused.
 #[test]
 fn snapshot_command_round_trips_the_store() {
     let server = Server::start(
         ShardedDb::with_config(ShardedConfig::new(3, 16)),
-        ServerConfig::default(),
+        ServerConfig {
+            snapshot_dir: Some(std::env::temp_dir()),
+            ..ServerConfig::default()
+        },
     )
     .unwrap();
     let doc = sorted_doc(3, 50).join("\n") + "\n";
     let report = ingest_doc(server.ingest_addr(), &doc);
     assert!(report.contains("clean=true"), "{report}");
 
-    let path = std::env::temp_dir().join(format!("asap_server_snap_{}.bin", std::process::id()));
-    let response = query(server.query_addr(), &format!("SNAPSHOT {}", path.display()));
-    assert_eq!(response.trim(), format!("OK snapshot {}", path.display()));
+    let name = format!("asap_server_snap_{}.bin", std::process::id());
+    let response = query(server.query_addr(), &format!("SNAPSHOT {name}"));
+    assert_eq!(response.trim(), format!("OK snapshot {name}"));
 
+    let path = std::env::temp_dir().join(&name);
     let restored = ShardedDb::load(&path, ShardedConfig::new(5, 16)).unwrap();
     std::fs::remove_file(&path).ok();
     assert_eq!(
@@ -469,8 +525,18 @@ fn snapshot_command_round_trips_the_store() {
         server.db().query_selector(&Selector::any(), full()).unwrap()
     );
 
-    // A bad destination is an ERR, not a dead server.
-    let bad = query(server.query_addr(), "SNAPSHOT /nonexistent-dir/x/y.bin");
+    // Unauthenticated clients must not pick arbitrary server paths:
+    // absolute targets and `..` escapes are refused before any I/O…
+    for escape in ["/nonexistent-dir/x/y.bin", "../escape.bin", "a/../../b"] {
+        let refused = query(server.query_addr(), &format!("SNAPSHOT {escape}"));
+        assert!(
+            refused.starts_with("ERR snapshot target"),
+            "`{escape}` -> {refused}"
+        );
+    }
+    // …while an in-directory destination that fails at save time is an
+    // ERR, not a dead server.
+    let bad = query(server.query_addr(), "SNAPSHOT nonexistent-subdir/x/y.bin");
     assert!(bad.starts_with("ERR "), "{bad}");
     assert!(query(server.query_addr(), "HEALTH").starts_with("OK healthy"));
     server.shutdown();
