@@ -106,6 +106,7 @@ fn main() {
             queue_depth: 8,
             chunk_lines: 1024,
             lateness: None,
+            ..IngestConfig::default()
         };
         let secs = median(
             (0..runs)

@@ -197,7 +197,7 @@ fn main() {
                     let server = Server::start(
                         db,
                         ServerConfig {
-                            ingest: ingest_config,
+                            ingest: ingest_config.clone(),
                             ..ServerConfig::default()
                         },
                     )
@@ -232,7 +232,7 @@ fn main() {
         let server = Server::start(
             db.clone(),
             ServerConfig {
-                ingest: ingest_config,
+                ingest: ingest_config.clone(),
                 ..ServerConfig::default()
             },
         )

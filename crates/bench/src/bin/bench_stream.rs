@@ -136,6 +136,7 @@ fn main() {
         queue_depth: 8,
         chunk_lines: 1024,
         lateness: None,
+        ..IngestConfig::default()
     };
     let pipeline_secs = median(
         (0..runs)
@@ -170,6 +171,7 @@ fn main() {
             queue_depth: 8,
             chunk_lines: 1024,
             lateness: Some(lateness),
+            ..IngestConfig::default()
         };
         let mut reordered = 0usize;
         let secs = median(

@@ -1,0 +1,248 @@
+//! WAL overhead benchmark: ingest throughput per fsync policy vs the
+//! no-WAL floor.
+//!
+//! Measures, per [`asap_tsdb::FsyncPolicy`], the wall-clock throughput
+//! of draining a lateness-shuffled line-protocol document through
+//! `pipeline_ingest` with the write-ahead log enabled, against the same
+//! pipeline with no WAL (the floor — the price of durability is the gap
+//! to it). Before any number is trusted, the log is sealed and replayed
+//! into a fresh store which is asserted identical to the sorted serial
+//! oracle — each measured configuration therefore also proves its
+//! recovery set is complete. Results are written to `BENCH_wal.json`
+//! (see `EXPERIMENTS.md` for the recorded run).
+//!
+//! Hand-timed wall clock, median of `BENCH_WAL_RUNS` runs — the
+//! criterion shim's budgeted micro-timing is wrong for multi-threaded
+//! phases.
+//!
+//! Knobs: `BENCH_WAL_POINTS` (records per series, default 20_000),
+//! `BENCH_WAL_SERIES` (default 8), `BENCH_WAL_RUNS` (default 3),
+//! `BENCH_WAL_LATENESS` (shuffle window, default 64).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use asap_tsdb::{
+    line_protocol, pipeline_ingest, FsyncPolicy, IngestConfig, RangeQuery, Selector,
+    ShardedConfig, ShardedDb, Tsdb, TsdbConfig, Wal,
+};
+
+const BLOCK_CAPACITY: usize = 4096;
+const SHARDS: usize = 4;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One interleaved sorted document: `series` hosts × `points` records.
+fn build_sorted_doc(series: usize, points: usize) -> String {
+    let mut doc = String::with_capacity(series * points * 40);
+    for t in 0..points {
+        for h in 0..series {
+            doc.push_str(&format!(
+                "req,host=h{h:02} rate={:.4} {t}\n",
+                (std::f64::consts::TAU * t as f64 / 900.0).sin() + h as f64,
+            ));
+        }
+    }
+    doc
+}
+
+/// Displaces lines by a deterministic jitter strictly below `lateness`.
+fn shuffle_within(doc: &str, lateness: i64) -> String {
+    let mut keyed: Vec<(i64, usize, &str)> = doc
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            let ts: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            (ts + (i as i64 * 13) % lateness, i, line)
+        })
+        .collect();
+    keyed.sort_by_key(|&(key, i, _)| (key, i));
+    let mut out = String::with_capacity(doc.len());
+    for (_, _, line) in keyed {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn temp_wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asap-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let points = env_usize("BENCH_WAL_POINTS", 20_000);
+    let series = env_usize("BENCH_WAL_SERIES", 8);
+    let runs = env_usize("BENCH_WAL_RUNS", 3).max(1);
+    let lateness = env_usize("BENCH_WAL_LATENESS", 64).max(1) as i64;
+    let sorted = build_sorted_doc(series, points);
+    let shuffled = shuffle_within(&sorted, lateness);
+    let total_points = series * points;
+    let base_config = IngestConfig {
+        lateness: Some(lateness),
+        ..IngestConfig::default()
+    };
+
+    println!(
+        "WAL overhead: {series} series x {points} records = {total_points} pts, \
+         disorder window {lateness}, {SHARDS} shards, median of {runs} ({} host cpus)",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+
+    // The oracle every measured store (and every replayed log) is
+    // checked against.
+    let oracle = Tsdb::with_config(TsdbConfig {
+        block_capacity: BLOCK_CAPACITY,
+    });
+    line_protocol::ingest(&oracle, &sorted, 0).unwrap();
+    let oracle_out = oracle
+        .query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+        .unwrap();
+
+    // The floor: the same pipeline, no WAL — durability's price is the
+    // gap between every row below and this number.
+    let floor_secs = median(
+        (0..runs)
+            .map(|_| {
+                let db = ShardedDb::with_config(ShardedConfig::new(SHARDS, BLOCK_CAPACITY));
+                let t = Instant::now();
+                let report = pipeline_ingest(&db, &shuffled, 0, &base_config).unwrap();
+                let secs = t.elapsed().as_secs_f64();
+                assert!(report.is_clean(), "{report:?}");
+                assert_eq!(report.points, total_points);
+                secs
+            })
+            .collect(),
+    );
+    let floor_pts_per_sec = total_points as f64 / floor_secs;
+    println!(
+        "{:>16} {:>14} {:>12} {:>10} {:>12}   (no WAL — the floor)",
+        "-",
+        format!("{floor_pts_per_sec:.3e}"),
+        format!("{:.1}", floor_secs * 1e3),
+        "-",
+        "-"
+    );
+
+    println!(
+        "{:>16} {:>14} {:>12} {:>10} {:>12}",
+        "fsync policy", "pts/s", "wall ms", "vs no-WAL", "fsyncs"
+    );
+    let policies = [
+        FsyncPolicy::EveryN(1 << 20), // sync only at seal: pure append cost
+        FsyncPolicy::EveryN(256),
+        FsyncPolicy::EveryN(64),
+        FsyncPolicy::Interval(std::time::Duration::from_millis(100)),
+        FsyncPolicy::Always,
+    ];
+    let mut rows = Vec::new();
+    for policy in policies {
+        let tag = policy.to_string().replace(['=', '-'], "_");
+        let mut fsyncs = 0u64;
+        let mut wal_bytes = 0u64;
+        let secs = median(
+            (0..runs)
+                .map(|_| {
+                    let dir = temp_wal_dir(&tag);
+                    let db = ShardedDb::with_config(ShardedConfig::new(SHARDS, BLOCK_CAPACITY));
+                    let wal = Wal::open(&dir, SHARDS, policy).unwrap();
+                    let config = IngestConfig {
+                        wal: Some(wal.clone()),
+                        ..base_config.clone()
+                    };
+                    let t = Instant::now();
+                    let report = pipeline_ingest(&db, &shuffled, 0, &config).unwrap();
+                    wal.seal().unwrap();
+                    let secs = t.elapsed().as_secs_f64();
+                    assert!(report.is_clean(), "{report:?}");
+                    assert_eq!(report.points, total_points);
+                    let stats = wal.stats();
+                    assert_eq!(stats.records, total_points as u64);
+                    fsyncs = stats.fsyncs;
+                    wal_bytes = stats.bytes;
+
+                    // Correctness gate: the sealed log alone rebuilds the
+                    // oracle — the recovery set is complete.
+                    let recovered =
+                        ShardedDb::with_config(ShardedConfig::new(SHARDS, BLOCK_CAPACITY));
+                    let replay = asap_tsdb::wal::replay(&dir, &recovered).unwrap();
+                    assert_eq!(replay.applied, total_points as u64);
+                    assert_eq!(replay.damaged, 0);
+                    assert_eq!(
+                        recovered
+                            .query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX))
+                            .unwrap(),
+                        oracle_out,
+                        "replayed store diverges from oracle under fsync={policy}"
+                    );
+                    std::fs::remove_dir_all(&dir).ok();
+                    secs
+                })
+                .collect(),
+        );
+        let pts_per_sec = total_points as f64 / secs;
+        println!(
+            "{:>16} {:>14.3e} {:>12.1} {:>10.2} {:>12}",
+            policy.to_string(),
+            pts_per_sec,
+            secs * 1e3,
+            pts_per_sec / floor_pts_per_sec,
+            fsyncs
+        );
+        rows.push((policy.to_string(), pts_per_sec, secs, fsyncs, wal_bytes));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"wal_overhead\",\n");
+    json.push_str(
+        "  \"note\": \"hand-timed wall clock (not the criterion shim); absolute numbers are \
+         machine-relative, compare configurations within one run; each row ingests a \
+         lateness-shuffled document through pipeline_ingest with the WAL enabled, seals the \
+         log, replays it into a fresh store, and asserts the replayed store identical to the \
+         sorted serial oracle before the timing is trusted; vs_no_wal is the price of \
+         durability at that fsync cadence\",\n",
+    );
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    ));
+    json.push_str(&format!("  \"series\": {series},\n"));
+    json.push_str(&format!("  \"records_per_series\": {points},\n"));
+    json.push_str(&format!("  \"total_points\": {total_points},\n"));
+    json.push_str(&format!("  \"disorder_window\": {lateness},\n"));
+    json.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    json.push_str(&format!("  \"runs_per_config\": {runs},\n"));
+    json.push_str(&format!(
+        "  \"no_wal_floor\": {{\"points_per_sec\": {floor_pts_per_sec:.0}, \"wall_ms\": {:.2}}},\n",
+        floor_secs * 1e3
+    ));
+    json.push_str("  \"configs\": [\n");
+    for (i, (policy, pts_per_sec, secs, fsyncs, wal_bytes)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fsync\": \"{policy}\", \"points_per_sec\": {pts_per_sec:.0}, \
+             \"wall_ms\": {:.2}, \"vs_no_wal\": {:.3}, \"fsyncs\": {fsyncs}, \
+             \"wal_bytes\": {wal_bytes}}}{}\n",
+            secs * 1e3,
+            pts_per_sec / floor_pts_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut file = std::fs::File::create("BENCH_wal.json").expect("create BENCH_wal.json");
+    file.write_all(json.as_bytes()).expect("write BENCH_wal.json");
+    println!("wrote BENCH_wal.json");
+}

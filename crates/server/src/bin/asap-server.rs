@@ -6,6 +6,7 @@
 //!             [--compact-interval SECS [--compact-jitter SECS]
 //!              [--rollup BUCKET] [--raw-ttl T]]
 //!             [--snapshot PATH] [--snapshot-dir DIR]
+//!             [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]
 //! ```
 //!
 //! Feed it InfluxDB-style line protocol on the ingest port; speak the
@@ -17,18 +18,28 @@
 //! must not choose server filesystem paths. The process runs until a
 //! client sends `SHUTDOWN`, then drains gracefully and prints the
 //! final report.
+//!
+//! Durability: `--wal-dir` appends every applied point to a per-shard
+//! write-ahead log (sync cadence set by `--fsync`, default `every=256`)
+//! and replays any log left by a previous run before the listeners
+//! open. With `--snapshot PATH` the path doubles as persistent state:
+//! an existing snapshot is loaded at boot (the WAL tail replays on
+//! top), and the drain-time save becomes a checkpoint that truncates
+//! the covered log generations. See DESIGN.md § Durability.
 
 use std::time::Duration;
 
 use asap_server::{CompactionClock, CompactionConfig, Server, ServerConfig};
 use asap_tsdb::{
-    Aggregator, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig, ShardedDb,
+    Aggregator, FsyncPolicy, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig,
+    ShardedDb, WalConfig,
 };
 
 const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
                      [--block-capacity N] [--lateness L] [--max-connections N] \
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
-                     [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR]";
+                     [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR] \
+                     [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]";
 
 fn fail(message: &str) -> ! {
     eprintln!("asap-server: {message}\n{USAGE}");
@@ -57,6 +68,8 @@ fn main() {
     let mut raw_ttl: Option<i64> = None;
     let mut snapshot = None;
     let mut snapshot_dir = None;
+    let mut wal_dir: Option<std::path::PathBuf> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -79,6 +92,10 @@ fn main() {
             "--snapshot-dir" => snapshot_dir = Some(std::path::PathBuf::from(
                 parse::<String>(args.next(), "--snapshot-dir"),
             )),
+            "--wal-dir" => wal_dir = Some(std::path::PathBuf::from(
+                parse::<String>(args.next(), "--wal-dir"),
+            )),
+            "--fsync" => fsync = Some(parse(args.next(), "--fsync")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -105,6 +122,14 @@ fn main() {
         clock: CompactionClock::WallClock,
     });
 
+    if fsync.is_some() && wal_dir.is_none() {
+        fail("--fsync needs --wal-dir");
+    }
+    let wal = wal_dir.map(|dir| WalConfig {
+        dir,
+        fsync: fsync.unwrap_or_default(),
+    });
+
     let config = ServerConfig {
         ingest_addr,
         query_addr,
@@ -115,16 +140,38 @@ fn main() {
             ..IngestConfig::default()
         },
         compaction,
-        final_snapshot: snapshot,
+        final_snapshot: snapshot.clone(),
         snapshot_dir,
+        wal,
         verbose: true,
         ..ServerConfig::default()
     };
-    let db = ShardedDb::with_config(ShardedConfig::new(shards, block_capacity));
+    // `--snapshot` doubles as persistent state: an existing snapshot is
+    // the checkpoint base, and `Server::start` replays the WAL tail on
+    // top of it before the listeners open.
+    let store_config = ShardedConfig::new(shards, block_capacity);
+    let db = match &snapshot {
+        Some(path) if path.exists() => match ShardedDb::load(path, store_config) {
+            Ok(db) => {
+                eprintln!("asap-server: loaded snapshot {}", path.display());
+                db
+            }
+            Err(e) => fail(&format!("cannot load snapshot {}: {e}", path.display())),
+        },
+        _ => ShardedDb::with_config(store_config),
+    };
     let server = match Server::start(db, config) {
         Ok(server) => server,
         Err(e) => fail(&e.to_string()),
     };
+    let replay = server.wal_replay_report();
+    if replay.files > 0 {
+        eprintln!(
+            "asap-server: WAL replay applied {} records from {} files \
+             (skipped={} damaged={})",
+            replay.applied, replay.files, replay.skipped, replay.damaged
+        );
+    }
     eprintln!(
         "asap-server: ingest on {} (line protocol), queries on {} \
          (SMOOTH|RANGE|STATS|HEALTH|SNAPSHOT|SHUTDOWN); awaiting SHUTDOWN",
@@ -142,8 +189,16 @@ fn main() {
         report.compaction.runs,
         report.compaction.rolled_up,
     );
+    let mut failed = false;
     if let Some(e) = report.final_snapshot_error {
         eprintln!("asap-server: final snapshot failed: {e}");
+        failed = true;
+    }
+    if let Some(e) = report.wal_seal_error {
+        eprintln!("asap-server: WAL seal failed: {e}");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -36,6 +36,13 @@
 //! `max`, `sum`, `count`, `first`, `last`. Timestamps and buckets are
 //! plain `i64` in the store's native units.
 //!
+//! Rollup series — the compactor's pre-aggregates, tagged
+//! [`asap_tsdb::ROLLUP_TAG`] — are infrastructure: `RANGE` and `SMOOTH`
+//! exclude them unless the selector takes a position on the tag itself
+//! (e.g. `cpu{__rollup__=60}` or `*{__rollup__=*}`), so `*` means
+//! "every *raw* series" rather than double-counting pre-aggregated
+//! copies.
+//!
 //! `RANGE`/`SMOOTH` data sections are
 //! `SERIES <key> <n> [k=v ...]` followed by `n` lines of
 //! `<timestamp> <value>`; values render through Rust's shortest-roundtrip

@@ -18,8 +18,8 @@ use std::time::Duration;
 
 use asap_core::Asap;
 use asap_tsdb::{
-    IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule, ShardedDb, StreamProgress,
-    TsdbError,
+    checkpoint_sharded, IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule,
+    Selector, ShardedDb, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport, ROLLUP_TAG,
 };
 
 use crate::protocol::{self, Command};
@@ -53,6 +53,16 @@ pub struct ServerConfig {
     /// Where to write a final snapshot during shutdown, after every
     /// connection has drained (`None` skips it).
     pub final_snapshot: Option<PathBuf>,
+    /// Write-ahead log directory + fsync policy (`None` disables
+    /// durability). When set, [`Server::start`] first replays any
+    /// existing log files into the store (crash recovery — pair it with
+    /// loading the matching `final_snapshot` beforehand), then opens a
+    /// fresh log generation that every ingest connection appends applied
+    /// points to. The drain-time final snapshot becomes a *checkpoint*:
+    /// rotate the log, save, then discard the covered generations.
+    /// Client-issued `SNAPSHOT <name>` exports never truncate the log —
+    /// only the snapshot recovery actually boots from may.
+    pub wal: Option<WalConfig>,
     /// Directory `SNAPSHOT <name>` targets resolve inside. `None`
     /// (the default) disables the command: the query port may be bound
     /// on a non-loopback address, and an unauthenticated client must
@@ -80,6 +90,7 @@ impl Default for ServerConfig {
             default_ts: 0,
             compaction: None,
             final_snapshot: None,
+            wal: None,
             snapshot_dir: None,
             poll_interval: Duration::from_millis(25),
             verbose: false,
@@ -253,6 +264,9 @@ pub struct ServerReport {
     /// Rendering of the final-snapshot failure, if one was requested
     /// and failed (the drain still completes).
     pub final_snapshot_error: Option<String>,
+    /// Rendering of the drain-time WAL seal failure, if a WAL was
+    /// configured and the final flush+fsync failed.
+    pub wal_seal_error: Option<String>,
 }
 
 #[derive(Default)]
@@ -283,10 +297,20 @@ pub(crate) struct Shared {
     query_active: AtomicUsize,
     next_conn_id: AtomicU64,
     compaction: Mutex<CompactionStats>,
+    /// Live WAL appender, shared with every ingest pipeline.
+    wal: Option<Wal>,
+    /// What boot-time replay recovered (zeroes when no WAL or nothing
+    /// to replay) — surfaced in `STATS`.
+    wal_replay: WalReplayReport,
 }
 
 impl Shared {
-    fn new(db: ShardedDb, config: ServerConfig) -> Self {
+    fn new(
+        db: ShardedDb,
+        config: ServerConfig,
+        wal: Option<Wal>,
+        wal_replay: WalReplayReport,
+    ) -> Self {
         Self {
             db,
             config,
@@ -300,6 +324,8 @@ impl Shared {
             query_active: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
             compaction: Mutex::new(CompactionStats::default()),
+            wal,
+            wal_replay,
         }
     }
 
@@ -495,6 +521,21 @@ impl Server {
             compaction.policy.validate()?;
             compaction.schedule.validate()?;
         }
+        // Recover, then open: replay any WAL left by a prior run into
+        // the store before the listeners exist (no ingest races replay),
+        // then start a fresh log generation for this run's appends. The
+        // caller pre-loads the matching snapshot into `db`, so replay
+        // only adds the tail (snapshot overlap is skipped).
+        let mut wal = None;
+        let mut wal_replay = WalReplayReport::default();
+        if let Some(wal_config) = &config.wal {
+            wal_replay = asap_tsdb::wal::replay(&wal_config.dir, &db)?;
+            wal = Some(Wal::open(
+                &wal_config.dir,
+                db.shard_count(),
+                wal_config.fsync,
+            )?);
+        }
         let ingest_listener = TcpListener::bind(&config.ingest_addr)?;
         let query_listener = TcpListener::bind(&config.query_addr)?;
         // Nonblocking accept, polled at the drain granularity: the
@@ -507,7 +548,7 @@ impl Server {
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
         let compaction = config.compaction.clone();
-        let shared = Arc::new(Shared::new(db, config));
+        let shared = Arc::new(Shared::new(db, config, wal, wal_replay));
 
         let mut accept_threads = Vec::with_capacity(2);
         let s = Arc::clone(&shared);
@@ -552,6 +593,12 @@ impl Server {
     /// Current aggregate ingest counters (what `STATS` reports).
     pub fn ingest_totals(&self) -> IngestTotals {
         self.shared.ingest_totals()
+    }
+
+    /// What boot-time WAL replay recovered (zeroes when no WAL was
+    /// configured or the log directory was empty).
+    pub fn wal_replay_report(&self) -> WalReplayReport {
+        self.shared.wal_replay
     }
 
     /// Current compaction counters (what `STATS` reports).
@@ -599,8 +646,24 @@ impl Server {
         let mut final_snapshot_error = None;
         if let Some(path) = self.shared.config.final_snapshot.clone() {
             let _gate = self.shared.snapshot_gate();
-            if let Err(e) = self.shared.db.save(&path) {
+            let saved = match &self.shared.wal {
+                // With a WAL, the final snapshot is a checkpoint:
+                // rotate → save → discard the covered generations, so
+                // the snapshot plus the surviving log tail stays a
+                // complete recovery set whatever step a crash hits.
+                Some(wal) => checkpoint_sharded(&self.shared.db, &path, wal).map(|_| ()),
+                None => self.shared.db.save(&path),
+            };
+            if let Err(e) = saved {
                 final_snapshot_error = Some(e.to_string());
+            }
+        }
+        // Seal the log last (flush + fsync every shard): whatever the
+        // snapshot outcome, everything ingested this run is on disk.
+        let mut wal_seal_error = None;
+        if let Some(wal) = &self.shared.wal {
+            if let Err(e) = wal.seal() {
+                wal_seal_error = Some(e.to_string());
             }
         }
         ServerReport {
@@ -612,6 +675,7 @@ impl Server {
                 .expect("compaction stats poisoned")
                 .clone(),
             final_snapshot_error,
+            wal_seal_error,
         }
     }
 }
@@ -694,10 +758,14 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
         .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
     let _ = stream.set_nodelay(true);
+    let ingest_config = IngestConfig {
+        wal: shared.wal.clone(),
+        ..shared.config.ingest.clone()
+    };
     let mut ingestor =
         match shared
             .db
-            .stream_ingestor(shared.config.default_ts, shared.config.ingest)
+            .stream_ingestor(shared.config.default_ts, ingest_config)
         {
             Ok(ingestor) => ingestor,
             Err(e) => {
@@ -884,6 +952,7 @@ fn execute(line: &str, shared: &Shared) -> (String, bool) {
             bucket,
             aggregator,
         } => {
+            let selector = confine_rollups(selector);
             let query = match bucket {
                 None => RangeQuery::raw(start, end),
                 Some(b) => {
@@ -914,6 +983,7 @@ fn execute(line: &str, shared: &Shared) -> (String, bool) {
             if let Err(e) = check_grid(start, end, bucket) {
                 return (protocol::render_error(&e), false);
             }
+            let selector = confine_rollups(selector);
             let asap = Asap::builder().resolution(resolution).build();
             match shared
                 .db
@@ -940,6 +1010,18 @@ fn execute(line: &str, shared: &Shared) -> (String, bool) {
             }
         }
         Command::Shutdown => ("OK shutting down\n".to_owned(), true),
+    }
+}
+
+/// Hides compaction-internal rollup series from `RANGE` / `SMOOTH`
+/// matching by default: unless the selector itself takes a position on
+/// the `__rollup__` tag (e.g. `metric{__rollup__=*}` to opt in, or
+/// `metric{__rollup__=60}` for one level), require the tag absent.
+fn confine_rollups(selector: Selector) -> Selector {
+    if selector.references_tag(ROLLUP_TAG) {
+        selector
+    } else {
+        selector.tag_absent(ROLLUP_TAG)
     }
 }
 
@@ -997,6 +1079,28 @@ fn render_stats(shared: &Shared) -> String {
     out.push_str(&format!(
         "compaction.rollup_evicted {}\n",
         compaction.rollup_evicted
+    ));
+    let wal_stats = shared.wal.as_ref().map(Wal::stats).unwrap_or_default();
+    out.push_str(&format!(
+        "wal.enabled {}\n",
+        u8::from(shared.wal.is_some())
+    ));
+    out.push_str(&format!("wal.records {}\n", wal_stats.records));
+    out.push_str(&format!("wal.bytes {}\n", wal_stats.bytes));
+    out.push_str(&format!("wal.fsyncs {}\n", wal_stats.fsyncs));
+    out.push_str(&format!("wal.rotations {}\n", wal_stats.rotations));
+    out.push_str(&format!("wal.replay.files {}\n", shared.wal_replay.files));
+    out.push_str(&format!(
+        "wal.replay.applied {}\n",
+        shared.wal_replay.applied
+    ));
+    out.push_str(&format!(
+        "wal.replay.skipped {}\n",
+        shared.wal_replay.skipped
+    ));
+    out.push_str(&format!(
+        "wal.replay.damaged {}\n",
+        shared.wal_replay.damaged
     ));
     let series: usize = occupancy.iter().map(|o| o.series).sum();
     let points: usize = occupancy.iter().map(|o| o.points).sum();

@@ -10,9 +10,9 @@ use std::time::{Duration, Instant};
 use asap_core::Asap;
 use asap_server::{protocol, CompactionClock, CompactionConfig, Server, ServerConfig};
 use asap_tsdb::{
-    line_protocol, smooth, Aggregator, Compactor, DataPoint, IngestConfig, RangeQuery,
+    line_protocol, smooth, Aggregator, Compactor, DataPoint, FsyncPolicy, IngestConfig, RangeQuery,
     RetentionPolicy, RollupLevel, Schedule, Selector, SeriesKey, ShardedConfig, ShardedDb, Tsdb,
-    TsdbConfig,
+    TsdbConfig, WalConfig, ROLLUP_TAG,
 };
 
 const LATENESS: i64 = 40;
@@ -659,4 +659,127 @@ fn shutdown_command_ends_run() {
         },
         "ingest port still serving after drain"
     );
+}
+
+/// A restart with `--wal-dir` recovers the first process's drained
+/// state without any snapshot: the second server replays the sealed log
+/// on boot and serves byte-identical `RANGE` and `SMOOTH` responses.
+#[test]
+fn restart_with_wal_recovers_the_drained_state() {
+    const HOSTS: usize = 3;
+    const POINTS: i64 = 120;
+    let wal_dir = std::env::temp_dir().join(format!("asap_server_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let config = || ServerConfig {
+        ingest: IngestConfig {
+            lateness: Some(LATENESS),
+            ..IngestConfig::default()
+        },
+        wal: Some(WalConfig {
+            dir: wal_dir.clone(),
+            fsync: FsyncPolicy::EveryN(8),
+        }),
+        ..ServerConfig::default()
+    };
+
+    let first = Server::start(ShardedDb::with_config(ShardedConfig::new(3, 16)), config()).unwrap();
+    let doc = shuffle_within_lateness(&sorted_doc(HOSTS, POINTS)).join("\n") + "\n";
+    let report = ingest_doc(first.ingest_addr(), &doc);
+    assert!(report.contains("clean=true"), "{report}");
+    let total = HOSTS * POINTS as usize;
+
+    let range_cmd = format!("RANGE cpu 0 {POINTS}");
+    let smooth_cmd = format!("SMOOTH cpu{{host=h1}} 0 {POINTS} 1 60");
+    let before_range = query(first.query_addr(), &range_cmd);
+    let before_smooth = query(first.query_addr(), &smooth_cmd);
+    let stats = query(first.query_addr(), "STATS");
+    assert_eq!(stat(&stats, "wal.enabled"), 1);
+    assert_eq!(stat(&stats, "wal.records") as usize, total);
+    assert!(stat(&stats, "wal.bytes") > 0);
+    assert_eq!(stat(&stats, "wal.replay.files"), 0, "a fresh WAL dir has nothing to replay");
+    let drained = first.shutdown(); // seals the log
+    assert_eq!(drained.ingest.points, total);
+    assert_eq!(drained.wal_seal_error, None);
+
+    // Same WAL directory, empty store, different shard count: boot-time
+    // replay re-routes by the store hash and rebuilds the drained state.
+    let second =
+        Server::start(ShardedDb::with_config(ShardedConfig::new(2, 16)), config()).unwrap();
+    let replay = second.wal_replay_report();
+    assert_eq!(replay.applied as usize, total);
+    assert_eq!(replay.skipped, 0);
+    assert_eq!(replay.damaged, 0);
+    assert_eq!(query(second.query_addr(), &range_cmd), before_range);
+    assert_eq!(query(second.query_addr(), &smooth_cmd), before_smooth);
+    let stats = query(second.query_addr(), "STATS");
+    assert_eq!(stat(&stats, "wal.replay.applied") as usize, total);
+    assert_eq!(stat(&stats, "wal.replay.damaged"), 0);
+    assert_eq!(stat(&stats, "store.points") as usize, total);
+    second.shutdown();
+    std::fs::remove_dir_all(&wal_dir).ok();
+}
+
+/// Rollup series (tagged [`ROLLUP_TAG`] by the compactor) are
+/// infrastructure: `RANGE`/`SMOOTH` selectors that don't mention the
+/// tag — bare `*`, a metric name, or a tag filter — must not see them,
+/// while a selector that asks for the tag explicitly still can.
+#[test]
+fn selectors_hide_rollup_series_unless_asked() {
+    let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+    let raw = SeriesKey::metric("cpu").with_tag("host", "h1");
+    let rollup = raw.clone().with_tag(ROLLUP_TAG, "10");
+    for t in 0..60i64 {
+        db.write(&raw, DataPoint::new(t, (t % 7) as f64)).unwrap();
+        if t % 10 == 0 {
+            db.write(&rollup, DataPoint::new(t, 3.0)).unwrap();
+        }
+    }
+    let server = Server::start(db.clone(), ServerConfig::default()).unwrap();
+    let addr = server.query_addr();
+
+    // Expected responses, rendered through the same protocol helpers
+    // from explicit selectors against the live store.
+    let raw_only = |sel: Selector| {
+        protocol::render_range(&db.query_selector(&sel, RangeQuery::raw(0, 60)).unwrap())
+    };
+    for (cmd, sel) in [
+        ("RANGE * 0 60", Selector::any().tag_absent(ROLLUP_TAG)),
+        ("RANGE cpu 0 60", Selector::metric("cpu").tag_absent(ROLLUP_TAG)),
+        (
+            "RANGE cpu{host=h1} 0 60",
+            Selector::metric("cpu").tag_eq("host", "h1").tag_absent(ROLLUP_TAG),
+        ),
+        (
+            "RANGE cpu{__rollup__=10} 0 60",
+            Selector::metric("cpu").tag_eq(ROLLUP_TAG, "10"),
+        ),
+        (
+            "RANGE cpu{__rollup__=*} 0 60",
+            Selector::metric("cpu").tag_present(ROLLUP_TAG),
+        ),
+    ] {
+        let response = query(addr, cmd);
+        assert_eq!(response, raw_only(sel), "`{cmd}` leaked or lost series");
+        let hidden = cmd.contains("__rollup__") == response.contains("__rollup__");
+        assert!(hidden, "`{cmd}` rollup visibility is wrong:\n{response}");
+    }
+
+    // SMOOTH applies the same confinement: identical frames to smoothing
+    // the raw-only selector directly.
+    let asap = Asap::builder().resolution(30).build();
+    let frames = smooth::smooth_query_selector(
+        &db,
+        &Selector::metric("cpu").tag_absent(ROLLUP_TAG),
+        &asap,
+        0,
+        60,
+        1,
+    )
+    .unwrap();
+    assert_eq!(
+        query(addr, "SMOOTH cpu 0 60 1 30"),
+        protocol::render_smooth(&frames)
+    );
+    assert!(!query(addr, "SMOOTH cpu 0 60 1 30").contains("__rollup__"));
+    server.shutdown();
 }

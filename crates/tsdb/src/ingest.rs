@@ -86,9 +86,10 @@ use crate::query::SeriesWriter;
 use crate::reorder::{ReorderBuffer, ReorderStats};
 use crate::sharded::ShardedDb;
 use crate::tags::SeriesKey;
+use crate::wal::Wal;
 
 /// Tuning knobs of the ingest pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct IngestConfig {
     /// Parser worker threads (default 4).
     pub parsers: usize,
@@ -111,6 +112,14 @@ pub struct IngestConfig {
     /// instead of failing. `Some(0)` is an ordering filter: in-order
     /// input passes through, stragglers are dropped, nothing fails.
     pub lateness: Option<i64>,
+    /// Write-ahead log sink (default `None`).
+    ///
+    /// When set, every point the pipeline *applies* (post-reorder) is
+    /// appended to the log before the write is acknowledged, under the
+    /// WAL's per-shard lock — see [`Wal::log_applied`] for the ordering
+    /// contract. The WAL must have been opened with the same shard count
+    /// as the destination [`ShardedDb`].
+    pub wal: Option<Wal>,
 }
 
 impl Default for IngestConfig {
@@ -120,6 +129,7 @@ impl Default for IngestConfig {
             queue_depth: 8,
             chunk_lines: 256,
             lateness: None,
+            wal: None,
         }
     }
 }
@@ -395,15 +405,24 @@ impl Shared {
 }
 
 /// Write-only handle to one shard of the engine — the sink each writer's
-/// reorder stage releases into.
+/// reorder stage releases into. With a WAL attached, the store write and
+/// the log append happen under the WAL's shard lock so the log's
+/// per-series record order always equals store apply order.
+#[derive(Clone)]
 struct ShardSink {
     db: ShardedDb,
     idx: usize,
+    wal: Option<Wal>,
 }
 
 impl SeriesWriter for ShardSink {
     fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
-        self.db.shards()[self.idx].write(key, point)
+        match &self.wal {
+            None => self.db.shards()[self.idx].write(key, point),
+            Some(wal) => wal.log_applied(self.idx, key, point, || {
+                self.db.shards()[self.idx].write(key, point)
+            }),
+        }
     }
 }
 
@@ -421,7 +440,7 @@ pub fn pipeline_ingest(
     default_ts: i64,
     config: &IngestConfig,
 ) -> Result<IngestReport, TsdbError> {
-    let mut ingestor = StreamIngestor::new(db, default_ts, *config)?;
+    let mut ingestor = StreamIngestor::new(db, default_ts, config.clone())?;
     ingestor.feed(text.as_bytes());
     Ok(ingestor.finish())
 }
@@ -447,7 +466,7 @@ pub fn ingest_reader<R: Read>(
     default_ts: i64,
     config: &IngestConfig,
 ) -> Result<IngestReport, TsdbError> {
-    let mut ingestor = StreamIngestor::new(db, default_ts, *config)?;
+    let mut ingestor = StreamIngestor::new(db, default_ts, config.clone())?;
     let mut buf = vec![0u8; 64 * 1024];
     loop {
         match reader.read(&mut buf) {
@@ -509,6 +528,14 @@ impl StreamIngestor {
     ) -> Result<Self, TsdbError> {
         config.validate()?;
         let shards = db.shard_count();
+        if let Some(wal) = &config.wal {
+            if wal.shard_count() != shards {
+                return Err(TsdbError::InvalidParameter {
+                    name: "wal",
+                    message: "WAL shard count must match the destination store's",
+                });
+            }
+        }
         let shared = Arc::new(Shared::new(shards));
         let window = config.parsers + config.queue_depth;
 
@@ -520,8 +547,9 @@ impl StreamIngestor {
             let db = db.clone();
             let shared = Arc::clone(&shared);
             let lateness = config.lateness;
+            let wal = config.wal.clone();
             writers.push(std::thread::spawn(move || {
-                shard_writer(db, idx, rx, shared, lateness)
+                shard_writer(db, idx, rx, shared, lateness, wal)
             }));
         }
 
@@ -781,16 +809,16 @@ fn shard_writer(
     rx: Receiver<Batch>,
     shared: Arc<Shared>,
     lateness: Option<i64>,
+    wal: Option<Wal>,
 ) -> (usize, Vec<WriteFailure>) {
+    let sink = ShardSink {
+        db,
+        idx: shard_idx,
+        wal,
+    };
     let mut reorder = lateness.map(|l| {
-        ReorderBuffer::new(
-            ShardSink {
-                db: db.clone(),
-                idx: shard_idx,
-            },
-            l,
-        )
-        .expect("lateness validated by IngestConfig::validate")
+        ReorderBuffer::new(sink.clone(), l)
+            .expect("lateness validated by IngestConfig::validate")
     });
     let mut published = ReorderStats::default();
     let mut written = 0usize;
@@ -802,8 +830,7 @@ fn shard_writer(
         let before = next;
         while let Some(points) = pending.remove(&next) {
             apply_batch(
-                &db,
-                shard_idx,
+                &sink,
                 points,
                 reorder.as_mut(),
                 &mut written,
@@ -823,8 +850,7 @@ fn shard_writer(
     let applied_tail = !tail.is_empty();
     for (_, points) in tail {
         apply_batch(
-            &db,
-            shard_idx,
+            &sink,
             points,
             reorder.as_mut(),
             &mut written,
@@ -849,10 +875,10 @@ fn shard_writer(
 }
 
 /// Applies one batch's points through the reorder stage (or straight to
-/// the shard), updating live counters.
+/// the shard sink, which also carries the optional WAL), updating live
+/// counters.
 fn apply_batch(
-    db: &ShardedDb,
-    shard_idx: usize,
+    sink: &ShardSink,
     points: Vec<(usize, ParsedPoint)>,
     mut reorder: Option<&mut ReorderBuffer<ShardSink>>,
     written: &mut usize,
@@ -862,9 +888,7 @@ fn apply_batch(
     let mut batch_written = 0usize;
     for (line, point) in points {
         let result = match reorder.as_deref_mut() {
-            None => db.shards()[shard_idx]
-                .write(&point.key, point.point)
-                .map(|()| 1),
+            None => sink.write_point(&point.key, point.point).map(|()| 1),
             Some(rb) => rb.offer(&point.key, point.point),
         };
         match result {
@@ -935,12 +959,14 @@ mod tests {
                 queue_depth: 1,
                 chunk_lines: 1,
                 lateness: None,
+                ..IngestConfig::default()
             },
             IngestConfig {
                 parsers: 7,
                 queue_depth: 2,
                 chunk_lines: 3,
                 lateness: None,
+                ..IngestConfig::default()
             },
         ]
     }
@@ -1017,6 +1043,7 @@ mod tests {
             queue_depth: 1,
             chunk_lines: 2,
             lateness: None,
+            ..IngestConfig::default()
         };
         let sharded = ShardedDb::with_config(ShardedConfig::new(3, 16));
         pipeline_ingest(&sharded, text, 1000, &config).unwrap();
@@ -1115,6 +1142,7 @@ mod tests {
             queue_depth: 2,
             chunk_lines: 7,
             lateness: None,
+            ..IngestConfig::default()
         };
         let streamed = ShardedDb::with_config(ShardedConfig::new(3, 32));
         let report_r = ingest_reader(
@@ -1144,9 +1172,10 @@ mod tests {
             queue_depth: 1,
             chunk_lines: 3,
             lateness: None,
+            ..IngestConfig::default()
         };
         let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
-        let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+        let mut ing = StreamIngestor::new(&db, 0, config.clone()).unwrap();
         for b in text.as_bytes() {
             ing.feed(std::slice::from_ref(b));
         }
@@ -1174,6 +1203,7 @@ mod tests {
                 queue_depth: 2,
                 chunk_lines,
                 lateness: Some(5),
+                ..IngestConfig::default()
             };
             let db = ShardedDb::with_config(ShardedConfig::new(2, 4));
             let report = pipeline_ingest(&db, text, 0, &config).unwrap();
@@ -1243,6 +1273,7 @@ mod tests {
                 queue_depth: 2,
                 chunk_lines: 4,
                 lateness: Some(3),
+                ..IngestConfig::default()
             },
         )
         .unwrap();

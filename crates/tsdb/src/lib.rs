@@ -30,7 +30,12 @@
 //!   downsampled-cold tiering monitoring dashboards sit on), fanned out
 //!   per shard on the partitioned engine;
 //! * [`persist`] — single-file snapshots for restart durability (v2
-//!   serializes and loads shards in parallel);
+//!   serializes and loads shards in parallel), plus the coordinated
+//!   checkpoint (rotate → save → discard) and snapshot+WAL-tail recovery
+//!   entry points;
+//! * [`wal`] — per-shard append-only write-ahead log: CRC-checked
+//!   length-prefixed records of applied points, configurable fsync
+//!   policy, generation-based rotation, and idempotent crash replay;
 //! * [`reorder`] — watermark-based reordering, generic over the
 //!   [`SeriesWriter`] sink, so bounded-lateness out-of-order telemetry
 //!   survives the engine's strict ordering;
@@ -73,6 +78,7 @@ pub mod shard;
 pub mod sharded;
 pub mod smooth;
 pub mod tags;
+pub mod wal;
 
 pub use block::{Block, BlockSummary};
 pub use db::{SeriesStats, Tsdb, TsdbConfig};
@@ -84,8 +90,8 @@ pub use ingest::{
 };
 pub use line_protocol::{ingest, parse, ParsedPoint};
 pub use persist::{
-    load as load_snapshot, load_sharded as load_sharded_snapshot, save as save_snapshot,
-    save_sharded as save_sharded_snapshot, SnapshotError,
+    checkpoint_sharded, load as load_snapshot, load_sharded as load_sharded_snapshot,
+    recover_sharded, save as save_snapshot, save_sharded as save_sharded_snapshot, SnapshotError,
 };
 pub use point::DataPoint;
 pub use query::{Aggregator, FillPolicy, RangeQuery, SeriesReader, SeriesWriter};
@@ -101,3 +107,4 @@ pub use smooth::{
     smooth_query, smooth_query_selector, smooth_query_with_fill, SmoothQueryError, SmoothedFrame,
 };
 pub use tags::{Selector, SeriesKey};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecord, WalReplayReport, WalSegment, WalStats};

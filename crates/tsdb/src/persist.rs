@@ -82,6 +82,7 @@ use crate::error::TsdbError;
 use crate::gorilla::CompressedChunk;
 use crate::sharded::{ShardedConfig, ShardedDb};
 use crate::tags::{Selector, SeriesKey};
+use crate::wal::{Wal, WalReplayReport};
 
 const MAGIC: &[u8; 8] = b"ASAPTSDB";
 const VERSION_V1: u32 = 1;
@@ -348,6 +349,46 @@ pub fn load_sharded(path: &Path, config: ShardedConfig) -> Result<ShardedDb, Sna
     Ok(db)
 }
 
+/// Takes a *checkpoint*: rotates `wal` onto a fresh generation, saves a
+/// sharded snapshot covering everything before the rotation, then
+/// discards the covered log generations.
+///
+/// The ordering makes a crash at any step safe: before the save, the old
+/// generations are still on disk; after the save but before the discard,
+/// [`recover_sharded`] replays the covered generations on top of the
+/// snapshot and skips every already-present record (replay is
+/// idempotent). Returns the new live generation.
+pub fn checkpoint_sharded(db: &ShardedDb, path: &Path, wal: &Wal) -> Result<u64, SnapshotError> {
+    let boundary = wal.rotate()?;
+    save_sharded(db, path)?;
+    wal.discard_before(boundary)?;
+    Ok(boundary)
+}
+
+/// Recovers a store from a snapshot plus its WAL tail.
+///
+/// Loads `snapshot` if it names an existing file (a missing snapshot just
+/// means "start empty" — e.g. the first boot), then replays every WAL
+/// file in `wal_dir`, skipping records the snapshot already covers.
+/// Either source may be absent; together they are the complete recovery
+/// set a [`checkpoint_sharded`] (or a crash at any point between its
+/// steps) leaves behind.
+pub fn recover_sharded(
+    snapshot: Option<&Path>,
+    wal_dir: Option<&Path>,
+    config: ShardedConfig,
+) -> Result<(ShardedDb, WalReplayReport), SnapshotError> {
+    let db = match snapshot {
+        Some(path) if path.exists() => load_sharded(path, config)?,
+        _ => ShardedDb::with_config(config),
+    };
+    let report = match wal_dir {
+        Some(dir) => crate::wal::replay(dir, &db)?,
+        None => WalReplayReport::default(),
+    };
+    Ok((db, report))
+}
+
 /// Checks the magic and returns the format version.
 fn read_header(r: &mut impl Read) -> Result<u32, SnapshotError> {
     let mut magic = [0u8; 8];
@@ -454,7 +495,7 @@ fn read_key(r: &mut impl Read) -> Result<SeriesKey, SnapshotError> {
     let mut key_bytes = vec![0u8; key_len];
     r.read_exact(&mut key_bytes)?;
     let name = String::from_utf8(key_bytes).map_err(|_| corrupt("key is not UTF-8"))?;
-    parse_key(&name)
+    parse_series_key(&name)
 }
 
 fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
@@ -470,7 +511,8 @@ fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
 }
 
 /// Parses the display form `metric{k=v,...}` back into a [`SeriesKey`].
-fn parse_key(s: &str) -> Result<SeriesKey, SnapshotError> {
+/// Shared with [`crate::wal`], whose records carry keys in the same form.
+pub(crate) fn parse_series_key(s: &str) -> Result<SeriesKey, SnapshotError> {
     let (metric, tags) = match s.split_once('{') {
         None => (s, None),
         Some((m, rest)) => {
@@ -592,13 +634,13 @@ mod tests {
     #[test]
     fn key_display_form_parses_back() {
         for s in ["cpu", "cpu{host=a}", "m{a=1,b=2,c=3}"] {
-            let key = parse_key(s).unwrap();
+            let key = parse_series_key(s).unwrap();
             assert_eq!(key.to_string(), s);
         }
-        assert!(parse_key("cpu{host=a").is_err());
-        assert!(parse_key("cpu{hosta}").is_err());
-        assert!(parse_key("{host=a}").is_err());
-        assert!(parse_key("cpu{=a}").is_err());
+        assert!(parse_series_key("cpu{host=a").is_err());
+        assert!(parse_series_key("cpu{hosta}").is_err());
+        assert!(parse_series_key("{host=a}").is_err());
+        assert!(parse_series_key("cpu{=a}").is_err());
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub struct Selector {
     equals: Vec<(String, String)>,
     /// Tag keys that must be present with any value.
     has: Vec<String>,
+    /// Tag keys that must be absent.
+    absent: Vec<String>,
 }
 
 impl Selector {
@@ -105,6 +107,22 @@ impl Selector {
         self
     }
 
+    /// Requires tag `key` to be absent. Used to hide infrastructure
+    /// series (e.g. [`crate::retention::ROLLUP_TAG`]) from selectors
+    /// that don't ask for them.
+    pub fn tag_absent(mut self, key: impl Into<String>) -> Self {
+        self.absent.push(key.into());
+        self
+    }
+
+    /// True when any clause (equality, presence, or absence) mentions
+    /// tag `key` — i.e. the selector already takes a position on it.
+    pub fn references_tag(&self, key: &str) -> bool {
+        self.equals.iter().any(|(k, _)| k == key)
+            || self.has.iter().any(|k| k == key)
+            || self.absent.iter().any(|k| k == key)
+    }
+
     /// True when `key` satisfies every clause.
     pub fn matches(&self, key: &SeriesKey) -> bool {
         if let Some(m) = &self.metric {
@@ -116,6 +134,7 @@ impl Selector {
             .iter()
             .all(|(k, v)| key.tag(k) == Some(v.as_str()))
             && self.has.iter().all(|k| key.tag(k).is_some())
+            && self.absent.iter().all(|k| key.tag(k).is_none())
     }
 }
 
@@ -164,5 +183,22 @@ mod tests {
             .tag_eq("host", "a")
             .tag_present("dc")
             .matches(&k));
+    }
+
+    #[test]
+    fn absence_clause() {
+        let raw = SeriesKey::metric("cpu").with_tag("host", "a");
+        let rollup = raw.clone().with_tag("__rollup__", "60");
+        let sel = Selector::metric("cpu").tag_absent("__rollup__");
+        assert!(sel.matches(&raw));
+        assert!(!sel.matches(&rollup));
+    }
+
+    #[test]
+    fn references_tag_sees_every_clause_kind() {
+        assert!(Selector::any().tag_eq("r", "60").references_tag("r"));
+        assert!(Selector::any().tag_present("r").references_tag("r"));
+        assert!(Selector::any().tag_absent("r").references_tag("r"));
+        assert!(!Selector::metric("r").tag_eq("host", "a").references_tag("r"));
     }
 }

@@ -1,0 +1,537 @@
+//! Fault-injection wall for the write-ahead log: recovery from a
+//! damaged WAL is observationally identical to a serial oracle built
+//! from the log's surviving clean prefix — for *every* crash point.
+//!
+//! The harness simulates crashes the brute-force way:
+//!
+//! * truncate the log at **every byte offset** — a torn tail must drop
+//!   cleanly at the last record boundary, never fail, never resurrect a
+//!   partial record;
+//! * flip **every bit position's byte** — corruption must be caught by
+//!   the CRC (or the header plausibility checks) and confined to the
+//!   file tail, never applied, never fatal;
+//! * kill between every step of the checkpoint sequence
+//!   (rotate → snapshot → discard) — each intermediate state must
+//!   recover to the full store, with snapshot overlap skipped rather
+//!   than double-applied;
+//! * feed garbage, empty, and half-header files — replay reports them
+//!   and moves on;
+//! * (property) kill a shuffled-lateness `StreamIngestor` run at an
+//!   arbitrary per-shard record boundary — replay must equal the prefix
+//!   oracle of exactly the records that survived.
+//!
+//! No expected value is baked in (see the ROADMAP note on golden
+//! values): every assertion compares the recovered store against an
+//! oracle replayed from the same surviving records, plus the structural
+//! claim that surviving records are a *prefix* of what was appended —
+//! the non-circular half of the argument.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use asap_tsdb::query::Aggregator;
+use asap_tsdb::wal::{read_records, record_len, replay, wal_files};
+use asap_tsdb::{
+    recover_sharded, DataPoint, FsyncPolicy, IngestConfig, RangeQuery, Selector, SeriesKey,
+    ShardedConfig, ShardedDb, StreamIngestor, Tsdb, TsdbConfig, TsdbError, Wal, WalRecord,
+};
+use proptest::prelude::*;
+
+/// A fresh scratch directory, unique per call even across threads.
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "asap-crash-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn full() -> RangeQuery {
+    RangeQuery::raw(i64::MIN + 1, i64::MAX)
+}
+
+/// The serial oracle: the surviving records applied in replay order to a
+/// single-shard store, snapshot overlap skipped exactly as `replay` does.
+fn oracle_of(records: &[WalRecord], block_capacity: usize) -> Tsdb {
+    let oracle = Tsdb::with_config(TsdbConfig { block_capacity });
+    for r in records {
+        match oracle.write(&r.key, r.point) {
+            Ok(()) | Err(TsdbError::OutOfOrder { .. }) => {}
+            Err(e) => panic!("oracle write failed: {e:?}"),
+        }
+    }
+    oracle
+}
+
+/// Recovered state must equal the oracle for every query shape: the
+/// series catalogue, raw ranges, bucketed aggregation, and summaries.
+/// (Block partitioning is intentionally not compared: snapshot import
+/// and live writes may seal at different boundaries.)
+fn assert_equiv(recovered: &ShardedDb, oracle: &Tsdb) {
+    let any = Selector::any();
+    assert_eq!(
+        recovered.list_series(&any),
+        oracle.list_series(&any),
+        "series catalogue diverges"
+    );
+    let sel = Selector::metric("cpu");
+    assert_eq!(
+        recovered.query_selector(&sel, full()).unwrap(),
+        oracle.query_selector(&sel, full()).unwrap(),
+        "selector query diverges"
+    );
+    for key in oracle.list_series(&any) {
+        assert_eq!(
+            recovered.query(&key, full()).unwrap(),
+            oracle.query(&key, full()).unwrap(),
+            "raw range diverges for {key}"
+        );
+        let bucketed = RangeQuery::bucketed(-1_000, 30_000, 43).aggregate(Aggregator::Max);
+        assert_eq!(
+            recovered.query(&key, bucketed).unwrap(),
+            oracle.query(&key, bucketed).unwrap(),
+            "bucketed aggregation diverges for {key}"
+        );
+        assert_eq!(
+            recovered.summarize(&key, -500, 20_000).unwrap(),
+            oracle.summarize(&key, -500, 20_000).unwrap(),
+            "summary diverges for {key}"
+        );
+    }
+}
+
+/// Builds one single-shard WAL of interleaved multi-series appends and
+/// returns its raw bytes plus the decoded record sequence.
+fn build_single_shard_log(dir: &Path) -> (Vec<u8>, Vec<WalRecord>) {
+    let keys = [
+        SeriesKey::metric("cpu").with_tag("host", "a"),
+        SeriesKey::metric("cpu").with_tag("host", "b").with_tag("dc", "west"),
+        SeriesKey::metric("mem"),
+    ];
+    let wal = Wal::open(dir, 1, FsyncPolicy::EveryN(1 << 20)).unwrap();
+    for t in 0..12i64 {
+        for (s, key) in keys.iter().enumerate() {
+            let point = DataPoint::new(t * 5 + s as i64, (s as f64 * 100.0 + t as f64) * 1.25);
+            wal.append(0, key, point).unwrap();
+        }
+    }
+    wal.seal().unwrap();
+    let files = wal_files(dir).unwrap();
+    assert_eq!(files.len(), 1);
+    let bytes = fs::read(&files[0].path).unwrap();
+    let segment = read_records(&files[0].path).unwrap();
+    assert!(segment.damage.is_none());
+    assert_eq!(segment.records.len(), 36);
+    (bytes, segment.records)
+}
+
+/// The byte offsets at which a record ends — the only truncation points
+/// that leave no damage, per the documented format.
+fn record_boundaries(records: &[WalRecord]) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    let mut pos = 0usize;
+    for r in records {
+        pos += record_len(&r.key);
+        offsets.push(pos);
+    }
+    offsets
+}
+
+/// Tentpole sweep #1: truncate the log at **every** byte offset. The
+/// clean prefix must decode to a prefix of the appended sequence, replay
+/// must never fail, and the recovered store must equal the prefix
+/// oracle. Damage is reported exactly when the cut misses a record
+/// boundary.
+#[test]
+fn truncation_at_every_byte_recovers_the_clean_prefix() {
+    let src = temp_dir("trunc-src");
+    let (bytes, full_records) = build_single_shard_log(&src);
+    let boundaries = record_boundaries(&full_records);
+    assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+    let crash = temp_dir("trunc-crash");
+    let log = crash.join("wal-0000-00000001.log");
+    for cut in 0..=bytes.len() {
+        fs::write(&log, &bytes[..cut]).unwrap();
+
+        let segment = read_records(&log).unwrap();
+        let n = segment.records.len();
+        assert_eq!(
+            segment.records,
+            full_records[..n],
+            "cut at {cut}: survivors are not a prefix of the appended sequence"
+        );
+        assert_eq!(
+            segment.damage.is_none(),
+            boundaries.contains(&cut),
+            "cut at {cut}: damage report disagrees with record boundaries ({:?})",
+            segment.damage
+        );
+
+        let db = ShardedDb::with_config(ShardedConfig::new(1, 7));
+        let report = replay(&crash, &db).unwrap();
+        assert_eq!(report.files, 1);
+        assert_eq!(report.applied, n as u64, "cut at {cut}");
+        assert_eq!(report.skipped, 0, "cut at {cut}");
+        assert_eq!(report.damaged, usize::from(segment.damage.is_some()), "cut at {cut}");
+        assert_equiv(&db, &oracle_of(&segment.records, 7));
+    }
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&crash).unwrap();
+}
+
+/// Tentpole sweep #2: flip one bit in **every** byte of the log. The
+/// flip must never be applied as data (CRC/plausibility confines it to
+/// the tail), never be fatal, and the survivors must still be a prefix
+/// of the appended sequence — the flipped record itself always dies.
+#[test]
+fn single_bit_flips_are_confined_and_never_fatal() {
+    let src = temp_dir("flip-src");
+    let (bytes, full_records) = build_single_shard_log(&src);
+
+    let crash = temp_dir("flip-crash");
+    let log = crash.join("wal-0000-00000001.log");
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 1 << (i % 8);
+        fs::write(&log, &flipped).unwrap();
+
+        let segment = read_records(&log).unwrap();
+        let n = segment.records.len();
+        assert!(
+            segment.damage.is_some(),
+            "flip at byte {i} went undetected"
+        );
+        assert!(n < full_records.len(), "flip at byte {i} lost no record");
+        assert_eq!(
+            segment.records,
+            full_records[..n],
+            "flip at byte {i}: survivors are not a prefix"
+        );
+
+        let db = ShardedDb::with_config(ShardedConfig::new(1, 16));
+        let report = replay(&crash, &db).unwrap();
+        assert_eq!(report.applied, n as u64, "flip at byte {i}");
+        assert_eq!(report.damaged, 1, "flip at byte {i}");
+        assert_equiv(&db, &oracle_of(&segment.records, 16));
+    }
+    fs::remove_dir_all(&src).unwrap();
+    fs::remove_dir_all(&crash).unwrap();
+}
+
+/// Writes `batch` through the WAL the way the ingest sink does: store
+/// write and log append under the shard's log lock, one fixed shard per
+/// series so per-series order is preserved within a generation.
+fn apply_batch(db: &ShardedDb, wal: &Wal, batch: &[(usize, SeriesKey, DataPoint)]) {
+    for (series, key, point) in batch {
+        let shard = series % wal.shard_count();
+        wal.log_applied(shard, key, *point, || db.write(key, *point)).unwrap();
+    }
+}
+
+/// Rows of `(series index, key, point)` with per-series ascending
+/// timestamps starting at `t0`.
+fn batch(keys: &[SeriesKey], t0: i64, count: i64) -> Vec<(usize, SeriesKey, DataPoint)> {
+    let mut rows = Vec::new();
+    for t in 0..count {
+        for (s, key) in keys.iter().enumerate() {
+            rows.push((
+                s,
+                key.clone(),
+                DataPoint::new(t0 + t * 3 + s as i64, (t0 as f64 + t as f64) / (s + 1) as f64),
+            ));
+        }
+    }
+    rows
+}
+
+fn oracle_of_batches(batches: &[&[(usize, SeriesKey, DataPoint)]]) -> Tsdb {
+    let records: Vec<WalRecord> = batches
+        .iter()
+        .flat_map(|b| b.iter())
+        .map(|(_, key, point)| WalRecord {
+            key: key.clone(),
+            point: *point,
+        })
+        .collect();
+    oracle_of(&records, 32)
+}
+
+/// Tentpole sweep #3: kill between every step of the checkpoint
+/// sequence (rotate → snapshot save → discard). Each intermediate
+/// on-disk state must recover to the complete store; snapshot overlap is
+/// skipped, never double-applied, and recovery also survives restarting
+/// with a *different* shard count (replay re-routes by the store hash).
+#[test]
+fn a_kill_between_any_checkpoint_step_recovers_the_full_store() {
+    let keys = [
+        SeriesKey::metric("cpu").with_tag("host", "a"),
+        SeriesKey::metric("cpu").with_tag("host", "b"),
+        SeriesKey::metric("disk").with_tag("dev", "sda"),
+    ];
+    let a = batch(&keys, 0, 10);
+    let b = batch(&keys, 1_000, 8);
+    let c = batch(&keys, 2_000, 6);
+
+    // Kill after rotate, before the snapshot save: both generations are
+    // on disk, there is no snapshot, and replay must apply everything.
+    {
+        let root = temp_dir("kill-after-rotate");
+        let wal_dir = root.join("wal");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        apply_batch(&db, &wal, &a);
+        wal.rotate().unwrap();
+        apply_batch(&db, &wal, &b);
+        drop((db, wal)); // crash: no seal, no snapshot
+
+        let (recovered, report) =
+            recover_sharded(None, Some(&wal_dir), ShardedConfig::new(2, 32)).unwrap();
+        assert_eq!(report.applied, (a.len() + b.len()) as u64);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.damaged, 0);
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Kill after the snapshot save, before discard: the snapshot already
+    // covers generation 1, whose records replay as skips — never as
+    // duplicates — while the post-rotate generation still applies.
+    {
+        let root = temp_dir("kill-after-snapshot");
+        let wal_dir = root.join("wal");
+        let snap = root.join("snap.bin");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        apply_batch(&db, &wal, &a);
+        wal.rotate().unwrap();
+        apply_batch(&db, &wal, &b);
+        db.save(&snap).unwrap();
+        drop((db, wal)); // crash: discard_before never ran
+
+        let (recovered, report) =
+            recover_sharded(Some(&snap), Some(&wal_dir), ShardedConfig::new(2, 32)).unwrap();
+        assert_eq!(report.skipped, (a.len() + b.len()) as u64);
+        assert_eq!(report.applied, 0);
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Full checkpoint, then more writes, then a kill: snapshot plus the
+    // WAL tail is a complete recovery set — here recovered into a store
+    // with a different shard count than the one that wrote the log.
+    {
+        let root = temp_dir("kill-after-checkpoint");
+        let wal_dir = root.join("wal");
+        let snap = root.join("snap.bin");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        apply_batch(&db, &wal, &a);
+        let boundary = asap_tsdb::checkpoint_sharded(&db, &snap, &wal).unwrap();
+        assert!(wal_files(&wal_dir).unwrap().iter().all(|f| f.generation >= boundary));
+        apply_batch(&db, &wal, &c);
+        drop((db, wal)); // crash after the tail was written
+
+        let (recovered, report) =
+            recover_sharded(Some(&snap), Some(&wal_dir), ShardedConfig::new(5, 32)).unwrap();
+        assert_eq!(report.applied, c.len() as u64);
+        assert_eq!(report.skipped, 0);
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &c]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+/// Garbage in the log directory — empty files, half headers, byte noise,
+/// and a clean prefix followed by junk — is reported and dropped, never
+/// fatal. Files whose names aren't WAL-shaped are invisible to replay.
+#[test]
+fn garbage_and_foreign_files_are_reported_never_fatal() {
+    let dir = temp_dir("garbage");
+    let key = SeriesKey::metric("cpu").with_tag("host", "a");
+    // One clean record followed by noise: the record survives.
+    let mut mixed = asap_tsdb::wal::encode_record(&key, DataPoint::new(7, 1.5));
+    mixed.extend_from_slice(b"not a wal record at all, sorry");
+    fs::write(dir.join("wal-0000-00000001.log"), &mixed).unwrap();
+    // Empty file: clean, zero records.
+    fs::write(dir.join("wal-0001-00000001.log"), b"").unwrap();
+    // Half a header: torn, zero records.
+    fs::write(dir.join("wal-0000-00000002.log"), [1u8, 2, 3]).unwrap();
+    // Foreign names must be ignored entirely.
+    fs::write(dir.join("snap.bin"), b"whatever").unwrap();
+    fs::write(dir.join("wal-a-1.log"), b"junk").unwrap();
+
+    let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+    let report = replay(&dir, &db).unwrap();
+    assert_eq!(report.files, 3);
+    assert_eq!(report.applied, 1);
+    assert_eq!(report.skipped, 0);
+    assert_eq!(report.damaged, 2);
+    assert_eq!(db.query(&key, full()).unwrap(), vec![DataPoint::new(7, 1.5)]);
+    // The foreign files were not consumed or deleted.
+    assert!(dir.join("snap.bin").exists() && dir.join("wal-a-1.log").exists());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+const FIELD_NAMES: [&str; 3] = ["usage", "idle", "iowait"];
+
+/// Renders per-series timestamp runs into record lines, round-robin
+/// across hosts (same shape as `stream_properties.rs`).
+fn render_lines(series: &[Vec<DataPoint>], fields: usize) -> Vec<String> {
+    let mut cursors = vec![0usize; series.len()];
+    let mut lines = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (h, points) in series.iter().enumerate() {
+            let Some(p) = points.get(cursors[h]) else {
+                continue;
+            };
+            cursors[h] += 1;
+            progressed = true;
+            let mut line = format!("cpu,host=h{h} ");
+            for (f, name) in FIELD_NAMES.iter().enumerate().take(fields) {
+                if f > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("{name}={}", p.value + f as f64));
+            }
+            line.push_str(&format!(" {}", p.timestamp));
+            lines.push(line);
+        }
+        if !progressed {
+            return lines;
+        }
+    }
+}
+
+/// A generated kill-the-stream case: a shuffled-within-lateness document,
+/// pipeline knobs, and per-shard kill fractions.
+#[derive(Debug, Clone)]
+struct KilledStreamCase {
+    shuffled_doc: String,
+    shards: usize,
+    block_capacity: usize,
+    lateness: i64,
+    /// Fraction of each shard's log that survives the kill.
+    keep: Vec<f64>,
+    /// Shard count of the store the log replays into after the crash.
+    recover_shards: usize,
+}
+
+fn killed_stream_case() -> impl Strategy<Value = KilledStreamCase> {
+    (
+        (
+            prop::collection::vec(
+                prop::collection::vec((1i64..300, -1.0e3..1.0e3f64), 1..40),
+                1..4,
+            ),
+            1usize..4,  // fields
+            1usize..5,  // shards
+            1usize..32, // block capacity
+        ),
+        (
+            1i64..30, // lateness
+            prop::collection::vec(0.0..1.0f64, 1..16), // shuffle jitter draws
+            prop::collection::vec(0.0..1.0f64, 5..6),  // per-shard keep fractions
+            1usize..5, // recover-time shard count
+        ),
+    )
+        .prop_map(
+            |(
+                (series, fields, shards, block_capacity),
+                (lateness, jitters, keep, recover_shards),
+            )| {
+                let series: Vec<Vec<DataPoint>> = series
+                    .into_iter()
+                    .map(|gaps| {
+                        let mut ts = -500i64;
+                        gaps.into_iter()
+                            .map(|(gap, v)| {
+                                ts += gap;
+                                DataPoint::new(ts, v)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let lines = render_lines(&series, fields);
+                let mut keyed: Vec<(i64, usize, String)> = lines
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, line)| {
+                        let ts: i64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                        let jitter = (jitters[i % jitters.len()] * lateness as f64) as i64;
+                        (ts.saturating_add(jitter.min(lateness - 1)), i, line)
+                    })
+                    .collect();
+                keyed.sort_by_key(|&(key, i, _)| (key, i));
+                let shuffled: Vec<String> = keyed.into_iter().map(|(_, _, line)| line).collect();
+                KilledStreamCase {
+                    shuffled_doc: shuffled.join("\n") + "\n",
+                    shards,
+                    block_capacity,
+                    lateness,
+                    keep,
+                    recover_shards,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Satellite wall: a shuffled-lateness stream through
+    /// `StreamIngestor` with the WAL enabled, "killed" at an arbitrary
+    /// per-shard record boundary, replays into exactly the prefix oracle
+    /// of the surviving records — under any shard count, block capacity,
+    /// and kill point, including recovery into a different shard count.
+    #[test]
+    fn killed_stream_replays_to_the_prefix_oracle(case in killed_stream_case()) {
+        let dir = temp_dir("killed-stream");
+        let db = ShardedDb::with_config(ShardedConfig::new(case.shards, case.block_capacity));
+        let wal = Wal::open(&dir, case.shards, FsyncPolicy::EveryN(1 << 20)).unwrap();
+        let config = IngestConfig {
+            lateness: Some(case.lateness),
+            wal: Some(wal.clone()),
+            ..IngestConfig::default()
+        };
+        let mut ingestor = StreamIngestor::new(&db, 0, config).unwrap();
+        ingestor.feed(case.shuffled_doc.as_bytes());
+        let report = ingestor.finish();
+        prop_assert!(report.is_clean(), "{report:?}");
+        prop_assert_eq!(wal.stats().records, report.points as u64);
+        drop((db, wal)); // the kill: no seal, no snapshot
+
+        // Truncate each shard's log at a record boundary computed from
+        // the documented format (the sum of record_len over the kept
+        // prefix), then collect the survivors in replay order.
+        let mut survivors: Vec<WalRecord> = Vec::new();
+        for file in wal_files(&dir).unwrap() {
+            let segment = read_records(&file.path).unwrap();
+            prop_assert!(segment.damage.is_none(), "{:?}", segment.damage);
+            // Scale by len + 1 so the draw reaches both "lost everything"
+            // and "lost nothing" kill points.
+            let kept = ((case.keep[file.shard % case.keep.len()]
+                * (segment.records.len() + 1) as f64) as usize)
+                .min(segment.records.len());
+            let cut: usize = segment.records[..kept]
+                .iter()
+                .map(|r| record_len(&r.key))
+                .sum();
+            let bytes = fs::read(&file.path).unwrap();
+            fs::write(&file.path, &bytes[..cut]).unwrap();
+            survivors.extend_from_slice(&segment.records[..kept]);
+        }
+
+        let recovered =
+            ShardedDb::with_config(ShardedConfig::new(case.recover_shards, case.block_capacity));
+        let replay_report = replay(&dir, &recovered).unwrap();
+        prop_assert_eq!(replay_report.applied, survivors.len() as u64);
+        prop_assert_eq!(replay_report.skipped, 0);
+        prop_assert_eq!(replay_report.damaged, 0);
+        assert_equiv(&recovered, &oracle_of(&survivors, case.block_capacity));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

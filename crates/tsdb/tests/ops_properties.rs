@@ -122,6 +122,7 @@ fn ops_case() -> impl Strategy<Value = OpsCase> {
                         queue_depth,
                         chunk_lines,
                         lateness: None,
+                        ..IngestConfig::default()
                     },
                 }
             },
@@ -462,6 +463,7 @@ fn pipeline_ingest_under_concurrent_readers_stays_exact() {
                 queue_depth: 2,
                 chunk_lines: 64,
                 lateness: None,
+                ..IngestConfig::default()
             },
         )
         .unwrap();

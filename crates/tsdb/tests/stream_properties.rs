@@ -219,6 +219,7 @@ fn stream_case() -> impl Strategy<Value = StreamCase> {
                         queue_depth,
                         chunk_lines,
                         lateness: Some(lateness),
+                        ..IngestConfig::default()
                     },
                     read_sizes,
                 }
@@ -305,6 +306,7 @@ proptest! {
             queue_depth: 2,
             chunk_lines,
             lateness: if late_sel == 0 { None } else { Some(late_sel * 7) },
+            ..IngestConfig::default()
         };
 
         let streamed = ShardedDb::with_config(ShardedConfig::new(3, 8));
@@ -338,13 +340,14 @@ fn every_two_piece_split_matches_whole_document() {
         queue_depth: 1,
         chunk_lines: 2,
         lateness: None,
+        ..IngestConfig::default()
     };
     let whole = ShardedDb::with_config(ShardedConfig::new(2, 4));
     let whole_report = pipeline_ingest(&whole, doc, 0, &config).unwrap();
     let whole_out = whole.query_selector(&Selector::any(), full()).unwrap();
     for cut in 0..=doc.len() {
         let db = ShardedDb::with_config(ShardedConfig::new(2, 4));
-        let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+        let mut ing = StreamIngestor::new(&db, 0, config.clone()).unwrap();
         ing.feed(&doc.as_bytes()[..cut]);
         ing.feed(&doc.as_bytes()[cut..]);
         let report = ing.finish();
@@ -372,6 +375,7 @@ fn pipeline_buffering_stays_within_configured_bounds() {
         queue_depth: 1,
         chunk_lines: 4,
         lateness: Some(LATENESS),
+        ..IngestConfig::default()
     };
     let chunk_bound = 2 * (config.parsers + config.queue_depth);
     let reorder_bound = HOSTS * LATENESS as usize;
@@ -452,6 +456,7 @@ fn stream_ingestor_handle_survives_many_small_feeds() {
         queue_depth: 2,
         chunk_lines: 3,
         lateness: Some(4),
+        ..IngestConfig::default()
     };
     let db = ShardedDb::with_config(ShardedConfig::new(2, 8));
     let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
