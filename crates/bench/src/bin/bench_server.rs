@@ -14,6 +14,13 @@
 //! serial oracle. Results are written to `BENCH_server.json` (see
 //! `EXPERIMENTS.md` for the recorded run).
 //!
+//! A second experiment records the connections-vs-throughput curve of
+//! the event core: 16/64/256/1024 mostly-idle query connections held
+//! open while a fixed set of active clients works through a `RANGE`
+//! budget — the slope is the cost of sweeping an ever-larger readiness
+//! registry. Every response is asserted byte-identical to the serial
+//! oracle rendering before a row's timing is recorded.
+//!
 //! Hand-timed wall clock, median of `BENCH_SERVER_RUNS` runs — the
 //! criterion shim's budgeted micro-timing is wrong for multi-threaded
 //! phases.
@@ -24,9 +31,9 @@
 
 use std::io::Write as _;
 use std::net::{Shutdown, TcpStream};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use asap_server::{Server, ServerConfig};
+use asap_server::{protocol, Server, ServerConfig};
 use asap_tsdb::{
     ingest_reader, line_protocol, IngestConfig, RangeQuery, Selector, ShardedConfig, ShardedDb,
     Tsdb, TsdbConfig,
@@ -267,6 +274,102 @@ fn main() {
         rows.push((clients, shards, pts_per_sec, secs));
     }
 
+    // Connections-vs-throughput curve: the event core holds N
+    // mostly-idle query connections while a fixed set of active
+    // clients works through a RANGE budget. The slope is what an
+    // ever-larger readiness registry costs the same worker pool.
+    // Every response is checked byte-identical against the serial
+    // oracle rendering before the row's timing is trusted.
+    const CURVE_SERIES: usize = 4;
+    const CURVE_POINTS: usize = 2_000;
+    const CURVE_WINDOW: i64 = 256;
+    let active_clients = 8usize;
+    let queries_per_client = env_usize("BENCH_SERVER_CURVE_QUERIES", 50);
+    let curve_doc = build_sorted_doc(CURVE_SERIES, CURVE_POINTS);
+    let curve_oracle = Tsdb::with_config(TsdbConfig {
+        block_capacity: BLOCK_CAPACITY,
+    });
+    line_protocol::ingest(&curve_oracle, &curve_doc, 0).unwrap();
+    // Line protocol keys series as `measurement.field` — and the
+    // expectation must be a real payload, not a vacuous empty match.
+    let expected = protocol::render_range(
+        &curve_oracle
+            .query_selector(&Selector::metric("req.rate"), RangeQuery::raw(0, CURVE_WINDOW))
+            .unwrap(),
+    );
+    assert!(
+        expected.contains("SERIES req.rate") && expected.len() > 1_000,
+        "curve oracle expectation is trivial:\n{expected}"
+    );
+    let command = format!("RANGE req.rate 0 {CURVE_WINDOW}\n");
+    println!(
+        "{:>7} {:>7} {:>14} {:>12}   (mostly-idle connection curve, {active_clients} active \
+         clients x {queries_per_client} RANGE each, event core)",
+        "conns", "-", "queries/s", "wall ms"
+    );
+    let mut curve = Vec::new();
+    for &connections in &[16usize, 64, 256, 1024] {
+        let secs = median(
+            (0..runs)
+                .map(|_| {
+                    let db = ShardedDb::with_config(ShardedConfig::new(4, BLOCK_CAPACITY));
+                    let seeded =
+                        asap_tsdb::pipeline_ingest(&db, &curve_doc, 0, &IngestConfig::default())
+                            .unwrap();
+                    assert_eq!(seeded.points, CURVE_SERIES * CURVE_POINTS);
+                    let server = Server::start(
+                        db,
+                        ServerConfig {
+                            max_query_connections: connections + 8,
+                            poll_interval: Duration::from_millis(5),
+                            ..ServerConfig::default()
+                        },
+                    )
+                    .expect("server start");
+                    let addr = server.query_addr();
+                    let conns: Vec<TcpStream> = (0..connections)
+                        .map(|_| {
+                            let conn = TcpStream::connect(addr).expect("connect");
+                            conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                            conn
+                        })
+                        .collect();
+                    let t = Instant::now();
+                    std::thread::scope(|scope| {
+                        for conn in conns.iter().take(active_clients) {
+                            scope.spawn(|| {
+                                use std::io::Read as _;
+                                let mut response = vec![0u8; expected.len()];
+                                for _ in 0..queries_per_client {
+                                    (&*conn).write_all(command.as_bytes()).expect("send query");
+                                    (&*conn).read_exact(&mut response).expect("read response");
+                                    assert_eq!(
+                                        response,
+                                        expected.as_bytes(),
+                                        "response diverged from the serial oracle at \
+                                         {connections} connections"
+                                    );
+                                }
+                            });
+                        }
+                    });
+                    let secs = t.elapsed().as_secs_f64();
+                    drop(conns);
+                    server.shutdown();
+                    secs
+                })
+                .collect(),
+        );
+        let total_queries = active_clients * queries_per_client;
+        let qps = total_queries as f64 / secs;
+        println!(
+            "{connections:>7} {:>7} {qps:>14.3e} {:>12.1}",
+            "-",
+            secs * 1e3
+        );
+        curve.push((connections, total_queries, qps, secs));
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"server_ingest\",\n");
@@ -305,7 +408,24 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"idle_connection_curve\": {{\n    \"note\": \"event core; N mostly-idle query \
+         connections held open while {active_clients} of them each issue {queries_per_client} \
+         RANGE queries over a {CURVE_WINDOW}-point window; every response asserted \
+         byte-identical to the serial oracle rendering before the timing is recorded\",\n    \
+         \"active_clients\": {active_clients},\n    \"queries_per_client\": \
+         {queries_per_client},\n    \"rows\": [\n",
+    ));
+    for (i, (connections, total_queries, qps, secs)) in curve.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"connections\": {connections}, \"queries\": {total_queries}, \
+             \"queries_per_sec\": {qps:.0}, \"wall_ms\": {:.2}}}{}\n",
+            secs * 1e3,
+            if i + 1 < curve.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     let mut file = std::fs::File::create("BENCH_server.json").expect("create BENCH_server.json");
     file.write_all(json.as_bytes()).expect("write BENCH_server.json");

@@ -3,16 +3,23 @@
 //! ```text
 //! asap-server [--ingest ADDR] [--query ADDR] [--shards N] [--block-capacity N]
 //!             [--lateness L] [--max-connections N]
+//!             [--core event|threaded] [--event-workers N] [--write-deadline-ms N]
 //!             [--compact-interval SECS [--compact-jitter SECS]
 //!              [--rollup BUCKET] [--raw-ttl T]]
 //!             [--snapshot PATH] [--snapshot-dir DIR]
 //!             [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]
 //! ```
 //!
-//! Feed it InfluxDB-style line protocol on the ingest port; speak the
+//! Feed it InfluxDB-style line protocol on the ingest port (optionally
+//! wrapped in length-prefixed `BATCH <nbytes>` frames); speak the
 //! text protocol (`SMOOTH`, `RANGE`, `STATS`, `HEALTH`, `SNAPSHOT`,
 //! `SHUTDOWN`) on the query port. `--max-connections` caps each
-//! listener (ingest and query) at N concurrent connections.
+//! listener (ingest and query) at N concurrent connections. `--core`
+//! picks the I/O core: `event` (default) multiplexes all connections
+//! onto `--event-workers` threads sweeping nonblocking sockets;
+//! `threaded` is the legacy thread-per-connection fallback.
+//! `--write-deadline-ms` bounds how long a peer with pending response
+//! bytes may refuse to read before it is disconnected.
 //! `SNAPSHOT <name>` writes inside `--snapshot-dir` only; without the
 //! flag the command is disabled — query clients are unauthenticated and
 //! must not choose server filesystem paths. The process runs until a
@@ -29,7 +36,7 @@
 
 use std::time::Duration;
 
-use asap_server::{CompactionClock, CompactionConfig, Server, ServerConfig};
+use asap_server::{CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig};
 use asap_tsdb::{
     Aggregator, FsyncPolicy, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig,
     ShardedDb, WalConfig,
@@ -37,6 +44,7 @@ use asap_tsdb::{
 
 const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
                      [--block-capacity N] [--lateness L] [--max-connections N] \
+                     [--core event|threaded] [--event-workers N] [--write-deadline-ms N] \
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
                      [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR] \
                      [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]";
@@ -62,6 +70,9 @@ fn main() {
     let mut block_capacity = 4096usize;
     let mut lateness: Option<i64> = None;
     let mut max_connections = 64usize;
+    let mut core = CoreMode::Event;
+    let mut event_workers: Option<usize> = None;
+    let mut write_deadline_ms: Option<u64> = None;
     let mut compact_interval: Option<u64> = None;
     let mut compact_jitter = 0u64;
     let mut rollup: Option<i64> = None;
@@ -80,6 +91,17 @@ fn main() {
             "--block-capacity" => block_capacity = parse(args.next(), "--block-capacity"),
             "--lateness" => lateness = Some(parse(args.next(), "--lateness")),
             "--max-connections" => max_connections = parse(args.next(), "--max-connections"),
+            "--core" => {
+                core = match parse::<String>(args.next(), "--core").as_str() {
+                    "event" => CoreMode::Event,
+                    "threaded" => CoreMode::Threaded,
+                    other => fail(&format!("--core: `{other}` is not event|threaded")),
+                }
+            }
+            "--event-workers" => event_workers = Some(parse(args.next(), "--event-workers")),
+            "--write-deadline-ms" => {
+                write_deadline_ms = Some(parse(args.next(), "--write-deadline-ms"))
+            }
             "--compact-interval" => {
                 compact_interval = Some(parse(args.next(), "--compact-interval"))
             }
@@ -130,6 +152,7 @@ fn main() {
         fsync: fsync.unwrap_or_default(),
     });
 
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         ingest_addr,
         query_addr,
@@ -143,8 +166,12 @@ fn main() {
         final_snapshot: snapshot.clone(),
         snapshot_dir,
         wal,
+        core,
+        event_workers: event_workers.unwrap_or(defaults.event_workers),
+        write_deadline: write_deadline_ms
+            .map_or(defaults.write_deadline, Duration::from_millis),
         verbose: true,
-        ..ServerConfig::default()
+        ..defaults
     };
     // `--snapshot` doubles as persistent state: an existing snapshot is
     // the checkpoint base, and `Server::start` replays the WAL tail on

@@ -1,0 +1,751 @@
+//! Connection state machines of the event-driven server core.
+//!
+//! One [`IngestConn`] / [`QueryConn`] owns one nonblocking socket and
+//! makes *bounded* progress per tick — at most
+//! [`crate::ServerConfig::read_budget`] bytes read, writes only as far
+//! as the socket accepts — so one busy or misbehaving connection cannot
+//! starve its worker's siblings. Readiness is level-triggered over
+//! `ErrorKind::WouldBlock`: a tick that can't progress simply returns,
+//! and the worker sleeps one poll interval before the next sweep.
+//!
+//! The [`Framer`] sits in front of the ingest byte stream and
+//! implements the `BATCH <nbytes>` frame of the ingest protocol (see
+//! [`crate::protocol`]): header lines are consumed by the framer,
+//! payload and plain-line bytes pass through to the
+//! [`StreamIngestor`] unchanged and in order.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown as SocketShutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use asap_tsdb::{IngestConfig, StreamIngestor};
+
+use crate::protocol;
+use crate::server::{execute, ActiveGuard, Shared, MAX_REQUEST_LINE};
+
+/// Stop reading new requests from a query connection while more than
+/// this many response bytes are queued for it — the memory bound
+/// against a client that pipelines requests without reading responses.
+const OUT_HIGH_WATER: usize = 256 * 1024;
+
+/// Compact a write buffer once this many flushed bytes sit in front of
+/// the unflushed remainder.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Longest byte sequence that can still be a prefix of a valid
+/// `BATCH <nbytes>` header line (`BATCH ` + 20 digits of `u64::MAX` +
+/// `\r`); anything longer is known to be data.
+const MAX_HEADER: usize = 32;
+
+fn is_retry(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// A bounded outbound buffer flushed by nonblocking writes: responses
+/// are queued here and pushed out only as far as the socket accepts,
+/// so no connection ever blocks its worker in `write_all`.
+#[derive(Default)]
+pub(crate) struct WriteBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    pos: usize,
+}
+
+impl WriteBuf {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Unflushed bytes currently queued.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn push(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One nonblocking write pass; returns the bytes flushed this call.
+    /// `Err` means the connection is dead (not merely unready).
+    pub(crate) fn flush(&mut self, stream: &TcpStream) -> std::io::Result<usize> {
+        let mut w = stream;
+        let mut sent = 0usize;
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.pos += n;
+                    sent += n;
+                }
+                Err(e) if is_retry(e.kind()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(sent)
+    }
+}
+
+/// Byte-level `BATCH` framing state machine of the ingest stream (see
+/// [`crate::protocol`] for the grammar). Pure and allocation-light:
+/// payload bytes are never copied, only sliced through to the sink,
+/// and the only buffering is a candidate header of at most
+/// [`MAX_HEADER`] bytes.
+pub(crate) struct Framer {
+    state: FrameState,
+    /// Bytes accumulated while the current line still looks like a
+    /// `BATCH` header.
+    header: Vec<u8>,
+}
+
+enum FrameState {
+    /// At a line start: the next bytes may form a `BATCH` header.
+    LineStart,
+    /// Inside plain data (mid-line): pass through to the next newline.
+    MidData,
+    /// Inside a frame payload: pass `remaining` bytes through verbatim.
+    Payload { remaining: u64 },
+}
+
+impl Framer {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: FrameState::LineStart,
+            header: Vec::new(),
+        }
+    }
+
+    /// Routes `bytes` through the framing state machine: valid `BATCH`
+    /// headers are consumed; everything else — payload bytes, plain
+    /// lines, and invalid headers degraded to data — reaches `sink`
+    /// unchanged and in order. The concatenation of sink pieces is
+    /// exactly the input minus consumed headers, so framing can never
+    /// alter what the line-protocol layer sees.
+    pub(crate) fn push(&mut self, mut bytes: &[u8], sink: &mut dyn FnMut(&[u8])) {
+        while !bytes.is_empty() {
+            match self.state {
+                FrameState::Payload { remaining } => {
+                    let take = usize::try_from(remaining)
+                        .unwrap_or(usize::MAX)
+                        .min(bytes.len());
+                    sink(&bytes[..take]);
+                    let left = remaining - take as u64;
+                    if left == 0 {
+                        // The end of a payload is always a framing
+                        // position — back-to-back frames may split a
+                        // line between their payloads. A plain
+                        // continuation that doesn't look like a header
+                        // falls straight through LineStart's fast path.
+                        self.state = FrameState::LineStart;
+                    } else {
+                        self.state = FrameState::Payload { remaining: left };
+                    }
+                    bytes = &bytes[take..];
+                }
+                FrameState::MidData => {
+                    // Pass whole data lines through in one piece; stop
+                    // only where the next line could start a header.
+                    let mut end = 0;
+                    let mut next_state = FrameState::MidData;
+                    loop {
+                        match bytes[end..].iter().position(|&b| b == b'\n') {
+                            None => {
+                                end = bytes.len();
+                                break;
+                            }
+                            Some(pos) => {
+                                end += pos + 1;
+                                next_state = FrameState::LineStart;
+                                match bytes.get(end) {
+                                    Some(c) if c.eq_ignore_ascii_case(&b'B') => break,
+                                    None => break,
+                                    Some(_) => {
+                                        next_state = FrameState::MidData;
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    sink(&bytes[..end]);
+                    self.state = next_state;
+                    bytes = &bytes[end..];
+                }
+                FrameState::LineStart => {
+                    if self.header.is_empty() && !bytes[0].eq_ignore_ascii_case(&b'B') {
+                        // Fast path: this line cannot be a header.
+                        self.state = FrameState::MidData;
+                        continue;
+                    }
+                    let b = bytes[0];
+                    bytes = &bytes[1..];
+                    self.header.push(b);
+                    if b == b'\n' {
+                        let line = &self.header[..self.header.len() - 1];
+                        match protocol::parse_batch_header(line) {
+                            Some(0) => {} // empty frame: stay at line start
+                            Some(n) => self.state = FrameState::Payload { remaining: n },
+                            // Looked like a header but isn't one:
+                            // degrade to a data line (it will surface
+                            // as a parse failure downstream).
+                            None => sink(&self.header),
+                        }
+                        self.header.clear();
+                    } else if !plausible_header(&self.header) {
+                        // Diverged from `BATCH <digits>`: what was
+                        // buffered is ordinary data.
+                        sink(&self.header);
+                        self.header.clear();
+                        self.state = FrameState::MidData;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether `header` is still a prefix of a valid `BATCH <nbytes>` line.
+fn plausible_header(header: &[u8]) -> bool {
+    const TAG: &[u8] = b"BATCH ";
+    if header.len() > MAX_HEADER {
+        return false;
+    }
+    header.iter().enumerate().all(|(i, &b)| {
+        if i < TAG.len() {
+            b.eq_ignore_ascii_case(&TAG[i])
+        } else {
+            b.is_ascii_digit() || b == b'\r'
+        }
+    })
+}
+
+enum IngestPhase {
+    /// Reading the socket and feeding the pipeline.
+    Streaming,
+    /// Stream over (EOF, error, or drain): flushing the report line.
+    Flushing,
+    /// Socket closed; the worker drops the connection.
+    Done,
+}
+
+/// One ingest connection on the event core: a nonblocking socket driven
+/// through the [`Framer`] into a dedicated [`StreamIngestor`] via
+/// the non-blocking [`StreamIngestor::try_feed`] path. Backpressure
+/// without a blocked thread: while the pipeline's bounded queues are
+/// full the tick stops reading, the kernel buffer fills, and TCP flow
+/// control stalls the sender — exactly the threaded core's behavior,
+/// minus the thread.
+pub(crate) struct IngestConn {
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    _slot: ActiveGuard,
+    peer: String,
+    id: u64,
+    /// `Some` while streaming; taken by `begin_close`.
+    ingestor: Option<StreamIngestor>,
+    framer: Framer,
+    out: WriteBuf,
+    phase: IngestPhase,
+    /// Last instant the report flush made byte progress.
+    last_write_progress: Instant,
+    /// The last tick stopped because the pipeline's bounded queue was
+    /// full — waiting on parser progress, not on the peer.
+    backpressured: bool,
+}
+
+impl IngestConn {
+    /// Builds the connection (nonblocking socket + pipeline + registry
+    /// entry). `None` means the socket was refused and already closed.
+    pub(crate) fn new(stream: TcpStream, shared: Arc<Shared>, slot: ActiveGuard) -> Option<Self> {
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(SocketShutdown::Both);
+            return None;
+        }
+        let _ = stream.set_nodelay(true);
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
+        let ingest_config = IngestConfig {
+            wal: shared.wal_handle(),
+            ..shared.config().ingest.clone()
+        };
+        let ingestor = match shared
+            .db()
+            .stream_ingestor(shared.config().default_ts, ingest_config)
+        {
+            Ok(ingestor) => ingestor,
+            Err(e) => {
+                let mut w = &stream;
+                let _ = w.write(protocol::render_error(&e.to_string()).as_bytes());
+                let _ = stream.shutdown(SocketShutdown::Both);
+                return None;
+            }
+        };
+        let id = shared.register_connection();
+        Some(Self {
+            stream,
+            shared,
+            _slot: slot,
+            peer,
+            id,
+            ingestor: Some(ingestor),
+            framer: Framer::new(),
+            out: WriteBuf::default(),
+            phase: IngestPhase::Streaming,
+            last_write_progress: Instant::now(),
+            backpressured: false,
+        })
+    }
+
+    /// Whether the last tick stopped on a full pipeline queue rather
+    /// than an unready socket — the worker polls such connections on a
+    /// much shorter tick, since a parser thread (not the peer) is what
+    /// unblocks them.
+    pub(crate) fn backpressured(&self) -> bool {
+        self.backpressured
+    }
+
+    /// One readiness sweep; returns `(made_progress, done)`.
+    pub(crate) fn tick(&mut self, scratch: &mut [u8]) -> (bool, bool) {
+        let mut progressed = false;
+        if matches!(self.phase, IngestPhase::Streaming) {
+            progressed |= self.tick_streaming(scratch);
+        }
+        if matches!(self.phase, IngestPhase::Flushing) {
+            progressed |= self.tick_flushing();
+        }
+        (progressed, matches!(self.phase, IngestPhase::Done))
+    }
+
+    fn tick_streaming(&mut self, scratch: &mut [u8]) -> bool {
+        self.backpressured = false;
+        {
+            let ing = self
+                .ingestor
+                .as_mut()
+                .expect("streaming phase owns the ingestor");
+            // Drain the chunk backlog before reading more: while the
+            // pipeline is full this connection must not consume input —
+            // the event loop's stand-in for `feed()`'s blocking
+            // backpressure.
+            if !ing.try_pump() {
+                self.backpressured = true;
+                self.publish();
+                return false;
+            }
+        }
+        let mut budget = self.shared.config().read_budget;
+        let mut progressed = false;
+        while budget > 0 {
+            let want = budget.min(scratch.len());
+            match (&self.stream).read(&mut scratch[..want]) {
+                Ok(0) => {
+                    self.begin_close(true);
+                    return true;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    budget -= n;
+                    let framer = &mut self.framer;
+                    let ing = self
+                        .ingestor
+                        .as_mut()
+                        .expect("streaming phase owns the ingestor");
+                    framer.push(&scratch[..n], &mut |piece| {
+                        ing.try_feed(piece);
+                    });
+                    if !ing.try_pump() {
+                        // Pipeline full: stop reading this tick.
+                        self.backpressured = true;
+                        break;
+                    }
+                }
+                Err(e) if is_retry(e.kind()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.begin_close(false);
+                    return true;
+                }
+            }
+        }
+        self.publish();
+        progressed
+    }
+
+    /// Ends the stream — `finish()` on a clean EOF (the trailing
+    /// unterminated line is real data), `abort()` on error or drain
+    /// (the tail is indistinguishable from a truncated record) — and
+    /// queues the report line for flushing. `finish`/`abort` join the
+    /// pipeline threads: server-side work bounded by the in-flight
+    /// window, never by client behavior.
+    fn begin_close(&mut self, clean: bool) {
+        let ingestor = self
+            .ingestor
+            .take()
+            .expect("close only happens once, from the streaming phase");
+        let report = if clean {
+            ingestor.finish()
+        } else {
+            ingestor.abort()
+        };
+        self.shared.finish_connection(self.id, &report);
+        if self.shared.verbose() {
+            eprintln!("asap-server: ingest {} closed: {report}", self.peer);
+        }
+        self.out.push(format!("{report}\n").as_bytes());
+        self.phase = IngestPhase::Flushing;
+        self.last_write_progress = Instant::now();
+    }
+
+    fn tick_flushing(&mut self) -> bool {
+        match self.out.flush(&self.stream) {
+            Ok(n) => {
+                if n > 0 {
+                    self.last_write_progress = Instant::now();
+                }
+                if self.out.is_empty()
+                    || self.last_write_progress.elapsed() > self.shared.config().write_deadline
+                {
+                    // Flushed — or the peer stopped reading its own
+                    // report; either way, stop holding the slot.
+                    let _ = self.stream.shutdown(SocketShutdown::Both);
+                    self.phase = IngestPhase::Done;
+                }
+                n > 0
+            }
+            Err(_) => {
+                self.phase = IngestPhase::Done;
+                true
+            }
+        }
+    }
+
+    fn publish(&self) {
+        if let Some(ing) = &self.ingestor {
+            self.shared.publish_progress(self.id, ing.progress());
+        }
+    }
+
+    /// Drain-time finalization: abort the stream (complete lines
+    /// applied, reorder buffers flushed, the possibly-truncated tail
+    /// discarded), then one best-effort flush of the report — bounded
+    /// by server-side work only, never by the client.
+    pub(crate) fn finalize(&mut self) {
+        if matches!(self.phase, IngestPhase::Streaming) {
+            self.begin_close(false);
+        }
+        if matches!(self.phase, IngestPhase::Flushing) {
+            let _ = self.out.flush(&self.stream);
+            let _ = self.stream.shutdown(SocketShutdown::Both);
+            self.phase = IngestPhase::Done;
+        }
+    }
+}
+
+/// One query/ops connection on the event core: a line accumulator in
+/// front of [`execute`], with responses queued through a [`WriteBuf`]
+/// so a slow reader never blocks the worker. A reader stalled past
+/// [`crate::ServerConfig::write_deadline`] with queued output is
+/// disconnected (a queued `SHUTDOWN` still takes effect — the
+/// client's inability to read the acknowledgment must not cancel it).
+pub(crate) struct QueryConn {
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    _slot: ActiveGuard,
+    acc: Vec<u8>,
+    out: WriteBuf,
+    /// Client half-closed its write side; close once `out` drains.
+    eof: bool,
+    /// Close once `out` drains (fatal protocol error or `SHUTDOWN`).
+    close_after_flush: bool,
+    /// Call `request_shutdown` when the connection finishes.
+    shutdown_when_done: bool,
+    last_write_progress: Instant,
+    done: bool,
+}
+
+impl QueryConn {
+    /// Builds the connection. `None` means the socket was refused and
+    /// already closed.
+    pub(crate) fn new(stream: TcpStream, shared: Arc<Shared>, slot: ActiveGuard) -> Option<Self> {
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(SocketShutdown::Both);
+            return None;
+        }
+        let _ = stream.set_nodelay(true);
+        Some(Self {
+            stream,
+            shared,
+            _slot: slot,
+            acc: Vec::new(),
+            out: WriteBuf::default(),
+            eof: false,
+            close_after_flush: false,
+            shutdown_when_done: false,
+            last_write_progress: Instant::now(),
+            done: false,
+        })
+    }
+
+    /// One readiness sweep; returns `(made_progress, done)`.
+    pub(crate) fn tick(&mut self, scratch: &mut [u8]) -> (bool, bool) {
+        if self.done {
+            return (false, true);
+        }
+        let mut progressed = false;
+
+        // 1. Writes first: readiness applies to both socket halves, and
+        // draining `out` is what re-opens the read path below.
+        if !self.flush_out(&mut progressed) {
+            return (true, true);
+        }
+        if !self.out.is_empty()
+            && self.last_write_progress.elapsed() > self.shared.config().write_deadline
+        {
+            // Stalled reader with queued responses: disconnect rather
+            // than buffer unboundedly or hold the slot forever.
+            self.finish_now();
+            return (true, true);
+        }
+
+        // 2. Read more requests — only while the client keeps draining
+        // responses (high-water mark) and wants more (`eof`).
+        if !self.eof && !self.close_after_flush && self.out.len() < OUT_HIGH_WATER {
+            let mut budget = self.shared.config().read_budget;
+            while budget > 0 {
+                let want = budget.min(scratch.len());
+                match (&self.stream).read(&mut scratch[..want]) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        budget -= n;
+                        self.acc.extend_from_slice(&scratch[..n]);
+                        if self.acc.len() > MAX_REQUEST_LINE {
+                            break;
+                        }
+                    }
+                    Err(e) if is_retry(e.kind()) => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.finish_now();
+                        return (true, true);
+                    }
+                }
+            }
+        }
+
+        // 3. Execute complete lines, bounded by the same high-water
+        // mark so a request burst cannot queue unbounded responses.
+        while !self.close_after_flush && self.out.len() < OUT_HIGH_WATER {
+            let Some(pos) = self.acc.iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let raw: Vec<u8> = self.acc.drain(..=pos).collect();
+            progressed = true;
+            let text = String::from_utf8_lossy(&raw);
+            let line = text.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, shutdown_after) = execute(line, &self.shared);
+            self.out.push(response.as_bytes());
+            self.last_write_progress = Instant::now();
+            if shutdown_after {
+                self.shutdown_when_done = true;
+                self.close_after_flush = true;
+            }
+        }
+        // A newline-free request past the line cap is fatal: answer
+        // with one ERR and disconnect (remote input must not grow
+        // server memory).
+        if !self.close_after_flush
+            && self.acc.len() > MAX_REQUEST_LINE
+            && !self.acc.contains(&b'\n')
+        {
+            self.out.push(
+                protocol::render_error(&format!("request line exceeds {MAX_REQUEST_LINE} bytes"))
+                    .as_bytes(),
+            );
+            self.last_write_progress = Instant::now();
+            self.close_after_flush = true;
+            progressed = true;
+        }
+
+        // 4. Flush what this tick produced; close when nothing is left
+        // to say.
+        if !self.flush_out(&mut progressed) {
+            return (true, true);
+        }
+        if self.out.is_empty() && (self.close_after_flush || self.eof) {
+            self.finish_now();
+            return (progressed, true);
+        }
+        (progressed, false)
+    }
+
+    /// Flushes `out`; returns `false` when the connection died (already
+    /// finished).
+    fn flush_out(&mut self, progressed: &mut bool) -> bool {
+        match self.out.flush(&self.stream) {
+            Ok(n) => {
+                if n > 0 {
+                    *progressed = true;
+                    self.last_write_progress = Instant::now();
+                }
+                true
+            }
+            Err(_) => {
+                self.finish_now();
+                false
+            }
+        }
+    }
+
+    fn finish_now(&mut self) {
+        if self.shutdown_when_done {
+            self.shared.request_shutdown();
+        }
+        let _ = self.stream.shutdown(SocketShutdown::Both);
+        self.done = true;
+    }
+
+    /// Drain-time finalization: one best-effort flush, then close —
+    /// bounded by the poll interval, never by client behavior.
+    pub(crate) fn finalize(&mut self) {
+        if self.done {
+            return;
+        }
+        let _ = self.out.flush(&self.stream);
+        self.finish_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs bytes through a framer in pieces of `step`, concatenating
+    /// what reaches the sink.
+    fn defragment(input: &[u8], step: usize) -> Vec<u8> {
+        let mut framer = Framer::new();
+        let mut out = Vec::new();
+        for piece in input.chunks(step.max(1)) {
+            framer.push(piece, &mut |bytes| out.extend_from_slice(bytes));
+        }
+        out
+    }
+
+    #[test]
+    fn framer_passes_plain_lines_through_unchanged() {
+        let doc = b"cpu v=1 1\nmem v=2 2\n\n# comment\ncpu v=3 3\n";
+        for step in [1, 2, 3, 7, doc.len()] {
+            assert_eq!(defragment(doc, step), doc, "step {step}");
+        }
+    }
+
+    #[test]
+    fn framer_strips_headers_and_passes_payloads_verbatim() {
+        let payload = b"cpu v=1 1\nmem v=2 2\n";
+        let mut doc = format!("BATCH {}\n", payload.len()).into_bytes();
+        doc.extend_from_slice(payload);
+        doc.extend_from_slice(b"tail v=3 3\n");
+        let mut want = payload.to_vec();
+        want.extend_from_slice(b"tail v=3 3\n");
+        for step in [1, 4, 9, doc.len()] {
+            assert_eq!(defragment(&doc, step), want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn framer_continues_lines_across_frame_boundaries() {
+        // One logical line split across a frame payload, plain bytes,
+        // and a second frame: the sink must see the bytes contiguously.
+        let mut doc = Vec::new();
+        doc.extend_from_slice(b"BATCH 12\n");
+        doc.extend_from_slice(b"cpu v=1 1\nme"); // 12 bytes, ends mid-line
+        doc.extend_from_slice(b"m v="); // plain continuation, still mid-line
+        doc.extend_from_slice(b"BATCH 4\n"); // *data*, not a header (mid-line)
+        doc.extend_from_slice(b"2 2\n");
+        let want = b"cpu v=1 1\nmem v=BATCH 4\n2 2\n";
+        for step in [1, 3, 5, doc.len()] {
+            assert_eq!(
+                String::from_utf8_lossy(&defragment(&doc, step)),
+                String::from_utf8_lossy(want),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn framer_degrades_invalid_headers_to_data() {
+        for bad in ["BATCH ten\n", "BATCH \n", "BATCH 1 2\n", "BANANA v=1 1\n"] {
+            let doc = format!("{bad}cpu v=1 1\n").into_bytes();
+            for step in [1, 2, doc.len()] {
+                assert_eq!(defragment(&doc, step), doc, "`{}` step {step}", bad.trim());
+            }
+        }
+    }
+
+    #[test]
+    fn framer_handles_empty_and_back_to_back_frames() {
+        let mut doc = Vec::new();
+        doc.extend_from_slice(b"BATCH 0\n");
+        doc.extend_from_slice(b"BATCH 6\n");
+        doc.extend_from_slice(b"a v=1\n");
+        doc.extend_from_slice(b"BATCH 6\n");
+        doc.extend_from_slice(b"b v=2\n");
+        let want = b"a v=1\nb v=2\n";
+        for step in [1, 5, doc.len()] {
+            assert_eq!(defragment(&doc, step), want, "step {step}");
+        }
+    }
+
+    #[test]
+    fn framer_recognizes_headers_immediately_after_mid_line_payloads() {
+        // One line split across two back-to-back frames: the second
+        // header follows a payload that ended mid-line and must still
+        // be consumed as framing, not data.
+        let mut doc = Vec::new();
+        doc.extend_from_slice(b"BATCH 4\n");
+        doc.extend_from_slice(b"m v=");
+        doc.extend_from_slice(b"BATCH 4\n");
+        doc.extend_from_slice(b"1 1\n");
+        for step in [1, 3, doc.len()] {
+            assert_eq!(defragment(&doc, step), b"m v=1 1\n", "step {step}");
+        }
+    }
+
+    #[test]
+    fn framer_tolerates_crlf_headers() {
+        let doc = b"BATCH 6\r\na v=1\n";
+        assert_eq!(defragment(doc, 1), b"a v=1\n");
+    }
+
+    #[test]
+    fn write_buf_tracks_pending_bytes_and_compacts() {
+        let mut buf = WriteBuf::default();
+        assert!(buf.is_empty());
+        buf.push(b"hello ");
+        buf.push(b"world");
+        assert_eq!(buf.len(), 11);
+        assert!(!buf.is_empty());
+    }
+}

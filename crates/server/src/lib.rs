@@ -1,5 +1,5 @@
-//! Network front-end for the ASAP reproduction: a threaded TCP server
-//! over one shared [`asap_tsdb::ShardedDb`].
+//! Network front-end for the ASAP reproduction: an event-driven TCP
+//! server over one shared [`asap_tsdb::ShardedDb`].
 //!
 //! The ASAP paper (§2) frames smoothing as an operator pointed at *live*
 //! dashboards fed by production telemetry. Every entry point the
@@ -23,12 +23,21 @@
 //!                                               └──────────────────────┘
 //! ```
 //!
+//! * **I/O core** — by default ([`CoreMode::Event`]) every connection
+//!   is a nonblocking state machine swept by a small worker pool:
+//!   level-triggered readiness over `WouldBlock`, bounded per-tick read
+//!   budgets and buffered writes, so thousands of mostly-idle
+//!   connections cost readiness checks rather than threads. `--core
+//!   threaded` keeps the legacy thread-per-connection core.
 //! * **Ingest listener** — each accepted connection gets its own
 //!   [`asap_tsdb::StreamIngestor`] draining the socket with end-to-end
 //!   backpressure (a full pipeline stops reading, TCP flow control
-//!   stalls the sender); the connection cap bounds server threads. On
-//!   close the final [`asap_tsdb::IngestReport`] is written back as one
-//!   stable `key=value` line.
+//!   stalls the sender); the connection cap bounds pipelines, not
+//!   sockets. Clients may wrap payloads in length-prefixed
+//!   `BATCH <nbytes>` frames (see [`protocol`]) so one syscall carries
+//!   thousands of points. On close the final
+//!   [`asap_tsdb::IngestReport`] is written back as one stable
+//!   `key=value` line.
 //! * **Query/ops protocol** — a line-oriented text protocol (see
 //!   [`protocol`]) serving smoothing (`SMOOTH`), range reads (`RANGE`),
 //!   live counters (`STATS`, `HEALTH` — aggregated
@@ -40,9 +49,11 @@
 //!   ([`asap_tsdb::Schedule`]), mutually exclusive with snapshot saves,
 //!   its cumulative counters surfaced through `STATS`.
 //! * **Graceful shutdown** — `SHUTDOWN` (or [`Server::shutdown`]) stops
-//!   accepting, lets every ingest connection flush its reorder buffers
-//!   via `finish()`, stops the scheduler, optionally writes a final
-//!   snapshot, and returns a [`ServerReport`].
+//!   accepting, finalizes every connection (complete ingest lines
+//!   applied, reorder buffers flushed), stops the scheduler, optionally
+//!   writes a final snapshot, and returns a [`ServerReport`] — promptly
+//!   even when a peer has stopped reading: the drain is bounded by the
+//!   poll interval and server-side work, never by client behavior.
 //!
 //! # Example
 //!
@@ -66,11 +77,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod conn;
+mod event;
 pub mod protocol;
 mod scheduler;
 mod server;
+mod threaded;
 
 pub use server::{
-    CompactionClock, CompactionConfig, CompactionStats, IngestTotals, Server, ServerConfig,
-    ServerError, ServerReport,
+    CompactionClock, CompactionConfig, CompactionStats, CoreMode, IngestTotals, Server,
+    ServerConfig, ServerError, ServerReport,
 };

@@ -47,6 +47,35 @@
 //! `SERIES <key> <n> [k=v ...]` followed by `n` lines of
 //! `<timestamp> <value>`; values render through Rust's shortest-roundtrip
 //! `f64` display, so `parse::<f64>()` reconstructs them exactly.
+//!
+//! # Ingest-port framing
+//!
+//! The ingest port speaks the line protocol
+//! ([`mod@asap_tsdb::ingest`]) with one optional frame type layered
+//! on top:
+//!
+//! ```text
+//! BATCH <nbytes>\n<nbytes bytes of payload>
+//! ```
+//!
+//! The header verb is case-insensitive and `<nbytes>` is a plain
+//! decimal `u64` (a trailing `\r` before the newline is tolerated).
+//! The payload is a *byte window* of the ordinary line-protocol
+//! stream, passed through verbatim — it may end mid-line, in which
+//! case the line continues with the bytes that follow the frame (the
+//! next frame's payload, or plain bytes). Headers are recognized at
+//! exactly three positions: the start of the stream, immediately after
+//! a `\n` in the unframed stream, and immediately after a frame's
+//! payload; header-looking bytes anywhere else (including *inside* a
+//! payload) are data. Batching exists so one syscall can carry
+//! thousands of points; it changes how bytes arrive, never what they
+//! mean, so `plain lines ≡ the same bytes wrapped in frames` holds for
+//! any framing of the stream (provided a plain-bytes line continuation
+//! after a frame doesn't itself spell a valid header — split inside a
+//! frame instead if your data can contain `BATCH <n>` lines). A line
+//! that merely *looks* like a header but fails to parse (`BATCH ten`,
+//! `BATCH `) degrades to an ordinary data line and surfaces as a parse
+//! failure downstream, like any other malformed record.
 
 use asap_tsdb::{Aggregator, DataPoint, Selector, SeriesKey, SmoothedFrame};
 
@@ -232,6 +261,23 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
     }
 }
 
+/// Parses an ingest-port `BATCH` frame header: the bytes of one line
+/// *without* the trailing newline (a trailing `\r` is tolerated).
+/// Returns the payload length in bytes, or `None` when the line is not
+/// a valid header — the server's framer then treats the bytes as an
+/// ordinary data line (see the module docs).
+pub fn parse_batch_header(line: &[u8]) -> Option<u64> {
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    if line.len() < 7 || !line[..6].eq_ignore_ascii_case(b"BATCH ") {
+        return None;
+    }
+    let digits = &line[6..];
+    if !digits.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
 /// Renders an error response: a single `ERR` line with newlines in the
 /// message flattened so the response stays one line.
 pub fn render_error(message: &str) -> String {
@@ -404,6 +450,36 @@ mod tests {
         for (line, &want) in rendered.lines().skip(2).take(values.len()).zip(&values) {
             let got: f64 = line.split(' ').nth(1).unwrap().parse().unwrap();
             assert_eq!(got, want, "value failed to round-trip: {line}");
+        }
+    }
+
+    #[test]
+    fn batch_headers_parse_strictly() {
+        assert_eq!(parse_batch_header(b"BATCH 0"), Some(0));
+        assert_eq!(parse_batch_header(b"BATCH 4096"), Some(4096));
+        assert_eq!(parse_batch_header(b"batch 17"), Some(17), "case-insensitive verb");
+        assert_eq!(parse_batch_header(b"BATCH 17\r"), Some(17), "CRLF tolerated");
+        assert_eq!(
+            parse_batch_header(b"BATCH 18446744073709551615"),
+            Some(u64::MAX)
+        );
+        for bad in [
+            &b"BATCH"[..],
+            b"BATCH ",
+            b"BATCH ten",
+            b"BATCH -5",
+            b"BATCH 1 2",
+            b"BATCH 18446744073709551616", // u64 overflow
+            b"BATCHX 5",
+            b"cpu usage=1 1",
+            b"",
+        ] {
+            assert_eq!(
+                parse_batch_header(bad),
+                None,
+                "`{}` accepted",
+                String::from_utf8_lossy(bad)
+            );
         }
     }
 

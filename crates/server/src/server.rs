@@ -1,15 +1,17 @@
-//! The threaded TCP server: ingest listener, query/ops listener,
-//! background compaction, graceful shutdown.
+//! The TCP server: ingest listener, query/ops listener, background
+//! compaction, graceful shutdown — over one of two interchangeable I/O
+//! cores selected by [`ServerConfig::core`].
 //!
-//! See the crate docs for the architecture diagram and lifecycle
-//! ordering. Everything here polls the drain flag: connection threads
-//! between reads (blocking sockets with short read timeouts), accept
-//! loops between nonblocking `accept()` attempts. A graceful shutdown
-//! therefore needs no signal machinery — set the flag and join.
+//! [`CoreMode::Event`] (the default) multiplexes all connections onto a
+//! small worker pool sweeping nonblocking sockets ([`crate::event`] /
+//! [`crate::conn`]); [`CoreMode::Threaded`] is the legacy
+//! thread-per-connection fallback ([`crate::threaded`]). Both speak the
+//! same protocol and share this module's lifecycle: everything polls
+//! the drain flag at [`ServerConfig::poll_interval`] granularity, so a
+//! graceful shutdown needs no signal machinery — set the flag and join.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -23,7 +25,21 @@ use asap_tsdb::{
 };
 
 use crate::protocol::{self, Command};
-use crate::scheduler;
+use crate::{event, scheduler, threaded};
+
+/// Which I/O core serves the two listeners.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CoreMode {
+    /// Event-driven (the default): a fixed worker pool sweeping
+    /// nonblocking connection state machines — thousands of mostly-idle
+    /// connections cost readiness checks, not threads.
+    #[default]
+    Event,
+    /// Legacy thread-per-connection: one blocking handler thread per
+    /// accepted socket. Conservative fallback (`--core threaded`);
+    /// concurrency is bounded by the connection caps.
+    Threaded,
+}
 
 /// Configuration of an [`Server`] instance.
 #[derive(Debug, Clone)]
@@ -70,10 +86,27 @@ pub struct ServerConfig {
     /// write with its privileges. Requests naming an absolute path or
     /// escaping the directory (`..`) are refused.
     pub snapshot_dir: Option<PathBuf>,
-    /// Socket read timeout — the granularity at which connection threads
-    /// notice the drain flag (default 25ms). Smaller values shut down
-    /// faster at the cost of more idle wakeups.
+    /// Socket read timeout / event-loop sweep granularity — how fast
+    /// idle paths notice the drain flag (default 25ms). Smaller values
+    /// shut down faster at the cost of more idle wakeups.
     pub poll_interval: Duration,
+    /// Which I/O core serves the listeners (default
+    /// [`CoreMode::Event`]).
+    pub core: CoreMode,
+    /// Worker threads of the event core (default 2). Each worker sweeps
+    /// its share of the connections; more workers add read/execute
+    /// parallelism, not connection capacity.
+    pub event_workers: usize,
+    /// Most bytes one connection may read per event-loop tick (default
+    /// 64 KiB), so one firehose connection cannot starve its worker's
+    /// siblings.
+    pub read_budget: usize,
+    /// How long a peer with pending response bytes may go without
+    /// accepting any before it is disconnected (default 5s). On the
+    /// threaded core this doubles as the socket write timeout, fixing
+    /// the stalled-reader `write_all` hang that could wedge
+    /// [`Server::shutdown`]'s drain.
+    pub write_deadline: Duration,
     /// Log one line per connection close / compaction error to stderr
     /// (default `false`; the `asap-server` binary turns it on).
     pub verbose: bool,
@@ -93,6 +126,10 @@ impl Default for ServerConfig {
             wal: None,
             snapshot_dir: None,
             poll_interval: Duration::from_millis(25),
+            core: CoreMode::Event,
+            event_workers: 2,
+            read_budget: 64 * 1024,
+            write_deadline: Duration::from_secs(5),
             verbose: false,
         }
     }
@@ -267,6 +304,10 @@ pub struct ServerReport {
     /// Rendering of the drain-time WAL seal failure, if a WAL was
     /// configured and the final flush+fsync failed.
     pub wal_seal_error: Option<String>,
+    /// Connections refused at the [`ServerConfig::max_query_connections`]
+    /// cap (ingest-port refusals are in
+    /// [`IngestTotals::rejected_connections`]).
+    pub query_rejected_connections: u64,
 }
 
 #[derive(Default)]
@@ -295,6 +336,9 @@ pub(crate) struct Shared {
     finished: Mutex<IngestTotals>,
     active: AtomicUsize,
     query_active: AtomicUsize,
+    /// Query-port connections refused at the cap (the ingest-port
+    /// counterpart lives in `finished.rejected_connections`).
+    query_rejected: AtomicU64,
     next_conn_id: AtomicU64,
     compaction: Mutex<CompactionStats>,
     /// Live WAL appender, shared with every ingest pipeline.
@@ -322,6 +366,7 @@ impl Shared {
             finished: Mutex::new(IngestTotals::default()),
             active: AtomicUsize::new(0),
             query_active: AtomicUsize::new(0),
+            query_rejected: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(0),
             compaction: Mutex::new(CompactionStats::default()),
             wal,
@@ -331,6 +376,16 @@ impl Shared {
 
     pub(crate) fn db(&self) -> &ShardedDb {
         &self.db
+    }
+
+    pub(crate) fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A clone of the live WAL appender (shared with every ingest
+    /// pipeline), or `None` without durability.
+    pub(crate) fn wal_handle(&self) -> Option<Wal> {
+        self.wal.clone()
     }
 
     pub(crate) fn is_draining(&self) -> bool {
@@ -353,7 +408,7 @@ impl Shared {
         update(&mut self.compaction.lock().expect("compaction stats poisoned"));
     }
 
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         let mut guard = self.lifecycle.lock().expect("lifecycle poisoned");
         guard.shutdown_requested = true;
         self.lifecycle_cv.notify_all();
@@ -397,7 +452,7 @@ impl Shared {
         true
     }
 
-    fn register_connection(&self) -> u64 {
+    pub(crate) fn register_connection(&self) -> u64 {
         let id = self.next_conn_id.fetch_add(1, Ordering::AcqRel);
         self.live
             .lock()
@@ -410,13 +465,13 @@ impl Shared {
         id
     }
 
-    fn publish_progress(&self, id: u64, progress: StreamProgress) {
+    pub(crate) fn publish_progress(&self, id: u64, progress: StreamProgress) {
         if let Some(slot) = self.live.lock().expect("live registry poisoned").get(&id) {
             *slot.lock().expect("progress slot poisoned") = progress;
         }
     }
 
-    fn finish_connection(&self, id: u64, report: &IngestReport) {
+    pub(crate) fn finish_connection(&self, id: u64, report: &IngestReport) {
         // Take both locks in registry order (live, then finished) so the
         // connection moves atomically from the live sum to the totals —
         // aggregate counters never double-count it.
@@ -426,11 +481,33 @@ impl Shared {
         finished.add_report(report);
     }
 
-    fn reject_connection(&self) {
-        self.finished
-            .lock()
-            .expect("ingest totals poisoned")
-            .rejected_connections += 1;
+    /// Records an over-cap refusal — on either port, each with its own
+    /// counter (`STATS` must not undercount query-port refusals).
+    pub(crate) fn reject_connection(&self, port: Port) {
+        match port {
+            Port::Ingest => {
+                self.finished
+                    .lock()
+                    .expect("ingest totals poisoned")
+                    .rejected_connections += 1;
+            }
+            Port::Query => {
+                self.query_rejected.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Claims one slot under `port`'s connection cap, or `None` when
+    /// the cap is reached. The returned guard releases the slot on
+    /// drop, however the connection ends.
+    pub(crate) fn try_acquire_slot(self: &Arc<Self>, port: Port) -> Option<ActiveGuard> {
+        let cap = port.cap(&self.config);
+        let prev = port.counter(self).fetch_add(1, Ordering::AcqRel);
+        if prev >= cap {
+            port.counter(self).fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(ActiveGuard(Arc::clone(self), port))
     }
 
     /// The aggregate ingest counters: closed-connection totals plus the
@@ -445,10 +522,12 @@ impl Shared {
     }
 }
 
-/// Which per-listener connection counter a handler holds a slot in.
+/// Which per-listener connection counter a connection holds a slot in.
 #[derive(Clone, Copy)]
-enum Port {
+pub(crate) enum Port {
+    /// The ingest listener.
     Ingest,
+    /// The query/ops listener.
     Query,
 }
 
@@ -459,11 +538,20 @@ impl Port {
             Port::Query => &shared.query_active,
         }
     }
+
+    /// The configured connection cap of this port.
+    pub(crate) fn cap(self, config: &ServerConfig) -> usize {
+        match self {
+            Port::Ingest => config.max_ingest_connections,
+            Port::Query => config.max_query_connections,
+        }
+    }
 }
 
-/// Decrements a listener's active-connection count when its handler
-/// exits, however it exits.
-struct ActiveGuard(Arc<Shared>, Port);
+/// Decrements a listener's active-connection count when the owning
+/// connection ends, however it ends. Obtained through
+/// [`Shared::try_acquire_slot`] only.
+pub(crate) struct ActiveGuard(Arc<Shared>, Port);
 
 impl Drop for ActiveGuard {
     fn drop(&mut self) {
@@ -483,7 +571,9 @@ pub struct Server {
     shared: Arc<Shared>,
     ingest_addr: SocketAddr,
     query_addr: SocketAddr,
-    accept_threads: Vec<JoinHandle<()>>,
+    /// The serving threads of the selected core: accept loops
+    /// (threaded) or dispatcher + workers (event).
+    io_threads: Vec<JoinHandle<()>>,
     scheduler_thread: Option<JoinHandle<()>>,
 }
 
@@ -514,6 +604,28 @@ impl Server {
             return Err(TsdbError::InvalidParameter {
                 name: "poll_interval",
                 message: "the shutdown poll interval must be positive",
+            }
+            .into());
+        }
+        if config.event_workers == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "event_workers",
+                message: "the event core needs at least one worker",
+            }
+            .into());
+        }
+        if config.read_budget == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "read_budget",
+                message: "the per-tick read budget must be positive",
+            }
+            .into());
+        }
+        if config.write_deadline.is_zero() {
+            // Also required by `set_write_timeout`, which rejects zero.
+            return Err(TsdbError::InvalidParameter {
+                name: "write_deadline",
+                message: "the write deadline must be positive",
             }
             .into());
         }
@@ -548,19 +660,13 @@ impl Server {
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
         let compaction = config.compaction.clone();
+        let core = config.core;
         let shared = Arc::new(Shared::new(db, config, wal, wal_replay));
 
-        let mut accept_threads = Vec::with_capacity(2);
-        let s = Arc::clone(&shared);
-        let ingest_cap = s.config.max_ingest_connections;
-        accept_threads.push(std::thread::spawn(move || {
-            accept_loop(ingest_listener, &s, Port::Ingest, ingest_cap, handle_ingest)
-        }));
-        let s = Arc::clone(&shared);
-        let query_cap = s.config.max_query_connections;
-        accept_threads.push(std::thread::spawn(move || {
-            accept_loop(query_listener, &s, Port::Query, query_cap, handle_query)
-        }));
+        let io_threads = match core {
+            CoreMode::Event => event::start(ingest_listener, query_listener, &shared),
+            CoreMode::Threaded => threaded::start(ingest_listener, query_listener, &shared),
+        };
         let scheduler_thread = compaction.map(|cfg| {
             let s = Arc::clone(&shared);
             std::thread::spawn(move || scheduler::run(&s, &cfg))
@@ -570,7 +676,7 @@ impl Server {
             shared,
             ingest_addr,
             query_addr,
-            accept_threads,
+            io_threads,
             scheduler_thread,
         })
     }
@@ -629,15 +735,17 @@ impl Server {
     }
 
     fn drain(mut self) -> ServerReport {
-        // Ordering: (1) raise the drain flag — connection threads finish
-        // their streams at the next poll tick, flushing reorder buffers,
-        // and the nonblocking accept loops exit at theirs; (2) join
-        // accept loops, which join every connection thread; (3) the
+        // Ordering: (1) raise the drain flag — within one poll tick the
+        // event workers finalize their connections (abort + flush
+        // reorder buffers) and the threaded handlers finish their
+        // streams, while accept paths stop taking new sockets; (2) join
+        // the core's I/O threads (the threaded accept loops join every
+        // handler; event workers exit after finalizing); (3) the
         // scheduler observed the flag via the condvar — join it; (4) with
         // all writers drained and the compactor stopped, write the final
         // snapshot; (5) assemble the report (gauges now zero).
         self.shared.begin_drain();
-        for handle in self.accept_threads.drain(..) {
+        for handle in self.io_threads.drain(..) {
             let _ = handle.join();
         }
         if let Some(handle) = self.scheduler_thread.take() {
@@ -676,212 +784,15 @@ impl Server {
                 .clone(),
             final_snapshot_error,
             wal_seal_error,
+            query_rejected_connections: self.shared.query_rejected.load(Ordering::Acquire),
         }
     }
-}
-
-/// Joins finished handler threads, keeping the live ones.
-fn reap(handlers: Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
-    let (done, live): (Vec<_>, Vec<_>) = handlers.into_iter().partition(JoinHandle::is_finished);
-    for handle in done {
-        let _ = handle.join();
-    }
-    live
-}
-
-/// One listener's accept loop: reap finished handlers, enforce the
-/// port's connection cap (refused connections get one `ERR` line), and
-/// spawn `handle` per accepted stream. The listener is nonblocking, so
-/// an idle loop (and any persistent accept error, e.g. fd exhaustion)
-/// sleeps one poll interval between drain-flag checks instead of
-/// parking in `accept()` or spinning.
-fn accept_loop(
-    listener: TcpListener,
-    shared: &Arc<Shared>,
-    port: Port,
-    cap: usize,
-    handle: fn(TcpStream, &Arc<Shared>),
-) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.is_draining() {
-                    break;
-                }
-                std::thread::sleep(shared.config.poll_interval);
-                continue;
-            }
-        };
-        if shared.is_draining() {
-            break; // drop connections that race the drain
-        }
-        // Whether accepted sockets inherit the listener's nonblocking
-        // flag is platform-defined; the handlers need blocking reads
-        // with timeouts.
-        if stream.set_nonblocking(false).is_err() {
-            let _ = stream.shutdown(SocketShutdown::Both);
-            continue;
-        }
-        handlers = reap(handlers);
-        if port.counter(shared).load(Ordering::Acquire) >= cap {
-            if matches!(port, Port::Ingest) {
-                shared.reject_connection();
-            }
-            let mut stream = stream;
-            let _ = stream.write_all(
-                protocol::render_error(&format!("connection limit reached ({cap} active)"))
-                    .as_bytes(),
-            );
-            let _ = stream.shutdown(SocketShutdown::Both);
-            continue;
-        }
-        port.counter(shared).fetch_add(1, Ordering::AcqRel);
-        let s = Arc::clone(shared);
-        handlers.push(std::thread::spawn(move || handle(stream, &s)));
-    }
-    for handle in handlers {
-        let _ = handle.join();
-    }
-}
-
-/// One ingest connection: drain the socket through a dedicated
-/// [`asap_tsdb::StreamIngestor`] with end-to-end backpressure (a full
-/// pipeline blocks `feed`, which stops reading, which fills the kernel
-/// buffers, which stalls the sender), then write the final
-/// [`IngestReport`] line back on close.
-fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>) {
-    let _active = ActiveGuard(Arc::clone(shared), Port::Ingest);
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_nodelay(true);
-    let ingest_config = IngestConfig {
-        wal: shared.wal.clone(),
-        ..shared.config.ingest.clone()
-    };
-    let mut ingestor =
-        match shared
-            .db
-            .stream_ingestor(shared.config.default_ts, ingest_config)
-        {
-            Ok(ingestor) => ingestor,
-            Err(e) => {
-                let _ = (&stream).write_all(protocol::render_error(&e.to_string()).as_bytes());
-                return;
-            }
-        };
-    let id = shared.register_connection();
-    let mut buf = vec![0u8; 64 * 1024];
-    let mut truncated = false;
-    loop {
-        if shared.is_draining() {
-            // The drain cuts the byte stream at an arbitrary read
-            // boundary — an unterminated trailing line is
-            // indistinguishable from a truncated one (`…17` out of
-            // `…1700000000` parses as a valid, wrong point).
-            truncated = true;
-            break;
-        }
-        match (&stream).read(&mut buf) {
-            Ok(0) => break, // client finished its stream
-            Ok(n) => {
-                ingestor.feed(&buf[..n]);
-                shared.publish_progress(id, ingestor.progress());
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                shared.publish_progress(id, ingestor.progress());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                truncated = true;
-                break;
-            }
-        }
-    }
-    // A clean close flushes the trailing line and every reorder buffer;
-    // a broken socket or a mid-stream drain aborts instead, applying
-    // all complete lines and still flushing the reorder buffers, but
-    // discarding the possibly-truncated unterminated tail (PR 4
-    // semantics).
-    let report = if truncated {
-        ingestor.abort()
-    } else {
-        ingestor.finish()
-    };
-    shared.finish_connection(id, &report);
-    if shared.verbose() {
-        eprintln!("asap-server: ingest {peer} closed: {report}");
-    }
-    let _ = (&stream).write_all(format!("{report}\n").as_bytes());
-    let _ = stream.shutdown(SocketShutdown::Both);
 }
 
 /// Longest accepted request line on the query port. Remote input must
 /// not grow server memory: a client that streams bytes without ever
 /// sending a newline gets one `ERR` and is disconnected.
-const MAX_REQUEST_LINE: usize = 64 * 1024;
-
-/// One query/ops connection: accumulate bytes, execute each complete
-/// line as a [`Command`], write one response per request.
-fn handle_query(stream: TcpStream, shared: &Arc<Shared>) {
-    let _active = ActiveGuard(Arc::clone(shared), Port::Query);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
-    let _ = stream.set_nodelay(true);
-    let mut acc: Vec<u8> = Vec::new();
-    let mut buf = [0u8; 8 * 1024];
-    loop {
-        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
-            let raw: Vec<u8> = acc.drain(..=pos).collect();
-            let text = String::from_utf8_lossy(&raw);
-            let line = text.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (response, shutdown_after) = execute(line, shared);
-            if (&stream).write_all(response.as_bytes()).is_err() {
-                return;
-            }
-            if shutdown_after {
-                shared.request_shutdown();
-                let _ = stream.shutdown(SocketShutdown::Both);
-                return;
-            }
-        }
-        if acc.len() > MAX_REQUEST_LINE {
-            let _ = (&stream).write_all(
-                protocol::render_error(&format!(
-                    "request line exceeds {MAX_REQUEST_LINE} bytes"
-                ))
-                .as_bytes(),
-            );
-            let _ = stream.shutdown(SocketShutdown::Both);
-            return;
-        }
-        if shared.is_draining() {
-            return;
-        }
-        match (&stream).read(&mut buf) {
-            Ok(0) => return,
-            Ok(n) => acc.extend_from_slice(&buf[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) => {}
-            Err(_) => return,
-        }
-    }
-}
+pub(crate) const MAX_REQUEST_LINE: usize = 64 * 1024;
 
 /// Largest bucketed grid a remote query may materialize. The engine
 /// allocates one slot per grid bucket, so client-chosen
@@ -938,8 +849,9 @@ fn resolve_snapshot_path(dir: Option<&Path>, name: &str) -> Result<PathBuf, Stri
 }
 
 /// Executes one request line; returns the response and whether the
-/// server should begin shutting down after it is sent.
-fn execute(line: &str, shared: &Shared) -> (String, bool) {
+/// server should begin shutting down after it is sent. Shared by both
+/// cores — responses must be byte-identical whichever serves them.
+pub(crate) fn execute(line: &str, shared: &Shared) -> (String, bool) {
     let command = match protocol::parse_command(line) {
         Ok(command) => command,
         Err(e) => return (protocol::render_error(&e), false),
@@ -1066,6 +978,14 @@ fn render_stats(shared: &Shared) -> String {
     out.push_str(&format!(
         "ingest.pending_reorder {}\n",
         totals.pending_reorder
+    ));
+    out.push_str(&format!(
+        "query.active_connections {}\n",
+        shared.query_active.load(Ordering::Acquire)
+    ));
+    out.push_str(&format!(
+        "query.rejected_connections {}\n",
+        shared.query_rejected.load(Ordering::Acquire)
     ));
     out.push_str(&format!(
         "compaction.enabled {}\n",

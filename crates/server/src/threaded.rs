@@ -1,0 +1,250 @@
+//! The legacy thread-per-connection server core
+//! ([`crate::CoreMode::Threaded`]): one accept loop per listener, one
+//! handler thread per accepted connection, blocking sockets with short
+//! read timeouts (the drain-flag poll) and a write deadline (so a peer
+//! that stops reading cannot wedge a handler in `write_all` and hang
+//! [`crate::Server::drain`], which joins every handler).
+//!
+//! Kept as the conservative fallback behind `--core threaded`; the
+//! default is the event-driven core in [`crate::event`]. Both cores
+//! speak the same protocol, `BATCH` framing included, and must be
+//! observationally identical — the integration suite runs its oracle
+//! wall against each.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown as SocketShutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use asap_tsdb::IngestConfig;
+
+use crate::conn::Framer;
+use crate::protocol;
+use crate::server::{execute, ActiveGuard, Port, Shared, MAX_REQUEST_LINE};
+
+/// Spawns the two accept loops of the threaded core.
+pub(crate) fn start(
+    ingest_listener: TcpListener,
+    query_listener: TcpListener,
+    shared: &Arc<Shared>,
+) -> Vec<JoinHandle<()>> {
+    let mut threads = Vec::with_capacity(2);
+    let s = Arc::clone(shared);
+    threads.push(std::thread::spawn(move || {
+        accept_loop(ingest_listener, &s, Port::Ingest, handle_ingest);
+    }));
+    let s = Arc::clone(shared);
+    threads.push(std::thread::spawn(move || {
+        accept_loop(query_listener, &s, Port::Query, handle_query);
+    }));
+    threads
+}
+
+/// Joins finished handler threads, keeping the live ones.
+fn reap(handlers: Vec<JoinHandle<()>>) -> Vec<JoinHandle<()>> {
+    let (done, live): (Vec<_>, Vec<_>) = handlers.into_iter().partition(JoinHandle::is_finished);
+    for handle in done {
+        let _ = handle.join();
+    }
+    live
+}
+
+/// One listener's accept loop: reap finished handlers, enforce the
+/// port's connection cap (refused connections get one `ERR` line, and
+/// the refusal is counted for *both* ports), and spawn `handle` per
+/// accepted stream. The listener is nonblocking, so an idle loop (and
+/// any persistent accept error, e.g. fd exhaustion) sleeps one poll
+/// interval between drain-flag checks instead of parking in `accept()`
+/// or spinning — and reaps on that idle path too, so a long-idle server
+/// does not sit on zombie handles from an earlier connection burst.
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    port: Port,
+    handle: fn(TcpStream, &Arc<Shared>, ActiveGuard),
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.is_draining() {
+                    break;
+                }
+                handlers = reap(handlers);
+                std::thread::sleep(shared.config().poll_interval);
+                continue;
+            }
+        };
+        if shared.is_draining() {
+            break; // drop connections that race the drain
+        }
+        // Whether accepted sockets inherit the listener's nonblocking
+        // flag is platform-defined; the handlers need blocking reads
+        // with timeouts.
+        if stream.set_nonblocking(false).is_err() {
+            let _ = stream.shutdown(SocketShutdown::Both);
+            continue;
+        }
+        handlers = reap(handlers);
+        let Some(slot) = shared.try_acquire_slot(port) else {
+            shared.reject_connection(port);
+            let cap = port.cap(shared.config());
+            let _ = stream.set_write_timeout(Some(shared.config().write_deadline));
+            let mut stream = stream;
+            let _ = stream.write_all(
+                protocol::render_error(&format!("connection limit reached ({cap} active)"))
+                    .as_bytes(),
+            );
+            let _ = stream.shutdown(SocketShutdown::Both);
+            continue;
+        };
+        let s = Arc::clone(shared);
+        handlers.push(std::thread::spawn(move || handle(stream, &s, slot)));
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// One ingest connection: drain the socket through the [`Framer`] into
+/// a dedicated [`asap_tsdb::StreamIngestor`] with end-to-end
+/// backpressure (a full pipeline blocks `feed`, which stops reading,
+/// which fills the kernel buffers, which stalls the sender), then write
+/// the final [`asap_tsdb::IngestReport`] line back on close.
+fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
+    let _active = slot;
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
+    let _ = stream.set_read_timeout(Some(shared.config().poll_interval));
+    // The report write at close must not block forever on a peer that
+    // sent its stream but never reads the response.
+    let _ = stream.set_write_timeout(Some(shared.config().write_deadline));
+    let _ = stream.set_nodelay(true);
+    let ingest_config = IngestConfig {
+        wal: shared.wal_handle(),
+        ..shared.config().ingest.clone()
+    };
+    let mut ingestor = match shared
+        .db()
+        .stream_ingestor(shared.config().default_ts, ingest_config)
+    {
+        Ok(ingestor) => ingestor,
+        Err(e) => {
+            let _ = (&stream).write_all(protocol::render_error(&e.to_string()).as_bytes());
+            return;
+        }
+    };
+    let mut framer = Framer::new();
+    let id = shared.register_connection();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut truncated = false;
+    loop {
+        if shared.is_draining() {
+            // The drain cuts the byte stream at an arbitrary read
+            // boundary — an unterminated trailing line is
+            // indistinguishable from a truncated one (`…17` out of
+            // `…1700000000` parses as a valid, wrong point).
+            truncated = true;
+            break;
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => break, // client finished its stream
+            Ok(n) => {
+                framer.push(&buf[..n], &mut |piece| ingestor.feed(piece));
+                shared.publish_progress(id, ingestor.progress());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.publish_progress(id, ingestor.progress());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                truncated = true;
+                break;
+            }
+        }
+    }
+    // A clean close flushes the trailing line and every reorder buffer;
+    // a broken socket or a mid-stream drain aborts instead, applying
+    // all complete lines and still flushing the reorder buffers, but
+    // discarding the possibly-truncated unterminated tail (PR 4
+    // semantics).
+    let report = if truncated {
+        ingestor.abort()
+    } else {
+        ingestor.finish()
+    };
+    shared.finish_connection(id, &report);
+    if shared.verbose() {
+        eprintln!("asap-server: ingest {peer} closed: {report}");
+    }
+    let _ = (&stream).write_all(format!("{report}\n").as_bytes());
+    let _ = stream.shutdown(SocketShutdown::Both);
+}
+
+/// One query/ops connection: accumulate bytes, execute each complete
+/// line as a command, write one response per request. Writes carry the
+/// configured deadline, so a client that requests a large response and
+/// then stops reading is disconnected instead of pinning this thread —
+/// and, transitively, [`crate::Server::drain`] — forever.
+fn handle_query(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
+    let _active = slot;
+    let _ = stream.set_read_timeout(Some(shared.config().poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config().write_deadline));
+    let _ = stream.set_nodelay(true);
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = acc.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&raw);
+            let line = text.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (response, shutdown_after) = execute(line, shared);
+            if (&stream).write_all(response.as_bytes()).is_err() {
+                if shutdown_after {
+                    // The peer's failure to read the acknowledgment
+                    // must not cancel a SHUTDOWN it already issued.
+                    shared.request_shutdown();
+                }
+                return;
+            }
+            if shutdown_after {
+                shared.request_shutdown();
+                let _ = stream.shutdown(SocketShutdown::Both);
+                return;
+            }
+        }
+        if acc.len() > MAX_REQUEST_LINE {
+            let _ = (&stream).write_all(
+                protocol::render_error(&format!("request line exceeds {MAX_REQUEST_LINE} bytes"))
+                    .as_bytes(),
+            );
+            let _ = stream.shutdown(SocketShutdown::Both);
+            return;
+        }
+        if shared.is_draining() {
+            return;
+        }
+        match (&stream).read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -8,7 +8,7 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use asap_core::Asap;
-use asap_server::{protocol, CompactionClock, CompactionConfig, Server, ServerConfig};
+use asap_server::{protocol, CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig};
 use asap_tsdb::{
     line_protocol, smooth, Aggregator, Compactor, DataPoint, FsyncPolicy, IngestConfig, RangeQuery,
     RetentionPolicy, RollupLevel, Schedule, Selector, SeriesKey, ShardedConfig, ShardedDb, Tsdb,
@@ -56,6 +56,22 @@ fn ingest_doc(addr: SocketAddr, doc: &str) -> String {
     let mut conn = TcpStream::connect(addr).expect("connect ingest");
     for piece in doc.as_bytes().chunks(113) {
         conn.write_all(piece).expect("write telemetry");
+    }
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut report = String::new();
+    conn.read_to_string(&mut report).expect("read report");
+    report.trim().to_owned()
+}
+
+/// Like [`ingest_doc`], but wraps the byte stream in back-to-back
+/// `BATCH` frames cut at arbitrary (mostly mid-line) boundaries —
+/// framing must be semantically invisible.
+fn ingest_doc_framed(addr: SocketAddr, doc: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect ingest");
+    for window in doc.as_bytes().chunks(777) {
+        conn.write_all(format!("BATCH {}\n", window.len()).as_bytes())
+            .expect("write frame header");
+        conn.write_all(window).expect("write frame payload");
     }
     conn.shutdown(Shutdown::Write).expect("half-close");
     let mut report = String::new();
@@ -120,13 +136,14 @@ fn wait_for_stats(addr: SocketAddr, what: &str, predicate: impl Fn(&str) -> bool
     }
 }
 
-/// The acceptance-criteria wall: N concurrent TCP clients stream a
-/// lateness-shuffled document (hosts partitioned across clients, so
-/// per-series order stays within one connection's reorder stage); the
-/// served store and both protocol responses must be byte-identical to
-/// the single-shard serial oracle fed the sorted document.
-#[test]
-fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
+/// The acceptance-criteria wall, parameterized over the I/O core: N
+/// concurrent TCP clients stream a lateness-shuffled document (hosts
+/// partitioned across clients, so per-series order stays within one
+/// connection's reorder stage); the served store and both protocol
+/// responses must be byte-identical to the single-shard serial oracle
+/// fed the sorted document. The `framed` variant wraps every client's
+/// stream in `BATCH` frames, which must change nothing.
+fn multi_client_oracle_wall(core: CoreMode, framed: bool) {
     const HOSTS: usize = 6;
     const POINTS: i64 = 400;
     const CLIENTS: usize = 3;
@@ -134,6 +151,7 @@ fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
     let server = Server::start(
         ShardedDb::with_config(ShardedConfig::new(4, 32)),
         ServerConfig {
+            core,
             ingest: IngestConfig {
                 lateness: Some(LATENESS),
                 ..IngestConfig::default()
@@ -169,10 +187,11 @@ fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
         .collect();
 
     let ingest_addr = server.ingest_addr();
+    let send = if framed { ingest_doc_framed } else { ingest_doc };
     let reports: Vec<String> = std::thread::scope(|scope| {
         let handles: Vec<_> = client_docs
             .iter()
-            .map(|doc| scope.spawn(move || ingest_doc(ingest_addr, doc)))
+            .map(|doc| scope.spawn(move || send(ingest_addr, doc)))
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -196,30 +215,49 @@ fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
     // Protocol identity: the TCP responses are byte-identical to the
     // oracle's results rendered through the same protocol.
     let query_addr = server.query_addr();
-    let range_cmd = format!("RANGE cpu 0 {POINTS}");
+    // Line protocol keys series as `measurement.field`.
+    let range_cmd = format!("RANGE cpu.usage 0 {POINTS}");
     let oracle_range = oracle
-        .query_selector(&Selector::metric("cpu"), RangeQuery::raw(0, POINTS))
+        .query_selector(&Selector::metric("cpu.usage"), RangeQuery::raw(0, POINTS))
         .unwrap();
+    assert!(
+        !oracle_range.is_empty(),
+        "oracle RANGE expectation is vacuous"
+    );
     assert_eq!(
         query(query_addr, &range_cmd),
         protocol::render_range(&oracle_range)
     );
-    let bucketed_cmd = format!("RANGE cpu{{host=h1}} 0 {POINTS} 20 max");
+    let bucketed_cmd = format!("RANGE cpu.usage{{host=h1}} 0 {POINTS} 20 max");
     let oracle_bucketed = oracle
         .query_selector(
-            &Selector::metric("cpu").tag_eq("host", "h1"),
+            &Selector::metric("cpu.usage").tag_eq("host", "h1"),
             RangeQuery::bucketed(0, POINTS, 20).aggregate(Aggregator::Max),
         )
         .unwrap();
+    assert!(
+        !oracle_bucketed.is_empty(),
+        "oracle bucketed expectation is vacuous"
+    );
     assert_eq!(
         query(query_addr, &bucketed_cmd),
         protocol::render_range(&oracle_bucketed)
     );
-    let smooth_cmd = format!("SMOOTH cpu 0 {POINTS} 1 100");
+    let smooth_cmd = format!("SMOOTH cpu.usage 0 {POINTS} 1 100");
     let asap = Asap::builder().resolution(100).build();
-    let oracle_frames =
-        smooth::smooth_query_selector(&oracle, &Selector::metric("cpu"), &asap, 0, POINTS, 1)
-            .unwrap();
+    let oracle_frames = smooth::smooth_query_selector(
+        &oracle,
+        &Selector::metric("cpu.usage"),
+        &asap,
+        0,
+        POINTS,
+        1,
+    )
+    .unwrap();
+    assert!(
+        !oracle_frames.is_empty(),
+        "oracle SMOOTH expectation is vacuous"
+    );
     assert_eq!(
         query(query_addr, &smooth_cmd),
         protocol::render_smooth(&oracle_frames)
@@ -244,6 +282,18 @@ fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
     assert_eq!(final_report.ingest.points, total);
     assert_eq!(final_report.ingest.in_flight_chunks, 0);
     assert_eq!(final_report.ingest.pending_reorder, 0);
+}
+
+#[test]
+fn multi_client_tcp_ingest_matches_single_shard_serial_oracle() {
+    multi_client_oracle_wall(CoreMode::Event, false);
+}
+
+/// The same wall on the legacy core — with `BATCH`-framed clients, so
+/// the threaded framing path is held to the same oracle.
+#[test]
+fn multi_client_tcp_ingest_matches_oracle_on_the_threaded_core() {
+    multi_client_oracle_wall(CoreMode::Threaded, true);
 }
 
 /// Graceful shutdown must flush reorder buffers of connections that are
@@ -688,10 +738,14 @@ fn restart_with_wal_recovers_the_drained_state() {
     assert!(report.contains("clean=true"), "{report}");
     let total = HOSTS * POINTS as usize;
 
-    let range_cmd = format!("RANGE cpu 0 {POINTS}");
-    let smooth_cmd = format!("SMOOTH cpu{{host=h1}} 0 {POINTS} 1 60");
+    let range_cmd = format!("RANGE cpu.usage 0 {POINTS}");
+    let smooth_cmd = format!("SMOOTH cpu.usage{{host=h1}} 0 {POINTS} 1 60");
     let before_range = query(first.query_addr(), &range_cmd);
     let before_smooth = query(first.query_addr(), &smooth_cmd);
+    assert!(
+        before_range.len() > 1_000 && before_range.contains("SERIES cpu.usage"),
+        "pre-restart RANGE response is vacuous: {before_range}"
+    );
     let stats = query(first.query_addr(), "STATS");
     assert_eq!(stat(&stats, "wal.enabled"), 1);
     assert_eq!(stat(&stats, "wal.records") as usize, total);

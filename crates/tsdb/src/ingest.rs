@@ -71,7 +71,7 @@
 //!   [`StreamProgress`], `finish()` to flush and collect the final
 //!   report. This is the shape a socket listener plugs into.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -261,8 +261,11 @@ pub struct StreamProgress {
     /// Rejected writes seen so far.
     pub write_failures: usize,
     /// Chunks created but not yet fully applied by every writer — the
-    /// pipeline's in-flight buffering, never more than
-    /// `2 · (parsers + queue_depth)`.
+    /// pipeline's in-flight buffering. On the blocking
+    /// [`StreamIngestor::feed`] path this never exceeds
+    /// `2 · (parsers + queue_depth)`; on the non-blocking
+    /// [`StreamIngestor::try_feed`] path it additionally counts the
+    /// caller-bounded backlog of sealed-but-unsent chunks.
     pub in_flight_chunks: usize,
     /// Points currently held by the reorder stages across all shards.
     pub pending_reorder: usize,
@@ -295,6 +298,7 @@ impl std::fmt::Display for StreamProgress {
 }
 
 /// One complete-line chunk of the stream, tagged with its position.
+#[derive(Debug)]
 struct Chunk {
     /// 0-based index in stream order — the writer-side ordering clock.
     index: usize,
@@ -510,6 +514,13 @@ pub struct StreamIngestor {
     chunk_start: usize,
     line_count: usize,
     next_chunk: usize,
+    /// Sealed chunks not yet handed to the work queue. The blocking
+    /// [`StreamIngestor::feed`] path drains this immediately (so it
+    /// holds at most one chunk transiently); the non-blocking
+    /// [`StreamIngestor::try_feed`] path lets it grow while the queue
+    /// is full and relies on the caller to stop reading its source
+    /// until [`StreamIngestor::try_pump`] reports it empty.
+    backlog: VecDeque<Chunk>,
     work_tx: Option<Sender<Chunk>>,
     parsers: Vec<JoinHandle<Vec<ParseFailure>>>,
     writers: Vec<JoinHandle<(usize, Vec<WriteFailure>)>>,
@@ -576,6 +587,7 @@ impl StreamIngestor {
             chunk_start: 0,
             line_count: 0,
             next_chunk: 0,
+            backlog: VecDeque::new(),
             work_tx: Some(work_tx),
             parsers,
             writers,
@@ -592,8 +604,67 @@ impl StreamIngestor {
         self.assembler.push(bytes, &mut completed);
         for line in completed.drain(..) {
             self.push_line(line);
+            // Send chunks as the lines arrive (not after the whole
+            // piece) so memory stays bounded by the pipeline window
+            // even when one piece is an entire document.
+            if !self.backlog.is_empty() {
+                self.pump_blocking()
+                    .expect("ingest parser workers hung up");
+            }
         }
         self.scratch = completed;
+    }
+
+    /// Non-blocking [`StreamIngestor::feed`]: assembles complete lines
+    /// out of `bytes`, seals full chunks onto an internal backlog, and
+    /// offers backlogged chunks to the pipeline without ever blocking
+    /// the caller.
+    ///
+    /// All of `bytes` is always consumed. The return value is
+    /// [`StreamIngestor::try_pump`]'s: `true` when the backlog is empty
+    /// (everything fed has been handed to the pipeline), `false` when
+    /// the bounded work queue is still full. A caller that stops
+    /// reading its source while this returns `false` — the event-loop
+    /// server does — keeps memory bounded by one read's worth of
+    /// sealed chunks, preserving end-to-end backpressure without a
+    /// blocked thread.
+    pub fn try_feed(&mut self, bytes: &[u8]) -> bool {
+        let mut completed = std::mem::take(&mut self.scratch);
+        self.assembler.push(bytes, &mut completed);
+        for line in completed.drain(..) {
+            self.push_line(line);
+        }
+        self.scratch = completed;
+        self.try_pump()
+    }
+
+    /// Offers backlogged chunks to the pipeline without blocking.
+    /// Returns `true` once the backlog is empty, `false` if the bounded
+    /// work queue is still full (retry after a poll interval — parser
+    /// progress, not new input, is what frees a slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every parser worker has died, which only happens when
+    /// a worker panicked — the same contract as
+    /// [`StreamIngestor::feed`].
+    pub fn try_pump(&mut self) -> bool {
+        let Some(tx) = self.work_tx.as_ref() else {
+            return true;
+        };
+        while let Some(chunk) = self.backlog.pop_front() {
+            match tx.try_send(chunk) {
+                Ok(()) => {}
+                Err(crossbeam::channel::TrySendError::Full(chunk)) => {
+                    self.backlog.push_front(chunk);
+                    return false;
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    panic!("ingest parser workers hung up")
+                }
+            }
+        }
+        true
     }
 
     /// A live snapshot of the pipeline's counters.
@@ -654,12 +725,14 @@ impl StreamIngestor {
     /// the process with a double panic.
     fn shutdown(&mut self, propagate_panics: bool) -> IngestReport {
         if self.work_tx.is_some() {
+            self.seal_chunk();
             if propagate_panics {
-                self.flush_chunk();
+                self.pump_blocking()
+                    .expect("ingest parser workers hung up");
             } else {
                 // Inside `Drop` (possibly mid-unwind): a dead parser
                 // must not turn into a double panic and abort.
-                let _ = self.try_flush_chunk();
+                let _ = self.pump_blocking();
             }
         }
         drop(self.work_tx.take());
@@ -699,19 +772,17 @@ impl StreamIngestor {
         self.shared.lines.fetch_add(1, Ordering::Release);
         self.pending_lines.push(line);
         if self.pending_lines.len() == self.chunk_lines {
-            self.flush_chunk();
+            self.seal_chunk();
         }
     }
 
-    fn flush_chunk(&mut self) {
-        // A send fails only if every parser died, which only happens on
-        // panic — worth surfacing loudly on the normal path.
-        self.try_flush_chunk().expect("ingest parser workers hung up");
-    }
-
-    fn try_flush_chunk(&mut self) -> Result<(), crossbeam::channel::SendError<Chunk>> {
+    /// Moves the pending lines onto the backlog as one sealed chunk
+    /// (no-op with no pending lines). Sealing assigns the chunk its
+    /// stream-order index; sending is a separate step so the blocking
+    /// and non-blocking paths share this.
+    fn seal_chunk(&mut self) {
         if self.pending_lines.is_empty() {
-            return Ok(());
+            return;
         }
         let chunk = Chunk {
             index: self.next_chunk,
@@ -720,11 +791,21 @@ impl StreamIngestor {
         };
         self.next_chunk += 1;
         self.shared.chunks.store(self.next_chunk, Ordering::Release);
-        self.work_tx
+        self.backlog.push_back(chunk);
+    }
+
+    /// Blocking-sends every backlogged chunk to the parsers — the
+    /// backpressure point of [`StreamIngestor::feed`]. A send fails
+    /// only if every parser died, which only happens on panic.
+    fn pump_blocking(&mut self) -> Result<(), crossbeam::channel::SendError<Chunk>> {
+        let tx = self
+            .work_tx
             .as_ref()
-            .expect("stream already finished")
-            // Blocks when the work queue is full: backpressure.
-            .send(chunk)
+            .expect("stream already finished");
+        while let Some(chunk) = self.backlog.pop_front() {
+            tx.send(chunk)?;
+        }
+        Ok(())
     }
 }
 
@@ -1373,6 +1454,62 @@ mod tests {
         // One line, no embedded newlines: safe for log pipelines.
         assert!(!report.to_string().contains('\n'));
         assert!(!progress.to_string().contains('\n'));
+    }
+
+    #[test]
+    fn try_feed_then_finish_matches_the_blocking_path() {
+        // A tiny queue guarantees try_pump actually hits the Full path:
+        // the backlog grows while the single parser lags, and finish()
+        // must still flush everything in order.
+        let text = doc(3, 80);
+        let config = IngestConfig {
+            parsers: 1,
+            queue_depth: 1,
+            chunk_lines: 2,
+            lateness: None,
+            ..IngestConfig::default()
+        };
+        let nonblocking = ShardedDb::with_config(ShardedConfig::new(3, 16));
+        let mut ing = StreamIngestor::new(&nonblocking, 0, config.clone()).unwrap();
+        let mut deferred = false;
+        for piece in text.as_bytes().chunks(113) {
+            if !ing.try_feed(piece) {
+                deferred = true;
+            }
+        }
+        let report = ing.finish();
+        assert!(deferred, "tiny queue never filled — Full path untested");
+        let blocking = ShardedDb::with_config(ShardedConfig::new(3, 16));
+        let oracle_report = pipeline_ingest(&blocking, &text, 0, &config).unwrap();
+        assert_eq!(report, oracle_report);
+        assert_eq!(
+            nonblocking.query_selector(&Selector::any(), full()).unwrap(),
+            blocking.query_selector(&Selector::any(), full()).unwrap()
+        );
+    }
+
+    #[test]
+    fn try_pump_drains_the_backlog_without_new_input() {
+        let text = doc(2, 50);
+        let config = IngestConfig {
+            parsers: 1,
+            queue_depth: 1,
+            chunk_lines: 1,
+            lateness: Some(5),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let mut ing = StreamIngestor::new(&db, 0, config).unwrap();
+        ing.try_feed(text.as_bytes());
+        // No further input: parser progress alone must free queue slots
+        // until the backlog drains.
+        while !ing.try_pump() {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = ing.finish();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.lines, text.lines().count());
+        assert_eq!(report.points, 2 * 50 * 2);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub mod channel {
     pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
     /// Error returned by [`Sender::send`] after the receiver disconnects.
     pub type SendError<T> = std::sync::mpsc::SendError<T>;
+    /// Error returned by `Sender::try_send`: `Full` when the channel has
+    /// no free slot right now, `Disconnected` after the receiver hangs
+    /// up. Both variants hand the message back, as in crossbeam.
+    pub type TrySendError<T> = std::sync::mpsc::TrySendError<T>;
 
     /// Creates a bounded channel with room for `cap` in-flight messages.
     ///
