@@ -106,6 +106,56 @@ impl DeviationAlerter {
     }
 }
 
+/// Edge-triggered wrapper over [`DeviationAlerter`] for push pipelines.
+///
+/// A standing subscription checks every emitted frame; a sustained shift
+/// therefore re-fires on each refresh for as long as the run persists,
+/// flooding subscribers with identical alerts. The gate turns the level
+/// signal into edges: it forwards an alert only when the stream
+/// *transitions* into a deviant state (or flips direction mid-run), stays
+/// silent while the same shift persists, and re-arms once a frame comes
+/// back clean.
+#[derive(Debug, Clone)]
+pub struct AlertGate {
+    alerter: DeviationAlerter,
+    active: Option<Direction>,
+}
+
+impl AlertGate {
+    /// Wraps `alerter` with edge-triggered delivery.
+    pub fn new(alerter: DeviationAlerter) -> Self {
+        AlertGate {
+            alerter,
+            active: None,
+        }
+    }
+
+    /// Whether the stream is currently inside a deviant run (an alert was
+    /// delivered and no clean frame has been seen since).
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Checks the latest frame; returns an alert only on the transition
+    /// into a deviant run or on a direction flip within one.
+    pub fn check(&mut self, frame: &Frame) -> Option<Alert> {
+        match self.alerter.check(frame) {
+            Some(alert) => {
+                if self.active == Some(alert.direction) {
+                    None // still the same run: already reported
+                } else {
+                    self.active = Some(alert.direction);
+                    Some(alert)
+                }
+            }
+            None => {
+                self.active = None; // clean frame re-arms the gate
+                None
+            }
+        }
+    }
+}
+
 /// The naive comparator: a fixed absolute threshold on raw values, the
 /// "critical alarm" of the case study. Fires on any single raw crossing.
 #[derive(Debug, Clone)]
@@ -233,5 +283,42 @@ mod tests {
     #[should_panic(expected = "min_run")]
     fn zero_min_run_panics() {
         DeviationAlerter::new(1.0, 0);
+    }
+
+    #[test]
+    fn gate_fires_once_per_run_and_rearms_on_clean_frame() {
+        let dipped = last_frame(&utility_stream(20_000, 17_000));
+        let clean = last_frame(&utility_stream(20_000, usize::MAX));
+        let mut gate = AlertGate::new(DeviationAlerter::new(1.0, 5));
+
+        assert!(!gate.is_active());
+        let first = gate.check(&dipped).expect("edge into the run alerts");
+        assert_eq!(first.direction, Direction::Down);
+        assert!(gate.is_active());
+        // The same sustained run stays silent on subsequent frames.
+        assert!(gate.check(&dipped).is_none());
+        assert!(gate.check(&dipped).is_none());
+        assert!(gate.is_active());
+        // A clean frame re-arms; the next deviant frame alerts again.
+        assert!(gate.check(&clean).is_none());
+        assert!(!gate.is_active());
+        assert!(gate.check(&dipped).is_some());
+    }
+
+    #[test]
+    fn gate_reports_direction_flips_within_a_run() {
+        let down = last_frame(&utility_stream(20_000, 17_000));
+        let up: Vec<f64> = utility_stream(20_000, usize::MAX)
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i >= 17_000 { v + 2.0 } else { v })
+            .collect();
+        let up = last_frame(&up);
+        let mut gate = AlertGate::new(DeviationAlerter::new(1.0, 5));
+        assert_eq!(gate.check(&down).unwrap().direction, Direction::Down);
+        // Flip straight to an upward run without an intervening clean
+        // frame: a new shift, so it must be reported.
+        assert_eq!(gate.check(&up).unwrap().direction, Direction::Up);
+        assert!(gate.check(&up).is_none());
     }
 }

@@ -52,7 +52,8 @@ pub use incremental::{SlidingMoments, SlidingRoughness};
 pub use pyramid::ZoomPyramid;
 pub use problem::{SearchOutcome, SmoothingResult};
 pub use search::{binary, exhaustive, grid, SearchStrategy};
-pub use streaming::{Frame, MultiStreamingAsap, StreamingAsap, StreamingConfig};
+pub use alert::{Alert, AlertGate, DeviationAlerter, Direction};
+pub use streaming::{Frame, MultiStreamingAsap, StreamingAsap, StreamingConfig, MIN_WARM_PANES};
 
 use asap_timeseries::TimeSeriesError;
 

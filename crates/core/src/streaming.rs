@@ -25,7 +25,11 @@ use asap_timeseries::TimeSeriesError;
 
 /// Minimum panes in the sliding window before a refresh is meaningful
 /// (the search needs a handful of points to estimate anything).
-const MIN_WARM_PANES: usize = 4;
+///
+/// Public so config validators outside this crate (e.g. a server rejecting
+/// a subscription template at startup) can replicate the viability check
+/// [`StreamingAsap::new`] enforces with a panic.
+pub const MIN_WARM_PANES: usize = 4;
 
 /// Configuration of the streaming operator.
 #[derive(Debug, Clone)]
@@ -223,6 +227,10 @@ impl Operator<f64, Frame> for StreamingAsap {
 pub struct MultiStreamingAsap<K: Ord + Clone> {
     template: StreamingConfig,
     operators: BTreeMap<K, StreamingAsap>,
+    // Counters carried by operators that have since been removed, so
+    // total_points/total_searches stay monotonic across key eviction.
+    retired_points: u64,
+    retired_searches: u64,
 }
 
 impl<K: Ord + Clone> MultiStreamingAsap<K> {
@@ -238,6 +246,8 @@ impl<K: Ord + Clone> MultiStreamingAsap<K> {
         MultiStreamingAsap {
             template,
             operators: BTreeMap::new(),
+            retired_points: 0,
+            retired_searches: 0,
         }
     }
 
@@ -312,14 +322,57 @@ impl<K: Ord + Clone> MultiStreamingAsap<K> {
             .collect()
     }
 
-    /// Total searches run across all keys.
-    pub fn total_searches(&self) -> u64 {
-        self.operators.values().map(StreamingAsap::searches_run).sum()
+    /// Removes `key`'s operator, returning it if it existed.
+    ///
+    /// The removed operator's point/search counts are retired into the
+    /// driver's running totals, so [`MultiStreamingAsap::total_points`] and
+    /// [`MultiStreamingAsap::total_searches`] stay monotonic: removing a
+    /// key never makes the driver forget work it already did. A later push
+    /// for the same key starts a fresh, cold operator.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<StreamingAsap>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let op = self.operators.remove(key)?;
+        self.retired_points += op.points_ingested();
+        self.retired_searches += op.searches_run();
+        Some(op)
     }
 
-    /// Total raw points ingested across all keys.
+    /// Keeps only the keys for which `keep` returns `true`, evicting the
+    /// rest — the bulk form of [`MultiStreamingAsap::remove`], with the
+    /// same counter-retirement semantics. Returns how many keys were
+    /// evicted.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &StreamingAsap) -> bool) -> usize {
+        let before = self.operators.len();
+        let mut retired_points = 0u64;
+        let mut retired_searches = 0u64;
+        self.operators.retain(|key, op| {
+            if keep(key, op) {
+                true
+            } else {
+                retired_points += op.points_ingested();
+                retired_searches += op.searches_run();
+                false
+            }
+        });
+        self.retired_points += retired_points;
+        self.retired_searches += retired_searches;
+        before - self.operators.len()
+    }
+
+    /// Total searches run across all keys, including keys since removed.
+    pub fn total_searches(&self) -> u64 {
+        self.retired_searches
+            + self.operators.values().map(StreamingAsap::searches_run).sum::<u64>()
+    }
+
+    /// Total raw points ingested across all keys, including keys since
+    /// removed.
     pub fn total_points(&self) -> u64 {
-        self.operators.values().map(StreamingAsap::points_ingested).sum()
+        self.retired_points
+            + self.operators.values().map(StreamingAsap::points_ingested).sum::<u64>()
     }
 }
 
@@ -563,6 +616,61 @@ mod tests {
         let frames = multi.refresh_all();
         assert_eq!(frames.len(), 1, "cold key skipped, not errored");
         assert_eq!(frames[0].0, "warm");
+    }
+
+    #[test]
+    fn multi_series_driver_remove_retires_counters() {
+        // Regression for the long-running-server leak: without remove(),
+        // operators for churned series lived forever. Removal must both
+        // free the key and keep the cumulative totals monotonic.
+        let mut multi = MultiStreamingAsap::new(StreamingConfig::new(1_000, 100, 100));
+        for i in 0..500usize {
+            for key in ["keep", "churn"] {
+                multi.push_with(key, (i as f64 / 25.0).sin(), |s| s.to_string()).unwrap();
+            }
+        }
+        let points_before = multi.total_points();
+        let searches_before = multi.total_searches();
+        assert_eq!(points_before, 1_000);
+        assert!(searches_before > 0);
+
+        let removed = multi.remove("churn").expect("tracked key");
+        assert_eq!(removed.points_ingested(), 500);
+        assert_eq!(multi.len(), 1);
+        assert!(multi.operator("churn").is_none());
+        // Counter consistency: totals unchanged by eviction.
+        assert_eq!(multi.total_points(), points_before);
+        assert_eq!(multi.total_searches(), searches_before);
+        assert!(multi.remove("churn").is_none(), "second remove is a no-op");
+        assert_eq!(multi.total_points(), points_before);
+
+        // Re-ingesting the key starts a fresh, cold operator; totals keep
+        // growing from where they were instead of double-counting.
+        multi.push_with("churn", 1.0, |s| s.to_string()).unwrap();
+        assert!(!multi.operator("churn").unwrap().is_warm());
+        assert_eq!(multi.operator("churn").unwrap().points_ingested(), 1);
+        assert_eq!(multi.total_points(), points_before + 1);
+    }
+
+    #[test]
+    fn multi_series_driver_retain_evicts_in_bulk() {
+        let mut multi = MultiStreamingAsap::new(StreamingConfig::new(1_000, 100, 100));
+        for key in ["a", "b", "c", "d"] {
+            for i in 0..100usize {
+                multi.push_with(key, i as f64, |s| s.to_string()).unwrap();
+            }
+        }
+        let total = multi.total_points();
+        let evicted = multi.retain(|key, op| {
+            assert_eq!(op.points_ingested(), 100);
+            key.as_str() < "c"
+        });
+        assert_eq!(evicted, 2);
+        assert_eq!(multi.len(), 2);
+        let listed: Vec<&String> = multi.keys().collect();
+        assert_eq!(listed, ["a", "b"]);
+        assert_eq!(multi.total_points(), total, "retained totals stay monotonic");
+        assert_eq!(multi.retain(|_, _| true), 0, "keep-all retain evicts nothing");
     }
 
     #[test]

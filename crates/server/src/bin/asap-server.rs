@@ -4,6 +4,8 @@
 //! asap-server [--ingest ADDR] [--query ADDR] [--shards N] [--block-capacity N]
 //!             [--lateness L] [--max-connections N]
 //!             [--core event|threaded] [--event-workers N] [--write-deadline-ms N]
+//!             [--sub-window N] [--sub-resolution N] [--sub-every N]
+//!             [--max-subscriptions N]
 //!             [--compact-interval SECS [--compact-jitter SECS]
 //!              [--rollup BUCKET] [--raw-ttl T]]
 //!             [--snapshot PATH] [--snapshot-dir DIR]
@@ -12,14 +14,19 @@
 //!
 //! Feed it InfluxDB-style line protocol on the ingest port (optionally
 //! wrapped in length-prefixed `BATCH <nbytes>` frames); speak the
-//! text protocol (`SMOOTH`, `RANGE`, `STATS`, `HEALTH`, `SNAPSHOT`,
-//! `SHUTDOWN`) on the query port. `--max-connections` caps each
-//! listener (ingest and query) at N concurrent connections. `--core`
-//! picks the I/O core: `event` (default) multiplexes all connections
-//! onto `--event-workers` threads sweeping nonblocking sockets;
-//! `threaded` is the legacy thread-per-connection fallback.
-//! `--write-deadline-ms` bounds how long a peer with pending response
-//! bytes may refuse to read before it is disconnected.
+//! text protocol (`SMOOTH`, `RANGE`, `SUBSCRIBE`, `UNSUBSCRIBE`,
+//! `STATS`, `HEALTH`, `SNAPSHOT`, `SHUTDOWN`) on the query port.
+//! `--max-connections` caps each listener (ingest and query) at N
+//! concurrent connections. `--core` picks the I/O core: `event`
+//! (default) multiplexes all connections onto `--event-workers`
+//! threads sweeping nonblocking sockets; `threaded` is the legacy
+//! thread-per-connection fallback. `--write-deadline-ms` bounds how
+//! long a peer with pending response bytes may refuse to read before
+//! it is disconnected — including subscribers that stop reading
+//! pushed frames. `--sub-window`/`--sub-resolution` set the streaming
+//! smoothing template behind `SUBSCRIBE` (window points and target
+//! output resolution), `--sub-every` its default refresh cadence, and
+//! `--max-subscriptions` caps standing subscriptions server-wide.
 //! `SNAPSHOT <name>` writes inside `--snapshot-dir` only; without the
 //! flag the command is disabled — query clients are unauthenticated and
 //! must not choose server filesystem paths. The process runs until a
@@ -45,6 +52,8 @@ use asap_tsdb::{
 const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
                      [--block-capacity N] [--lateness L] [--max-connections N] \
                      [--core event|threaded] [--event-workers N] [--write-deadline-ms N] \
+                     [--sub-window N] [--sub-resolution N] [--sub-every N] \
+                     [--max-subscriptions N] \
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
                      [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR] \
                      [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]";
@@ -73,6 +82,10 @@ fn main() {
     let mut core = CoreMode::Event;
     let mut event_workers: Option<usize> = None;
     let mut write_deadline_ms: Option<u64> = None;
+    let mut sub_window: Option<usize> = None;
+    let mut sub_resolution: Option<usize> = None;
+    let mut sub_every: Option<usize> = None;
+    let mut max_subscriptions: Option<usize> = None;
     let mut compact_interval: Option<u64> = None;
     let mut compact_jitter = 0u64;
     let mut rollup: Option<i64> = None;
@@ -101,6 +114,12 @@ fn main() {
             "--event-workers" => event_workers = Some(parse(args.next(), "--event-workers")),
             "--write-deadline-ms" => {
                 write_deadline_ms = Some(parse(args.next(), "--write-deadline-ms"))
+            }
+            "--sub-window" => sub_window = Some(parse(args.next(), "--sub-window")),
+            "--sub-resolution" => sub_resolution = Some(parse(args.next(), "--sub-resolution")),
+            "--sub-every" => sub_every = Some(parse(args.next(), "--sub-every")),
+            "--max-subscriptions" => {
+                max_subscriptions = Some(parse(args.next(), "--max-subscriptions"))
             }
             "--compact-interval" => {
                 compact_interval = Some(parse(args.next(), "--compact-interval"))
@@ -170,6 +189,10 @@ fn main() {
         event_workers: event_workers.unwrap_or(defaults.event_workers),
         write_deadline: write_deadline_ms
             .map_or(defaults.write_deadline, Duration::from_millis),
+        subscribe_window: sub_window.unwrap_or(defaults.subscribe_window),
+        subscribe_resolution: sub_resolution.unwrap_or(defaults.subscribe_resolution),
+        subscribe_every: sub_every.unwrap_or(defaults.subscribe_every),
+        max_subscriptions: max_subscriptions.unwrap_or(defaults.max_subscriptions),
         verbose: true,
         ..defaults
     };
@@ -201,7 +224,8 @@ fn main() {
     }
     eprintln!(
         "asap-server: ingest on {} (line protocol), queries on {} \
-         (SMOOTH|RANGE|STATS|HEALTH|SNAPSHOT|SHUTDOWN); awaiting SHUTDOWN",
+         (SMOOTH|RANGE|SUBSCRIBE|UNSUBSCRIBE|STATS|HEALTH|SNAPSHOT|SHUTDOWN); \
+         awaiting SHUTDOWN",
         server.ingest_addr(),
         server.query_addr()
     );

@@ -23,6 +23,7 @@ use asap_tsdb::{IngestConfig, StreamIngestor};
 
 use crate::protocol;
 use crate::server::{execute, ActiveGuard, Shared, MAX_REQUEST_LINE};
+use crate::subscribe::SubSession;
 
 /// Stop reading new requests from a query connection while more than
 /// this many response bytes are queued for it — the memory bound
@@ -282,6 +283,10 @@ impl IngestConn {
             .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
         let ingest_config = IngestConfig {
             wal: shared.wal_handle(),
+            // Post-reorder fanout to standing subscriptions: the hook
+            // fires in store-apply order, so pushed frames match a
+            // serial replay of the stored series.
+            apply_hook: Some(shared.subscription_hook()),
             ..shared.config().ingest.clone()
         };
         let ingestor = match shared
@@ -469,7 +474,12 @@ pub(crate) struct QueryConn {
     _slot: ActiveGuard,
     acc: Vec<u8>,
     out: WriteBuf,
+    /// This connection's standing subscriptions; dropping the
+    /// connection (any path) unsubscribes them via `SubSession::drop`.
+    session: SubSession,
     /// Client half-closed its write side; close once `out` drains.
+    /// With live subscriptions the connection stays open in push-only
+    /// mode — `watch`-style clients half-close after subscribing.
     eof: bool,
     /// Close once `out` drains (fatal protocol error or `SHUTDOWN`).
     close_after_flush: bool,
@@ -488,12 +498,14 @@ impl QueryConn {
             return None;
         }
         let _ = stream.set_nodelay(true);
+        let session = SubSession::new(Arc::clone(shared.subscriptions()));
         Some(Self {
             stream,
             shared,
             _slot: slot,
             acc: Vec::new(),
             out: WriteBuf::default(),
+            session,
             eof: false,
             close_after_flush: false,
             shutdown_when_done: false,
@@ -521,6 +533,31 @@ impl QueryConn {
             // than buffer unboundedly or hold the slot forever.
             self.finish_now();
             return (true, true);
+        }
+
+        // 1b. Move pushed FRAME/ALERT lines into the write buffer,
+        // bounded by the same high-water mark as request responses: a
+        // subscriber that stops reading fills `out`, further frames
+        // lag-drop in its bounded outbox, and the write-deadline check
+        // above eventually disconnects it — ingest is never delayed.
+        if self.session.has_subs() && self.out.len() < OUT_HIGH_WATER {
+            let was_empty = self.out.is_empty();
+            let mut moved = false;
+            while self.out.len() < OUT_HIGH_WATER {
+                let Some(line) = self.session.outbox().pop() else {
+                    break;
+                };
+                self.out.push(line.as_bytes());
+                moved = true;
+            }
+            if moved {
+                progressed = true;
+                if was_empty {
+                    // Arm the stall deadline fresh: the clock starts
+                    // when output becomes pending, not at connect time.
+                    self.last_write_progress = Instant::now();
+                }
+            }
         }
 
         // 2. Read more requests — only while the client keeps draining
@@ -565,7 +602,7 @@ impl QueryConn {
             if line.is_empty() {
                 continue;
             }
-            let (response, shutdown_after) = execute(line, &self.shared);
+            let (response, shutdown_after) = execute(line, &self.shared, &mut self.session);
             self.out.push(response.as_bytes());
             self.last_write_progress = Instant::now();
             if shutdown_after {
@@ -594,7 +631,8 @@ impl QueryConn {
         if !self.flush_out(&mut progressed) {
             return (true, true);
         }
-        if self.out.is_empty() && (self.close_after_flush || self.eof) {
+        if self.out.is_empty() && (self.close_after_flush || (self.eof && !self.session.has_subs()))
+        {
             self.finish_now();
             return (progressed, true);
         }

@@ -12,10 +12,11 @@
 //!        ▼                           ▼
 //!  ┌─ ingest listener ─┐      ┌─ query listener ──┐
 //!  │ 1 conn = 1        │      │ SMOOTH RANGE      │
-//!  │ StreamIngestor    │      │ STATS HEALTH      │
-//!  │ (cap, back-       │      │ SNAPSHOT SHUTDOWN │
-//!  │  pressure)        │      └────────┬──────────┘
-//!  └────────┬──────────┘               │
+//!  │ StreamIngestor    │      │ SUBSCRIBE (push)  │
+//!  │ (cap, back-       │      │ STATS HEALTH      │
+//!  │  pressure)        │      │ SNAPSHOT SHUTDOWN │
+//!  └────────┬──────────┘      └────────┬──────────┘
+//!           │                          │
 //!           ▼                          ▼
 //!        ┌──────────── ShardedDb ───────────┐   ┌ compaction scheduler ┐
 //!        │  shards · reorder · smoothing    │◀──│ Compactor::run_sharded│
@@ -44,6 +45,14 @@
 //!   [`asap_tsdb::StreamProgress`] plus per-shard
 //!   series/point/watermark occupancy), snapshots (`SNAPSHOT`), and
 //!   graceful shutdown (`SHUTDOWN`).
+//! * **Subscriptions** — `SUBSCRIBE <selector> [EVERY <n>]
+//!   [ALERT k=<sigma>]` registers a standing streaming-smoothing
+//!   subscription fed post-reorder from the ingest apply path; the
+//!   server pushes incremental `FRAME` (and edge-triggered `ALERT`)
+//!   lines down the same connection until `UNSUBSCRIBE` or disconnect.
+//!   Slow subscribers are lag-dropped (bounded per-subscriber outbox)
+//!   or disconnected at the write deadline — never allowed to delay
+//!   ingest or the drain.
 //! * **Compaction scheduler** — a background thread driving
 //!   [`asap_tsdb::Compactor::run_sharded`] on jittered ticks
 //!   ([`asap_tsdb::Schedule`]), mutually exclusive with snapshot saves,
@@ -82,6 +91,7 @@ mod event;
 pub mod protocol;
 mod scheduler;
 mod server;
+mod subscribe;
 mod threaded;
 
 pub use server::{

@@ -14,13 +14,35 @@
 //! Grammar (verbs are case-insensitive, arguments are not):
 //!
 //! ```text
-//! RANGE    <selector> <start> <end> [<bucket> [<agg>]]
-//! SMOOTH   <selector> <start> <end> <bucket> [<resolution>]
+//! RANGE       <selector> <start> <end> [<bucket> [<agg>]]
+//! SMOOTH      <selector> <start> <end> <bucket> [<resolution>]
+//! SUBSCRIBE   <selector> [EVERY <n>] [ALERT k=<sigma>]
+//! UNSUBSCRIBE [<id>]
 //! STATS
 //! HEALTH
 //! SNAPSHOT <name>
 //! SHUTDOWN
 //! ```
+//!
+//! `SUBSCRIBE` registers a standing smoothing subscription: the server
+//! answers `OK subscribed <id> ...` (single line) and from then on pushes
+//! unsolicited lines onto this connection as ingest advances:
+//!
+//! ```text
+//! FRAME <key> seq=<points> window=<w> n=<len> <v1,v2,...>
+//! ALERT <key> seq=<points> dir=<up|down> run=<len> mean_z=<z>
+//! ```
+//!
+//! `seq` is the per-series count of raw points ingested when the frame
+//! was emitted, `window` the chosen smoothing window (in panes), and the
+//! trailing token the comma-joined smoothed series (shortest-roundtrip
+//! `f64`, like data lines). `ALERT` lines appear only for subscriptions
+//! created with `ALERT k=<sigma>`, and are edge-triggered: one line per
+//! sustained deviation, not one per frame. Push lines are interleaved
+//! between responses at line granularity only — a response is never
+//! split by a push. `UNSUBSCRIBE <id>` cancels one subscription,
+//! `UNSUBSCRIBE` cancels every subscription this connection owns, and
+//! disconnect tears all of them down.
 //!
 //! `SNAPSHOT <name>` resolves inside the server's configured snapshot
 //! directory — a relative path with plain components only. Absolute
@@ -77,6 +99,7 @@
 //! `BATCH `) degrades to an ordinary data line and surfaces as a parse
 //! failure downstream, like any other malformed record.
 
+use asap_core::{Alert, Direction, Frame};
 use asap_tsdb::{Aggregator, DataPoint, Selector, SeriesKey, SmoothedFrame};
 
 /// Display resolution (target pixel width) `SMOOTH` uses when the
@@ -124,6 +147,26 @@ pub enum Command {
         /// Destination relative to the snapshot directory; the server
         /// refuses absolute paths and `..` components.
         path: String,
+    },
+    /// `SUBSCRIBE <selector> [EVERY <n>] [ALERT k=<sigma>]` — register a
+    /// standing smoothing subscription pushing `FRAME` (and optionally
+    /// `ALERT`) lines onto this connection.
+    Subscribe {
+        /// Which series to watch (matched against series created later,
+        /// too).
+        selector: Selector,
+        /// Refresh interval in raw points per series; `None` takes the
+        /// server default.
+        every: Option<usize>,
+        /// Deviation-alert threshold in standard deviations; `None`
+        /// disables `ALERT` lines.
+        alert: Option<f64>,
+    },
+    /// `UNSUBSCRIBE [<id>]` — cancel one subscription by id, or every
+    /// subscription this connection owns.
+    Unsubscribe {
+        /// The id `OK subscribed` reported; `None` cancels all.
+        id: Option<u64>,
     },
     /// `SHUTDOWN` — request a graceful server shutdown.
     Shutdown,
@@ -253,6 +296,57 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 path: args[0].to_owned(),
             })
         }
+        "SUBSCRIBE" => {
+            let usage = "SUBSCRIBE <selector> [EVERY <n>] [ALERT k=<sigma>]";
+            arity(1, 5, usage)?;
+            let selector = parse_selector(args[0])?;
+            let mut every = None;
+            let mut alert = None;
+            let mut rest = args[1..].iter();
+            while let Some(word) = rest.next() {
+                match word.to_ascii_uppercase().as_str() {
+                    "EVERY" if every.is_none() => {
+                        let n = rest.next().ok_or_else(|| format!("usage: {usage}"))?;
+                        let n = parse_usize(n, "EVERY interval")?;
+                        if n == 0 {
+                            return Err("EVERY interval must be positive".to_owned());
+                        }
+                        every = Some(n);
+                    }
+                    "ALERT" if alert.is_none() => {
+                        let clause = rest.next().ok_or_else(|| format!("usage: {usage}"))?;
+                        let sigma = clause
+                            .strip_prefix("k=")
+                            .ok_or_else(|| format!("ALERT clause `{clause}` is not k=<sigma>"))?;
+                        let k: f64 = sigma
+                            .parse()
+                            .map_err(|_| format!("ALERT sigma `{sigma}` is not a number"))?;
+                        if !(k > 0.0 && k.is_finite()) {
+                            return Err("ALERT sigma must be positive and finite".to_owned());
+                        }
+                        alert = Some(k);
+                    }
+                    _ => return Err(format!("usage: {usage}")),
+                }
+            }
+            Ok(Command::Subscribe {
+                selector,
+                every,
+                alert,
+            })
+        }
+        "UNSUBSCRIBE" => {
+            arity(0, 1, "UNSUBSCRIBE [<id>]")?;
+            let id = match args.first() {
+                None => None,
+                Some(token) => Some(
+                    token
+                        .parse()
+                        .map_err(|_| format!("subscription id `{token}` is not an integer"))?,
+                ),
+            };
+            Ok(Command::Unsubscribe { id })
+        }
         "SHUTDOWN" => {
             arity(0, 0, "SHUTDOWN")?;
             Ok(Command::Shutdown)
@@ -318,6 +412,46 @@ pub fn render_smooth(frames: &[(SeriesKey, SmoothedFrame)]) -> String {
     }
     out.push_str("END\n");
     out
+}
+
+/// Renders one pushed subscription frame:
+/// `FRAME <key> seq=<points> window=<w> n=<len> <v1,v2,...>`.
+///
+/// Values render through Rust's shortest-roundtrip `f64` display like
+/// data lines, so the line is byte-deterministic for a given frame —
+/// the property the push-vs-poll oracle tests pin.
+pub fn render_frame(key: &SeriesKey, frame: &Frame) -> String {
+    let mut out = format!(
+        "FRAME {key} seq={} window={} n={} ",
+        frame.points_ingested,
+        frame.outcome.window,
+        frame.smoothed.len(),
+    );
+    let mut first = true;
+    for v in &frame.smoothed {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders one pushed deviation alert:
+/// `ALERT <key> seq=<points> dir=<up|down> run=<len> mean_z=<z>`.
+pub fn render_alert(key: &SeriesKey, alert: &Alert) -> String {
+    format!(
+        "ALERT {key} seq={} dir={} run={} mean_z={}\n",
+        alert.points_ingested,
+        match alert.direction {
+            Direction::Up => "up",
+            Direction::Down => "down",
+        },
+        alert.run_len,
+        alert.mean_z,
+    )
 }
 
 #[cfg(test)]
@@ -422,6 +556,103 @@ mod tests {
             let err = parse_command(line).unwrap_err();
             assert!(err.contains(needle), "`{line}` -> {err}");
         }
+    }
+
+    #[test]
+    fn subscribe_grammar_parses_clauses_in_any_order() {
+        assert_eq!(
+            parse_command("SUBSCRIBE cpu{host=a}").unwrap(),
+            Command::Subscribe {
+                selector: parse_selector("cpu{host=a}").unwrap(),
+                every: None,
+                alert: None,
+            }
+        );
+        assert_eq!(
+            parse_command("subscribe * every 500 alert k=1.5").unwrap(),
+            Command::Subscribe {
+                selector: parse_selector("*").unwrap(),
+                every: Some(500),
+                alert: Some(1.5),
+            }
+        );
+        assert_eq!(
+            parse_command("SUBSCRIBE mem ALERT k=2 EVERY 10").unwrap(),
+            Command::Subscribe {
+                selector: parse_selector("mem").unwrap(),
+                every: Some(10),
+                alert: Some(2.0),
+            }
+        );
+        assert_eq!(
+            parse_command("UNSUBSCRIBE 7").unwrap(),
+            Command::Unsubscribe { id: Some(7) }
+        );
+        assert_eq!(
+            parse_command("unsubscribe").unwrap(),
+            Command::Unsubscribe { id: None }
+        );
+    }
+
+    #[test]
+    fn malformed_subscriptions_are_rejected() {
+        for (line, needle) in [
+            ("SUBSCRIBE", "usage:"),
+            ("SUBSCRIBE * EVERY", "usage:"),
+            ("SUBSCRIBE * EVERY 0", "must be positive"),
+            ("SUBSCRIBE * EVERY ten", "not a non-negative integer"),
+            ("SUBSCRIBE * EVERY 5 EVERY 6", "usage:"),
+            ("SUBSCRIBE * ALERT", "usage:"),
+            ("SUBSCRIBE * ALERT 1.5", "not k=<sigma>"),
+            ("SUBSCRIBE * ALERT k=zero", "not a number"),
+            ("SUBSCRIBE * ALERT k=-1", "must be positive"),
+            ("SUBSCRIBE * ALERT k=nan", "must be positive and finite"),
+            ("SUBSCRIBE cpu{host", "unterminated tag block"),
+            ("UNSUBSCRIBE seven", "not an integer"),
+            ("UNSUBSCRIBE 1 2", "usage:"),
+        ] {
+            let err = parse_command(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn frame_and_alert_lines_are_single_line_and_round_trip() {
+        let key = SeriesKey::metric("cpu").with_tag("host", "a");
+        let frame = Frame {
+            smoothed: vec![0.1 + 0.2, 1.0 / 3.0, -4.5],
+            outcome: asap_core::SearchOutcome {
+                window: 7,
+                roughness: 0.0,
+                kurtosis: 0.0,
+                candidates_checked: 1,
+            },
+            points_ingested: 1234,
+        };
+        let line = render_frame(&key, &frame);
+        assert!(line.starts_with("FRAME cpu{host=a} seq=1234 window=7 n=3 "));
+        assert_eq!(line.matches('\n').count(), 1);
+        assert!(line.ends_with('\n'));
+        let values: Vec<f64> = line
+            .trim_end()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(values, frame.smoothed, "values round-trip through parse");
+
+        let alert = Alert {
+            run_len: 6,
+            mean_z: -2.25,
+            direction: Direction::Down,
+            points_ingested: 1234,
+        };
+        assert_eq!(
+            render_alert(&key, &alert),
+            "ALERT cpu{host=a} seq=1234 dir=down run=6 mean_z=-2.25\n"
+        );
     }
 
     #[test]

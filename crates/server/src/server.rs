@@ -20,11 +20,13 @@ use std::time::Duration;
 
 use asap_core::Asap;
 use asap_tsdb::{
-    checkpoint_sharded, IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule,
-    Selector, ShardedDb, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport, ROLLUP_TAG,
+    checkpoint_sharded, ApplyHook, IngestConfig, IngestReport, RangeQuery, RetentionPolicy,
+    Schedule, Selector, ShardedDb, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport,
+    ROLLUP_TAG,
 };
 
 use crate::protocol::{self, Command};
+use crate::subscribe::{Registry, SubSession};
 use crate::{event, scheduler, threaded};
 
 /// Which I/O core serves the two listeners.
@@ -110,6 +112,20 @@ pub struct ServerConfig {
     /// Log one line per connection close / compaction error to stderr
     /// (default `false`; the `asap-server` binary turns it on).
     pub verbose: bool,
+    /// Raw points a subscription's smoothing window covers per series
+    /// (default 10 000) — the `SUBSCRIBE` analogue of a `SMOOTH`
+    /// request's time range.
+    pub subscribe_window: usize,
+    /// Display resolution (pixels, = panes kept) of subscription frames
+    /// (default 100). Together with `subscribe_window` this must give a
+    /// window of at least 4 panes, or the server refuses to start.
+    pub subscribe_resolution: usize,
+    /// Refresh interval (raw points per series between frames) a
+    /// `SUBSCRIBE` without `EVERY` gets (default 1000).
+    pub subscribe_every: usize,
+    /// Server-wide cap on standing subscriptions (default 1024);
+    /// `SUBSCRIBE` over the cap is refused with an `ERR` line.
+    pub max_subscriptions: usize,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +147,10 @@ impl Default for ServerConfig {
             read_budget: 64 * 1024,
             write_deadline: Duration::from_secs(5),
             verbose: false,
+            subscribe_window: 10_000,
+            subscribe_resolution: 100,
+            subscribe_every: 1_000,
+            max_subscriptions: 1_024,
         }
     }
 }
@@ -346,6 +366,9 @@ pub(crate) struct Shared {
     /// What boot-time replay recovered (zeroes when no WAL or nothing
     /// to replay) — surfaced in `STATS`.
     wal_replay: WalReplayReport,
+    /// Standing `SUBSCRIBE` registrations, fed by every ingest
+    /// pipeline's apply hook.
+    subscriptions: Arc<Registry>,
 }
 
 impl Shared {
@@ -355,6 +378,12 @@ impl Shared {
         wal: Option<Wal>,
         wal_replay: WalReplayReport,
     ) -> Self {
+        let subscriptions = Arc::new(Registry::new(
+            config.subscribe_window,
+            config.subscribe_resolution,
+            config.subscribe_every,
+            config.max_subscriptions,
+        ));
         Self {
             db,
             config,
@@ -371,6 +400,7 @@ impl Shared {
             compaction: Mutex::new(CompactionStats::default()),
             wal,
             wal_replay,
+            subscriptions,
         }
     }
 
@@ -386,6 +416,19 @@ impl Shared {
     /// pipeline), or `None` without durability.
     pub(crate) fn wal_handle(&self) -> Option<Wal> {
         self.wal.clone()
+    }
+
+    /// The subscription registry (for per-connection [`SubSession`]s).
+    pub(crate) fn subscriptions(&self) -> &Arc<Registry> {
+        &self.subscriptions
+    }
+
+    /// The post-reorder apply hook every ingest pipeline installs: each
+    /// applied point fans out to matching subscriptions. With no
+    /// standing subscriptions the hook is one atomic load per point.
+    pub(crate) fn subscription_hook(&self) -> ApplyHook {
+        let registry = Arc::clone(&self.subscriptions);
+        ApplyHook::new(move |key, point| registry.on_point(key, point.value))
     }
 
     pub(crate) fn is_draining(&self) -> bool {
@@ -629,6 +672,44 @@ impl Server {
             }
             .into());
         }
+        if config.subscribe_every == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "subscribe_every",
+                message: "the default subscription refresh interval must be positive",
+            }
+            .into());
+        }
+        if config.max_subscriptions == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "max_subscriptions",
+                message: "the subscription cap must be positive",
+            }
+            .into());
+        }
+        // Replicate StreamingAsap::new's viability assertions: a template
+        // the operator would panic on must be a startup error, not a
+        // panic on the first SUBSCRIBE.
+        if config.subscribe_window == 0 || config.subscribe_resolution == 0 {
+            return Err(TsdbError::InvalidParameter {
+                name: "subscribe_window",
+                message: "the subscription window and resolution must be positive",
+            }
+            .into());
+        }
+        let template = asap_core::StreamingConfig::new(
+            config.subscribe_window,
+            config.subscribe_resolution,
+            config.subscribe_every,
+        );
+        let panes = config.subscribe_window.div_ceil(template.pane_size()).max(2);
+        if panes < asap_core::MIN_WARM_PANES {
+            return Err(TsdbError::InvalidParameter {
+                name: "subscribe_resolution",
+                message: "the subscription window must cover at least 4 panes; \
+                          raise subscribe_window or subscribe_resolution",
+            }
+            .into());
+        }
         if let Some(compaction) = &config.compaction {
             compaction.policy.validate()?;
             compaction.schedule.validate()?;
@@ -851,7 +932,9 @@ fn resolve_snapshot_path(dir: Option<&Path>, name: &str) -> Result<PathBuf, Stri
 /// Executes one request line; returns the response and whether the
 /// server should begin shutting down after it is sent. Shared by both
 /// cores — responses must be byte-identical whichever serves them.
-pub(crate) fn execute(line: &str, shared: &Shared) -> (String, bool) {
+/// `session` is the connection's subscription state: `SUBSCRIBE` /
+/// `UNSUBSCRIBE` mutate it, everything else ignores it.
+pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> (String, bool) {
     let command = match protocol::parse_command(line) {
         Ok(command) => command,
         Err(e) => return (protocol::render_error(&e), false),
@@ -921,6 +1004,30 @@ pub(crate) fn execute(line: &str, shared: &Shared) -> (String, bool) {
                 Err(e) => (protocol::render_error(&e.to_string()), false),
             }
         }
+        Command::Subscribe {
+            selector,
+            every,
+            alert,
+        } => {
+            // Same rollup confinement as RANGE/SMOOTH: a wildcard
+            // subscription watches raw series, not the compactor's
+            // pre-aggregates.
+            let selector = confine_rollups(selector);
+            match session.subscribe(selector, every, alert) {
+                Ok((id, every)) => {
+                    let alert = alert.map_or_else(|| "none".to_owned(), |k| k.to_string());
+                    (
+                        format!("OK subscribed {id} every={every} alert={alert}\n"),
+                        false,
+                    )
+                }
+                Err(e) => (protocol::render_error(&e), false),
+            }
+        }
+        Command::Unsubscribe { id } => match session.unsubscribe(id) {
+            Ok(n) => (format!("OK unsubscribed {n}\n"), false),
+            Err(e) => (protocol::render_error(&e), false),
+        },
         Command::Shutdown => ("OK shutting down\n".to_owned(), true),
     }
 }
@@ -1021,6 +1128,26 @@ fn render_stats(shared: &Shared) -> String {
     out.push_str(&format!(
         "wal.replay.damaged {}\n",
         shared.wal_replay.damaged
+    ));
+    let subs = shared.subscriptions.stats();
+    out.push_str(&format!("subscriptions.active {}\n", subs.active));
+    out.push_str(&format!("subscriptions.total {}\n", subs.total));
+    out.push_str(&format!(
+        "subscriptions.series_tracked {}\n",
+        subs.series_tracked
+    ));
+    out.push_str(&format!("subscriptions.points_seen {}\n", subs.points_seen));
+    out.push_str(&format!(
+        "subscriptions.frames_pushed {}\n",
+        subs.frames_pushed
+    ));
+    out.push_str(&format!(
+        "subscriptions.alerts_pushed {}\n",
+        subs.alerts_pushed
+    ));
+    out.push_str(&format!(
+        "subscriptions.frames_lagged {}\n",
+        subs.frames_lagged
     ));
     let series: usize = occupancy.iter().map(|o| o.series).sum();
     let points: usize = occupancy.iter().map(|o| o.points).sum();

@@ -21,6 +21,7 @@ use asap_tsdb::IngestConfig;
 use crate::conn::Framer;
 use crate::protocol;
 use crate::server::{execute, ActiveGuard, Port, Shared, MAX_REQUEST_LINE};
+use crate::subscribe::SubSession;
 
 /// Spawns the two accept loops of the threaded core.
 pub(crate) fn start(
@@ -124,6 +125,9 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
     let _ = stream.set_nodelay(true);
     let ingest_config = IngestConfig {
         wal: shared.wal_handle(),
+        // Post-reorder fanout to standing subscriptions (see
+        // `Shared::subscription_hook`).
+        apply_hook: Some(shared.subscription_hook()),
         ..shared.config().ingest.clone()
     };
     let mut ingestor = match shared
@@ -192,14 +196,21 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
 /// line as a command, write one response per request. Writes carry the
 /// configured deadline, so a client that requests a large response and
 /// then stops reading is disconnected instead of pinning this thread —
-/// and, transitively, [`crate::Server::drain`] — forever.
+/// and, transitively, [`crate::Server::drain`] — forever. The same
+/// deadline bounds pushed `FRAME`/`ALERT` lines: a subscriber that
+/// stops reading times out in `write_all` and is disconnected, while
+/// its bounded outbox lag-drops rather than delaying ingest. A client
+/// that half-closes with live subscriptions stays in push-only mode
+/// instead of ending the handler.
 fn handle_query(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
     let _active = slot;
     let _ = stream.set_read_timeout(Some(shared.config().poll_interval));
     let _ = stream.set_write_timeout(Some(shared.config().write_deadline));
     let _ = stream.set_nodelay(true);
+    let mut session = SubSession::new(Arc::clone(shared.subscriptions()));
     let mut acc: Vec<u8> = Vec::new();
     let mut buf = [0u8; 8 * 1024];
+    let mut eof = false;
     loop {
         while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
             let raw: Vec<u8> = acc.drain(..=pos).collect();
@@ -208,7 +219,7 @@ fn handle_query(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
             if line.is_empty() {
                 continue;
             }
-            let (response, shutdown_after) = execute(line, shared);
+            let (response, shutdown_after) = execute(line, shared, &mut session);
             if (&stream).write_all(response.as_bytes()).is_err() {
                 if shutdown_after {
                     // The peer's failure to read the acknowledgment
@@ -231,11 +242,34 @@ fn handle_query(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
             let _ = stream.shutdown(SocketShutdown::Both);
             return;
         }
+        // Push pending FRAME/ALERT lines. `write_all` under the send
+        // timeout returns an error on a stalled reader; disconnecting
+        // here is this core's stalled-subscriber wall.
+        while let Some(line) = session.outbox().pop() {
+            if (&stream).write_all(line.as_bytes()).is_err() {
+                return;
+            }
+        }
         if shared.is_draining() {
             return;
         }
+        if eof {
+            if !session.has_subs() {
+                return;
+            }
+            // Push-only mode: nothing left to read; wake on the poll
+            // interval to forward freshly pushed lines.
+            std::thread::sleep(shared.config().poll_interval);
+            continue;
+        }
         match (&stream).read(&mut buf) {
-            Ok(0) => return,
+            Ok(0) => {
+                if session.has_subs() {
+                    eof = true;
+                } else {
+                    return;
+                }
+            }
             Ok(n) => acc.extend_from_slice(&buf[..n]),
             Err(e)
                 if matches!(

@@ -88,6 +88,41 @@ use crate::sharded::ShardedDb;
 use crate::tags::SeriesKey;
 use crate::wal::Wal;
 
+/// Observer of every point the pipeline applies to the store,
+/// **post-reorder**: the hook fires inside the shard sink, after the
+/// optional reorder stage has released the point and the store write (and
+/// WAL append, when configured) succeeded. Per series, hook invocation
+/// order therefore equals store apply order — the property standing
+/// consumers (live smoothing subscriptions, change feeds) need to mirror
+/// the store without re-reading it.
+///
+/// The hook runs on shard-writer threads, inline with ingest: it must be
+/// cheap and must never block, or it becomes ingest backpressure. Failed
+/// writes (rejected by the engine or the WAL) do not fire the hook.
+#[derive(Clone)]
+pub struct ApplyHook(ApplyHookFn);
+
+type ApplyHookFn = Arc<dyn Fn(&SeriesKey, DataPoint) + Send + Sync>;
+
+impl ApplyHook {
+    /// Wraps a callback. See the type docs for the ordering contract and
+    /// the no-blocking requirement.
+    pub fn new(hook: impl Fn(&SeriesKey, DataPoint) + Send + Sync + 'static) -> Self {
+        ApplyHook(Arc::new(hook))
+    }
+
+    /// Invokes the hook for one applied point.
+    pub fn call(&self, key: &SeriesKey, point: DataPoint) {
+        (self.0)(key, point)
+    }
+}
+
+impl std::fmt::Debug for ApplyHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ApplyHook(..)")
+    }
+}
+
 /// Tuning knobs of the ingest pipeline.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -120,6 +155,9 @@ pub struct IngestConfig {
     /// contract. The WAL must have been opened with the same shard count
     /// as the destination [`ShardedDb`].
     pub wal: Option<Wal>,
+    /// Post-reorder applied-point observer (default `None`); see
+    /// [`ApplyHook`].
+    pub apply_hook: Option<ApplyHook>,
 }
 
 impl Default for IngestConfig {
@@ -130,6 +168,7 @@ impl Default for IngestConfig {
             chunk_lines: 256,
             lateness: None,
             wal: None,
+            apply_hook: None,
         }
     }
 }
@@ -417,16 +456,25 @@ struct ShardSink {
     db: ShardedDb,
     idx: usize,
     wal: Option<Wal>,
+    hook: Option<ApplyHook>,
 }
 
 impl SeriesWriter for ShardSink {
     fn write_point(&self, key: &SeriesKey, point: DataPoint) -> Result<(), TsdbError> {
-        match &self.wal {
+        let result = match &self.wal {
             None => self.db.shards()[self.idx].write(key, point),
             Some(wal) => wal.log_applied(self.idx, key, point, || {
                 self.db.shards()[self.idx].write(key, point)
             }),
+        };
+        // The hook observes applied points only, after the write (and WAL
+        // append) committed — a rejected point never reaches subscribers.
+        if result.is_ok() {
+            if let Some(hook) = &self.hook {
+                hook.call(key, point);
+            }
         }
+        result
     }
 }
 
@@ -559,8 +607,9 @@ impl StreamIngestor {
             let shared = Arc::clone(&shared);
             let lateness = config.lateness;
             let wal = config.wal.clone();
+            let hook = config.apply_hook.clone();
             writers.push(std::thread::spawn(move || {
-                shard_writer(db, idx, rx, shared, lateness, wal)
+                shard_writer(db, idx, rx, shared, lateness, wal, hook)
             }));
         }
 
@@ -891,11 +940,13 @@ fn shard_writer(
     shared: Arc<Shared>,
     lateness: Option<i64>,
     wal: Option<Wal>,
+    hook: Option<ApplyHook>,
 ) -> (usize, Vec<WriteFailure>) {
     let sink = ShardSink {
         db,
         idx: shard_idx,
         wal,
+        hook,
     };
     let mut reorder = lateness.map(|l| {
         ReorderBuffer::new(sink.clone(), l)
@@ -1530,5 +1581,67 @@ mod tests {
             vec![DataPoint::new(1, 1.0), DataPoint::new(2, 2.0)],
             "complete lines applied on drop, partial line discarded"
         );
+    }
+
+    #[test]
+    fn apply_hook_fires_post_reorder_in_store_order() {
+        // Shuffled input + a reorder stage: the hook must observe each
+        // series' points in *applied* (timestamp) order, including the
+        // buffered tail that only the end-of-stream flush releases —
+        // never in arrival order.
+        let mut lines: Vec<String> = (0..200).map(|t| format!("m v={t} {t}")).collect();
+        // Reverse disjoint 16-line blocks: displacement is bounded well
+        // inside the lateness window, so nothing is dropped.
+        for block in lines.chunks_mut(16) {
+            block.reverse();
+        }
+        let text = lines.join("\n");
+        let seen: Arc<Mutex<Vec<(SeriesKey, DataPoint)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let config = IngestConfig {
+            parsers: 2,
+            chunk_lines: 16,
+            lateness: Some(64),
+            apply_hook: Some(ApplyHook::new(move |key, point| {
+                sink.lock().unwrap().push((key.clone(), point));
+            })),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(4, 32));
+        let report = pipeline_ingest(&db, &text, 0, &config).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 200, "one hook call per applied point");
+        let key = SeriesKey::metric("m.v");
+        let observed: Vec<DataPoint> =
+            seen.iter().map(|(k, p)| {
+                assert_eq!(k, &key);
+                *p
+            }).collect();
+        assert_eq!(
+            observed,
+            db.query(&key, full()).unwrap(),
+            "hook order must equal store apply order"
+        );
+    }
+
+    #[test]
+    fn apply_hook_skips_rejected_points() {
+        // Without a reorder stage, out-of-order points are rejected by
+        // the engine; the hook must see only what the store accepted.
+        let text = "m v=1 10\nm v=2 5\nm v=3 20\n";
+        let count = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&count);
+        let config = IngestConfig {
+            apply_hook: Some(ApplyHook::new(move |_, _| {
+                sink.fetch_add(1, Ordering::SeqCst);
+            })),
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 16));
+        let report = pipeline_ingest(&db, text, 0, &config).unwrap();
+        assert_eq!(report.points, 2);
+        assert_eq!(report.write_failures.len(), 1);
+        assert_eq!(count.load(Ordering::SeqCst), 2, "rejected point never fired the hook");
     }
 }

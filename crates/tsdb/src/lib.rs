@@ -85,8 +85,8 @@ pub use db::{SeriesStats, Tsdb, TsdbConfig};
 pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};
 pub use ingest::{
-    ingest_reader, pipeline_ingest, IngestConfig, IngestReport, ParseFailure, StreamIngestor,
-    StreamProgress, WriteFailure,
+    ingest_reader, pipeline_ingest, ApplyHook, IngestConfig, IngestReport, ParseFailure,
+    StreamIngestor, StreamProgress, WriteFailure,
 };
 pub use line_protocol::{ingest, parse, ParsedPoint};
 pub use persist::{

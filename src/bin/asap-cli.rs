@@ -9,6 +9,13 @@
 //!     run ASAP on a built-in dataset or a CSV file (timestamp,value per
 //!     line) and report the chosen window; optionally render the result
 //!     as an SVG figure or a terminal chart.
+//!
+//! asap-cli watch --addr HOST:PORT [--every N] [--alert K] [--frames N]
+//!                SELECTOR
+//!     subscribe to an asap-server query port and tail the pushed
+//!     FRAME/ALERT lines for every series matching SELECTOR (for
+//!     example `cpu.usage` or `cpu.*{host=web1}`); stop after N frames
+//!     with --frames, otherwise stream until interrupted.
 //! ```
 //!
 //! Examples:
@@ -27,6 +34,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("datasets") => cmd_datasets(),
         Some("smooth") => cmd_smooth(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -45,6 +53,8 @@ fn print_usage() {
     eprintln!("  asap-cli datasets");
     eprintln!("  asap-cli smooth [--dataset NAME | --csv PATH] [--resolution N]");
     eprintln!("                  [--svg PATH] [--term] [--no-preagg]");
+    eprintln!("  asap-cli watch  --addr HOST:PORT [--every N] [--alert K] [--frames N]");
+    eprintln!("                  SELECTOR");
 }
 
 fn cmd_datasets() -> i32 {
@@ -102,6 +112,158 @@ fn parse_smooth_args(args: &[String]) -> Result<SmoothArgs, String> {
         return Err("resolution must be positive".into());
     }
     Ok(out)
+}
+
+/// Parsed flags of the `watch` subcommand.
+struct WatchArgs {
+    addr: String,
+    selector: String,
+    every: Option<usize>,
+    alert: Option<f64>,
+    frames: Option<usize>,
+}
+
+fn parse_watch_args(args: &[String]) -> Result<WatchArgs, String> {
+    let mut addr = None;
+    let mut selector = None;
+    let mut every = None;
+    let mut alert = None;
+    let mut frames = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--every" => {
+                every = Some(
+                    value("--every")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| "--every must be a positive integer".to_string())?,
+                );
+            }
+            "--alert" => {
+                alert = Some(
+                    value("--alert")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|k| k.is_finite() && *k > 0.0)
+                        .ok_or_else(|| "--alert must be a positive number".to_string())?,
+                );
+            }
+            "--frames" => {
+                frames = Some(
+                    value("--frames")?
+                        .parse::<usize>()
+                        .map_err(|_| "--frames must be a non-negative integer".to_string())?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => {
+                if selector.replace(positional.to_string()).is_some() {
+                    return Err("exactly one SELECTOR is expected".into());
+                }
+            }
+        }
+    }
+    Ok(WatchArgs {
+        addr: addr.ok_or("--addr is required")?,
+        selector: selector.ok_or("a SELECTOR argument is required")?,
+        every,
+        alert,
+        frames,
+    })
+}
+
+/// Subscribes to a running `asap-server` query port and prints pushed
+/// `FRAME`/`ALERT` lines as they arrive.
+fn cmd_watch(args: &[String]) -> i32 {
+    use std::io::{BufRead, BufReader, Write};
+
+    let args = match parse_watch_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage();
+            return 2;
+        }
+    };
+    let mut request = format!("SUBSCRIBE {}", args.selector);
+    if let Some(every) = args.every {
+        request.push_str(&format!(" EVERY {every}"));
+    }
+    if let Some(k) = args.alert {
+        request.push_str(&format!(" ALERT k={k}"));
+    }
+    request.push('\n');
+
+    let stream = match std::net::TcpStream::connect(&args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: connecting to {}: {e}", args.addr);
+            return 1;
+        }
+    };
+    if let Err(e) = (&stream).write_all(request.as_bytes()) {
+        eprintln!("error: sending subscription: {e}");
+        return 1;
+    }
+    // Half-close our write side: the server keeps the connection in
+    // push-only mode while the subscription lives.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => {
+            eprintln!("error: server closed the connection before acknowledging");
+            return 1;
+        }
+        Ok(_) => {
+            let ack = line.trim_end();
+            if !ack.starts_with("OK subscribed") {
+                eprintln!("error: server refused the subscription: {ack}");
+                return 1;
+            }
+            eprintln!("{ack}");
+        }
+        Err(e) => {
+            eprintln!("error: reading acknowledgment: {e}");
+            return 1;
+        }
+    }
+
+    let mut seen_frames = 0usize;
+    loop {
+        if let Some(limit) = args.frames {
+            if seen_frames >= limit {
+                return 0;
+            }
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                eprintln!("server closed the connection");
+                return 0;
+            }
+            Ok(_) => {
+                print!("{line}");
+                let _ = std::io::stdout().flush();
+                if line.starts_with("FRAME ") {
+                    seen_frames += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: reading stream: {e}");
+                return 1;
+            }
+        }
+    }
 }
 
 fn cmd_smooth(args: &[String]) -> i32 {
