@@ -10,6 +10,7 @@
 //!              [--rollup BUCKET] [--raw-ttl T]]
 //!             [--snapshot PATH] [--snapshot-dir DIR]
 //!             [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]
+//!             [--checkpoint-interval SECS [--checkpoint-chain-depth N]]
 //! ```
 //!
 //! Feed it InfluxDB-style line protocol on the ingest port (optionally
@@ -40,10 +41,24 @@
 //! an existing snapshot is loaded at boot (the WAL tail replays on
 //! top), and the drain-time save becomes a checkpoint that truncates
 //! the covered log generations. See DESIGN.md § Durability.
+//!
+//! Online checkpoints: `--checkpoint-interval SECS` upgrades the
+//! `--snapshot` path from a single file to an incremental *chain
+//! directory* (a full base snapshot plus per-checkpoint deltas holding
+//! only the series that changed, committed by a CRC-guarded manifest).
+//! A background thread then checkpoints on jittered ticks while the
+//! server runs, truncating the covered WAL generations each pass — the
+//! log stays bounded without waiting for shutdown, and checkpoint cost
+//! tracks write activity rather than store size.
+//! `--checkpoint-chain-depth N` (default 8) caps the delta links before
+//! a pass re-bases. Requires `--snapshot`; boot loads a chain directory
+//! exactly like a snapshot file.
 
 use std::time::Duration;
 
-use asap_server::{CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig};
+use asap_server::{
+    CheckpointConfig, CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig,
+};
 use asap_tsdb::{
     Aggregator, FsyncPolicy, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig,
     ShardedDb, WalConfig,
@@ -56,7 +71,8 @@ const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards
                      [--max-subscriptions N] \
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
                      [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR] \
-                     [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]";
+                     [--wal-dir DIR [--fsync always|every=N|interval-ms=N]] \
+                     [--checkpoint-interval SECS [--checkpoint-chain-depth N]]";
 
 fn fail(message: &str) -> ! {
     eprintln!("asap-server: {message}\n{USAGE}");
@@ -94,6 +110,8 @@ fn main() {
     let mut snapshot_dir = None;
     let mut wal_dir: Option<std::path::PathBuf> = None;
     let mut fsync: Option<FsyncPolicy> = None;
+    let mut checkpoint_interval: Option<u64> = None;
+    let mut checkpoint_chain_depth = 8usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -137,6 +155,12 @@ fn main() {
                 parse::<String>(args.next(), "--wal-dir"),
             )),
             "--fsync" => fsync = Some(parse(args.next(), "--fsync")),
+            "--checkpoint-interval" => {
+                checkpoint_interval = Some(parse(args.next(), "--checkpoint-interval"))
+            }
+            "--checkpoint-chain-depth" => {
+                checkpoint_chain_depth = parse(args.next(), "--checkpoint-chain-depth")
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -171,6 +195,26 @@ fn main() {
         fsync: fsync.unwrap_or_default(),
     });
 
+    // `--checkpoint-interval` turns the `--snapshot` path into an
+    // incremental chain directory maintained online: the background
+    // scheduler (and the drain) checkpoint into the chain, so the
+    // single-file drain-time save is replaced, not duplicated.
+    if checkpoint_interval.is_some() && snapshot.is_none() {
+        fail("--checkpoint-interval needs --snapshot (the chain directory)");
+    }
+    let checkpoint = checkpoint_interval.map(|secs| CheckpointConfig {
+        dir: snapshot.clone().expect("checked above"),
+        schedule: Schedule::every(Duration::from_secs(secs))
+            .with_jitter(Duration::from_secs(secs / 10)),
+        seed: 0xc4ec,
+        chain_depth: checkpoint_chain_depth,
+    });
+    let final_snapshot = if checkpoint.is_some() {
+        None
+    } else {
+        snapshot.clone()
+    };
+
     let defaults = ServerConfig::default();
     let config = ServerConfig {
         ingest_addr,
@@ -182,9 +226,10 @@ fn main() {
             ..IngestConfig::default()
         },
         compaction,
-        final_snapshot: snapshot.clone(),
+        final_snapshot,
         snapshot_dir,
         wal,
+        checkpoint,
         core,
         event_workers: event_workers.unwrap_or(defaults.event_workers),
         write_deadline: write_deadline_ms
@@ -240,9 +285,26 @@ fn main() {
         report.compaction.runs,
         report.compaction.rolled_up,
     );
+    if report.checkpoint.runs > 0 || report.checkpoint.errors > 0 {
+        eprintln!(
+            "asap-server: checkpoints runs={} rebases={} chain_links={} \
+             bytes_written={} wal_files_discarded={}",
+            report.checkpoint.runs,
+            report.checkpoint.rebases,
+            report.checkpoint.chain_links,
+            report.checkpoint.bytes_written,
+            report.checkpoint.wal_files_discarded,
+        );
+    }
     let mut failed = false;
     if let Some(e) = report.final_snapshot_error {
         eprintln!("asap-server: final snapshot failed: {e}");
+        failed = true;
+    }
+    // The drain ends with one final checkpoint on chain-configured
+    // servers; a populated `last_error` means that final pass failed.
+    if let Some(e) = report.checkpoint.last_error {
+        eprintln!("asap-server: final checkpoint failed: {e}");
         failed = true;
     }
     if let Some(e) = report.wal_seal_error {

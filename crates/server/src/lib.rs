@@ -57,6 +57,12 @@
 //!   [`asap_tsdb::Compactor::run_sharded`] on jittered ticks
 //!   ([`asap_tsdb::Schedule`]), mutually exclusive with snapshot saves,
 //!   its cumulative counters surfaced through `STATS`.
+//! * **Checkpoint scheduler** — with durability configured, a second
+//!   background thread takes *incremental* checkpoints on jittered
+//!   ticks ([`asap_tsdb::CheckpointChain`]): each pass writes only the
+//!   series that changed since the last one and discards the covered
+//!   WAL generations, so checkpoint cost tracks write activity — not
+//!   total data — and the log stays bounded at steady state.
 //! * **Graceful shutdown** — `SHUTDOWN` (or [`Server::shutdown`]) stops
 //!   accepting, finalizes every connection (complete ingest lines
 //!   applied, reorder buffers flushed), stops the scheduler, optionally
@@ -86,6 +92,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod conn;
 mod event;
 pub mod protocol;
@@ -95,6 +102,6 @@ mod subscribe;
 mod threaded;
 
 pub use server::{
-    CompactionClock, CompactionConfig, CompactionStats, CoreMode, IngestTotals, Server,
-    ServerConfig, ServerError, ServerReport,
+    CheckpointConfig, CheckpointStats, CompactionClock, CompactionConfig, CompactionStats,
+    CoreMode, IngestTotals, Server, ServerConfig, ServerError, ServerReport,
 };

@@ -54,20 +54,15 @@ pub(crate) fn run(shared: &Shared, config: &CompactionConfig) {
             continue;
         };
         match compactor.run_sharded(shared.db(), now) {
-            Ok(report) => shared.record_compaction(|stats| {
-                stats.runs += 1;
-                stats.rolled_up += report.rolled_up;
-                stats.raw_evicted += report.raw_evicted;
-                stats.rollup_evicted += report.rollup_evicted;
-            }),
+            // `record_success` clears `last_error`: a populated value
+            // always describes the *latest* pass, so one transient
+            // failure doesn't read as a persistent fault forever.
+            Ok(report) => shared.record_compaction(|stats| stats.record_success(&report)),
             Err(e) => {
                 if shared.verbose() {
                     eprintln!("asap-server: compaction pass failed: {e}");
                 }
-                shared.record_compaction(|stats| {
-                    stats.errors += 1;
-                    stats.last_error = Some(e.to_string());
-                });
+                shared.record_compaction(|stats| stats.record_failure(e.to_string()));
             }
         }
     }

@@ -20,14 +20,14 @@ use std::time::Duration;
 
 use asap_core::Asap;
 use asap_tsdb::{
-    checkpoint_sharded, ApplyHook, IngestConfig, IngestReport, RangeQuery, RetentionPolicy,
-    Schedule, Selector, ShardedDb, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport,
-    ROLLUP_TAG,
+    checkpoint_sharded, ApplyHook, ChainCheckpointReport, CheckpointChain, CompactionReport,
+    IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule, Selector, ShardedDb,
+    SnapshotError, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport, ROLLUP_TAG,
 };
 
 use crate::protocol::{self, Command};
 use crate::subscribe::{Registry, SubSession};
-use crate::{event, scheduler, threaded};
+use crate::{checkpoint, event, scheduler, threaded};
 
 /// Which I/O core serves the two listeners.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,6 +81,16 @@ pub struct ServerConfig {
     /// Client-issued `SNAPSHOT <name>` exports never truncate the log —
     /// only the snapshot recovery actually boots from may.
     pub wal: Option<WalConfig>,
+    /// Background incremental checkpoints; `None` disables the
+    /// checkpoint scheduler thread and the on-disk chain. When set, the
+    /// server maintains a [`CheckpointChain`] in the configured
+    /// directory: each scheduled pass rotates the WAL, writes only the
+    /// series that changed since the previous pass, commits the chain
+    /// manifest, and discards the covered log generations — so both the
+    /// log and the checkpoint cost stay bounded by write activity. The
+    /// drain-time final snapshot and client `SNAPSHOT` commands go
+    /// through the same chain (see [`Server::shutdown`]).
+    pub checkpoint: Option<CheckpointConfig>,
     /// Directory `SNAPSHOT <name>` targets resolve inside. `None`
     /// (the default) disables the command: the query port may be bound
     /// on a non-loopback address, and an unauthenticated client must
@@ -140,6 +150,7 @@ impl Default for ServerConfig {
             compaction: None,
             final_snapshot: None,
             wal: None,
+            checkpoint: None,
             snapshot_dir: None,
             poll_interval: Duration::from_millis(25),
             core: CoreMode::Event,
@@ -178,6 +189,39 @@ impl Default for CompactionConfig {
                 .with_jitter(Duration::from_secs(5)),
             seed: 0,
             clock: CompactionClock::WallClock,
+        }
+    }
+}
+
+/// What the background checkpoint scheduler runs and when: the on-disk
+/// incremental chain plus the tick plan driving it.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// The chain directory ([`CheckpointChain::open`] creates it).
+    /// Recovery loads it like any snapshot path —
+    /// [`asap_tsdb::recover_sharded`] and `ShardedDb::load` dispatch on
+    /// directories transparently.
+    pub dir: PathBuf,
+    /// Tick plan: base interval plus jitter (see
+    /// [`asap_tsdb::Schedule`]).
+    pub schedule: Schedule,
+    /// Seed of the scheduler's jitter RNG — fixed so a server's tick
+    /// plan is reproducible run to run.
+    pub seed: u64,
+    /// Delta links the chain may accumulate before a checkpoint
+    /// re-bases (writes a fresh full base and drops the old chain).
+    /// Must be at least 1; the default is 8.
+    pub chain_depth: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            dir: PathBuf::from("checkpoints"),
+            schedule: Schedule::every(Duration::from_secs(300))
+                .with_jitter(Duration::from_secs(15)),
+            seed: 0,
+            chain_depth: 8,
         }
     }
 }
@@ -306,8 +350,71 @@ pub struct CompactionStats {
     pub raw_evicted: usize,
     /// Rollup points evicted across all runs.
     pub rollup_evicted: usize,
-    /// Rendering of the most recent failure, if any.
+    /// Rendering of the most recent failure — cleared when a later pass
+    /// succeeds, so a populated value always means the *latest* pass
+    /// failed, not that some pass once did.
     pub last_error: Option<String>,
+}
+
+impl CompactionStats {
+    pub(crate) fn record_success(&mut self, report: &CompactionReport) {
+        self.runs += 1;
+        self.rolled_up += report.rolled_up;
+        self.raw_evicted += report.raw_evicted;
+        self.rollup_evicted += report.rollup_evicted;
+        self.last_error = None;
+    }
+
+    pub(crate) fn record_failure(&mut self, error: String) {
+        self.errors += 1;
+        self.last_error = Some(error);
+    }
+}
+
+/// Cumulative background-checkpoint counters, surfaced through `STATS`
+/// (`checkpoint.*`) and the final [`ServerReport`]. Scheduler ticks,
+/// client `SNAPSHOT` commands, and the drain-time final checkpoint all
+/// fold into the same counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Completed checkpoint passes.
+    pub runs: u64,
+    /// Failed passes.
+    pub errors: u64,
+    /// Wall-clock milliseconds the most recent successful pass took.
+    pub last_duration_ms: u64,
+    /// Links in the chain after the most recent pass (base + deltas).
+    pub chain_links: usize,
+    /// Passes that re-based (wrote a fresh full base and dropped the
+    /// old chain) rather than appending a delta.
+    pub rebases: u64,
+    /// Link-file bytes written across all passes.
+    pub bytes_written: u64,
+    /// WAL files removed by covered-generation discards across all
+    /// passes.
+    pub wal_files_discarded: u64,
+    /// Rendering of the most recent failure — cleared when a later pass
+    /// succeeds, matching [`CompactionStats::last_error`].
+    pub last_error: Option<String>,
+}
+
+impl CheckpointStats {
+    fn record_success(&mut self, report: &ChainCheckpointReport, duration: Duration) {
+        self.runs += 1;
+        self.last_duration_ms = u64::try_from(duration.as_millis()).unwrap_or(u64::MAX);
+        self.chain_links = report.links;
+        if report.rebased {
+            self.rebases += 1;
+        }
+        self.bytes_written += report.bytes_written;
+        self.wal_files_discarded += report.wal_files_discarded as u64;
+        self.last_error = None;
+    }
+
+    fn record_failure(&mut self, error: String) {
+        self.errors += 1;
+        self.last_error = Some(error);
+    }
 }
 
 /// Final accounting handed back by [`Server::shutdown`] / [`Server::run`].
@@ -318,6 +425,9 @@ pub struct ServerReport {
     pub ingest: IngestTotals,
     /// Compaction totals at shutdown.
     pub compaction: CompactionStats,
+    /// Checkpoint totals at shutdown, the drain-time final checkpoint
+    /// included (zeroes when no chain was configured).
+    pub checkpoint: CheckpointStats,
     /// Rendering of the final-snapshot failure, if one was requested
     /// and failed (the drain still completes).
     pub final_snapshot_error: Option<String>,
@@ -361,6 +471,12 @@ pub(crate) struct Shared {
     query_rejected: AtomicU64,
     next_conn_id: AtomicU64,
     compaction: Mutex<CompactionStats>,
+    checkpoint: Mutex<CheckpointStats>,
+    /// The incremental checkpoint chain, when configured. The lock
+    /// serializes checkpoint passes (scheduler ticks, `SNAPSHOT`
+    /// commands, the drain); the snapshot gate additionally keeps them
+    /// exclusive with compaction and plain snapshot saves.
+    chain: Option<Mutex<CheckpointChain>>,
     /// Live WAL appender, shared with every ingest pipeline.
     wal: Option<Wal>,
     /// What boot-time replay recovered (zeroes when no WAL or nothing
@@ -377,6 +493,7 @@ impl Shared {
         config: ServerConfig,
         wal: Option<Wal>,
         wal_replay: WalReplayReport,
+        chain: Option<CheckpointChain>,
     ) -> Self {
         let subscriptions = Arc::new(Registry::new(
             config.subscribe_window,
@@ -398,6 +515,8 @@ impl Shared {
             query_rejected: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(0),
             compaction: Mutex::new(CompactionStats::default()),
+            checkpoint: Mutex::new(CheckpointStats::default()),
+            chain: chain.map(Mutex::new),
             wal,
             wal_replay,
             subscriptions,
@@ -449,6 +568,41 @@ impl Shared {
 
     pub(crate) fn record_compaction<F: FnOnce(&mut CompactionStats)>(&self, update: F) {
         update(&mut self.compaction.lock().expect("compaction stats poisoned"));
+    }
+
+    /// Whether an incremental checkpoint chain is configured.
+    pub(crate) fn has_chain(&self) -> bool {
+        self.chain.is_some()
+    }
+
+    /// Runs one incremental checkpoint pass on the configured chain —
+    /// rotate the WAL, write the delta (or re-base), commit the
+    /// manifest, discard the covered generations — folding the outcome
+    /// into the `checkpoint.*` stats. The caller must hold the snapshot
+    /// gate; the chain's own lock serializes concurrent callers.
+    pub(crate) fn run_checkpoint(&self) -> Result<ChainCheckpointReport, String> {
+        let Some(chain) = &self.chain else {
+            return Err("no checkpoint chain is configured".to_owned());
+        };
+        let started = std::time::Instant::now();
+        let mut chain = chain.lock().expect("checkpoint chain poisoned");
+        match chain.checkpoint(&self.db, self.wal.as_ref()) {
+            Ok(report) => {
+                self.checkpoint
+                    .lock()
+                    .expect("checkpoint stats poisoned")
+                    .record_success(&report, started.elapsed());
+                Ok(report)
+            }
+            Err(e) => {
+                let rendered = e.to_string();
+                self.checkpoint
+                    .lock()
+                    .expect("checkpoint stats poisoned")
+                    .record_failure(rendered.clone());
+                Err(rendered)
+            }
+        }
     }
 
     pub(crate) fn request_shutdown(&self) {
@@ -618,6 +772,7 @@ pub struct Server {
     /// (threaded) or dispatcher + workers (event).
     io_threads: Vec<JoinHandle<()>>,
     scheduler_thread: Option<JoinHandle<()>>,
+    checkpoint_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -714,6 +869,16 @@ impl Server {
             compaction.policy.validate()?;
             compaction.schedule.validate()?;
         }
+        if let Some(checkpoint) = &config.checkpoint {
+            checkpoint.schedule.validate()?;
+            if checkpoint.chain_depth == 0 {
+                return Err(TsdbError::InvalidParameter {
+                    name: "chain_depth",
+                    message: "the checkpoint chain depth must be at least 1",
+                }
+                .into());
+            }
+        }
         // Recover, then open: replay any WAL left by a prior run into
         // the store before the listeners exist (no ingest races replay),
         // then start a fresh log generation for this run's appends. The
@@ -729,6 +894,19 @@ impl Server {
                 wal_config.fsync,
             )?);
         }
+        // Open (or create) the checkpoint chain after replay: the chain
+        // writer's first pass after open always re-bases, so it never
+        // depends on in-memory state from a prior process.
+        let mut chain = None;
+        if let Some(checkpoint_config) = &config.checkpoint {
+            chain = Some(
+                CheckpointChain::open(&checkpoint_config.dir, checkpoint_config.chain_depth)
+                    .map_err(|e| match e {
+                        SnapshotError::Io(e) => ServerError::Io(e),
+                        SnapshotError::Tsdb(e) => ServerError::Config(e),
+                    })?,
+            );
+        }
         let ingest_listener = TcpListener::bind(&config.ingest_addr)?;
         let query_listener = TcpListener::bind(&config.query_addr)?;
         // Nonblocking accept, polled at the drain granularity: the
@@ -741,8 +919,9 @@ impl Server {
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
         let compaction = config.compaction.clone();
+        let checkpoint_config = config.checkpoint.clone();
         let core = config.core;
-        let shared = Arc::new(Shared::new(db, config, wal, wal_replay));
+        let shared = Arc::new(Shared::new(db, config, wal, wal_replay, chain));
 
         let io_threads = match core {
             CoreMode::Event => event::start(ingest_listener, query_listener, &shared),
@@ -752,6 +931,10 @@ impl Server {
             let s = Arc::clone(&shared);
             std::thread::spawn(move || scheduler::run(&s, &cfg))
         });
+        let checkpoint_thread = checkpoint_config.map(|cfg| {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || checkpoint::run(&s, &cfg))
+        });
 
         Ok(Self {
             shared,
@@ -759,6 +942,7 @@ impl Server {
             query_addr,
             io_threads,
             scheduler_thread,
+            checkpoint_thread,
         })
     }
 
@@ -797,6 +981,16 @@ impl Server {
             .clone()
     }
 
+    /// Current checkpoint counters (what `STATS` reports; zeroes when
+    /// no chain is configured).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.shared
+            .checkpoint
+            .lock()
+            .expect("checkpoint stats poisoned")
+            .clone()
+    }
+
     /// Blocks until a client issues `SHUTDOWN` (or another thread calls
     /// [`Server::shutdown`] via a clone of the handle — there is none,
     /// so in practice: until `SHUTDOWN` arrives), then drains and
@@ -832,6 +1026,19 @@ impl Server {
         if let Some(handle) = self.scheduler_thread.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.checkpoint_thread.take() {
+            let _ = handle.join();
+        }
+        // A chain-configured server's durable shutdown state is one
+        // last incremental checkpoint: everything the drain flushed
+        // lands in the chain and the covered log generations go away,
+        // so the next boot folds the chain plus an empty (or tiny) WAL
+        // tail. Failures land in `checkpoint.last_error` — the drain
+        // still completes, and the surviving WAL still covers the data.
+        if self.shared.has_chain() {
+            let _gate = self.shared.snapshot_gate();
+            let _ = self.shared.run_checkpoint();
+        }
         let mut final_snapshot_error = None;
         if let Some(path) = self.shared.config.final_snapshot.clone() {
             let _gate = self.shared.snapshot_gate();
@@ -862,6 +1069,12 @@ impl Server {
                 .compaction
                 .lock()
                 .expect("compaction stats poisoned")
+                .clone(),
+            checkpoint: self
+                .shared
+                .checkpoint
+                .lock()
+                .expect("checkpoint stats poisoned")
                 .clone(),
             final_snapshot_error,
             wal_seal_error,
@@ -999,9 +1212,9 @@ pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> 
             // Hold the gate for the whole save: the compaction scheduler
             // pauses rather than mutating the store mid-snapshot.
             let _gate = shared.snapshot_gate();
-            match shared.db.save(&target) {
+            match snapshot_command(shared, &target) {
                 Ok(()) => (format!("OK snapshot {path}\n"), false),
-                Err(e) => (protocol::render_error(&e.to_string()), false),
+                Err(e) => (protocol::render_error(&e), false),
             }
         }
         Command::Subscribe {
@@ -1030,6 +1243,41 @@ pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> 
         },
         Command::Shutdown => ("OK shutting down\n".to_owned(), true),
     }
+}
+
+/// The work behind a client `SNAPSHOT <name>`, run under the snapshot
+/// gate the caller holds. What "snapshot" means depends on the
+/// durability configuration — with a WAL, a plain export alone would
+/// leave the operator's freshest on-disk state out of the recovery set,
+/// so the command advances the real checkpoint wherever one exists:
+///
+/// * **No WAL** — the named export *is* the durable state; save it.
+/// * **WAL + checkpoint chain** — run a real incremental checkpoint
+///   (rotate → delta → manifest → discard covered generations), then
+///   write the named export as a bonus standalone copy.
+/// * **WAL + boot snapshot, no chain** — recovery boots from
+///   [`ServerConfig::final_snapshot`] plus the log tail, so refresh
+///   *that* file under one rotation boundary before any generation is
+///   discarded; the named export rides along under the same boundary.
+/// * **WAL only** — recovery replays the log from the start, so nothing
+///   may be discarded: the named export stays a plain copy.
+fn snapshot_command(shared: &Shared, target: &Path) -> Result<(), String> {
+    let err = |e: SnapshotError| e.to_string();
+    let Some(wal) = &shared.wal else {
+        return shared.db.save(target).map_err(err);
+    };
+    if shared.has_chain() {
+        shared.run_checkpoint()?;
+        return shared.db.save(target).map_err(err);
+    }
+    if let Some(boot) = shared.config.final_snapshot.clone() {
+        let boundary = wal.rotate().map_err(|e| e.to_string())?;
+        shared.db.save(&boot).map_err(err)?;
+        shared.db.save(target).map_err(err)?;
+        wal.discard_before(boundary).map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    shared.db.save(target).map_err(err)
 }
 
 /// Hides compaction-internal rollup series from `RANGE` / `SMOOTH`
@@ -1106,6 +1354,34 @@ fn render_stats(shared: &Shared) -> String {
     out.push_str(&format!(
         "compaction.rollup_evicted {}\n",
         compaction.rollup_evicted
+    ));
+    let checkpoint = shared
+        .checkpoint
+        .lock()
+        .expect("checkpoint stats poisoned")
+        .clone();
+    out.push_str(&format!(
+        "checkpoint.enabled {}\n",
+        u8::from(shared.has_chain())
+    ));
+    out.push_str(&format!("checkpoint.runs {}\n", checkpoint.runs));
+    out.push_str(&format!("checkpoint.errors {}\n", checkpoint.errors));
+    out.push_str(&format!(
+        "checkpoint.last_duration_ms {}\n",
+        checkpoint.last_duration_ms
+    ));
+    out.push_str(&format!(
+        "checkpoint.chain_links {}\n",
+        checkpoint.chain_links
+    ));
+    out.push_str(&format!("checkpoint.rebases {}\n", checkpoint.rebases));
+    out.push_str(&format!(
+        "checkpoint.bytes_written {}\n",
+        checkpoint.bytes_written
+    ));
+    out.push_str(&format!(
+        "checkpoint.wal_files_discarded {}\n",
+        checkpoint.wal_files_discarded
     ));
     let wal_stats = shared.wal.as_ref().map(Wal::stats).unwrap_or_default();
     out.push_str(&format!(
@@ -1206,6 +1482,51 @@ fn render_health(shared: &Shared) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compaction_last_error_clears_when_a_later_pass_succeeds() {
+        let mut stats = CompactionStats::default();
+        stats.record_failure("disk on fire".to_owned());
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.last_error.as_deref(), Some("disk on fire"));
+
+        let report = CompactionReport {
+            rolled_up: 7,
+            ..CompactionReport::default()
+        };
+        stats.record_success(&report);
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.rolled_up, 7);
+        assert_eq!(stats.errors, 1, "error history is cumulative");
+        assert_eq!(stats.last_error, None, "a success clears the latest error");
+    }
+
+    #[test]
+    fn checkpoint_last_error_clears_when_a_later_pass_succeeds() {
+        let mut stats = CheckpointStats::default();
+        stats.record_failure("manifest write failed".to_owned());
+        assert_eq!(stats.errors, 1);
+        assert!(stats.last_error.is_some());
+
+        let report = ChainCheckpointReport {
+            rebased: true,
+            link_written: true,
+            bytes_written: 123,
+            links: 1,
+            wal_files_discarded: 2,
+            completed: true,
+            ..ChainCheckpointReport::default()
+        };
+        stats.record_success(&report, Duration::from_millis(5));
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.rebases, 1);
+        assert_eq!(stats.chain_links, 1);
+        assert_eq!(stats.bytes_written, 123);
+        assert_eq!(stats.wal_files_discarded, 2);
+        assert_eq!(stats.last_duration_ms, 5);
+        assert_eq!(stats.errors, 1, "error history is cumulative");
+        assert_eq!(stats.last_error, None, "a success clears the latest error");
+    }
 
     #[test]
     fn snapshot_targets_are_confined_to_the_configured_directory() {

@@ -8,7 +8,9 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use asap_core::Asap;
-use asap_server::{protocol, CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig};
+use asap_server::{
+    protocol, CheckpointConfig, CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig,
+};
 use asap_tsdb::{
     line_protocol, smooth, Aggregator, Compactor, DataPoint, FsyncPolicy, IngestConfig, RangeQuery,
     RetentionPolicy, RollupLevel, Schedule, Selector, SeriesKey, ShardedConfig, ShardedDb, Tsdb,
@@ -771,6 +773,220 @@ fn restart_with_wal_recovers_the_drained_state() {
     assert_eq!(stat(&stats, "store.points") as usize, total);
     second.shutdown();
     std::fs::remove_dir_all(&wal_dir).ok();
+}
+
+/// The distinct WAL generations currently on disk, parsed from the
+/// `wal-{shard}-{generation}.log` file names.
+fn wal_generations(dir: &std::path::Path) -> std::collections::BTreeSet<u64> {
+    let mut gens = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(dir).expect("read wal dir") {
+        let name = entry.expect("wal dir entry").file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix("wal-").and_then(|r| r.strip_suffix(".log")) {
+            if let Some((_, gen)) = rest.split_once('-') {
+                gens.insert(gen.parse().expect("generation number"));
+            }
+        }
+    }
+    gens
+}
+
+/// With a WAL and a checkpoint chain configured, `SNAPSHOT <name>` is a
+/// real checkpoint, not just an export: it advances the on-disk chain,
+/// discards the covered WAL generations, and still writes the named
+/// standalone snapshot. A restart from the chain plus the surviving log
+/// tail serves byte-identical responses.
+#[test]
+fn snapshot_with_a_chain_checkpoints_and_truncates_the_wal() {
+    const HOSTS: usize = 2;
+    const POINTS: i64 = 80;
+    let base = std::env::temp_dir().join(format!("asap_snapck_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let wal_dir = base.join("wal");
+    let chain_dir = base.join("chain");
+    let export_dir = base.join("exports");
+    std::fs::create_dir_all(&export_dir).unwrap();
+    let config = || ServerConfig {
+        ingest: IngestConfig {
+            lateness: Some(LATENESS),
+            ..IngestConfig::default()
+        },
+        wal: Some(WalConfig {
+            dir: wal_dir.clone(),
+            fsync: FsyncPolicy::EveryN(8),
+        }),
+        checkpoint: Some(CheckpointConfig {
+            dir: chain_dir.clone(),
+            // An idle schedule: this test drives checkpoints through
+            // SNAPSHOT and the drain, not the background thread.
+            schedule: Schedule::every(Duration::from_secs(3600)),
+            seed: 1,
+            chain_depth: 4,
+        }),
+        snapshot_dir: Some(export_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let first =
+        Server::start(ShardedDb::with_config(ShardedConfig::new(3, 16)), config()).unwrap();
+    let doc = shuffle_within_lateness(&sorted_doc(HOSTS, POINTS)).join("\n") + "\n";
+    let report = ingest_doc(first.ingest_addr(), &doc);
+    assert!(report.contains("clean=true"), "{report}");
+
+    let gens_before = wal_generations(&wal_dir);
+    assert!(!gens_before.is_empty());
+    assert_eq!(query(first.query_addr(), "SNAPSHOT export1"), "OK snapshot export1\n");
+
+    // The checkpoint rotated past every pre-snapshot generation and
+    // discarded them: only the fresh live generation remains on disk.
+    let gens_after = wal_generations(&wal_dir);
+    assert_eq!(gens_after.len(), 1, "covered generations survive: {gens_after:?}");
+    assert!(gens_after.iter().min() > gens_before.iter().max());
+
+    let stats = query(first.query_addr(), "STATS");
+    assert_eq!(stat(&stats, "checkpoint.enabled"), 1);
+    assert_eq!(stat(&stats, "checkpoint.runs"), 1);
+    assert_eq!(stat(&stats, "checkpoint.errors"), 0);
+    assert!(stat(&stats, "checkpoint.chain_links") >= 1);
+    assert!(stat(&stats, "checkpoint.bytes_written") > 0);
+    assert_eq!(
+        stat(&stats, "checkpoint.wal_files_discarded"),
+        3,
+        "one covered file per shard"
+    );
+
+    // The named export rides along as a complete standalone snapshot of
+    // the checkpointed moment.
+    let range_cmd = format!("RANGE cpu.usage 0 {POINTS}");
+    let live = query(first.query_addr(), &range_cmd);
+    let exported =
+        ShardedDb::load(&export_dir.join("export1"), ShardedConfig::new(3, 16)).unwrap();
+    let rendered = protocol::render_range(
+        &exported
+            .query_selector(
+                &Selector::metric("cpu.usage").tag_absent(ROLLUP_TAG),
+                RangeQuery::raw(0, POINTS),
+            )
+            .unwrap(),
+    );
+    assert_eq!(rendered, live, "the export diverges from the served store");
+
+    // Post-snapshot writes land in the surviving log tail and the
+    // drain's final chain checkpoint — nothing acknowledged is lost.
+    let mut tail = String::new();
+    for t in POINTS..POINTS + 20 {
+        for h in 0..HOSTS {
+            tail.push_str(&format!("cpu,host=h{h} usage={} {t}\n", (t % 5) as f64));
+        }
+    }
+    let report = ingest_doc(first.ingest_addr(), &tail);
+    assert!(report.contains("clean=true"), "{report}");
+    let full_cmd = format!("RANGE cpu.usage 0 {}", POINTS + 20);
+    let expect = query(first.query_addr(), &full_cmd);
+    let drained = first.shutdown();
+    assert_eq!(drained.checkpoint.runs, 2, "the drain takes a final checkpoint");
+    assert_eq!(drained.checkpoint.last_error, None);
+
+    // Boot like the binary: fold the chain directory, replay the tail.
+    let db = ShardedDb::load(&chain_dir, ShardedConfig::new(2, 16)).unwrap();
+    let second = Server::start(db, config()).unwrap();
+    assert_eq!(
+        second.wal_replay_report().applied,
+        0,
+        "the final checkpoint left nothing to replay"
+    );
+    assert_eq!(query(second.query_addr(), &full_cmd), expect);
+    second.shutdown();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The ISSUE's steady-state acceptance criterion: with background
+/// checkpoints enabled, the on-disk WAL never accumulates with uptime —
+/// every pass discards the generations it covers, so distinct
+/// generations stay within chain depth + 1 across rounds of ingest, the
+/// chain itself re-bases at the configured depth, and a restart folds
+/// the chain back into byte-identical query responses.
+#[test]
+fn background_checkpoints_bound_the_wal_at_steady_state() {
+    const DEPTH: usize = 2;
+    let base = std::env::temp_dir().join(format!("asap_ckschd_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let wal_dir = base.join("wal");
+    let chain_dir = base.join("chain");
+    let config = || ServerConfig {
+        wal: Some(WalConfig {
+            dir: wal_dir.clone(),
+            fsync: FsyncPolicy::EveryN(4),
+        }),
+        checkpoint: Some(CheckpointConfig {
+            dir: chain_dir.clone(),
+            schedule: Schedule::every(Duration::from_millis(40))
+                .with_jitter(Duration::from_millis(10)),
+            seed: 7,
+            chain_depth: DEPTH,
+        }),
+        ..ServerConfig::default()
+    };
+
+    let first =
+        Server::start(ShardedDb::with_config(ShardedConfig::new(2, 16)), config()).unwrap();
+    let mut expected_points = 0usize;
+    for round in 0..5i64 {
+        let mut lines = String::new();
+        for t in round * 20..(round + 1) * 20 {
+            for h in 0..2 {
+                lines.push_str(&format!(
+                    "cpu,host=h{h} usage={} {t}\n",
+                    (t % 9) as f64 + h as f64
+                ));
+            }
+        }
+        expected_points += 40;
+        let report = ingest_doc(first.ingest_addr(), &lines);
+        assert!(report.contains("clean=true"), "{report}");
+        // Let at least one more pass cover this round before the next,
+        // so checkpoints see genuine incremental write activity.
+        wait_for_stats(first.query_addr(), "another checkpoint pass", |stats| {
+            stat(stats, "checkpoint.runs") > round
+        });
+        let gens = wal_generations(&wal_dir);
+        assert!(
+            gens.len() <= DEPTH + 1,
+            "round {round}: the WAL grew with uptime: {gens:?}"
+        );
+    }
+    let stats = wait_for_stats(first.query_addr(), "a re-base", |stats| {
+        stat(stats, "checkpoint.rebases") >= 1
+    });
+    assert_eq!(stat(&stats, "checkpoint.errors"), 0);
+    assert!(stat(&stats, "checkpoint.chain_links") as usize <= DEPTH + 1);
+    assert_eq!(stat(&stats, "store.points") as usize, expected_points);
+
+    let range_cmd = "RANGE cpu.usage 0 100";
+    let expect = query(first.query_addr(), range_cmd);
+    let drained = first.shutdown();
+    assert_eq!(drained.checkpoint.last_error, None);
+    assert!(drained.checkpoint.runs >= 5);
+
+    // The on-disk chain is bounded too: at most one base plus DEPTH
+    // delta links survive the re-bases.
+    let links = std::fs::read_dir(&chain_dir)
+        .unwrap()
+        .filter(|e| {
+            let name = e.as_ref().unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("base-") || name.starts_with("delta-")
+        })
+        .count();
+    assert!(links <= DEPTH + 1, "chain holds {links} link files");
+
+    // Boot like the binary: fold the chain, replay the (empty) tail.
+    let db = ShardedDb::load(&chain_dir, ShardedConfig::new(3, 16)).unwrap();
+    let second = Server::start(db, config()).unwrap();
+    assert_eq!(second.wal_replay_report().applied, 0);
+    assert_eq!(query(second.query_addr(), range_cmd), expect);
+    second.shutdown();
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// Rollup series (tagged [`ROLLUP_TAG`] by the compactor) are

@@ -1,0 +1,1014 @@
+//! Incremental checkpoint chains — snapshot format v3.
+//!
+//! A drain-time checkpoint ([`crate::persist::checkpoint_sharded`])
+//! re-serializes the **entire** store every time, so its cost scales
+//! with total data. A long-running server checkpointing every minute
+//! needs the opposite: cost proportional to what changed since the last
+//! checkpoint. This module provides that as a *chain* — a directory
+//! holding one full base snapshot plus a sequence of per-series delta
+//! links, indexed by a manifest:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST                          which links are live, in order
+//!   base-<chain_id:016x>-00000000.snap    a plain v2 snapshot
+//!   delta-<chain_id:016x>-<seq:08>.snap   series that changed since seq-1
+//! ```
+//!
+//! ## Manifest (little-endian)
+//!
+//! ```text
+//! magic "ASAPCHN1" | u32 1 | u64 chain_id | u32 link_count
+//! per link: u64 seq          (link 0 is the base, the rest are deltas)
+//! u32 crc32 of all preceding bytes
+//! ```
+//!
+//! ## Delta link (little-endian)
+//!
+//! ```text
+//! magic "ASAPTSDB" | u32 3 | u64 chain_id | u64 seq | u32 series_count
+//! directory, series sorted by key:
+//!   u32 key_len | key bytes | u8 mode | u32 start_block | u32 block_count
+//!   u64 payload_offset (from file start) | u64 payload_len
+//! payloads, same order: block records as in v1/v2
+//! ```
+//!
+//! `mode` 0 is **append**: the link's blocks extend the series, and
+//! `start_block` must equal the folded block count at apply time (a
+//! cheap cross-check that the delta really follows its predecessors).
+//! `mode` 1 is **replace**: drop the series and import these blocks from
+//! scratch — used for new series, for series whose old blocks were
+//! evicted by retention (the previous prefix no longer matches), and,
+//! with zero blocks, as a tombstone for a series evicted entirely.
+//!
+//! ## Change detection
+//!
+//! The writer keeps an in-memory fingerprint per series — sealed-block
+//! count, total point count, and last block end — of what the chain's
+//! files already cover. After the pre-checkpoint flush (which seals
+//! every memtable, so watermark advances materialize as new sealed
+//! blocks), a series whose current blocks extend a matching prefix
+//! yields an append of just the new blocks; anything else yields a
+//! replace. Fingerprints are process-local: the first checkpoint after
+//! [`CheckpointChain::open`] always writes a fresh base (re-base), which
+//! also bounds recovery of a chain left behind by an older process.
+//!
+//! ## Crash safety
+//!
+//! Every file is written via tmp+rename ([`crate::persist`]'s
+//! `replace_file`), and a checkpoint orders its steps so that a kill
+//! anywhere leaves a recoverable prefix:
+//!
+//! 1. rotate the WAL (boundary `g`): nothing discarded yet;
+//! 2. write the delta (or, on re-base, the new base under a fresh
+//!    chain id): an orphan file no manifest references — ignored;
+//! 3. rename the new manifest: the chain now covers everything before
+//!    `g`; replay of not-yet-discarded generations is idempotent;
+//! 4. (re-base only) delete the previous chain's files: the manifest
+//!    stopped referencing them in step 3;
+//! 5. discard WAL generations `< g`: every record they hold is in the
+//!    chain.
+//!
+//! The in-memory chain state (links, fingerprints) only advances after
+//! step 3 succeeds, so a *failed* step (as opposed to a kill) leaves the
+//! writer consistent with the on-disk manifest and the next checkpoint
+//! simply overwrites the orphan. [`load_chain`] folds base + deltas in
+//! manifest order, validating each link **fully before applying it**,
+//! and degrades to the newest loadable prefix on any damage — the WAL
+//! tail (which was only discarded once covered) supplies the rest.
+//! `tests/crash_properties.rs` kills a checkpoint between every step
+//! and proves recovery ≡ the surviving-prefix oracle.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::block::Block;
+use crate::error::TsdbError;
+use crate::persist::{
+    corrupt, encode_blocks, read_blocks, read_directory, read_header, read_key, read_u32,
+    read_u64, replace_file, validate_key, write_v2, EncodedSeries, SnapshotError, VERSION_V2,
+};
+use crate::persist::MAGIC;
+use crate::sharded::{ShardedConfig, ShardedDb};
+use crate::tags::{Selector, SeriesKey};
+use crate::wal::{crc32, Wal};
+
+const CHAIN_MAGIC: &[u8; 8] = b"ASAPCHN1";
+const MANIFEST_VERSION: u32 = 1;
+const MANIFEST_NAME: &str = "MANIFEST";
+const VERSION_V3: u32 = 3;
+
+/// The steps of one incremental checkpoint, in execution order. Passed
+/// to [`CheckpointChain::checkpoint_until`] by the fault-injection tests
+/// to simulate a kill *after* the named step completed (and before the
+/// next one started); production code never stops early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainStep {
+    /// The WAL was rotated onto a fresh generation; nothing written yet.
+    Rotated,
+    /// The delta link file was renamed into place (delta path).
+    DeltaWritten,
+    /// The new base file was renamed into place (re-base path).
+    BaseWritten,
+    /// The new manifest was renamed into place — the commit point.
+    ManifestWritten,
+    /// The previous chain's files were deleted (re-base path).
+    OldChainRemoved,
+    /// Covered WAL generations were discarded — the final step.
+    Discarded,
+}
+
+/// What one [`CheckpointChain::checkpoint`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainCheckpointReport {
+    /// The WAL generation boundary this checkpoint covers (None without
+    /// a WAL).
+    pub boundary: Option<u64>,
+    /// Whether this checkpoint wrote a fresh base (chain compaction).
+    pub rebased: bool,
+    /// Whether a link file was written at all (false when nothing
+    /// changed since the previous link — the chain is left untouched).
+    pub link_written: bool,
+    /// Series serialized into the link (changed series only, for a
+    /// delta).
+    pub series_written: usize,
+    /// Bytes of the link file written.
+    pub bytes_written: u64,
+    /// Links in the chain after this checkpoint (base + deltas).
+    pub links: usize,
+    /// WAL files removed by the covered-generation discard.
+    pub wal_files_discarded: usize,
+    /// False when the checkpoint was stopped early at a kill point.
+    pub completed: bool,
+}
+
+/// How much of a chain [`load_chain`] managed to fold.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChainLoadReport {
+    /// Links the manifest lists.
+    pub links_total: usize,
+    /// Links folded before damage (== `links_total` when clean).
+    pub links_loaded: usize,
+    /// Description of the first damaged link, if any.
+    pub damage: Option<String>,
+}
+
+/// Per-series fingerprint of the sealed blocks the chain already covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    blocks: usize,
+    points: usize,
+    end_ts: i64,
+}
+
+fn fingerprint(blocks: &[Block]) -> Fingerprint {
+    Fingerprint {
+        blocks: blocks.len(),
+        points: blocks.iter().map(Block::len).sum(),
+        end_ts: blocks.last().map_or(i64::MIN, |b| b.summary().end),
+    }
+}
+
+/// Whether `blocks` still starts with the exact prefix `fp` described —
+/// i.e. nothing the chain already serialized was evicted or rewritten.
+fn prefix_matches(blocks: &[Block], fp: &Fingerprint) -> bool {
+    if fp.blocks == 0 {
+        return true;
+    }
+    if blocks.len() < fp.blocks {
+        return false;
+    }
+    let prefix = &blocks[..fp.blocks];
+    prefix.iter().map(Block::len).sum::<usize>() == fp.points
+        && prefix[fp.blocks - 1].summary().end == fp.end_ts
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaMode {
+    Append,
+    Replace,
+}
+
+/// One decoded (or about-to-be-encoded) delta directory entry.
+struct DeltaEntry {
+    key: SeriesKey,
+    mode: DeltaMode,
+    start_block: u32,
+    blocks: Vec<Block>,
+}
+
+fn base_name(chain_id: u64, seq: u64) -> String {
+    format!("base-{chain_id:016x}-{seq:08}.snap")
+}
+
+fn delta_name(chain_id: u64, seq: u64) -> String {
+    format!("delta-{chain_id:016x}-{seq:08}.snap")
+}
+
+/// Parses `base-…`/`delta-…` link file names back into (chain id, seq).
+fn parse_link_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(".snap")?;
+    let rest = stem
+        .strip_prefix("base-")
+        .or_else(|| stem.strip_prefix("delta-"))?;
+    let (chain_id, seq) = rest.split_once('-')?;
+    seq.parse::<u64>().ok()?;
+    u64::from_str_radix(chain_id, 16).ok()
+}
+
+struct Manifest {
+    chain_id: u64,
+    links: Vec<u64>,
+}
+
+fn parse_manifest(bytes: &[u8]) -> Option<Manifest> {
+    let fixed = CHAIN_MAGIC.len() + 4 + 8 + 4;
+    if bytes.len() < fixed + 4 {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().ok()?) {
+        return None;
+    }
+    if &body[..8] != CHAIN_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(body[8..12].try_into().ok()?) != MANIFEST_VERSION {
+        return None;
+    }
+    let chain_id = u64::from_le_bytes(body[12..20].try_into().ok()?);
+    let count = u32::from_le_bytes(body[20..24].try_into().ok()?) as usize;
+    if count > 1 << 16 || body.len() != fixed + count * 8 {
+        return None;
+    }
+    let links = body[fixed..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Some(Manifest { chain_id, links })
+}
+
+/// Reads the manifest; `Ok(None)` means no manifest exists (an empty
+/// chain), `Err` means one exists but is damaged.
+fn read_manifest(dir: &Path) -> Result<Option<Manifest>, SnapshotError> {
+    let bytes = match std::fs::read(dir.join(MANIFEST_NAME)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    parse_manifest(&bytes)
+        .map(Some)
+        .ok_or_else(|| corrupt("chain manifest is damaged"))
+}
+
+fn write_manifest(dir: &Path, chain_id: u64, links: &[u64]) -> Result<(), SnapshotError> {
+    let mut body = Vec::with_capacity(24 + links.len() * 8);
+    body.extend_from_slice(CHAIN_MAGIC);
+    body.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    body.extend_from_slice(&chain_id.to_le_bytes());
+    body.extend_from_slice(&(links.len() as u32).to_le_bytes());
+    for seq in links {
+        body.extend_from_slice(&seq.to_le_bytes());
+    }
+    let crc = crc32(&body);
+    replace_file(&dir.join(MANIFEST_NAME), |w| {
+        w.write_all(&body)?;
+        w.write_all(&crc.to_le_bytes())?;
+        Ok(())
+    })
+}
+
+/// Exports every series' sealed blocks, one worker per non-empty shard,
+/// merged into key order (same consistency point as `save_sharded`).
+/// Call after `db.flush()` so memtable contents are included.
+fn export_all(db: &ShardedDb) -> Result<Vec<(SeriesKey, Vec<Block>)>, SnapshotError> {
+    let mut all: Vec<(SeriesKey, Vec<Block>)> = Vec::new();
+    crossbeam::thread::scope(|scope| -> Result<(), SnapshotError> {
+        let mut handles = Vec::new();
+        for shard in db.shards() {
+            if shard.series_count() == 0 {
+                continue;
+            }
+            handles.push(scope.spawn(
+                move |_| -> Result<Vec<(SeriesKey, Vec<Block>)>, SnapshotError> {
+                    let mut out = Vec::new();
+                    for key in shard.list_series(&Selector::any()) {
+                        validate_key(&key)?;
+                        let blocks = shard.export_blocks(&key)?;
+                        if !blocks.is_empty() {
+                            out.push((key, blocks));
+                        }
+                    }
+                    Ok(out)
+                },
+            ));
+        }
+        for handle in handles {
+            all.extend(handle.join().expect("chain export worker panicked")?);
+        }
+        Ok(())
+    })
+    .expect("chain export scope failed")?;
+    all.sort_by(|(a, _), (b, _)| a.cmp(b));
+    Ok(all)
+}
+
+/// Computes the delta entries between the chain's fingerprints and a
+/// fresh export: appends for cleanly-extended series, replaces for new
+/// or rewritten ones, zero-block replaces (tombstones) for series the
+/// store no longer holds.
+fn diff(
+    prev: &BTreeMap<SeriesKey, Fingerprint>,
+    exports: &[(SeriesKey, Vec<Block>)],
+) -> Vec<DeltaEntry> {
+    let mut entries = Vec::new();
+    for (key, blocks) in exports {
+        match prev.get(key) {
+            Some(fp) if prefix_matches(blocks, fp) => {
+                if blocks.len() > fp.blocks {
+                    entries.push(DeltaEntry {
+                        key: key.clone(),
+                        mode: DeltaMode::Append,
+                        start_block: fp.blocks as u32,
+                        blocks: blocks[fp.blocks..].to_vec(),
+                    });
+                }
+            }
+            _ => entries.push(DeltaEntry {
+                key: key.clone(),
+                mode: DeltaMode::Replace,
+                start_block: 0,
+                blocks: blocks.clone(),
+            }),
+        }
+    }
+    let live: std::collections::BTreeSet<&SeriesKey> = exports.iter().map(|(k, _)| k).collect();
+    for key in prev.keys() {
+        if !live.contains(key) {
+            entries.push(DeltaEntry {
+                key: key.clone(),
+                mode: DeltaMode::Replace,
+                start_block: 0,
+                blocks: Vec::new(),
+            });
+        }
+    }
+    entries.sort_by(|a, b| a.key.cmp(&b.key));
+    entries
+}
+
+fn write_delta(
+    path: &Path,
+    chain_id: u64,
+    seq: u64,
+    entries: &[DeltaEntry],
+) -> Result<(), SnapshotError> {
+    let encoded: Vec<(String, u8, u32, u32, Vec<u8>)> = entries
+        .iter()
+        .map(|e| {
+            let mut payload = Vec::new();
+            encode_blocks(&e.blocks, &mut payload);
+            let mode = match e.mode {
+                DeltaMode::Append => 0u8,
+                DeltaMode::Replace => 1u8,
+            };
+            (e.key.to_string(), mode, e.start_block, e.blocks.len() as u32, payload)
+        })
+        .collect();
+    let header_len = MAGIC.len() + 4 + 8 + 8 + 4;
+    let dir_len: usize = encoded.iter().map(|(n, ..)| 4 + n.len() + 1 + 4 + 4 + 8 + 8).sum();
+    replace_file(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION_V3.to_le_bytes())?;
+        w.write_all(&chain_id.to_le_bytes())?;
+        w.write_all(&seq.to_le_bytes())?;
+        w.write_all(&(encoded.len() as u32).to_le_bytes())?;
+        let mut offset = (header_len + dir_len) as u64;
+        for (name, mode, start_block, block_count, payload) in &encoded {
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name.as_bytes())?;
+            w.write_all(&[*mode])?;
+            w.write_all(&start_block.to_le_bytes())?;
+            w.write_all(&block_count.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            offset += payload.len() as u64;
+        }
+        for (_, _, _, _, payload) in &encoded {
+            w.write_all(payload)?;
+        }
+        Ok(())
+    })
+}
+
+fn read_u8(r: &mut impl Read) -> Result<u8, SnapshotError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Decodes a delta link **fully** (header checks, bounded payload reads,
+/// block decode) before anything is applied, so a damaged link never
+/// half-applies.
+fn read_delta(
+    path: &Path,
+    expect_chain: u64,
+    expect_seq: u64,
+) -> Result<Vec<DeltaEntry>, SnapshotError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    if read_header(&mut r)? != VERSION_V3 {
+        return Err(corrupt("link is not a delta file"));
+    }
+    if read_u64(&mut r)? != expect_chain {
+        return Err(corrupt("delta belongs to a foreign chain"));
+    }
+    if read_u64(&mut r)? != expect_seq {
+        return Err(corrupt("delta sequence does not match the manifest"));
+    }
+    let series_count = read_u32(&mut r)?;
+    if series_count > 1 << 20 {
+        return Err(corrupt("implausible delta series count"));
+    }
+    let mut dir = Vec::with_capacity(series_count as usize);
+    for _ in 0..series_count {
+        let key = read_key(&mut r)?;
+        let mode = match read_u8(&mut r)? {
+            0 => DeltaMode::Append,
+            1 => DeltaMode::Replace,
+            _ => return Err(corrupt("unknown delta entry mode")),
+        };
+        let start_block = read_u32(&mut r)?;
+        let block_count = read_u32(&mut r)?;
+        let offset = read_u64(&mut r)?;
+        let len = read_u64(&mut r)?;
+        if len > 1 << 40 {
+            return Err(corrupt("implausible delta payload length"));
+        }
+        dir.push((key, mode, start_block, block_count, offset, len));
+    }
+    let mut entries = Vec::with_capacity(dir.len());
+    for (key, mode, start_block, block_count, offset, len) in dir {
+        r.seek(SeekFrom::Start(offset))?;
+        let mut bounded = (&mut r).take(len);
+        let blocks = read_blocks(&mut bounded, block_count)?;
+        if bounded.limit() != 0 {
+            return Err(corrupt("delta payload shorter than directory claims"));
+        }
+        entries.push(DeltaEntry {
+            key,
+            mode,
+            start_block,
+            blocks,
+        });
+    }
+    Ok(entries)
+}
+
+/// Decodes a base link (a plain v2 snapshot) fully into memory. Chain
+/// folding trades the v2 loader's parallel streaming for whole-link
+/// validation before apply — base links are read once at boot.
+fn read_base(path: &Path) -> Result<Vec<DeltaEntry>, SnapshotError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    if read_header(&mut r)? != VERSION_V2 {
+        return Err(corrupt("chain base is not a v2 snapshot"));
+    }
+    let directory = read_directory(&mut r)?;
+    let mut entries = Vec::with_capacity(directory.len());
+    for entry in directory {
+        r.seek(SeekFrom::Start(entry.offset))?;
+        let mut bounded = (&mut r).take(entry.len);
+        let blocks = read_blocks(&mut bounded, entry.block_count)?;
+        if bounded.limit() != 0 {
+            return Err(corrupt("series payload shorter than directory claims"));
+        }
+        entries.push(DeltaEntry {
+            key: entry.key,
+            mode: DeltaMode::Replace,
+            start_block: 0,
+            blocks,
+        });
+    }
+    Ok(entries)
+}
+
+fn sealed_block_count(db: &ShardedDb, key: &SeriesKey) -> usize {
+    db.export_blocks(key).map(|b| b.len()).unwrap_or(0)
+}
+
+/// Folds a checkpoint-chain directory into a fresh [`ShardedDb`],
+/// returning how much of the chain was loadable. Damage — a garbage
+/// manifest, a missing or foreign delta, a torn payload — stops the fold
+/// at the newest loadable prefix instead of failing: the WAL tail
+/// (never discarded past the manifest's coverage) supplies the rest via
+/// [`crate::persist::recover_sharded`].
+pub fn load_chain_with_report(
+    dir: &Path,
+    config: ShardedConfig,
+) -> Result<(ShardedDb, ChainLoadReport), SnapshotError> {
+    let db = ShardedDb::with_config(config);
+    let mut report = ChainLoadReport::default();
+    let manifest = match read_manifest(dir) {
+        Ok(Some(manifest)) => manifest,
+        Ok(None) => return Ok((db, report)),
+        Err(e) => {
+            report.damage = Some(e.to_string());
+            return Ok((db, report));
+        }
+    };
+    report.links_total = manifest.links.len();
+    for (index, &seq) in manifest.links.iter().enumerate() {
+        let decoded = if index == 0 {
+            read_base(&dir.join(base_name(manifest.chain_id, seq)))
+        } else {
+            read_delta(&dir.join(delta_name(manifest.chain_id, seq)), manifest.chain_id, seq)
+        };
+        let entries = match decoded {
+            Ok(entries) => entries,
+            Err(e) => {
+                report.damage = Some(format!("link {index} (seq {seq}): {e}"));
+                break;
+            }
+        };
+        // Cross-check every append offset against the folded state
+        // before touching it — entries are per-key disjoint, so the
+        // checks are independent and the link applies all-or-nothing.
+        let misaligned = entries.iter().any(|e| {
+            e.mode == DeltaMode::Append
+                && sealed_block_count(&db, &e.key) != e.start_block as usize
+        });
+        if misaligned {
+            report.damage = Some(format!(
+                "link {index} (seq {seq}): delta does not extend the folded chain"
+            ));
+            break;
+        }
+        let mut failed = None;
+        for entry in entries {
+            if entry.mode == DeltaMode::Replace {
+                db.evict_series_before(&entry.key, i64::MAX);
+            }
+            if !entry.blocks.is_empty() {
+                if let Err(e) = db.import_blocks(&entry.key, entry.blocks) {
+                    failed = Some(format!("link {index} (seq {seq}): {e}"));
+                    break;
+                }
+            }
+        }
+        if let Some(damage) = failed {
+            report.damage = Some(damage);
+            break;
+        }
+        report.links_loaded += 1;
+    }
+    Ok((db, report))
+}
+
+/// [`load_chain_with_report`] without the report — the form
+/// [`crate::persist::load_sharded`] dispatches to for chain directories.
+pub fn load_chain(dir: &Path, config: ShardedConfig) -> Result<ShardedDb, SnapshotError> {
+    Ok(load_chain_with_report(dir, config)?.0)
+}
+
+/// The writer side of an incremental checkpoint chain: owns the chain
+/// directory, the live manifest state, and the per-series fingerprints
+/// change detection works from. One instance per store; callers
+/// serialize checkpoints (the server holds it behind a mutex and the
+/// snapshot gate).
+pub struct CheckpointChain {
+    dir: PathBuf,
+    max_depth: usize,
+    chain_id: u64,
+    links: Vec<u64>,
+    series: Option<BTreeMap<SeriesKey, Fingerprint>>,
+    next_chain_id: u64,
+}
+
+impl CheckpointChain {
+    /// Opens (or creates) a chain directory. `max_depth` is the number
+    /// of delta links tolerated before a checkpoint re-bases (writes a
+    /// fresh full base and drops the old chain); it must be at least 1.
+    ///
+    /// Fingerprints do not survive restarts, so the first checkpoint of
+    /// a fresh instance always re-bases.
+    pub fn open(dir: &Path, max_depth: usize) -> Result<Self, SnapshotError> {
+        if max_depth == 0 {
+            return Err(SnapshotError::Tsdb(TsdbError::InvalidParameter {
+                name: "max_depth",
+                message: "the checkpoint chain depth must be at least 1",
+            }));
+        }
+        std::fs::create_dir_all(dir)?;
+        // New chain ids must never collide with any file already in the
+        // directory, including orphans from chains whose manifest is
+        // gone — scan everything, not just the manifest.
+        let mut highest = 0u64;
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            if let Some(chain_id) = name.to_str().and_then(parse_link_name) {
+                highest = highest.max(chain_id);
+            }
+        }
+        let (chain_id, links) = match read_manifest(dir) {
+            Ok(Some(manifest)) => {
+                highest = highest.max(manifest.chain_id);
+                (manifest.chain_id, manifest.links)
+            }
+            // No manifest, or a damaged one: the first checkpoint
+            // re-bases under a fresh id anyway.
+            _ => (0, Vec::new()),
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            max_depth,
+            chain_id,
+            links,
+            series: None,
+            next_chain_id: highest + 1,
+        })
+    }
+
+    /// The chain directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Links currently in the chain (base + deltas).
+    pub fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Takes one incremental checkpoint: rotate `wal` (if present),
+    /// write the delta (or re-base), commit the manifest, discard the
+    /// covered WAL generations. See the module docs for the ordering's
+    /// crash-safety argument.
+    pub fn checkpoint(
+        &mut self,
+        db: &ShardedDb,
+        wal: Option<&Wal>,
+    ) -> Result<ChainCheckpointReport, SnapshotError> {
+        self.checkpoint_until(db, wal, None)
+    }
+
+    /// [`Self::checkpoint`] with a kill switch: when `stop_after` names
+    /// a step, the checkpoint returns (with `completed == false`) right
+    /// after that step, simulating a crash for the fault-injection
+    /// tests. The caller must then discard this instance, exactly as a
+    /// real crash would.
+    pub fn checkpoint_until(
+        &mut self,
+        db: &ShardedDb,
+        wal: Option<&Wal>,
+        stop_after: Option<ChainStep>,
+    ) -> Result<ChainCheckpointReport, SnapshotError> {
+        let stop = |step: ChainStep| stop_after == Some(step);
+        let mut report = ChainCheckpointReport {
+            links: self.links.len(),
+            ..ChainCheckpointReport::default()
+        };
+        if let Some(wal) = wal {
+            report.boundary = Some(wal.rotate()?);
+        }
+        if stop(ChainStep::Rotated) {
+            return Ok(report);
+        }
+
+        db.flush()?;
+        let exports = export_all(db)?;
+        let fingerprints: BTreeMap<SeriesKey, Fingerprint> = exports
+            .iter()
+            .map(|(key, blocks)| (key.clone(), fingerprint(blocks)))
+            .collect();
+
+        let deltas = self.links.len().saturating_sub(1);
+        if self.series.is_none() || self.links.is_empty() || deltas >= self.max_depth {
+            // Re-base: a fresh full snapshot under a fresh chain id.
+            report.rebased = true;
+            report.link_written = true;
+            report.series_written = exports.len();
+            let chain_id = self.next_chain_id;
+            let base = self.dir.join(base_name(chain_id, 0));
+            let encoded: Vec<EncodedSeries> = exports
+                .iter()
+                .map(|(key, blocks)| {
+                    let mut payload = Vec::new();
+                    encode_blocks(blocks, &mut payload);
+                    (key.clone(), blocks.len() as u32, payload)
+                })
+                .collect();
+            replace_file(&base, |w| write_v2(&encoded, w))?;
+            report.bytes_written = std::fs::metadata(&base)?.len();
+            if stop(ChainStep::BaseWritten) {
+                return Ok(report);
+            }
+
+            write_manifest(&self.dir, chain_id, &[0])?;
+            self.chain_id = chain_id;
+            self.links = vec![0];
+            self.next_chain_id = chain_id + 1;
+            self.series = Some(fingerprints);
+            report.links = 1;
+            if stop(ChainStep::ManifestWritten) {
+                return Ok(report);
+            }
+
+            self.remove_other_chains()?;
+            if stop(ChainStep::OldChainRemoved) {
+                return Ok(report);
+            }
+        } else {
+            let entries = diff(self.series.as_ref().expect("checked above"), &exports);
+            if entries.is_empty() {
+                // Nothing changed: no link, but the rotation boundary is
+                // still fully covered — fall through to the discard.
+                self.series = Some(fingerprints);
+            } else {
+                let seq = self.links.last().copied().unwrap_or(0) + 1;
+                let path = self.dir.join(delta_name(self.chain_id, seq));
+                report.link_written = true;
+                report.series_written = entries.len();
+                write_delta(&path, self.chain_id, seq, &entries)?;
+                report.bytes_written = std::fs::metadata(&path)?.len();
+                if stop(ChainStep::DeltaWritten) {
+                    return Ok(report);
+                }
+
+                let mut links = self.links.clone();
+                links.push(seq);
+                write_manifest(&self.dir, self.chain_id, &links)?;
+                self.links = links;
+                self.series = Some(fingerprints);
+                report.links = self.links.len();
+                if stop(ChainStep::ManifestWritten) {
+                    return Ok(report);
+                }
+            }
+        }
+
+        if let (Some(wal), Some(boundary)) = (wal, report.boundary) {
+            report.wal_files_discarded = wal.discard_before(boundary)?;
+        }
+        report.links = self.links.len();
+        if stop(ChainStep::Discarded) {
+            return Ok(report);
+        }
+        report.completed = true;
+        Ok(report)
+    }
+
+    /// Deletes every link file not belonging to the current chain —
+    /// the previous chain after a re-base, plus any orphans earlier
+    /// kills left behind.
+    fn remove_other_chains(&self) -> Result<(), SnapshotError> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(chain_id) = name.to_str().and_then(parse_link_name) {
+                if chain_id != self.chain_id {
+                    std::fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DataPoint;
+    use crate::query::RangeQuery;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "asap_chain_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn full() -> RangeQuery {
+        RangeQuery::raw(i64::MIN + 1, i64::MAX)
+    }
+
+    fn db() -> ShardedDb {
+        ShardedDb::with_config(ShardedConfig::new(3, 16))
+    }
+
+    fn write_points(db: &ShardedDb, host: &str, t0: i64, count: usize) {
+        let key = SeriesKey::metric("cpu").with_tag("host", host);
+        for i in 0..count {
+            db.write(&key, DataPoint::new(t0 + i as i64 * 5, (i as f64).sin()))
+                .unwrap();
+        }
+    }
+
+    fn assert_fold_matches(dir: &Path, db: &ShardedDb) {
+        let (folded, report) = load_chain_with_report(dir, ShardedConfig::new(2, 16)).unwrap();
+        assert_eq!(report.damage, None, "clean chain reported damage");
+        assert_eq!(report.links_loaded, report.links_total);
+        assert_eq!(
+            folded.query_selector(&Selector::any(), full()).unwrap(),
+            db.query_selector(&Selector::any(), full()).unwrap()
+        );
+    }
+
+    fn link_files(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| parse_link_name(n).is_some())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn chain_round_trips_incrementally() {
+        let dir = temp_dir("roundtrip");
+        let db = db();
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+
+        write_points(&db, "a", 0, 100);
+        let first = chain.checkpoint(&db, None).unwrap();
+        assert!(first.rebased && first.completed && first.link_written);
+        assert_fold_matches(&dir, &db);
+
+        write_points(&db, "a", 1_000, 50);
+        write_points(&db, "b", 0, 40);
+        let second = chain.checkpoint(&db, None).unwrap();
+        assert!(!second.rebased && second.link_written);
+        assert_eq!(second.series_written, 2);
+        assert_eq!(second.links, 2);
+        assert_fold_matches(&dir, &db);
+
+        write_points(&db, "b", 1_000, 30);
+        let third = chain.checkpoint(&db, None).unwrap();
+        assert_eq!(third.series_written, 1, "only the changed series rides the delta");
+        assert_eq!(third.links, 3);
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchanged_checkpoint_writes_no_link() {
+        let dir = temp_dir("idle");
+        let db = db();
+        write_points(&db, "a", 0, 64);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+        let idle = chain.checkpoint(&db, None).unwrap();
+        assert!(idle.completed && !idle.link_written);
+        assert_eq!(idle.links, 1, "idle checkpoints must not grow the chain");
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_cost_tracks_write_activity_not_total_data() {
+        let dir = temp_dir("cost");
+        let db = db();
+        write_points(&db, "a", 0, 4_000);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        let base = chain.checkpoint(&db, None).unwrap();
+
+        write_points(&db, "a", 100_000, 32);
+        let delta = chain.checkpoint(&db, None).unwrap();
+        assert!(
+            delta.bytes_written * 10 < base.bytes_written,
+            "delta ({} bytes) should be far below the base ({} bytes)",
+            delta.bytes_written,
+            base.bytes_written
+        );
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebase_at_depth_resets_the_chain_and_removes_old_files() {
+        let dir = temp_dir("rebase");
+        let db = db();
+        write_points(&db, "a", 0, 32);
+        let mut chain = CheckpointChain::open(&dir, 2).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+        for round in 0..2 {
+            write_points(&db, "a", 10_000 * (round + 1), 32);
+            let report = chain.checkpoint(&db, None).unwrap();
+            assert!(!report.rebased);
+        }
+        assert_eq!(chain.links(), 3);
+
+        write_points(&db, "a", 50_000, 32);
+        let rebase = chain.checkpoint(&db, None).unwrap();
+        assert!(rebase.rebased);
+        assert_eq!(chain.links(), 1);
+        let files = link_files(&dir);
+        assert_eq!(files.len(), 1, "old chain files must be gone: {files:?}");
+        assert!(files[0].starts_with("base-"));
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstone_propagates_full_eviction() {
+        let dir = temp_dir("tombstone");
+        let db = db();
+        write_points(&db, "a", 0, 64);
+        write_points(&db, "b", 0, 64);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+
+        let key = SeriesKey::metric("cpu").with_tag("host", "a");
+        db.evict_series_before(&key, i64::MAX);
+        chain.checkpoint(&db, None).unwrap();
+        let (folded, _) = load_chain_with_report(&dir, ShardedConfig::new(2, 16)).unwrap();
+        assert!(!folded.list_series(&Selector::any()).contains(&key));
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_eviction_triggers_a_replace_not_a_bad_append() {
+        let dir = temp_dir("evict");
+        let db = db();
+        write_points(&db, "a", 0, 200);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+
+        // Drop the oldest blocks and add new data: the covered prefix no
+        // longer matches, so the delta must replace the series.
+        let key = SeriesKey::metric("cpu").with_tag("host", "a");
+        assert!(db.evict_series_before(&key, 300) > 0);
+        write_points(&db, "a", 10_000, 20);
+        chain.checkpoint(&db, None).unwrap();
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dir_and_damaged_manifest_fold_to_empty() {
+        let dir = temp_dir("empty");
+        let (folded, report) = load_chain_with_report(&dir, ShardedConfig::default()).unwrap();
+        assert_eq!(folded.series_count(), 0);
+        assert_eq!(report.links_total, 0);
+        assert!(report.damage.is_none());
+
+        std::fs::write(dir.join(MANIFEST_NAME), b"not a manifest").unwrap();
+        let (folded, report) = load_chain_with_report(&dir, ShardedConfig::default()).unwrap();
+        assert_eq!(folded.series_count(), 0);
+        assert!(report.damage.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_sharded_dispatches_chain_directories() {
+        let dir = temp_dir("dispatch");
+        let db = db();
+        write_points(&db, "a", 0, 80);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+        write_points(&db, "a", 10_000, 10);
+        chain.checkpoint(&db, None).unwrap();
+
+        let loaded = crate::persist::load_sharded(&dir, ShardedConfig::new(2, 16)).unwrap();
+        assert_eq!(
+            loaded.query_selector(&Selector::any(), full()).unwrap(),
+            db.query_selector(&Selector::any(), full()).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_chain_rebases_first() {
+        let dir = temp_dir("reopen");
+        let db = db();
+        write_points(&db, "a", 0, 64);
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        chain.checkpoint(&db, None).unwrap();
+        write_points(&db, "a", 10_000, 10);
+        chain.checkpoint(&db, None).unwrap();
+        let old_files = link_files(&dir);
+        assert_eq!(old_files.len(), 2);
+        drop(chain);
+
+        // A fresh instance has no fingerprints: its first checkpoint
+        // must write a new base under a new chain id, then clean up.
+        let mut chain = CheckpointChain::open(&dir, 8).unwrap();
+        assert_eq!(chain.links(), 2, "open reads the existing manifest");
+        write_points(&db, "a", 20_000, 10);
+        let report = chain.checkpoint(&db, None).unwrap();
+        assert!(report.rebased);
+        let files = link_files(&dir);
+        assert_eq!(files.len(), 1);
+        assert_ne!(files, old_files);
+        assert_fold_matches(&dir, &db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -33,6 +33,10 @@
 //!   serializes and loads shards in parallel), plus the coordinated
 //!   checkpoint (rotate → save → discard) and snapshot+WAL-tail recovery
 //!   entry points;
+//! * [`chain`] — incremental checkpoint chains (snapshot v3): a base v2
+//!   snapshot plus per-series delta links under a CRC-guarded manifest,
+//!   so online checkpoint cost scales with write activity instead of
+//!   total data, folded transparently by the recovery entry points;
 //! * [`wal`] — per-shard append-only write-ahead log: CRC-checked
 //!   length-prefixed records of applied points, configurable fsync
 //!   policy, generation-based rotation, and idempotent crash replay;
@@ -62,6 +66,7 @@
 
 pub mod bits;
 pub mod block;
+pub mod chain;
 pub mod db;
 pub mod error;
 pub mod gorilla;
@@ -81,6 +86,10 @@ pub mod tags;
 pub mod wal;
 
 pub use block::{Block, BlockSummary};
+pub use chain::{
+    load_chain, load_chain_with_report, ChainCheckpointReport, ChainLoadReport, ChainStep,
+    CheckpointChain,
+};
 pub use db::{SeriesStats, Tsdb, TsdbConfig};
 pub use error::TsdbError;
 pub use gorilla::{CompressedChunk, GorillaDecoder, GorillaEncoder};

@@ -40,6 +40,16 @@
 //! count (series re-route by hash), and a v2 file loads into a
 //! single-shard [`Tsdb`] sequentially.
 //!
+//! ## Format version 3 — incremental checkpoint chains
+//!
+//! Version 3 is not a single file but a **directory**: a base v2
+//! snapshot plus per-series delta links indexed by a CRC-guarded
+//! manifest, written by [`crate::chain::CheckpointChain`] so that online
+//! checkpoint cost scales with write activity instead of total data.
+//! [`load_sharded`] (and therefore [`recover_sharded`]) folds a chain
+//! directory transparently; see the [`crate::chain`] module docs for the
+//! layout and crash-safety argument.
+//!
 //! The display form of [`SeriesKey`] is unambiguous as long as metric and
 //! tag tokens exclude the structural characters `{`, `}`, `,`, `=`;
 //! saving rejects keys that violate this (line-protocol ingestion can
@@ -84,9 +94,9 @@ use crate::sharded::{ShardedConfig, ShardedDb};
 use crate::tags::{Selector, SeriesKey};
 use crate::wal::{Wal, WalReplayReport};
 
-const MAGIC: &[u8; 8] = b"ASAPTSDB";
+pub(crate) const MAGIC: &[u8; 8] = b"ASAPTSDB";
 const VERSION_V1: u32 = 1;
-const VERSION_V2: u32 = 2;
+pub(crate) const VERSION_V2: u32 = 2;
 
 /// Error of snapshot I/O: either the storage engine or the filesystem.
 #[derive(Debug)]
@@ -127,7 +137,7 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-fn corrupt(reason: &'static str) -> SnapshotError {
+pub(crate) fn corrupt(reason: &'static str) -> SnapshotError {
     SnapshotError::Tsdb(TsdbError::CorruptBlock { reason })
 }
 
@@ -135,7 +145,7 @@ fn corrupt(reason: &'static str) -> SnapshotError {
 /// renames it over `path` — so a save that fails partway (full disk,
 /// crash, unsnapshotable key discovered mid-write) never destroys a
 /// previous good snapshot at `path`.
-fn replace_file(
+pub(crate) fn replace_file(
     path: &Path,
     write: impl FnOnce(&mut BufWriter<std::fs::File>) -> Result<(), SnapshotError>,
 ) -> Result<(), SnapshotError> {
@@ -165,7 +175,7 @@ fn replace_file(
 }
 
 /// Rejects keys whose display form would not parse back.
-fn validate_key(key: &SeriesKey) -> Result<(), SnapshotError> {
+pub(crate) fn validate_key(key: &SeriesKey) -> Result<(), SnapshotError> {
     let structural = |t: &str| t.contains(['{', '}', ',', '=']);
     if structural(key.metric_name())
         || key.tags().iter().any(|(k, v)| structural(k) || structural(v))
@@ -179,7 +189,7 @@ fn validate_key(key: &SeriesKey) -> Result<(), SnapshotError> {
 }
 
 /// Encodes one series' block records (the shared v1/v2 payload form).
-fn encode_blocks(blocks: &[Block], out: &mut Vec<u8>) {
+pub(crate) fn encode_blocks(blocks: &[Block], out: &mut Vec<u8>) {
     for block in blocks {
         let chunk = block.chunk();
         out.extend_from_slice(&(chunk.count as u64).to_le_bytes());
@@ -190,7 +200,7 @@ fn encode_blocks(blocks: &[Block], out: &mut Vec<u8>) {
 }
 
 /// Reads `block_count` block records (the shared v1/v2 payload form).
-fn read_blocks(r: &mut impl Read, block_count: u32) -> Result<Vec<Block>, SnapshotError> {
+pub(crate) fn read_blocks(r: &mut impl Read, block_count: u32) -> Result<Vec<Block>, SnapshotError> {
     // `block_count` is untrusted input: cap the pre-allocation so a
     // corrupt field yields a clean error once the payload runs out,
     // never an allocator abort.
@@ -246,7 +256,36 @@ pub fn save(db: &Tsdb, path: &Path) -> Result<(), SnapshotError> {
 }
 
 /// One merged series entry awaiting the v2 directory write.
-type EncodedSeries = (SeriesKey, u32, Vec<u8>);
+pub(crate) type EncodedSeries = (SeriesKey, u32, Vec<u8>);
+
+/// Writes the v2 header + directory + payloads for already-encoded,
+/// key-sorted `entries`. Shared between [`save_sharded`] and the chain
+/// writer's base links ([`crate::chain`]), which are byte-for-byte plain
+/// v2 snapshots.
+pub(crate) fn write_v2(
+    entries: &[EncodedSeries],
+    w: &mut impl Write,
+) -> Result<(), SnapshotError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+
+    let names: Vec<String> = entries.iter().map(|(k, _, _)| k.to_string()).collect();
+    let dir_len: usize = names.iter().map(|n| 4 + n.len() + 4 + 8 + 8).sum();
+    let mut offset = (MAGIC.len() + 4 + 4 + dir_len) as u64;
+    for ((_, block_count, payload), name) in entries.iter().zip(&names) {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&block_count.to_le_bytes())?;
+        w.write_all(&offset.to_le_bytes())?;
+        w.write_all(&(payload.len() as u64).to_le_bytes())?;
+        offset += payload.len() as u64;
+    }
+    for (_, _, payload) in entries {
+        w.write_all(payload)?;
+    }
+    Ok(())
+}
 
 /// Writes a version-2 snapshot of `db` to `path`, serializing shards in
 /// parallel (one worker per non-empty shard) and merging the per-shard
@@ -281,27 +320,7 @@ pub fn save_sharded(db: &ShardedDb, path: &Path) -> Result<(), SnapshotError> {
     .expect("snapshot scope failed")?;
     entries.sort_by(|(a, _, _), (b, _, _)| a.cmp(b));
 
-    replace_file(path, |w| {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION_V2.to_le_bytes())?;
-        w.write_all(&(entries.len() as u32).to_le_bytes())?;
-
-        let names: Vec<String> = entries.iter().map(|(k, _, _)| k.to_string()).collect();
-        let dir_len: usize = names.iter().map(|n| 4 + n.len() + 4 + 8 + 8).sum();
-        let mut offset = (MAGIC.len() + 4 + 4 + dir_len) as u64;
-        for ((_, block_count, payload), name) in entries.iter().zip(&names) {
-            w.write_all(&(name.len() as u32).to_le_bytes())?;
-            w.write_all(name.as_bytes())?;
-            w.write_all(&block_count.to_le_bytes())?;
-            w.write_all(&offset.to_le_bytes())?;
-            w.write_all(&(payload.len() as u64).to_le_bytes())?;
-            offset += payload.len() as u64;
-        }
-        for (_, _, payload) in &entries {
-            w.write_all(payload)?;
-        }
-        Ok(())
-    })
+    replace_file(path, |w| write_v2(&entries, w))
 }
 
 /// Loads a snapshot (either version) from `path` into a fresh [`Tsdb`]
@@ -333,7 +352,16 @@ pub fn load(path: &Path, config: TsdbConfig) -> Result<Tsdb, SnapshotError> {
 /// partitions regardless of the writer's shard count; version-2 payloads
 /// are read in parallel, one worker per destination shard with its own
 /// file handle.
+///
+/// When `path` is a **directory** it is treated as an incremental
+/// checkpoint chain (snapshot v3) and folded transparently via
+/// [`crate::chain::load_chain`]: base v2 snapshot, then every delta link
+/// the chain manifest lists, degrading to the newest loadable prefix on
+/// damage.
 pub fn load_sharded(path: &Path, config: ShardedConfig) -> Result<ShardedDb, SnapshotError> {
+    if path.is_dir() {
+        return crate::chain::load_chain(path, config);
+    }
     let file = std::fs::File::open(path)?;
     let mut r = BufReader::new(file);
     let db = ShardedDb::with_config(config);
@@ -367,12 +395,14 @@ pub fn checkpoint_sharded(db: &ShardedDb, path: &Path, wal: &Wal) -> Result<u64,
 
 /// Recovers a store from a snapshot plus its WAL tail.
 ///
-/// Loads `snapshot` if it names an existing file (a missing snapshot just
-/// means "start empty" — e.g. the first boot), then replays every WAL
-/// file in `wal_dir`, skipping records the snapshot already covers.
-/// Either source may be absent; together they are the complete recovery
-/// set a [`checkpoint_sharded`] (or a crash at any point between its
-/// steps) leaves behind.
+/// Loads `snapshot` if it names an existing file — or an incremental
+/// checkpoint-chain directory (a missing snapshot just means "start
+/// empty", e.g. the first boot) — then replays every WAL file in
+/// `wal_dir`, skipping records the snapshot already covers. Either
+/// source may be absent; together they are the complete recovery set a
+/// [`checkpoint_sharded`] or a [`crate::chain::CheckpointChain`]
+/// checkpoint (or a crash at any point between its steps) leaves
+/// behind.
 pub fn recover_sharded(
     snapshot: Option<&Path>,
     wal_dir: Option<&Path>,
@@ -390,7 +420,7 @@ pub fn recover_sharded(
 }
 
 /// Checks the magic and returns the format version.
-fn read_header(r: &mut impl Read) -> Result<u32, SnapshotError> {
+pub(crate) fn read_header(r: &mut impl Read) -> Result<u32, SnapshotError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -415,15 +445,15 @@ fn load_v1_records(
 }
 
 /// One v2 directory entry.
-struct DirEntry {
-    key: SeriesKey,
-    block_count: u32,
-    offset: u64,
-    len: u64,
+pub(crate) struct DirEntry {
+    pub(crate) key: SeriesKey,
+    pub(crate) block_count: u32,
+    pub(crate) offset: u64,
+    pub(crate) len: u64,
 }
 
 /// Reads the v2 series directory (assumes the header was consumed).
-fn read_directory(r: &mut impl Read) -> Result<Vec<DirEntry>, SnapshotError> {
+pub(crate) fn read_directory(r: &mut impl Read) -> Result<Vec<DirEntry>, SnapshotError> {
     let series_count = read_u32(r)?;
     let mut out = Vec::with_capacity(series_count.min(1 << 20) as usize);
     for _ in 0..series_count {
@@ -487,7 +517,7 @@ fn load_v2_parallel(
 }
 
 /// Reads a length-prefixed series key in display form.
-fn read_key(r: &mut impl Read) -> Result<SeriesKey, SnapshotError> {
+pub(crate) fn read_key(r: &mut impl Read) -> Result<SeriesKey, SnapshotError> {
     let key_len = read_u32(r)? as usize;
     if key_len > 1 << 20 {
         return Err(corrupt("implausible key length"));
@@ -498,13 +528,13 @@ fn read_key(r: &mut impl Read) -> Result<SeriesKey, SnapshotError> {
     parse_series_key(&name)
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
+pub(crate) fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
+pub(crate) fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))

@@ -464,6 +464,15 @@ impl Wal {
     /// Always starts a fresh generation — one past the highest already in
     /// the directory — so records from a prior run (including any torn
     /// tail) are left untouched for [`replay`] and never appended to.
+    ///
+    /// Empty files from prior sealed generations are removed first:
+    /// every open creates one file per shard, so a restart-looping
+    /// server that writes nothing would otherwise accumulate
+    /// `wal-<shard>-<gen>.log` cruft without bound. An empty file holds
+    /// no records by construction (appends are atomic under the shard
+    /// lock), so deleting it cannot lose data — and the fresh
+    /// generation is still numbered past the highest ever seen, empty
+    /// or not, keeping generation numbers monotonic.
     pub fn open(dir: &Path, shards: usize, fsync: FsyncPolicy) -> Result<Self, TsdbError> {
         if shards == 0 {
             return Err(TsdbError::InvalidParameter {
@@ -478,11 +487,14 @@ impl Wal {
             });
         }
         fs::create_dir_all(dir).map_err(io_err)?;
-        let highest = wal_files(dir)?
-            .iter()
-            .map(|f| f.generation)
-            .max()
-            .unwrap_or(0);
+        let prior = wal_files(dir)?;
+        let highest = prior.iter().map(|f| f.generation).max().unwrap_or(0);
+        for file in &prior {
+            let empty = fs::metadata(&file.path).map(|m| m.len() == 0).unwrap_or(false);
+            if empty {
+                fs::remove_file(&file.path).map_err(io_err)?;
+            }
+        }
         let generation = highest + 1;
         let mut shard_files = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -651,7 +663,9 @@ fn io_err(e: std::io::Error) -> TsdbError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::RangeQuery;
     use crate::sharded::{ShardedConfig, ShardedDb};
+    use crate::tags::Selector;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -768,8 +782,45 @@ mod tests {
         assert_eq!(report.applied, 2);
         assert_eq!(report.skipped, 0);
         assert_eq!(report.damaged, 0);
-        // Both generations' files exist: gen-1 two shards + gen-2 two shards.
-        assert_eq!(wal_files(&dir).unwrap().len(), 4);
+        // Both generations' written files exist; gen-1's untouched
+        // shard-1 file was empty and is cleaned up by the second open.
+        assert_eq!(wal_files(&dir).unwrap().len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restart_loops_do_not_accumulate_empty_generations() {
+        let dir = temp_dir("restart_loop");
+        let wal = Wal::open(&dir, 2, FsyncPolicy::Always).unwrap();
+        wal.append(0, &key("cpu"), DataPoint::new(1, 1.0)).unwrap();
+        wal.seal().unwrap();
+        drop(wal);
+
+        // A crash-looping server opens and closes the log many times
+        // without writing: the file count must stay bounded (the one
+        // written file + the current generation's fresh files), while
+        // generation numbers keep climbing past everything ever seen.
+        for round in 0..10u64 {
+            let wal = Wal::open(&dir, 2, FsyncPolicy::Always).unwrap();
+            assert_eq!(wal.generation(), 2 + round);
+            assert_eq!(
+                wal_files(&dir).unwrap().len(),
+                3,
+                "round {round} leaked empty generation files"
+            );
+            wal.seal().unwrap();
+        }
+
+        // The surviving record still replays after all that churn.
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 64));
+        let report = replay(&dir, &db).unwrap();
+        assert_eq!((report.applied, report.damaged), (1, 0));
+        let oracle = ShardedDb::with_config(ShardedConfig::new(2, 64));
+        oracle.write(&key("cpu"), DataPoint::new(1, 1.0)).unwrap();
+        assert_eq!(
+            db.query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX)).unwrap(),
+            oracle.query_selector(&Selector::any(), RangeQuery::raw(i64::MIN + 1, i64::MAX)).unwrap()
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

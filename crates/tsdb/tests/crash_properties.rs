@@ -18,7 +18,18 @@
 //!   and moves on;
 //! * (property) kill a shuffled-lateness `StreamIngestor` run at an
 //!   arbitrary per-shard record boundary — replay must equal the prefix
-//!   oracle of exactly the records that survived.
+//!   oracle of exactly the records that survived;
+//! * kill an **incremental checkpoint chain** after every step
+//!   (rotate, delta write, base write, manifest commit, old-chain
+//!   removal, discard — including partial discards and removals) —
+//!   recovery from chain + WAL tail must equal the full oracle;
+//! * fuzz the chain's on-disk index — garbage manifest (every-byte
+//!   bit-flip sweep under `CRASH_EXTENDED=1`, a stride otherwise),
+//!   manifest referencing a missing delta, delta from a foreign chain —
+//!   folding must degrade to the newest loadable prefix, never panic,
+//!   and never lose acknowledged data while the WAL tail survives;
+//! * checkpoint repeatedly **under a live concurrent ingest pipeline**
+//!   and recover ≡ the live store.
 //!
 //! No expected value is baked in (see the ROADMAP note on golden
 //! values): every assertion compares the recovered store against an
@@ -33,8 +44,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use asap_tsdb::query::Aggregator;
 use asap_tsdb::wal::{read_records, record_len, replay, wal_files};
 use asap_tsdb::{
-    recover_sharded, DataPoint, FsyncPolicy, IngestConfig, RangeQuery, Selector, SeriesKey,
-    ShardedConfig, ShardedDb, StreamIngestor, Tsdb, TsdbConfig, TsdbError, Wal, WalRecord,
+    load_chain_with_report, recover_sharded, ChainStep, CheckpointChain, DataPoint, FsyncPolicy,
+    IngestConfig, RangeQuery, Selector, SeriesKey, ShardedConfig, ShardedDb, StreamIngestor, Tsdb,
+    TsdbConfig, TsdbError, Wal, WalRecord,
 };
 use proptest::prelude::*;
 
@@ -375,6 +387,362 @@ fn garbage_and_foreign_files_are_reported_never_fatal() {
     // The foreign files were not consumed or deleted.
     assert!(dir.join("snap.bin").exists() && dir.join("wal-a-1.log").exists());
     fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Whether the exhaustive (slower) sweeps run; CI's release property job
+/// sets `CRASH_EXTENDED=1`, local runs use a stride.
+fn extended() -> bool {
+    std::env::var_os("CRASH_EXTENDED").is_some()
+}
+
+fn chain_keys() -> [SeriesKey; 3] {
+    [
+        SeriesKey::metric("cpu").with_tag("host", "a"),
+        SeriesKey::metric("cpu").with_tag("host", "b"),
+        SeriesKey::metric("disk").with_tag("dev", "sda"),
+    ]
+}
+
+/// Tentpole sweep #4: kill an incremental checkpoint chain after every
+/// step — on both the delta path and the re-base path — plus the
+/// partial-progress states a kill can leave *inside* a step (some
+/// covered generations discarded, some old-chain files removed). Every
+/// intermediate on-disk state must recover, from chain + WAL tail, to
+/// the complete store.
+#[test]
+fn a_kill_between_any_incremental_chain_step_recovers_the_full_store() {
+    let keys = chain_keys();
+    let a = batch(&keys, 0, 10);
+    let b = batch(&keys, 1_000, 8);
+    let c = batch(&keys, 2_000, 6);
+
+    // Delta-path kills: the first checkpoint completes (fresh base),
+    // more writes land, then the incremental checkpoint dies after each
+    // of its steps in turn.
+    for step in [
+        ChainStep::Rotated,
+        ChainStep::DeltaWritten,
+        ChainStep::ManifestWritten,
+        ChainStep::Discarded,
+    ] {
+        let root = temp_dir("chain-kill-delta");
+        let wal_dir = root.join("wal");
+        let chain_dir = root.join("chain");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        let mut chain = CheckpointChain::open(&chain_dir, 4).unwrap();
+        apply_batch(&db, &wal, &a);
+        let first = chain.checkpoint(&db, Some(&wal)).unwrap();
+        assert!(first.rebased && first.completed, "{step:?}");
+        apply_batch(&db, &wal, &b);
+        let killed = chain.checkpoint_until(&db, Some(&wal), Some(step)).unwrap();
+        assert!(!killed.completed, "{step:?}");
+        drop((db, wal, chain)); // the kill
+
+        let (recovered, report) =
+            recover_sharded(Some(&chain_dir), Some(&wal_dir), ShardedConfig::new(3, 32)).unwrap();
+        assert_eq!(report.damaged, 0, "{step:?}");
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Re-base-path kills: depth 1 forces the third checkpoint to
+    // re-base under a fresh chain id; it dies after each step.
+    for step in [
+        ChainStep::Rotated,
+        ChainStep::BaseWritten,
+        ChainStep::ManifestWritten,
+        ChainStep::OldChainRemoved,
+        ChainStep::Discarded,
+    ] {
+        let root = temp_dir("chain-kill-rebase");
+        let wal_dir = root.join("wal");
+        let chain_dir = root.join("chain");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        let mut chain = CheckpointChain::open(&chain_dir, 1).unwrap();
+        apply_batch(&db, &wal, &a);
+        chain.checkpoint(&db, Some(&wal)).unwrap(); // base
+        apply_batch(&db, &wal, &b);
+        chain.checkpoint(&db, Some(&wal)).unwrap(); // delta: depth reached
+        apply_batch(&db, &wal, &c);
+        let killed = chain.checkpoint_until(&db, Some(&wal), Some(step)).unwrap();
+        assert!(!killed.completed, "{step:?}");
+        assert!(killed.rebased || step == ChainStep::Rotated, "{step:?}");
+        drop((db, wal, chain)); // the kill
+
+        let (recovered, report) =
+            recover_sharded(Some(&chain_dir), Some(&wal_dir), ShardedConfig::new(2, 32)).unwrap();
+        assert_eq!(report.damaged, 0, "{step:?}");
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b, &c]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Mid-discard: the manifest committed, then the kill landed partway
+    // through deleting covered generations — simulate by removing a
+    // strict subset of the covered files by hand.
+    {
+        let root = temp_dir("chain-kill-mid-discard");
+        let wal_dir = root.join("wal");
+        let chain_dir = root.join("chain");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        let mut chain = CheckpointChain::open(&chain_dir, 4).unwrap();
+        apply_batch(&db, &wal, &a);
+        chain.checkpoint(&db, Some(&wal)).unwrap();
+        apply_batch(&db, &wal, &b);
+        let killed = chain
+            .checkpoint_until(&db, Some(&wal), Some(ChainStep::ManifestWritten))
+            .unwrap();
+        let boundary = killed.boundary.unwrap();
+        drop((db, wal, chain));
+        let covered: Vec<_> = wal_files(&wal_dir)
+            .unwrap()
+            .into_iter()
+            .filter(|f| f.generation < boundary)
+            .collect();
+        assert!(covered.len() >= 2, "need a strict subset to delete");
+        fs::remove_file(&covered[0].path).unwrap(); // partial discard
+
+        let (recovered, _) =
+            recover_sharded(Some(&chain_dir), Some(&wal_dir), ShardedConfig::new(2, 32)).unwrap();
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Mid-removal on the re-base path: the new chain's manifest is
+    // committed, the kill landed partway through deleting the previous
+    // chain's files — the leftover orphan must be invisible.
+    {
+        let root = temp_dir("chain-kill-mid-removal");
+        let wal_dir = root.join("wal");
+        let chain_dir = root.join("chain");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        let mut chain = CheckpointChain::open(&chain_dir, 1).unwrap();
+        apply_batch(&db, &wal, &a);
+        chain.checkpoint(&db, Some(&wal)).unwrap();
+        apply_batch(&db, &wal, &b);
+        chain.checkpoint(&db, Some(&wal)).unwrap();
+        apply_batch(&db, &wal, &c);
+        let killed = chain
+            .checkpoint_until(&db, Some(&wal), Some(ChainStep::ManifestWritten))
+            .unwrap();
+        assert!(killed.rebased);
+        drop((db, wal, chain));
+        // Delete the old chain's base but leave its delta as an orphan.
+        let old_base = fs::read_dir(&chain_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                name.starts_with("base-") && name.contains("0000000000000001")
+            })
+            .expect("old chain base should still exist before the partial removal");
+        fs::remove_file(&old_base).unwrap();
+
+        let (recovered, _) =
+            recover_sharded(Some(&chain_dir), Some(&wal_dir), ShardedConfig::new(2, 32)).unwrap();
+        assert_equiv(&recovered, &oracle_of_batches(&[&a, &b, &c]));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+/// Satellite wall: fuzz the chain's on-disk index. The chain is built
+/// *without* discarding the WAL, so acknowledged data must always be
+/// recoverable — damaged chains degrade to the newest loadable prefix
+/// and the log supplies the rest; nothing panics, nothing is silently
+/// lost.
+#[test]
+fn chain_index_fuzz_degrades_to_the_newest_loadable_prefix() {
+    let keys = chain_keys();
+    let a = batch(&keys, 0, 12);
+    let b = batch(&keys, 1_000, 9);
+    let c = batch(&keys, 2_000, 5);
+
+    // base(a) + delta(b) + delta(c); the WAL holds every record because
+    // the chain runs un-walled here (no generation ever discarded).
+    let build = |tag: &str| -> PathBuf {
+        let root = temp_dir(tag);
+        let wal_dir = root.join("wal");
+        let chain_dir = root.join("chain");
+        let db = ShardedDb::with_config(ShardedConfig::new(2, 32));
+        let wal = Wal::open(&wal_dir, 2, FsyncPolicy::EveryN(4)).unwrap();
+        let mut chain = CheckpointChain::open(&chain_dir, 8).unwrap();
+        apply_batch(&db, &wal, &a);
+        chain.checkpoint(&db, None).unwrap();
+        apply_batch(&db, &wal, &b);
+        chain.checkpoint(&db, None).unwrap();
+        apply_batch(&db, &wal, &c);
+        chain.checkpoint(&db, None).unwrap();
+        wal.seal().unwrap();
+        root
+    };
+    let full_oracle = oracle_of_batches(&[&a, &b, &c]);
+
+    // Garbage manifest — including a bit-flip sweep over every byte
+    // (strided unless CRASH_EXTENDED=1): the CRC rejects the manifest,
+    // the fold degrades to empty, and the WAL recovers everything.
+    {
+        let root = build("chain-fuzz-manifest");
+        let manifest = root.join("chain").join("MANIFEST");
+        let pristine = fs::read(&manifest).unwrap();
+        let stride = if extended() { 1 } else { 7 };
+        let mut flips: Vec<Vec<u8>> = (0..pristine.len())
+            .step_by(stride)
+            .map(|i| {
+                let mut bytes = pristine.clone();
+                bytes[i] ^= 1 << (i % 8);
+                bytes
+            })
+            .collect();
+        flips.push(b"complete garbage".to_vec());
+        flips.push(Vec::new());
+        for (i, bytes) in flips.iter().enumerate() {
+            fs::write(&manifest, bytes).unwrap();
+            let (folded, report) =
+                load_chain_with_report(&root.join("chain"), ShardedConfig::new(2, 32)).unwrap();
+            assert_eq!(folded.series_count(), 0, "fuzz case {i} half-loaded");
+            assert!(report.damage.is_some(), "fuzz case {i} went undetected");
+            let (recovered, _) = recover_sharded(
+                Some(&root.join("chain")),
+                Some(&root.join("wal")),
+                ShardedConfig::new(2, 32),
+            )
+            .unwrap();
+            assert_equiv(&recovered, &full_oracle);
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Manifest referencing a missing delta: the fold stops at the link
+    // before the hole — even though a later delta file exists.
+    {
+        let root = build("chain-fuzz-missing");
+        let chain_dir = root.join("chain");
+        let missing = fs::read_dir(&chain_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().ends_with("-00000001.snap"))
+            .expect("first delta exists");
+        fs::remove_file(&missing).unwrap();
+
+        let (folded, report) =
+            load_chain_with_report(&chain_dir, ShardedConfig::new(2, 32)).unwrap();
+        assert_eq!((report.links_total, report.links_loaded), (3, 1));
+        assert!(report.damage.is_some());
+        assert_equiv(&folded, &oracle_of_batches(&[&a]));
+
+        let (recovered, _) =
+            recover_sharded(Some(&chain_dir), Some(&root.join("wal")), ShardedConfig::new(2, 32))
+                .unwrap();
+        assert_equiv(&recovered, &full_oracle);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    // Delta from a foreign chain renamed into place: the chain-id check
+    // stops the fold at the preceding link.
+    {
+        let root = build("chain-fuzz-foreign");
+        let chain_dir = root.join("chain");
+        // Build a second, unrelated store whose chain id advanced past 1
+        // (a re-base after reopen bumps it), then steal its delta.
+        let other_root = temp_dir("chain-fuzz-foreign-other");
+        let other_dir = other_root.join("chain");
+        let other_db = ShardedDb::with_config(ShardedConfig::new(1, 32));
+        apply_batch_unlogged(&other_db, &batch(&keys, 9_000, 4));
+        let mut other = CheckpointChain::open(&other_dir, 8).unwrap();
+        other.checkpoint(&other_db, None).unwrap();
+        drop(other);
+        let mut other = CheckpointChain::open(&other_dir, 8).unwrap();
+        other.checkpoint(&other_db, None).unwrap(); // re-base: chain id 2
+        apply_batch_unlogged(&other_db, &batch(&keys, 12_000, 3));
+        other.checkpoint(&other_db, None).unwrap(); // delta under chain 2
+        let foreign = fs::read_dir(&other_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().starts_with("delta-"))
+            .expect("foreign delta exists");
+
+        let target = fs::read_dir(&chain_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_string_lossy().ends_with("-00000001.snap"))
+            .unwrap();
+        fs::copy(&foreign, &target).unwrap();
+
+        let (folded, report) =
+            load_chain_with_report(&chain_dir, ShardedConfig::new(2, 32)).unwrap();
+        assert_eq!((report.links_total, report.links_loaded), (3, 1));
+        assert!(report.damage.as_deref().unwrap_or("").contains("foreign"), "{report:?}");
+        assert_equiv(&folded, &oracle_of_batches(&[&a]));
+
+        let (recovered, _) =
+            recover_sharded(Some(&chain_dir), Some(&root.join("wal")), ShardedConfig::new(2, 32))
+                .unwrap();
+        assert_equiv(&recovered, &full_oracle);
+        fs::remove_dir_all(&root).unwrap();
+        fs::remove_dir_all(&other_root).unwrap();
+    }
+}
+
+/// Store writes without a WAL — for scratch stores in the fuzz setup.
+fn apply_batch_unlogged(db: &ShardedDb, batch: &[(usize, SeriesKey, DataPoint)]) {
+    for (_, key, point) in batch {
+        db.write(key, *point).unwrap();
+    }
+}
+
+/// Satellite wall: repeated online checkpoints against a **live**
+/// concurrent ingest pipeline, then a kill — recovery from chain + WAL
+/// tail must equal the live store, byte for byte in query space.
+#[test]
+fn checkpoint_under_concurrent_ingest_recovers_to_the_live_store() {
+    let root = temp_dir("chain-live");
+    let wal_dir = root.join("wal");
+    let chain_dir = root.join("chain");
+    let shards = 3;
+    let db = ShardedDb::with_config(ShardedConfig::new(shards, 16));
+    let wal = Wal::open(&wal_dir, shards, FsyncPolicy::EveryN(8)).unwrap();
+    let mut chain = CheckpointChain::open(&chain_dir, 3).unwrap();
+
+    let series: Vec<Vec<DataPoint>> = (0..4)
+        .map(|h| {
+            (0..400)
+                .map(|i| DataPoint::new(i * 7 + h, i as f64 * 0.5 + h as f64))
+                .collect()
+        })
+        .collect();
+    let doc = render_lines(&series, 2).join("\n") + "\n";
+    let config = IngestConfig {
+        lateness: Some(10),
+        wal: Some(wal.clone()),
+        ..IngestConfig::default()
+    };
+    let mut ingestor = StreamIngestor::new(&db, 0, config).unwrap();
+    for (i, slice) in doc.as_bytes().chunks(257).enumerate() {
+        ingestor.feed(slice);
+        // Checkpoint while the pipeline's parser/writer threads are
+        // still applying earlier slices.
+        if i % 5 == 4 {
+            let report = chain.checkpoint(&db, Some(&wal)).unwrap();
+            assert!(report.completed);
+        }
+    }
+    let report = ingestor.finish();
+    assert!(report.is_clean(), "{report:?}");
+    drop((wal, chain)); // the kill: no seal, records past the last checkpoint live only in the log
+
+    let (recovered, replay_report) =
+        recover_sharded(Some(&chain_dir), Some(&wal_dir), ShardedConfig::new(2, 16)).unwrap();
+    assert_eq!(replay_report.damaged, 0);
+    let any = Selector::any();
+    assert_eq!(recovered.list_series(&any), db.list_series(&any));
+    assert_eq!(
+        recovered.query_selector(&any, full()).unwrap(),
+        db.query_selector(&any, full()).unwrap()
+    );
+    fs::remove_dir_all(&root).unwrap();
 }
 
 const FIELD_NAMES: [&str; 3] = ["usage", "idle", "iowait"];
