@@ -19,8 +19,8 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use asap_tsdb::{
-    line_protocol, pipeline_ingest, IngestConfig, RangeQuery, Selector, ShardedConfig,
-    ShardedDb, Tsdb, TsdbConfig,
+    line_protocol, pipeline_ingest, IngestConfig, IngestMetrics, ObsRegistry, RangeQuery,
+    Selector, ShardedConfig, ShardedDb, Tsdb, TsdbConfig,
 };
 
 const BLOCK_CAPACITY: usize = 4096;
@@ -148,6 +148,43 @@ fn main() {
         best / serial_pts_per_sec
     );
 
+    // Observability overhead: the same pipeline config timed with and
+    // without `IngestMetrics` attached (the server always attaches it),
+    // interleaved per run so drift hits both arms equally. Stage timing
+    // is per batch, so the delta should be noise (budget: <= 3%).
+    let obs_shards = 4usize;
+    let obs_parsers = 4usize;
+    let registry = ObsRegistry::new();
+    let time_one = |metrics: Option<IngestMetrics>| {
+        let config = IngestConfig {
+            parsers: obs_parsers,
+            queue_depth: 8,
+            chunk_lines: 1024,
+            lateness: None,
+            metrics,
+            ..IngestConfig::default()
+        };
+        let db = ShardedDb::with_config(ShardedConfig::new(obs_shards, BLOCK_CAPACITY));
+        let t = Instant::now();
+        let report = pipeline_ingest(&db, &doc, 0, &config).unwrap();
+        let secs = t.elapsed().as_secs_f64();
+        assert!(report.is_clean(), "{report:?}");
+        secs
+    };
+    let mut plain_runs = Vec::new();
+    let mut instrumented_runs = Vec::new();
+    for _ in 0..runs {
+        plain_runs.push(time_one(None));
+        instrumented_runs.push(time_one(Some(IngestMetrics::new(&registry))));
+    }
+    let plain = total_points as f64 / median(plain_runs);
+    let instrumented = total_points as f64 / median(instrumented_runs);
+    let overhead_pct = (plain / instrumented - 1.0) * 100.0;
+    println!(
+        "observability overhead at shards={obs_shards} parsers={obs_parsers}: \
+         {plain:.3e} -> {instrumented:.3e} pts/s ({overhead_pct:+.2}%)"
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"ingest_pipeline\",\n");
@@ -175,7 +212,14 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"observability_overhead\": {{\"shards\": {obs_shards}, \"parsers\": {obs_parsers}, \
+         \"uninstrumented_points_per_sec\": {plain:.0}, \
+         \"instrumented_points_per_sec\": {instrumented:.0}, \
+         \"overhead_pct\": {overhead_pct:.2}}}\n"
+    ));
+    json.push_str("}\n");
 
     let path = "BENCH_ingest.json";
     let mut f = std::fs::File::create(path).expect("create BENCH_ingest.json");

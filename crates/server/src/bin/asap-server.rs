@@ -11,6 +11,8 @@
 //!             [--snapshot PATH] [--snapshot-dir DIR]
 //!             [--wal-dir DIR [--fsync always|every=N|interval-ms=N]]
 //!             [--checkpoint-interval SECS [--checkpoint-chain-depth N]]
+//!             [--log-level error|warn|info|debug] [--slow-query-ms N]
+//!             [--self-scrape-interval SECS]
 //! ```
 //!
 //! Feed it InfluxDB-style line protocol on the ingest port (optionally
@@ -53,6 +55,15 @@
 //! `--checkpoint-chain-depth N` (default 8) caps the delta links before
 //! a pass re-bases. Requires `--snapshot`; boot loads a chain directory
 //! exactly like a snapshot file.
+//!
+//! Observability: `METRICS` on the query port returns Prometheus text
+//! exposition of the same registry `STATS` reads. `--log-level` sets
+//! the structured-log threshold (`key=value` lines on stderr, default
+//! `info`). `--slow-query-ms N` logs any query/ops request whose total
+//! handling time reaches N milliseconds. `--self-scrape-interval SECS`
+//! ingests the server's own metrics as `__self__`-tagged series every
+//! tick, so `RANGE`/`SMOOTH`/`SUBSCRIBE` (e.g. `asap-cli watch`) work
+//! on the server's telemetry; see DESIGN.md § Observability.
 
 use std::time::Duration;
 
@@ -60,8 +71,8 @@ use asap_server::{
     CheckpointConfig, CompactionClock, CompactionConfig, CoreMode, Server, ServerConfig,
 };
 use asap_tsdb::{
-    Aggregator, FsyncPolicy, IngestConfig, RetentionPolicy, RollupLevel, Schedule, ShardedConfig,
-    ShardedDb, WalConfig,
+    obs, Aggregator, FsyncPolicy, IngestConfig, LogLevel, RetentionPolicy, RollupLevel, Schedule,
+    ShardedConfig, ShardedDb, WalConfig,
 };
 
 const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards N] \
@@ -72,7 +83,9 @@ const USAGE: &str = "usage: asap-server [--ingest ADDR] [--query ADDR] [--shards
                      [--compact-interval SECS [--compact-jitter SECS] [--rollup BUCKET] \
                      [--raw-ttl T]] [--snapshot PATH] [--snapshot-dir DIR] \
                      [--wal-dir DIR [--fsync always|every=N|interval-ms=N]] \
-                     [--checkpoint-interval SECS [--checkpoint-chain-depth N]]";
+                     [--checkpoint-interval SECS [--checkpoint-chain-depth N]] \
+                     [--log-level error|warn|info|debug] [--slow-query-ms N] \
+                     [--self-scrape-interval SECS]";
 
 fn fail(message: &str) -> ! {
     eprintln!("asap-server: {message}\n{USAGE}");
@@ -112,6 +125,9 @@ fn main() {
     let mut fsync: Option<FsyncPolicy> = None;
     let mut checkpoint_interval: Option<u64> = None;
     let mut checkpoint_chain_depth = 8usize;
+    let mut log_level: Option<LogLevel> = None;
+    let mut slow_query_ms: Option<u64> = None;
+    let mut self_scrape_secs: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -160,6 +176,11 @@ fn main() {
             }
             "--checkpoint-chain-depth" => {
                 checkpoint_chain_depth = parse(args.next(), "--checkpoint-chain-depth")
+            }
+            "--log-level" => log_level = Some(parse(args.next(), "--log-level")),
+            "--slow-query-ms" => slow_query_ms = Some(parse(args.next(), "--slow-query-ms")),
+            "--self-scrape-interval" => {
+                self_scrape_secs = Some(parse(args.next(), "--self-scrape-interval"))
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -239,8 +260,12 @@ fn main() {
         subscribe_every: sub_every.unwrap_or(defaults.subscribe_every),
         max_subscriptions: max_subscriptions.unwrap_or(defaults.max_subscriptions),
         verbose: true,
+        slow_query: slow_query_ms.map(Duration::from_millis),
+        self_scrape: self_scrape_secs.map(Duration::from_secs),
         ..defaults
     };
+    // Raise/lower the log threshold before anything can emit a line.
+    obs::set_log_level(log_level.unwrap_or(LogLevel::Info));
     // `--snapshot` doubles as persistent state: an existing snapshot is
     // the checkpoint base, and `Server::start` replays the WAL tail on
     // top of it before the listeners open.
@@ -248,7 +273,7 @@ fn main() {
     let db = match &snapshot {
         Some(path) if path.exists() => match ShardedDb::load(path, store_config) {
             Ok(db) => {
-                eprintln!("asap-server: loaded snapshot {}", path.display());
+                obs::info("server", "snapshot_loaded", &[("path", &path.display())]);
                 db
             }
             Err(e) => fail(&format!("cannot load snapshot {}: {e}", path.display())),
@@ -261,54 +286,68 @@ fn main() {
     };
     let replay = server.wal_replay_report();
     if replay.files > 0 {
-        eprintln!(
-            "asap-server: WAL replay applied {} records from {} files \
-             (skipped={} damaged={})",
-            replay.applied, replay.files, replay.skipped, replay.damaged
+        obs::info(
+            "server",
+            "wal_replayed",
+            &[
+                ("applied", &replay.applied),
+                ("files", &replay.files),
+                ("skipped", &replay.skipped),
+                ("damaged", &replay.damaged),
+            ],
         );
     }
-    eprintln!(
-        "asap-server: ingest on {} (line protocol), queries on {} \
-         (SMOOTH|RANGE|SUBSCRIBE|UNSUBSCRIBE|STATS|HEALTH|SNAPSHOT|SHUTDOWN); \
-         awaiting SHUTDOWN",
-        server.ingest_addr(),
-        server.query_addr()
+    obs::info(
+        "server",
+        "listening",
+        &[
+            ("ingest", &server.ingest_addr()),
+            ("query", &server.query_addr()),
+            (
+                "verbs",
+                &"SMOOTH|RANGE|SUBSCRIBE|UNSUBSCRIBE|STATS|METRICS|HEALTH|SNAPSHOT|SHUTDOWN",
+            ),
+        ],
     );
     let report = server.run();
-    eprintln!(
-        "asap-server: drained; ingested lines={} points={} over {} connections \
-         ({} rejected); compaction runs={} rolled_up={}",
-        report.ingest.lines,
-        report.ingest.points,
-        report.ingest.connections,
-        report.ingest.rejected_connections,
-        report.compaction.runs,
-        report.compaction.rolled_up,
+    obs::info(
+        "server",
+        "drained",
+        &[
+            ("lines", &report.ingest.lines),
+            ("points", &report.ingest.points),
+            ("connections", &report.ingest.connections),
+            ("rejected", &report.ingest.rejected_connections),
+            ("compaction_runs", &report.compaction.runs),
+            ("rolled_up", &report.compaction.rolled_up),
+        ],
     );
     if report.checkpoint.runs > 0 || report.checkpoint.errors > 0 {
-        eprintln!(
-            "asap-server: checkpoints runs={} rebases={} chain_links={} \
-             bytes_written={} wal_files_discarded={}",
-            report.checkpoint.runs,
-            report.checkpoint.rebases,
-            report.checkpoint.chain_links,
-            report.checkpoint.bytes_written,
-            report.checkpoint.wal_files_discarded,
+        obs::info(
+            "server",
+            "checkpoints",
+            &[
+                ("runs", &report.checkpoint.runs),
+                ("rebases", &report.checkpoint.rebases),
+                ("chain_links", &report.checkpoint.chain_links),
+                ("bytes_written", &report.checkpoint.bytes_written),
+                ("wal_files_discarded", &report.checkpoint.wal_files_discarded),
+            ],
         );
     }
     let mut failed = false;
     if let Some(e) = report.final_snapshot_error {
-        eprintln!("asap-server: final snapshot failed: {e}");
+        obs::error("server", "final_snapshot_failed", &[("error", &e)]);
         failed = true;
     }
     // The drain ends with one final checkpoint on chain-configured
     // servers; a populated `last_error` means that final pass failed.
     if let Some(e) = report.checkpoint.last_error {
-        eprintln!("asap-server: final checkpoint failed: {e}");
+        obs::error("server", "final_checkpoint_failed", &[("error", &e)]);
         failed = true;
     }
     if let Some(e) = report.wal_seal_error {
-        eprintln!("asap-server: WAL seal failed: {e}");
+        obs::error("server", "wal_seal_failed", &[("error", &e)]);
         failed = true;
     }
     if failed {

@@ -24,6 +24,7 @@
 //! connection has flushed; the drain then takes one final checkpoint so
 //! the shutdown state lands in the chain too.
 
+use asap_tsdb::obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,9 +47,7 @@ pub(crate) fn run(shared: &Shared, config: &CheckpointConfig) {
             break;
         }
         if let Err(e) = shared.run_checkpoint() {
-            if shared.verbose() {
-                eprintln!("asap-server: checkpoint pass failed: {e}");
-            }
+            obs::warn("checkpoint", "pass_failed", &[("error", &e)]);
         }
     }
 }

@@ -19,7 +19,7 @@ use std::net::{Shutdown as SocketShutdown, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
-use asap_tsdb::{IngestConfig, StreamIngestor};
+use asap_tsdb::{obs, StreamIngestor};
 
 use crate::protocol;
 use crate::server::{execute, ActiveGuard, Shared, MAX_REQUEST_LINE};
@@ -281,14 +281,11 @@ impl IngestConn {
         let peer = stream
             .peer_addr()
             .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
-        let ingest_config = IngestConfig {
-            wal: shared.wal_handle(),
-            // Post-reorder fanout to standing subscriptions: the hook
-            // fires in store-apply order, so pushed frames match a
-            // serial replay of the stored series.
-            apply_hook: Some(shared.subscription_hook()),
-            ..shared.config().ingest.clone()
-        };
+        // The fully wired pipeline config: WAL, post-reorder fanout to
+        // standing subscriptions (the hook fires in store-apply order,
+        // so pushed frames match a serial replay of the stored series),
+        // and the shared stage histograms.
+        let ingest_config = shared.pipeline_config();
         let ingestor = match shared
             .db()
             .stream_ingestor(shared.config().default_ts, ingest_config)
@@ -410,7 +407,11 @@ impl IngestConn {
         };
         self.shared.finish_connection(self.id, &report);
         if self.shared.verbose() {
-            eprintln!("asap-server: ingest {} closed: {report}", self.peer);
+            obs::info(
+                "server",
+                "ingest_closed",
+                &[("peer", &self.peer), ("report", &report)],
+            );
         }
         self.out.push(format!("{report}\n").as_bytes());
         self.phase = IngestPhase::Flushing;

@@ -203,7 +203,11 @@ fn worker(inbox: &Receiver<Conn>, shared: &Arc<Shared>) {
             progressed |= p;
             !done
         });
+        if !conns.is_empty() {
+            shared.metrics().event_sweeps.inc();
+        }
         if !progressed {
+            shared.metrics().event_parks.inc();
             // Park on the inbox: a new connection wakes us immediately,
             // otherwise the timeout is the level-trigger poll tick. A
             // connection backpressured on the ingest pipeline is

@@ -19,6 +19,7 @@
 //! SUBSCRIBE   <selector> [EVERY <n>] [ALERT k=<sigma>]
 //! UNSUBSCRIBE [<id>]
 //! STATS
+//! METRICS
 //! HEALTH
 //! SNAPSHOT <name>
 //! SHUTDOWN
@@ -139,7 +140,11 @@ pub enum Command {
     },
     /// `STATS` — the full counter dump (ingest, compaction, per-shard).
     Stats,
-    /// `HEALTH` — a single-line liveness summary.
+    /// `METRICS` — the same registry in Prometheus text exposition
+    /// (counters, gauges, and full latency histograms).
+    Metrics,
+    /// `HEALTH` — a single-line liveness summary (`OK healthy ...`, or
+    /// `DEGRADED ...` while a subsystem's latest pass is failing).
     Health,
     /// `SNAPSHOT <name>` — write a v2 snapshot of the whole store into
     /// the server's configured snapshot directory.
@@ -285,6 +290,10 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "STATS" => {
             arity(0, 0, "STATS")?;
             Ok(Command::Stats)
+        }
+        "METRICS" => {
+            arity(0, 0, "METRICS")?;
+            Ok(Command::Metrics)
         }
         "HEALTH" => {
             arity(0, 0, "HEALTH")?;
@@ -530,6 +539,7 @@ mod tests {
             }
         );
         assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("metrics").unwrap(), Command::Metrics);
         assert_eq!(parse_command("Health").unwrap(), Command::Health);
         assert_eq!(
             parse_command("SNAPSHOT /tmp/a.snap").unwrap(),
@@ -551,6 +561,7 @@ mod tests {
             ("SMOOTH * 0 10", "usage:"),
             ("SMOOTH * 0 10 5 -3", "not a non-negative integer"),
             ("STATS now", "usage:"),
+            ("METRICS now", "usage:"),
             ("SNAPSHOT", "usage:"),
         ] {
             let err = parse_command(line).unwrap_err();

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use asap_tsdb::Compactor;
+use asap_tsdb::{obs, Compactor};
 
 use crate::server::{CompactionClock, CompactionConfig, Shared};
 
@@ -53,15 +53,16 @@ pub(crate) fn run(shared: &Shared, config: &CompactionConfig) {
             shared.record_compaction(|stats| stats.skipped += 1);
             continue;
         };
-        match compactor.run_sharded(shared.db(), now) {
+        let started = std::time::Instant::now();
+        let outcome = compactor.run_sharded(shared.db(), now);
+        shared.metrics().compaction_run.observe_duration(started.elapsed());
+        match outcome {
             // `record_success` clears `last_error`: a populated value
             // always describes the *latest* pass, so one transient
             // failure doesn't read as a persistent fault forever.
             Ok(report) => shared.record_compaction(|stats| stats.record_success(&report)),
             Err(e) => {
-                if shared.verbose() {
-                    eprintln!("asap-server: compaction pass failed: {e}");
-                }
+                obs::warn("compaction", "pass_failed", &[("error", &e)]);
                 shared.record_compaction(|stats| stats.record_failure(e.to_string()));
             }
         }

@@ -16,13 +16,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use asap_core::Asap;
+use asap_tsdb::obs::{self, MetricSample};
 use asap_tsdb::{
-    checkpoint_sharded, ApplyHook, ChainCheckpointReport, CheckpointChain, CompactionReport,
-    IngestConfig, IngestReport, RangeQuery, RetentionPolicy, Schedule, Selector, ShardedDb,
-    SnapshotError, StreamProgress, TsdbError, Wal, WalConfig, WalReplayReport, ROLLUP_TAG,
+    checkpoint_sharded, pipeline_ingest, ApplyHook, ChainCheckpointReport, CheckpointChain,
+    CompactionReport, Counter, Histogram, IngestConfig, IngestMetrics, IngestReport, ObsRegistry,
+    RangeQuery, RetentionPolicy, Schedule, Selector, ShardedDb, SnapshotError, StreamProgress,
+    TsdbError, Wal, WalConfig, WalMetrics, WalReplayReport, ROLLUP_TAG, SELF_TAG,
 };
 
 use crate::protocol::{self, Command};
@@ -136,6 +138,17 @@ pub struct ServerConfig {
     /// Server-wide cap on standing subscriptions (default 1024);
     /// `SUBSCRIBE` over the cap is refused with an `ERR` line.
     pub max_subscriptions: usize,
+    /// Log any query/ops request whose total handling time (parse +
+    /// execute + render) reaches this threshold as one structured
+    /// `slow_query` warning line (default `None` — disabled).
+    pub slow_query: Option<Duration>,
+    /// Background self-scrape interval: every tick the server renders
+    /// its own metrics registry as line protocol tagged
+    /// [`asap_tsdb::SELF_TAG`] and ingests it through the normal
+    /// pipeline — WAL, checkpoints, and subscriptions all apply, so the
+    /// server's own telemetry is queryable (`RANGE` / `SMOOTH` /
+    /// `SUBSCRIBE`) like any other series (default `None` — disabled).
+    pub self_scrape: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +175,8 @@ impl Default for ServerConfig {
             subscribe_resolution: 100,
             subscribe_every: 1_000,
             max_subscriptions: 1_024,
+            slow_query: None,
+            self_scrape: None,
         }
     }
 }
@@ -440,6 +455,97 @@ pub struct ServerReport {
     pub query_rejected_connections: u64,
 }
 
+/// Pre-resolved handles into the server's metrics registry for every
+/// hot-path observation site — resolved once at startup so instrumented
+/// paths pay atomic adds, never name lookups.
+pub(crate) struct ServerMetrics {
+    /// Request-line parse time, all verbs (`query.parse_micros`).
+    pub query_parse: Histogram,
+    /// Per-verb execute time (`query.<verb>.execute_micros`), rendering
+    /// excluded for the verbs that track it separately.
+    range_execute: Histogram,
+    smooth_execute: Histogram,
+    stats_execute: Histogram,
+    metrics_execute: Histogram,
+    health_execute: Histogram,
+    snapshot_execute: Histogram,
+    subscribe_execute: Histogram,
+    unsubscribe_execute: Histogram,
+    shutdown_execute: Histogram,
+    /// Response-rendering time of the row-bearing verbs
+    /// (`query.<verb>.render_micros`).
+    pub range_render: Histogram,
+    pub smooth_render: Histogram,
+    /// Requests that crossed [`ServerConfig::slow_query`]
+    /// (`query.slow_total`).
+    pub slow_queries: Counter,
+    /// Event-core worker sweeps that made progress (`event.sweeps`) and
+    /// idle parks on the inbox (`event.parks`).
+    pub event_sweeps: Counter,
+    pub event_parks: Counter,
+    /// Background pass durations (`compaction.run_micros`,
+    /// `checkpoint.run_micros`).
+    pub compaction_run: Histogram,
+    pub checkpoint_run: Histogram,
+    /// Completed self-scrape passes (`scrape.runs`).
+    pub scrape_runs: Counter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &ObsRegistry) -> Self {
+        Self {
+            query_parse: registry.histogram("query.parse_micros"),
+            range_execute: registry.histogram("query.range.execute_micros"),
+            smooth_execute: registry.histogram("query.smooth.execute_micros"),
+            stats_execute: registry.histogram("query.stats.execute_micros"),
+            metrics_execute: registry.histogram("query.metrics.execute_micros"),
+            health_execute: registry.histogram("query.health.execute_micros"),
+            snapshot_execute: registry.histogram("query.snapshot.execute_micros"),
+            subscribe_execute: registry.histogram("query.subscribe.execute_micros"),
+            unsubscribe_execute: registry.histogram("query.unsubscribe.execute_micros"),
+            shutdown_execute: registry.histogram("query.shutdown.execute_micros"),
+            range_render: registry.histogram("query.range.render_micros"),
+            smooth_render: registry.histogram("query.smooth.render_micros"),
+            slow_queries: registry.counter("query.slow_total"),
+            event_sweeps: registry.counter("event.sweeps"),
+            event_parks: registry.counter("event.parks"),
+            compaction_run: registry.histogram("compaction.run_micros"),
+            checkpoint_run: registry.histogram("checkpoint.run_micros"),
+            scrape_runs: registry.counter("scrape.runs"),
+        }
+    }
+
+    /// The execute-time histogram of `command`'s verb.
+    fn execute_hist(&self, command: &Command) -> &Histogram {
+        match command {
+            Command::Range { .. } => &self.range_execute,
+            Command::Smooth { .. } => &self.smooth_execute,
+            Command::Stats => &self.stats_execute,
+            Command::Metrics => &self.metrics_execute,
+            Command::Health => &self.health_execute,
+            Command::Snapshot { .. } => &self.snapshot_execute,
+            Command::Subscribe { .. } => &self.subscribe_execute,
+            Command::Unsubscribe { .. } => &self.unsubscribe_execute,
+            Command::Shutdown => &self.shutdown_execute,
+        }
+    }
+}
+
+/// The verb token of a parsed command, for slow-query log lines.
+fn verb_name(command: &Command) -> &'static str {
+    match command {
+        Command::Range { .. } => "RANGE",
+        Command::Smooth { .. } => "SMOOTH",
+        Command::Stats => "STATS",
+        Command::Metrics => "METRICS",
+        Command::Health => "HEALTH",
+        Command::Snapshot { .. } => "SNAPSHOT",
+        Command::Subscribe { .. } => "SUBSCRIBE",
+        Command::Unsubscribe { .. } => "UNSUBSCRIBE",
+        Command::Shutdown => "SHUTDOWN",
+    }
+}
+
 #[derive(Default)]
 struct Lifecycle {
     /// A `SHUTDOWN` command (or [`Server::shutdown`]) asked for a
@@ -485,6 +591,14 @@ pub(crate) struct Shared {
     /// Standing `SUBSCRIBE` registrations, fed by every ingest
     /// pipeline's apply hook.
     subscriptions: Arc<Registry>,
+    /// This server's metrics registry — per instance, not global, so
+    /// parallel servers in one process never cross-contaminate.
+    registry: ObsRegistry,
+    /// Pre-resolved handles into `registry` for the server's own
+    /// observation sites.
+    metrics: ServerMetrics,
+    /// Pre-resolved ingest-stage histograms every pipeline shares.
+    ingest_metrics: IngestMetrics,
 }
 
 impl Shared {
@@ -501,6 +615,12 @@ impl Shared {
             config.subscribe_every,
             config.max_subscriptions,
         ));
+        let registry = ObsRegistry::new();
+        let metrics = ServerMetrics::new(&registry);
+        let ingest_metrics = IngestMetrics::new(&registry);
+        if let Some(wal) = &wal {
+            wal.set_metrics(WalMetrics::new(&registry));
+        }
         Self {
             db,
             config,
@@ -520,6 +640,9 @@ impl Shared {
             wal,
             wal_replay,
             subscriptions,
+            registry,
+            metrics,
+            ingest_metrics,
         }
     }
 
@@ -548,6 +671,41 @@ impl Shared {
     pub(crate) fn subscription_hook(&self) -> ApplyHook {
         let registry = Arc::clone(&self.subscriptions);
         ApplyHook::new(move |key, point| registry.on_point(key, point.value))
+    }
+
+    /// The server's observation handles.
+    pub(crate) fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The fully wired [`IngestConfig`] every ingest pipeline runs with:
+    /// the configured base plus the WAL handle, the subscription fanout
+    /// hook, and the shared stage histograms. Both cores and the
+    /// self-scrape path build pipelines from this one place.
+    pub(crate) fn pipeline_config(&self) -> IngestConfig {
+        IngestConfig {
+            wal: self.wal_handle(),
+            apply_hook: Some(self.subscription_hook()),
+            metrics: Some(self.ingest_metrics.clone()),
+            ..self.config.ingest.clone()
+        }
+    }
+
+    /// One self-scrape pass: render the full metrics state (live
+    /// sources + registry) as line protocol tagged [`SELF_TAG`] at
+    /// `ts`, ingest it through the normal pipeline (WAL, checkpoints,
+    /// and subscriptions all apply), and return the ingested document —
+    /// the oracle the round-trip tests compare query results against.
+    pub(crate) fn scrape(&self, ts: i64) -> Result<String, String> {
+        let doc = obs::render_line_protocol(&collect_metrics(self), SELF_TAG, ts);
+        match pipeline_ingest(&self.db, &doc, ts, &self.pipeline_config()) {
+            Ok(report) if report.parse_failures.is_empty() && report.write_failures.is_empty() => {
+                self.metrics.scrape_runs.inc();
+                Ok(doc)
+            }
+            Ok(report) => Err(format!("scrape ingest rejected lines: {report}")),
+            Err(e) => Err(e.to_string()),
+        }
     }
 
     pub(crate) fn is_draining(&self) -> bool {
@@ -584,14 +742,16 @@ impl Shared {
         let Some(chain) = &self.chain else {
             return Err("no checkpoint chain is configured".to_owned());
         };
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let mut chain = chain.lock().expect("checkpoint chain poisoned");
         match chain.checkpoint(&self.db, self.wal.as_ref()) {
             Ok(report) => {
+                let elapsed = started.elapsed();
+                self.metrics.checkpoint_run.observe_duration(elapsed);
                 self.checkpoint
                     .lock()
                     .expect("checkpoint stats poisoned")
-                    .record_success(&report, started.elapsed());
+                    .record_success(&report, elapsed);
                 Ok(report)
             }
             Err(e) => {
@@ -773,6 +933,7 @@ pub struct Server {
     io_threads: Vec<JoinHandle<()>>,
     scheduler_thread: Option<JoinHandle<()>>,
     checkpoint_thread: Option<JoinHandle<()>>,
+    scrape_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -838,6 +999,20 @@ impl Server {
             return Err(TsdbError::InvalidParameter {
                 name: "max_subscriptions",
                 message: "the subscription cap must be positive",
+            }
+            .into());
+        }
+        if config.slow_query.is_some_and(|d| d.is_zero()) {
+            return Err(TsdbError::InvalidParameter {
+                name: "slow_query",
+                message: "the slow-query threshold must be positive (or unset)",
+            }
+            .into());
+        }
+        if config.self_scrape.is_some_and(|d| d.is_zero()) {
+            return Err(TsdbError::InvalidParameter {
+                name: "self_scrape",
+                message: "the self-scrape interval must be positive (or unset)",
             }
             .into());
         }
@@ -920,6 +1095,7 @@ impl Server {
         let query_addr = query_listener.local_addr()?;
         let compaction = config.compaction.clone();
         let checkpoint_config = config.checkpoint.clone();
+        let self_scrape = config.self_scrape;
         let core = config.core;
         let shared = Arc::new(Shared::new(db, config, wal, wal_replay, chain));
 
@@ -935,6 +1111,10 @@ impl Server {
             let s = Arc::clone(&shared);
             std::thread::spawn(move || checkpoint::run(&s, &cfg))
         });
+        let scrape_thread = self_scrape.map(|interval| {
+            let s = Arc::clone(&shared);
+            std::thread::spawn(move || scrape_loop(&s, interval))
+        });
 
         Ok(Self {
             shared,
@@ -943,7 +1123,18 @@ impl Server {
             io_threads,
             scheduler_thread,
             checkpoint_thread,
+            scrape_thread,
         })
+    }
+
+    /// Runs one self-scrape pass immediately — the full metrics state
+    /// rendered as [`asap_tsdb::SELF_TAG`]-tagged line protocol and
+    /// ingested through the normal pipeline — and returns the ingested
+    /// document. Works with or without a configured
+    /// [`ServerConfig::self_scrape`] interval; the round-trip tests use
+    /// the returned document as their oracle.
+    pub fn scrape_now(&self) -> Result<String, String> {
+        self.shared.scrape(unix_millis())
     }
 
     /// The bound address of the ingest listener (resolves `:0` binds).
@@ -1029,6 +1220,13 @@ impl Server {
         if let Some(handle) = self.checkpoint_thread.take() {
             let _ = handle.join();
         }
+        // Join the self-scrape thread before the final checkpoint and
+        // the WAL seal: its drain-time final scrape must land inside
+        // both, so the last thing a restarted server recovers includes
+        // the dying server's own telemetry.
+        if let Some(handle) = self.scrape_thread.take() {
+            let _ = handle.join();
+        }
         // A chain-configured server's durable shutdown state is one
         // last incremental checkpoint: everything the drain flushed
         // lands in the chain and the covered log generations go away,
@@ -1079,6 +1277,32 @@ impl Server {
             final_snapshot_error,
             wal_seal_error,
             query_rejected_connections: self.shared.query_rejected.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Milliseconds since the Unix epoch — the timestamp base of
+/// self-scrape samples.
+fn unix_millis() -> i64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .ok()
+        .and_then(|d| i64::try_from(d.as_millis()).ok())
+        .unwrap_or(0)
+}
+
+/// The self-scrape thread body: one pass per configured interval, plus
+/// one final pass when the drain begins so the shutdown state of the
+/// registry is durable (the drain joins this thread before the final
+/// checkpoint and WAL seal).
+fn scrape_loop(shared: &Shared, interval: Duration) {
+    loop {
+        let draining = shared.wait_drain_timeout(interval);
+        if let Err(e) = shared.scrape(unix_millis()) {
+            obs::warn("scrape", "scrape_failed", &[("error", &e)]);
+        }
+        if draining {
+            return;
         }
     }
 }
@@ -1147,11 +1371,66 @@ fn resolve_snapshot_path(dir: Option<&Path>, name: &str) -> Result<PathBuf, Stri
 /// cores — responses must be byte-identical whichever serves them.
 /// `session` is the connection's subscription state: `SUBSCRIBE` /
 /// `UNSUBSCRIBE` mutate it, everything else ignores it.
+///
+/// Every request is phase-timed into the metrics registry: parse time
+/// into `query.parse_micros`, per-verb execute time (rendering
+/// excluded) into `query.<verb>.execute_micros`, and `RANGE`/`SMOOTH`
+/// rendering into `query.<verb>.render_micros`. A request whose total
+/// crosses [`ServerConfig::slow_query`] is logged as one structured
+/// `slow_query` warning.
 pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> (String, bool) {
+    let started = Instant::now();
     let command = match protocol::parse_command(line) {
         Ok(command) => command,
         Err(e) => return (protocol::render_error(&e), false),
     };
+    let metrics = shared.metrics();
+    let parse = started.elapsed();
+    metrics.query_parse.observe_duration(parse);
+    let verb = verb_name(&command);
+    let execute_hist = metrics.execute_hist(&command);
+    let arm_started = Instant::now();
+    let (response, shutdown_after, rows, render) = dispatch(command, shared, session);
+    let exec = arm_started.elapsed().saturating_sub(render);
+    execute_hist.observe_duration(exec);
+    if let Some(threshold) = shared.config.slow_query {
+        let total = started.elapsed();
+        if total >= threshold {
+            metrics.slow_queries.inc();
+            let request: String = line.chars().take(200).collect();
+            obs::warn(
+                "server",
+                "slow_query",
+                &[
+                    ("verb", &verb),
+                    ("request", &request),
+                    ("total_micros", &u64_micros(total)),
+                    ("parse_micros", &u64_micros(parse)),
+                    ("execute_micros", &u64_micros(exec)),
+                    ("render_micros", &u64_micros(render)),
+                    ("rows", &rows),
+                ],
+            );
+        }
+    }
+    (response, shutdown_after)
+}
+
+fn u64_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The per-verb body of [`execute`]: returns the response, the
+/// shutdown flag, the result-row count (points / frames — 0 for
+/// non-row verbs), and the time spent rendering the response (already
+/// observed into the verb's render histogram; [`execute`] subtracts it
+/// from the execute timing).
+fn dispatch(
+    command: Command,
+    shared: &Shared,
+    session: &mut SubSession,
+) -> (String, bool, usize, Duration) {
+    let fail = |e: String| (protocol::render_error(&e), false, 0, Duration::ZERO);
     match command {
         Command::Range {
             selector,
@@ -1160,19 +1439,26 @@ pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> 
             bucket,
             aggregator,
         } => {
-            let selector = confine_rollups(selector);
+            let selector = confine_internal(selector);
             let query = match bucket {
                 None => RangeQuery::raw(start, end),
                 Some(b) => {
                     if let Err(e) = check_grid(start, end, b) {
-                        return (protocol::render_error(&e), false);
+                        return fail(e);
                     }
                     RangeQuery::bucketed(start, end, b).aggregate(aggregator)
                 }
             };
             match shared.db.query_selector(&selector, query) {
-                Ok(results) => (protocol::render_range(&results), false),
-                Err(e) => (protocol::render_error(&e.to_string()), false),
+                Ok(results) => {
+                    let rows = results.iter().map(|(_, points)| points.len()).sum();
+                    let render_started = Instant::now();
+                    let response = protocol::render_range(&results);
+                    let render = render_started.elapsed();
+                    shared.metrics.range_render.observe_duration(render);
+                    (response, false, rows, render)
+                }
+                Err(e) => fail(e.to_string()),
             }
         }
         Command::Smooth {
@@ -1183,38 +1469,43 @@ pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> 
             resolution,
         } => {
             if resolution == 0 {
-                return (
-                    protocol::render_error("resolution must be positive"),
-                    false,
-                );
+                return fail("resolution must be positive".to_owned());
             }
             if let Err(e) = check_grid(start, end, bucket) {
-                return (protocol::render_error(&e), false);
+                return fail(e);
             }
-            let selector = confine_rollups(selector);
+            let selector = confine_internal(selector);
             let asap = Asap::builder().resolution(resolution).build();
             match shared
                 .db
                 .smooth_query_selector(&selector, &asap, start, end, bucket)
             {
-                Ok(frames) => (protocol::render_smooth(&frames), false),
-                Err(e) => (protocol::render_error(&e.to_string()), false),
+                Ok(frames) => {
+                    let rows = frames.len();
+                    let render_started = Instant::now();
+                    let response = protocol::render_smooth(&frames);
+                    let render = render_started.elapsed();
+                    shared.metrics.smooth_render.observe_duration(render);
+                    (response, false, rows, render)
+                }
+                Err(e) => fail(e.to_string()),
             }
         }
-        Command::Stats => (render_stats(shared), false),
-        Command::Health => (render_health(shared), false),
+        Command::Stats => (render_stats(shared), false, 0, Duration::ZERO),
+        Command::Metrics => (render_metrics(shared), false, 0, Duration::ZERO),
+        Command::Health => (render_health(shared), false, 0, Duration::ZERO),
         Command::Snapshot { path } => {
             let target =
                 match resolve_snapshot_path(shared.config.snapshot_dir.as_deref(), &path) {
                     Ok(target) => target,
-                    Err(e) => return (protocol::render_error(&e), false),
+                    Err(e) => return fail(e),
                 };
             // Hold the gate for the whole save: the compaction scheduler
             // pauses rather than mutating the store mid-snapshot.
             let _gate = shared.snapshot_gate();
             match snapshot_command(shared, &target) {
-                Ok(()) => (format!("OK snapshot {path}\n"), false),
-                Err(e) => (protocol::render_error(&e), false),
+                Ok(()) => (format!("OK snapshot {path}\n"), false, 0, Duration::ZERO),
+                Err(e) => fail(e),
             }
         }
         Command::Subscribe {
@@ -1222,26 +1513,28 @@ pub(crate) fn execute(line: &str, shared: &Shared, session: &mut SubSession) -> 
             every,
             alert,
         } => {
-            // Same rollup confinement as RANGE/SMOOTH: a wildcard
-            // subscription watches raw series, not the compactor's
-            // pre-aggregates.
-            let selector = confine_rollups(selector);
+            // Same internal-series confinement as RANGE/SMOOTH: a
+            // wildcard subscription watches raw series, not the
+            // compactor's pre-aggregates or the self-scrape stream.
+            let selector = confine_internal(selector);
             match session.subscribe(selector, every, alert) {
                 Ok((id, every)) => {
                     let alert = alert.map_or_else(|| "none".to_owned(), |k| k.to_string());
                     (
                         format!("OK subscribed {id} every={every} alert={alert}\n"),
                         false,
+                        0,
+                        Duration::ZERO,
                     )
                 }
-                Err(e) => (protocol::render_error(&e), false),
+                Err(e) => fail(e),
             }
         }
         Command::Unsubscribe { id } => match session.unsubscribe(id) {
-            Ok(n) => (format!("OK unsubscribed {n}\n"), false),
-            Err(e) => (protocol::render_error(&e), false),
+            Ok(n) => (format!("OK unsubscribed {n}\n"), false, 0, Duration::ZERO),
+            Err(e) => fail(e),
         },
-        Command::Shutdown => ("OK shutting down\n".to_owned(), true),
+        Command::Shutdown => ("OK shutting down\n".to_owned(), true, 0, Duration::ZERO),
     }
 }
 
@@ -1280,15 +1573,23 @@ fn snapshot_command(shared: &Shared, target: &Path) -> Result<(), String> {
     shared.db.save(target).map_err(err)
 }
 
-/// Hides compaction-internal rollup series from `RANGE` / `SMOOTH`
+/// Hides server-internal series from `RANGE` / `SMOOTH` / `SUBSCRIBE`
 /// matching by default: unless the selector itself takes a position on
 /// the `__rollup__` tag (e.g. `metric{__rollup__=*}` to opt in, or
-/// `metric{__rollup__=60}` for one level), require the tag absent.
-fn confine_rollups(selector: Selector) -> Selector {
-    if selector.references_tag(ROLLUP_TAG) {
+/// `metric{__rollup__=60}` for one level) it must be absent, and
+/// likewise for the self-scrape `__self__` tag — a wildcard watches
+/// user telemetry, not the compactor's pre-aggregates or the server's
+/// own metrics stream.
+fn confine_internal(selector: Selector) -> Selector {
+    let selector = if selector.references_tag(ROLLUP_TAG) {
         selector
     } else {
         selector.tag_absent(ROLLUP_TAG)
+    };
+    if selector.references_tag(SELF_TAG) {
+        selector
+    } else {
+        selector.tag_absent(SELF_TAG)
     }
 }
 
@@ -1296,164 +1597,196 @@ fn fmt_watermark(watermark: Option<i64>) -> String {
     watermark.map_or_else(|| "none".to_owned(), |ts| ts.to_string())
 }
 
-/// The `STATS` response: `OK stats`, `key value` lines (a stable,
-/// append-only key set), `END`.
-fn render_stats(shared: &Shared) -> String {
+fn as_u64(v: usize) -> u64 {
+    v as u64
+}
+
+/// The one source of truth behind every metrics surface — `STATS`
+/// (`key value` lines), `METRICS` (Prometheus exposition), and the
+/// self-scrape (line protocol): the server's live sources sampled in
+/// the stable `STATS` key order (the key set is append-only — new keys
+/// go at the end of their source, never between existing ones),
+/// followed by everything the metrics registry accumulated (latency
+/// histograms, event-core counters), name-sorted.
+fn collect_metrics(shared: &Shared) -> Vec<MetricSample> {
     let totals = shared.ingest_totals();
     let compaction = shared
         .compaction
         .lock()
         .expect("compaction stats poisoned")
         .clone();
-    let occupancy = shared.db.shard_occupancy();
-    let mut out = String::from("OK stats\n");
-    out.push_str(&format!(
-        "ingest.active_connections {}\n",
-        shared.active.load(Ordering::Acquire)
-    ));
-    out.push_str(&format!("ingest.total_connections {}\n", totals.connections));
-    out.push_str(&format!(
-        "ingest.rejected_connections {}\n",
-        totals.rejected_connections
-    ));
-    out.push_str(&format!("ingest.lines {}\n", totals.lines));
-    out.push_str(&format!("ingest.points {}\n", totals.points));
-    out.push_str(&format!("ingest.reordered {}\n", totals.reordered));
-    out.push_str(&format!("ingest.dropped_late {}\n", totals.dropped_late));
-    out.push_str(&format!(
-        "ingest.dropped_duplicate {}\n",
-        totals.dropped_duplicate
-    ));
-    out.push_str(&format!("ingest.parse_failures {}\n", totals.parse_failures));
-    out.push_str(&format!("ingest.write_failures {}\n", totals.write_failures));
-    out.push_str(&format!(
-        "ingest.in_flight_chunks {}\n",
-        totals.in_flight_chunks
-    ));
-    out.push_str(&format!(
-        "ingest.pending_reorder {}\n",
-        totals.pending_reorder
-    ));
-    out.push_str(&format!(
-        "query.active_connections {}\n",
-        shared.query_active.load(Ordering::Acquire)
-    ));
-    out.push_str(&format!(
-        "query.rejected_connections {}\n",
-        shared.query_rejected.load(Ordering::Acquire)
-    ));
-    out.push_str(&format!(
-        "compaction.enabled {}\n",
-        u8::from(shared.config.compaction.is_some())
-    ));
-    out.push_str(&format!("compaction.runs {}\n", compaction.runs));
-    out.push_str(&format!("compaction.skipped {}\n", compaction.skipped));
-    out.push_str(&format!("compaction.errors {}\n", compaction.errors));
-    out.push_str(&format!("compaction.rolled_up {}\n", compaction.rolled_up));
-    out.push_str(&format!("compaction.raw_evicted {}\n", compaction.raw_evicted));
-    out.push_str(&format!(
-        "compaction.rollup_evicted {}\n",
-        compaction.rollup_evicted
-    ));
     let checkpoint = shared
         .checkpoint
         .lock()
         .expect("checkpoint stats poisoned")
         .clone();
-    out.push_str(&format!(
-        "checkpoint.enabled {}\n",
-        u8::from(shared.has_chain())
-    ));
-    out.push_str(&format!("checkpoint.runs {}\n", checkpoint.runs));
-    out.push_str(&format!("checkpoint.errors {}\n", checkpoint.errors));
-    out.push_str(&format!(
-        "checkpoint.last_duration_ms {}\n",
-        checkpoint.last_duration_ms
-    ));
-    out.push_str(&format!(
-        "checkpoint.chain_links {}\n",
-        checkpoint.chain_links
-    ));
-    out.push_str(&format!("checkpoint.rebases {}\n", checkpoint.rebases));
-    out.push_str(&format!(
-        "checkpoint.bytes_written {}\n",
-        checkpoint.bytes_written
-    ));
-    out.push_str(&format!(
-        "checkpoint.wal_files_discarded {}\n",
-        checkpoint.wal_files_discarded
-    ));
     let wal_stats = shared.wal.as_ref().map(Wal::stats).unwrap_or_default();
-    out.push_str(&format!(
-        "wal.enabled {}\n",
-        u8::from(shared.wal.is_some())
-    ));
-    out.push_str(&format!("wal.records {}\n", wal_stats.records));
-    out.push_str(&format!("wal.bytes {}\n", wal_stats.bytes));
-    out.push_str(&format!("wal.fsyncs {}\n", wal_stats.fsyncs));
-    out.push_str(&format!("wal.rotations {}\n", wal_stats.rotations));
-    out.push_str(&format!("wal.replay.files {}\n", shared.wal_replay.files));
-    out.push_str(&format!(
-        "wal.replay.applied {}\n",
-        shared.wal_replay.applied
-    ));
-    out.push_str(&format!(
-        "wal.replay.skipped {}\n",
-        shared.wal_replay.skipped
-    ));
-    out.push_str(&format!(
-        "wal.replay.damaged {}\n",
-        shared.wal_replay.damaged
-    ));
     let subs = shared.subscriptions.stats();
-    out.push_str(&format!("subscriptions.active {}\n", subs.active));
-    out.push_str(&format!("subscriptions.total {}\n", subs.total));
-    out.push_str(&format!(
-        "subscriptions.series_tracked {}\n",
-        subs.series_tracked
-    ));
-    out.push_str(&format!("subscriptions.points_seen {}\n", subs.points_seen));
-    out.push_str(&format!(
-        "subscriptions.frames_pushed {}\n",
-        subs.frames_pushed
-    ));
-    out.push_str(&format!(
-        "subscriptions.alerts_pushed {}\n",
-        subs.alerts_pushed
-    ));
-    out.push_str(&format!(
-        "subscriptions.frames_lagged {}\n",
-        subs.frames_lagged
-    ));
+    let occupancy = shared.db.shard_occupancy();
+
+    let mut samples = vec![
+        MetricSample::gauge(
+            "ingest.active_connections",
+            as_u64(shared.active.load(Ordering::Acquire)),
+        ),
+        MetricSample::counter("ingest.total_connections", totals.connections),
+        MetricSample::counter("ingest.rejected_connections", totals.rejected_connections),
+        MetricSample::counter("ingest.lines", as_u64(totals.lines)),
+        MetricSample::counter("ingest.points", as_u64(totals.points)),
+        MetricSample::counter("ingest.reordered", as_u64(totals.reordered)),
+        MetricSample::counter("ingest.dropped_late", as_u64(totals.dropped_late)),
+        MetricSample::counter("ingest.dropped_duplicate", as_u64(totals.dropped_duplicate)),
+        MetricSample::counter("ingest.parse_failures", as_u64(totals.parse_failures)),
+        MetricSample::counter("ingest.write_failures", as_u64(totals.write_failures)),
+        MetricSample::gauge("ingest.in_flight_chunks", as_u64(totals.in_flight_chunks)),
+        MetricSample::gauge("ingest.pending_reorder", as_u64(totals.pending_reorder)),
+        MetricSample::gauge(
+            "query.active_connections",
+            as_u64(shared.query_active.load(Ordering::Acquire)),
+        ),
+        MetricSample::counter(
+            "query.rejected_connections",
+            shared.query_rejected.load(Ordering::Acquire),
+        ),
+        MetricSample::gauge(
+            "compaction.enabled",
+            u64::from(shared.config.compaction.is_some()),
+        ),
+        MetricSample::counter("compaction.runs", compaction.runs),
+        MetricSample::counter("compaction.skipped", compaction.skipped),
+        MetricSample::counter("compaction.errors", compaction.errors),
+        MetricSample::counter("compaction.rolled_up", as_u64(compaction.rolled_up)),
+        MetricSample::counter("compaction.raw_evicted", as_u64(compaction.raw_evicted)),
+        MetricSample::counter(
+            "compaction.rollup_evicted",
+            as_u64(compaction.rollup_evicted),
+        ),
+        MetricSample::gauge("checkpoint.enabled", u64::from(shared.has_chain())),
+        MetricSample::counter("checkpoint.runs", checkpoint.runs),
+        MetricSample::counter("checkpoint.errors", checkpoint.errors),
+        MetricSample::gauge("checkpoint.last_duration_ms", checkpoint.last_duration_ms),
+        MetricSample::gauge("checkpoint.chain_links", as_u64(checkpoint.chain_links)),
+        MetricSample::counter("checkpoint.rebases", checkpoint.rebases),
+        MetricSample::counter("checkpoint.bytes_written", checkpoint.bytes_written),
+        MetricSample::counter(
+            "checkpoint.wal_files_discarded",
+            checkpoint.wal_files_discarded,
+        ),
+        MetricSample::gauge("wal.enabled", u64::from(shared.wal.is_some())),
+        MetricSample::counter("wal.records", wal_stats.records),
+        MetricSample::counter("wal.bytes", wal_stats.bytes),
+        MetricSample::counter("wal.fsyncs", wal_stats.fsyncs),
+        MetricSample::counter("wal.rotations", wal_stats.rotations),
+        MetricSample::counter("wal.replay.files", as_u64(shared.wal_replay.files)),
+        MetricSample::counter("wal.replay.applied", shared.wal_replay.applied),
+        MetricSample::counter("wal.replay.skipped", shared.wal_replay.skipped),
+        MetricSample::counter("wal.replay.damaged", as_u64(shared.wal_replay.damaged)),
+        MetricSample::gauge("subscriptions.active", as_u64(subs.active)),
+        MetricSample::counter("subscriptions.total", subs.total),
+        MetricSample::gauge("subscriptions.series_tracked", as_u64(subs.series_tracked)),
+        MetricSample::counter("subscriptions.points_seen", subs.points_seen),
+        MetricSample::counter("subscriptions.frames_pushed", subs.frames_pushed),
+        MetricSample::counter("subscriptions.alerts_pushed", subs.alerts_pushed),
+        MetricSample::counter("subscriptions.frames_lagged", subs.frames_lagged),
+    ];
     let series: usize = occupancy.iter().map(|o| o.series).sum();
     let points: usize = occupancy.iter().map(|o| o.points).sum();
     let blocks: usize = occupancy.iter().map(|o| o.blocks).sum();
     let bytes: usize = occupancy.iter().map(|o| o.compressed_bytes).sum();
     let watermark = occupancy.iter().filter_map(|o| o.watermark).max();
-    out.push_str(&format!("store.shards {}\n", occupancy.len()));
-    out.push_str(&format!("store.series {series}\n"));
-    out.push_str(&format!("store.points {points}\n"));
-    out.push_str(&format!("store.blocks {blocks}\n"));
-    out.push_str(&format!("store.compressed_bytes {bytes}\n"));
-    out.push_str(&format!("store.watermark {}\n", fmt_watermark(watermark)));
+    samples.push(MetricSample::gauge("store.shards", as_u64(occupancy.len())));
+    samples.push(MetricSample::gauge("store.series", as_u64(series)));
+    samples.push(MetricSample::gauge("store.points", as_u64(points)));
+    samples.push(MetricSample::gauge("store.blocks", as_u64(blocks)));
+    samples.push(MetricSample::gauge("store.compressed_bytes", as_u64(bytes)));
+    samples.push(MetricSample::text(
+        "store.watermark",
+        fmt_watermark(watermark),
+    ));
     for (i, shard) in occupancy.iter().enumerate() {
-        out.push_str(&format!("shard.{i}.series {}\n", shard.series));
-        out.push_str(&format!("shard.{i}.points {}\n", shard.points));
-        out.push_str(&format!("shard.{i}.blocks {}\n", shard.blocks));
-        out.push_str(&format!(
-            "shard.{i}.compressed_bytes {}\n",
-            shard.compressed_bytes
+        samples.push(MetricSample::gauge(
+            format!("shard.{i}.series"),
+            as_u64(shard.series),
         ));
-        out.push_str(&format!(
-            "shard.{i}.watermark {}\n",
-            fmt_watermark(shard.watermark)
+        samples.push(MetricSample::gauge(
+            format!("shard.{i}.points"),
+            as_u64(shard.points),
         ));
+        samples.push(MetricSample::gauge(
+            format!("shard.{i}.blocks"),
+            as_u64(shard.blocks),
+        ));
+        samples.push(MetricSample::gauge(
+            format!("shard.{i}.compressed_bytes"),
+            as_u64(shard.compressed_bytes),
+        ));
+        samples.push(MetricSample::text(
+            format!("shard.{i}.watermark"),
+            fmt_watermark(shard.watermark),
+        ));
+    }
+    // Keys added after the original STATS set — appended, per the
+    // append-only contract.
+    samples.push(MetricSample::counter("wal.errors", wal_stats.errors));
+    samples.push(MetricSample::gauge(
+        "subscriptions.outbox_lines",
+        as_u64(subs.outbox_lines),
+    ));
+    // Everything the registry accumulated: phase-latency histograms,
+    // WAL append/fsync timings, event-core sweep counters, …
+    samples.extend(shared.registry.snapshot());
+    samples
+}
+
+/// The `STATS` response: `OK stats`, `key value` lines (a stable,
+/// append-only key set), `END`. Histograms render as six derived lines
+/// (`<name>.count/.sum/.p50/.p90/.p99/.max`).
+fn render_stats(shared: &Shared) -> String {
+    let mut out = String::from("OK stats\n");
+    for sample in collect_metrics(shared) {
+        match &sample.value {
+            asap_tsdb::MetricValue::Counter(v) | asap_tsdb::MetricValue::Gauge(v) => {
+                out.push_str(&format!("{} {v}\n", sample.name));
+            }
+            asap_tsdb::MetricValue::Text(v) => {
+                out.push_str(&format!("{} {v}\n", sample.name));
+            }
+            asap_tsdb::MetricValue::Histogram(h) => {
+                out.push_str(&format!("{}.count {}\n", sample.name, h.count));
+                out.push_str(&format!("{}.sum {}\n", sample.name, h.sum));
+                out.push_str(&format!("{}.p50 {}\n", sample.name, h.quantile(0.50)));
+                out.push_str(&format!("{}.p90 {}\n", sample.name, h.quantile(0.90)));
+                out.push_str(&format!("{}.p99 {}\n", sample.name, h.quantile(0.99)));
+                out.push_str(&format!("{}.max {}\n", sample.name, h.max));
+            }
+        }
     }
     out.push_str("END\n");
     out
 }
 
-/// The `HEALTH` response: one `OK healthy` line of `key=value` tokens.
+/// The `METRICS` response: `OK metrics`, Prometheus text exposition of
+/// the same samples `STATS` reads, `END`.
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = String::from("OK metrics\n");
+    out.push_str(&obs::render_prometheus(&collect_metrics(shared)));
+    out.push_str("END\n");
+    out
+}
+
+/// Quotes a failure reason for a single-line `key="value"` token:
+/// interior double quotes become single quotes so the token stays
+/// splittable on whitespace-outside-quotes.
+fn quote_reason(reason: &str) -> String {
+    format!("\"{}\"", reason.replace('"', "'").replace('\n', "; "))
+}
+
+/// The `HEALTH` response: one line of `key=value` tokens. `OK healthy`
+/// while every durability subsystem's *latest* pass succeeded;
+/// `DEGRADED` with one quoted `<subsystem>="<reason>"` token per
+/// currently failing subsystem (WAL append/fsync, compaction,
+/// checkpoint — each cleared when a later pass succeeds), followed by
+/// the same trailing fields as the healthy line.
 fn render_health(shared: &Shared) -> String {
     let totals = shared.ingest_totals();
     let compaction = shared
@@ -1461,12 +1794,33 @@ fn render_health(shared: &Shared) -> String {
         .lock()
         .expect("compaction stats poisoned")
         .clone();
+    let checkpoint_error = shared
+        .checkpoint
+        .lock()
+        .expect("checkpoint stats poisoned")
+        .last_error
+        .clone();
     let occupancy = shared.db.shard_occupancy();
     let series: usize = occupancy.iter().map(|o| o.series).sum();
     let points: usize = occupancy.iter().map(|o| o.points).sum();
     let watermark = occupancy.iter().filter_map(|o| o.watermark).max();
+    let mut reasons = Vec::new();
+    if let Some(e) = shared.wal.as_ref().and_then(Wal::last_error) {
+        reasons.push(format!("wal={}", quote_reason(&e)));
+    }
+    if let Some(e) = &compaction.last_error {
+        reasons.push(format!("compaction={}", quote_reason(e)));
+    }
+    if let Some(e) = &checkpoint_error {
+        reasons.push(format!("checkpoint={}", quote_reason(e)));
+    }
+    let status = if reasons.is_empty() {
+        "OK healthy".to_owned()
+    } else {
+        format!("DEGRADED {}", reasons.join(" "))
+    };
     format!(
-        "OK healthy connections={}/{} shards={} series={} points={} watermark={} \
+        "{status} connections={}/{} shards={} series={} points={} watermark={} \
          ingested_points={} compaction_runs={}\n",
         shared.active.load(Ordering::Acquire),
         shared.config.max_ingest_connections,

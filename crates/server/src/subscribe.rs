@@ -74,6 +74,12 @@ impl Outbox {
     pub(crate) fn pop(&self) -> Option<String> {
         self.queue.lock().expect("outbox poisoned").pop_front()
     }
+
+    /// Lines currently queued (pushed but not yet drained by the
+    /// owning connection).
+    pub(crate) fn len(&self) -> usize {
+        self.queue.lock().expect("outbox poisoned").len()
+    }
 }
 
 /// One standing subscription.
@@ -126,6 +132,9 @@ pub(crate) struct SubscriptionStats {
     /// Push lines dropped because a subscriber lagged past its outbox
     /// bound.
     pub frames_lagged: u64,
+    /// Lines currently sitting in subscriber outboxes (pushed, not yet
+    /// drained) — the instantaneous backpressure depth.
+    pub outbox_lines: usize,
 }
 
 /// The server-wide subscription registry; lives in
@@ -318,7 +327,19 @@ impl Registry {
     /// Counter snapshot for `STATS`.
     pub(crate) fn stats(&self) -> SubscriptionStats {
         let inner = self.inner.lock().expect("subscription registry poisoned");
+        // One connection's subscriptions share one outbox; dedup by
+        // allocation so shared queues are counted once.
+        let mut seen: Vec<*const Outbox> = Vec::new();
+        let mut outbox_lines = 0usize;
+        for sub in inner.subs.values() {
+            let ptr = Arc::as_ptr(&sub.outbox);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                outbox_lines += sub.outbox.len();
+            }
+        }
         SubscriptionStats {
+            outbox_lines,
             active: inner.subs.len(),
             total: self.total.load(Ordering::Acquire),
             series_tracked: inner.runtimes.values().map(MultiStreamingAsap::len).sum(),

@@ -16,7 +16,7 @@ use std::net::{Shutdown as SocketShutdown, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use asap_tsdb::IngestConfig;
+use asap_tsdb::obs;
 
 use crate::conn::Framer;
 use crate::protocol;
@@ -123,13 +123,9 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
     // sent its stream but never reads the response.
     let _ = stream.set_write_timeout(Some(shared.config().write_deadline));
     let _ = stream.set_nodelay(true);
-    let ingest_config = IngestConfig {
-        wal: shared.wal_handle(),
-        // Post-reorder fanout to standing subscriptions (see
-        // `Shared::subscription_hook`).
-        apply_hook: Some(shared.subscription_hook()),
-        ..shared.config().ingest.clone()
-    };
+    // The fully wired pipeline config: WAL, subscription fanout (see
+    // `Shared::subscription_hook`), and the shared stage histograms.
+    let ingest_config = shared.pipeline_config();
     let mut ingestor = match shared
         .db()
         .stream_ingestor(shared.config().default_ts, ingest_config)
@@ -186,7 +182,11 @@ fn handle_ingest(stream: TcpStream, shared: &Arc<Shared>, slot: ActiveGuard) {
     };
     shared.finish_connection(id, &report);
     if shared.verbose() {
-        eprintln!("asap-server: ingest {peer} closed: {report}");
+        obs::info(
+            "server",
+            "ingest_closed",
+            &[("peer", &peer), ("report", &report)],
+        );
     }
     let _ = (&stream).write_all(format!("{report}\n").as_bytes());
     let _ = stream.shutdown(SocketShutdown::Both);

@@ -29,6 +29,10 @@
 //! * [`retention`] — TTLs and continuous-aggregate rollups (the raw-hot /
 //!   downsampled-cold tiering monitoring dashboards sit on), fanned out
 //!   per shard on the partitioned engine;
+//! * [`obs`] — self-observability: a lock-cheap metrics registry
+//!   (atomic counters, gauges, log-bucketed latency histograms), a
+//!   leveled structured logger, and the Prometheus/line-protocol
+//!   renderers behind the server's `METRICS` verb and self-scrape;
 //! * [`persist`] — single-file snapshots for restart durability (v2
 //!   serializes and loads shards in parallel), plus the coordinated
 //!   checkpoint (rotate → save → discard) and snapshot+WAL-tail recovery
@@ -73,6 +77,7 @@ pub mod gorilla;
 pub mod ingest;
 pub mod line_protocol;
 pub mod memtable;
+pub mod obs;
 pub mod persist;
 pub mod point;
 pub mod query;
@@ -98,6 +103,10 @@ pub use ingest::{
     StreamIngestor, StreamProgress, WriteFailure,
 };
 pub use line_protocol::{ingest, parse, ParsedPoint};
+pub use obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, IngestMetrics, LogLevel, MetricSample,
+    MetricValue, Registry as ObsRegistry, WalMetrics, SELF_TAG,
+};
 pub use persist::{
     checkpoint_sharded, load as load_snapshot, load_sharded as load_sharded_snapshot,
     recover_sharded, save as save_snapshot, save_sharded as save_sharded_snapshot, SnapshotError,

@@ -68,11 +68,12 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::TsdbError;
+use crate::obs::WalMetrics;
 use crate::persist::parse_series_key;
 use crate::point::DataPoint;
 use crate::sharded::ShardedDb;
@@ -412,6 +413,8 @@ pub struct WalStats {
     pub fsyncs: u64,
     /// Rotations performed since open.
     pub rotations: u64,
+    /// Append/fsync failures since open (see [`Wal::last_error`]).
+    pub errors: u64,
 }
 
 #[derive(Debug)]
@@ -448,6 +451,17 @@ struct WalInner {
     bytes: AtomicU64,
     fsyncs: AtomicU64,
     rotations: AtomicU64,
+    errors: AtomicU64,
+    /// Cheap hot-path flag mirroring `last_error.is_some()`, so the
+    /// success path pays one relaxed load instead of a mutex.
+    has_error: AtomicBool,
+    /// Rendering of the most recent append/fsync failure — cleared when
+    /// a later append succeeds, matching the schedulers' `last_error`
+    /// convention: a populated value means the log is *currently*
+    /// failing, not that it once did.
+    last_error: Mutex<Option<String>>,
+    /// Optional latency instrumentation, installed once by the server.
+    metrics: OnceLock<WalMetrics>,
 }
 
 /// The live appender: one append-only log file per shard, shared by all
@@ -510,6 +524,10 @@ impl Wal {
                 bytes: AtomicU64::new(0),
                 fsyncs: AtomicU64::new(0),
                 rotations: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                has_error: AtomicBool::new(false),
+                last_error: Mutex::new(None),
+                metrics: OnceLock::new(),
             }),
         })
     }
@@ -532,6 +550,47 @@ impl Wal {
     /// The generation current appends go to.
     pub fn generation(&self) -> u64 {
         self.inner.generation.load(Ordering::SeqCst)
+    }
+
+    /// Installs latency instrumentation (append/fsync histograms).
+    /// First call wins; later calls are ignored — the hot path reads
+    /// the cell with one atomic load.
+    pub fn set_metrics(&self, metrics: WalMetrics) {
+        let _ = self.inner.metrics.set(metrics);
+    }
+
+    /// Rendering of the most recent append/fsync failure, or `None`
+    /// when the latest append succeeded (a later success clears it).
+    pub fn last_error(&self) -> Option<String> {
+        if !self.inner.has_error.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner
+            .last_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn note_error(&self, e: &TsdbError) {
+        self.inner.errors.fetch_add(1, Ordering::Relaxed);
+        *self
+            .inner
+            .last_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(e.to_string());
+        self.inner.has_error.store(true, Ordering::Relaxed);
+    }
+
+    fn note_success(&self) {
+        if self.inner.has_error.load(Ordering::Relaxed) {
+            *self
+                .inner
+                .last_error
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = None;
+            self.inner.has_error.store(false, Ordering::Relaxed);
+        }
     }
 
     /// Runs `apply` (the store write) and, when it succeeds, appends the
@@ -577,8 +636,15 @@ impl Wal {
         key: &SeriesKey,
         point: DataPoint,
     ) -> Result<(), TsdbError> {
+        let started = Instant::now();
         let record = encode_record(key, point);
-        sf.file.write_all(&record).map_err(io_err)?;
+        if let Err(e) = sf.file.write_all(&record).map_err(io_err) {
+            self.note_error(&e);
+            return Err(e);
+        }
+        if let Some(metrics) = self.inner.metrics.get() {
+            metrics.append.observe_duration(started.elapsed());
+        }
         self.inner.records.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes.fetch_add(record.len() as u64, Ordering::Relaxed);
         sf.unsynced += 1;
@@ -590,6 +656,7 @@ impl Wal {
         if due {
             self.sync_shard(sf)?;
         }
+        self.note_success();
         Ok(())
     }
 
@@ -597,7 +664,14 @@ impl Wal {
         if sf.unsynced == 0 {
             return Ok(());
         }
-        sf.file.sync_data().map_err(io_err)?;
+        let started = Instant::now();
+        if let Err(e) = sf.file.sync_data().map_err(io_err) {
+            self.note_error(&e);
+            return Err(e);
+        }
+        if let Some(metrics) = self.inner.metrics.get() {
+            metrics.fsync.observe_duration(started.elapsed());
+        }
         sf.unsynced = 0;
         sf.last_sync = Instant::now();
         self.inner.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -650,6 +724,7 @@ impl Wal {
             bytes: self.inner.bytes.load(Ordering::Relaxed),
             fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
             rotations: self.inner.rotations.load(Ordering::Relaxed),
+            errors: self.inner.errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -872,6 +947,37 @@ mod tests {
         assert_eq!(stats.records, 4);
         assert_eq!(stats.bytes, 4 * record_len(&k) as u64);
         assert_eq!(stats.fsyncs, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_and_fsync_latency_land_in_installed_histograms() {
+        let dir = temp_dir("obs");
+        let wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
+        let registry = crate::obs::Registry::new();
+        wal.set_metrics(crate::obs::WalMetrics::new(&registry));
+        for ts in 1..=3 {
+            wal.append(0, &key("cpu"), DataPoint::new(ts, 1.0)).unwrap();
+        }
+        assert_eq!(registry.histogram("wal.append_micros").snapshot().count, 3);
+        assert_eq!(registry.histogram("wal.fsync_micros").snapshot().count, 3);
+        assert_eq!(wal.stats().errors, 0);
+        assert_eq!(wal.last_error(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn last_error_clears_on_a_later_successful_append() {
+        let dir = temp_dir("lasterr");
+        let wal = Wal::open(&dir, 1, FsyncPolicy::Always).unwrap();
+        wal.note_error(&TsdbError::Io {
+            message: "disk full".to_owned(),
+        });
+        assert_eq!(wal.stats().errors, 1);
+        assert!(wal.last_error().expect("error recorded").contains("disk full"));
+        wal.append(0, &key("cpu"), DataPoint::new(1, 1.0)).unwrap();
+        assert_eq!(wal.last_error(), None, "a successful append clears the error");
+        assert_eq!(wal.stats().errors, 1, "error history is cumulative");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,6 +16,11 @@
 //!     FRAME/ALERT lines for every series matching SELECTOR (for
 //!     example `cpu.usage` or `cpu.*{host=web1}`); stop after N frames
 //!     with --frames, otherwise stream until interrupted.
+//!
+//! asap-cli query --addr HOST:PORT REQUEST
+//!     send one request line (`RANGE`, `SMOOTH`, `STATS`, `METRICS`,
+//!     `HEALTH`, ...) to an asap-server query port and print the full
+//!     response; exits non-zero on an ERR response.
 //! ```
 //!
 //! Examples:
@@ -35,6 +40,7 @@ fn main() {
         Some("datasets") => cmd_datasets(),
         Some("smooth") => cmd_smooth(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -55,6 +61,7 @@ fn print_usage() {
     eprintln!("                  [--svg PATH] [--term] [--no-preagg]");
     eprintln!("  asap-cli watch  --addr HOST:PORT [--every N] [--alert K] [--frames N]");
     eprintln!("                  SELECTOR");
+    eprintln!("  asap-cli query  --addr HOST:PORT REQUEST");
 }
 
 fn cmd_datasets() -> i32 {
@@ -264,6 +271,78 @@ fn cmd_watch(args: &[String]) -> i32 {
             }
         }
     }
+}
+
+/// Sends one request line to a running `asap-server` query port and
+/// prints the complete response (single line or `...END`-terminated
+/// block), making `asap-cli` a full client: ingest via line protocol,
+/// watch via SUBSCRIBE, and now one-shot queries.
+fn cmd_query(args: &[String]) -> i32 {
+    use std::io::{Read, Write};
+
+    let mut addr = None;
+    let mut request = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("error: flag --addr requires a value\n");
+                    print_usage();
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag `{flag}`\n");
+                print_usage();
+                return 2;
+            }
+            positional => {
+                if request.replace(positional.to_string()).is_some() {
+                    eprintln!("error: exactly one REQUEST is expected (quote the whole line)\n");
+                    print_usage();
+                    return 2;
+                }
+            }
+        }
+    }
+    let (Some(addr), Some(request)) = (addr, request) else {
+        eprintln!("error: query needs --addr and a REQUEST argument\n");
+        print_usage();
+        return 2;
+    };
+    if request.contains('\n') {
+        eprintln!("error: REQUEST must be a single line");
+        return 2;
+    }
+
+    let mut stream = match std::net::TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = stream.write_all(format!("{request}\n").as_bytes()) {
+        eprintln!("error: sending request: {e}");
+        return 1;
+    }
+    // Half-close: the server answers the pending request, sees EOF, and
+    // closes, so `read_to_string` terminates without a framing parser.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut response = String::new();
+    if let Err(e) = stream.read_to_string(&mut response) {
+        eprintln!("error: reading response: {e}");
+        return 1;
+    }
+    if response.is_empty() {
+        eprintln!("error: server closed the connection without responding");
+        return 1;
+    }
+    print!("{response}");
+    i32::from(response.starts_with("ERR"))
 }
 
 fn cmd_smooth(args: &[String]) -> i32 {
